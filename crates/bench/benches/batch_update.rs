@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks: single batch insertion and deletion into an
+//! existing tree (the paper's headline operation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psi::{PkdTree, POrthTree2, SpacHTree, SpacZTree, SpatialIndex, ZdTree};
+use psi_workloads::{self as workloads, Distribution};
+use std::time::Duration;
+
+const N: usize = 50_000;
+const BATCH: usize = 5_000;
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_insert");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let universe = workloads::universe::<2>(workloads::DEFAULT_MAX_COORD_2D);
+
+    for dist in [Distribution::Uniform, Distribution::Varden] {
+        let data = dist.generate::<2>(N, workloads::DEFAULT_MAX_COORD_2D, 42);
+        let batch = dist.generate::<2>(BATCH, workloads::DEFAULT_MAX_COORD_2D, 77);
+
+        macro_rules! bench_index {
+            ($name:literal, $ty:ty) => {
+                group.bench_with_input(BenchmarkId::new($name, dist.name()), &data, |b, d| {
+                    b.iter_batched(
+                        || <$ty as SpatialIndex<2>>::build(d, &universe),
+                        |mut index| index.batch_insert(&batch),
+                        criterion::BatchSize::LargeInput,
+                    )
+                });
+            };
+        }
+        bench_index!("P-Orth", POrthTree2);
+        bench_index!("SPaC-H", SpacHTree<2>);
+        bench_index!("SPaC-Z", SpacZTree<2>);
+        bench_index!("Zd-Tree", ZdTree<2>);
+        bench_index!("Pkd-Tree", PkdTree<2>);
+    }
+    group.finish();
+}
+
+fn bench_delete(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_delete");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let universe = workloads::universe::<2>(workloads::DEFAULT_MAX_COORD_2D);
+
+    for dist in [Distribution::Uniform, Distribution::Varden] {
+        let data = dist.generate::<2>(N, workloads::DEFAULT_MAX_COORD_2D, 42);
+        let victims = &data[..BATCH];
+
+        macro_rules! bench_index {
+            ($name:literal, $ty:ty) => {
+                group.bench_with_input(BenchmarkId::new($name, dist.name()), &data, |b, d| {
+                    b.iter_batched(
+                        || <$ty as SpatialIndex<2>>::build(d, &universe),
+                        |mut index| index.batch_delete(victims),
+                        criterion::BatchSize::LargeInput,
+                    )
+                });
+            };
+        }
+        bench_index!("P-Orth", POrthTree2);
+        bench_index!("SPaC-H", SpacHTree<2>);
+        bench_index!("Pkd-Tree", PkdTree<2>);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_delete);
+criterion_main!(benches);

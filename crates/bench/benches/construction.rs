@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks: index construction across distributions.
+//!
+//! Complements the `figure3` binary with statistically robust per-operation
+//! timings at a smaller scale (fast enough to run in CI).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psi::{CpamHTree, PkdTree, POrthTree2, SpacHTree, SpacZTree, SpatialIndex, ZdTree};
+use psi_workloads::{self as workloads, Distribution};
+use std::time::Duration;
+
+const N: usize = 50_000;
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let universe = workloads::universe::<2>(workloads::DEFAULT_MAX_COORD_2D);
+
+    for dist in Distribution::ALL {
+        let data = dist.generate::<2>(N, workloads::DEFAULT_MAX_COORD_2D, 42);
+        group.bench_with_input(BenchmarkId::new("P-Orth", dist.name()), &data, |b, d| {
+            b.iter(|| <POrthTree2 as SpatialIndex<2>>::build(d, &universe))
+        });
+        group.bench_with_input(BenchmarkId::new("SPaC-H", dist.name()), &data, |b, d| {
+            b.iter(|| <SpacHTree<2> as SpatialIndex<2>>::build(d, &universe))
+        });
+        group.bench_with_input(BenchmarkId::new("SPaC-Z", dist.name()), &data, |b, d| {
+            b.iter(|| <SpacZTree<2> as SpatialIndex<2>>::build(d, &universe))
+        });
+        group.bench_with_input(BenchmarkId::new("CPAM-H", dist.name()), &data, |b, d| {
+            b.iter(|| <CpamHTree<2> as SpatialIndex<2>>::build(d, &universe))
+        });
+        group.bench_with_input(BenchmarkId::new("Zd-Tree", dist.name()), &data, |b, d| {
+            b.iter(|| <ZdTree<2> as SpatialIndex<2>>::build(d, &universe))
+        });
+        group.bench_with_input(BenchmarkId::new("Pkd-Tree", dist.name()), &data, |b, d| {
+            b.iter(|| <PkdTree<2> as SpatialIndex<2>>::build(d, &universe))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

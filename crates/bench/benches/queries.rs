@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks: kNN and range queries per index family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psi::{PkdTree, POrthTree2, RTree, SpacHTree, SpacZTree, SpatialIndex, ZdTree};
+use psi_workloads::{self as workloads, Distribution};
+use std::time::Duration;
+
+const N: usize = 50_000;
+const QUERIES: usize = 200;
+
+fn bench_knn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knn10");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let universe = workloads::universe::<2>(workloads::DEFAULT_MAX_COORD_2D);
+
+    for dist in [Distribution::Uniform, Distribution::Varden] {
+        let data = dist.generate::<2>(N, workloads::DEFAULT_MAX_COORD_2D, 42);
+        let queries = workloads::ind_queries(&data, QUERIES, 7);
+
+        macro_rules! bench_index {
+            ($name:literal, $ty:ty) => {
+                let index = <$ty as SpatialIndex<2>>::build(&data, &universe);
+                group.bench_with_input(BenchmarkId::new($name, dist.name()), &queries, |b, qs| {
+                    b.iter(|| {
+                        qs.iter()
+                            .map(|q| index.knn(q, 10).len())
+                            .sum::<usize>()
+                    })
+                });
+            };
+        }
+        bench_index!("P-Orth", POrthTree2);
+        bench_index!("SPaC-H", SpacHTree<2>);
+        bench_index!("SPaC-Z", SpacZTree<2>);
+        bench_index!("Zd-Tree", ZdTree<2>);
+        bench_index!("Pkd-Tree", PkdTree<2>);
+        bench_index!("Boost-R", RTree<2>);
+    }
+    group.finish();
+}
+
+fn bench_range(c: &mut Criterion) {
+    let mut group = c.benchmark_group("range_list");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let universe = workloads::universe::<2>(workloads::DEFAULT_MAX_COORD_2D);
+    let data = Distribution::Uniform.generate::<2>(N, workloads::DEFAULT_MAX_COORD_2D, 42);
+    let ranges = workloads::range_queries(&data, workloads::DEFAULT_MAX_COORD_2D, 500, 100, 9);
+
+    macro_rules! bench_index {
+        ($name:literal, $ty:ty) => {
+            let index = <$ty as SpatialIndex<2>>::build(&data, &universe);
+            group.bench_function($name, |b| {
+                b.iter(|| {
+                    ranges
+                        .iter()
+                        .map(|r| index.range_list(r).len())
+                        .sum::<usize>()
+                })
+            });
+        };
+    }
+    bench_index!("P-Orth", POrthTree2);
+    bench_index!("SPaC-H", SpacHTree<2>);
+    bench_index!("Pkd-Tree", PkdTree<2>);
+    bench_index!("Boost-R", RTree<2>);
+    group.finish();
+}
+
+criterion_group!(benches, bench_knn, bench_range);
+criterion_main!(benches);

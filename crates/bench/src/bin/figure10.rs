@@ -1,0 +1,59 @@
+//! Figure 10 — single-batch update time as a function of the batch size.
+//!
+//! An initial tree is built over the full dataset; a single batch insertion
+//! (fresh points from the same distribution) and a single batch deletion
+//! (existing points) are then timed for batch sizes sweeping three decades.
+//! The paper sweeps 10^5..10^9 points on a 10^9-point tree; this binary sweeps
+//! proportional fractions of the configured `n`.
+//!
+//! Usage: `cargo run --release -p psi-bench --bin figure10 [-- --n 200000]`
+
+use psi::driver::{timed_batch_delete, timed_batch_insert, timed_build};
+use psi::{PkdTree, POrthTree2, PointI, SpacHTree, SpacZTree, SpatialIndex, ZdTree};
+use psi_bench::{fmt_secs, BenchConfig};
+use psi_workloads::Distribution;
+
+fn run<I: SpatialIndex<2>>(
+    name: &str,
+    data: &[PointI<2>],
+    dist: Distribution,
+    cfg: &BenchConfig,
+) {
+    let universe = cfg.universe::<2>();
+    // Batch sizes: 0.01%, 0.1%, 1%, 10%, 100% of n (mirroring the paper's
+    // 1e5..1e9 sweep on 1e9 points).
+    for frac in [0.0001, 0.001, 0.01, 0.1, 1.0] {
+        let b = ((data.len() as f64 * frac).ceil() as usize).max(1);
+        let insert_batch = dist.generate::<2>(b, cfg.max_coord, cfg.seed ^ 0xA1);
+        let delete_batch = &data[..b];
+
+        let (_t, mut index) = timed_build::<I, 2>(data, &universe);
+        let ti = timed_batch_insert(&mut index, &insert_batch);
+        let (_t, mut index) = timed_build::<I, 2>(data, &universe);
+        let td = timed_batch_delete(&mut index, delete_batch);
+        println!(
+            "{:<10} batch={:<9} insert={:>9} delete={:>9}",
+            name,
+            b,
+            fmt_secs(ti),
+            fmt_secs(td)
+        );
+    }
+}
+
+fn main() {
+    let cfg = BenchConfig::default_2d().from_args();
+    println!(
+        "# Figure 10: single-batch update time vs batch size (base tree n = {})",
+        cfg.n
+    );
+    for dist in Distribution::ALL {
+        println!("\n== {} ==", dist.name());
+        let data = dist.generate::<2>(cfg.n, cfg.max_coord, cfg.seed);
+        run::<SpacHTree<2>>("SPaC-H", &data, dist, &cfg);
+        run::<SpacZTree<2>>("SPaC-Z", &data, dist, &cfg);
+        run::<POrthTree2>("P-Orth", &data, dist, &cfg);
+        run::<ZdTree<2>>("Zd-Tree", &data, dist, &cfg);
+        run::<PkdTree<2>>("Pkd-Tree", &data, dist, &cfg);
+    }
+}

@@ -1,0 +1,39 @@
+//! Figure 3 — the 2-D synthetic master table.
+//!
+//! For each distribution (Uniform, Sweepline, Varden) and each index, report:
+//! build time; 10-NN (InD/OOD), range-count and range-list after a static
+//! build over half the data; incremental-insertion total time at batch ratios
+//! 10%, 1%, 0.1%, 0.01%; queries after 50% of the insertion batches;
+//! incremental-deletion totals at the same ratios; queries after 50% of the
+//! deletion batches.
+//!
+//! Usage: `cargo run --release -p psi-bench --bin figure3 [-- --n 200000]`
+
+use psi::{CpamHTree, CpamZTree, PkdTree, POrthTree2, RTree, SpacHTree, SpacZTree, ZdTree};
+use psi_bench::{master_header, master_row, master_row_line, BenchConfig};
+use psi_workloads::Distribution;
+
+fn main() {
+    let cfg = BenchConfig::default_2d().from_args();
+    println!("# Figure 3: 2-D synthetic master table (n = {}, seed = {})", cfg.n, cfg.seed);
+    println!("# times in seconds; paper reference: Fig. 3 of arXiv:2601.05347");
+
+    for dist in Distribution::ALL {
+        let data = dist.generate::<2>(cfg.n, cfg.max_coord, cfg.seed);
+        println!("\n== {} ==", dist.name());
+        println!("{}", master_header(&cfg.batch_ratios));
+        println!("{}", master_row_line(&master_row::<POrthTree2, 2>(&data, &cfg)));
+        println!("{}", master_row_line(&with_name(master_row::<ZdTree<2>, 2>(&data, &cfg), "Zd-Tree")));
+        println!("{}", master_row_line(&with_name(master_row::<SpacHTree<2>, 2>(&data, &cfg), "SPaC-H")));
+        println!("{}", master_row_line(&with_name(master_row::<SpacZTree<2>, 2>(&data, &cfg), "SPaC-Z")));
+        println!("{}", master_row_line(&with_name(master_row::<CpamHTree<2>, 2>(&data, &cfg), "CPAM-H")));
+        println!("{}", master_row_line(&with_name(master_row::<CpamZTree<2>, 2>(&data, &cfg), "CPAM-Z")));
+        println!("{}", master_row_line(&with_name(master_row::<RTree<2>, 2>(&data, &cfg), "Boost-R")));
+        println!("{}", master_row_line(&with_name(master_row::<PkdTree<2>, 2>(&data, &cfg), "Pkd-Tree")));
+    }
+}
+
+fn with_name(mut row: psi_bench::MasterRow, name: &str) -> psi_bench::MasterRow {
+    row.name = name.to_string();
+    row
+}

@@ -1,0 +1,55 @@
+//! Figure 4 — kNN query time as a function of `k` (1, 10, 100), for
+//! in-distribution and out-of-distribution query points, on a tree built by
+//! incremental insertion with 0.01% batches.
+//!
+//! Usage: `cargo run --release -p psi-bench --bin figure4 [-- --n 100000]`
+
+use psi::driver::{incremental_insert, QuerySet};
+use psi::{
+    CpamHTree, CpamZTree, PkdTree, POrthTree2, PointI, RTree, SpacHTree, SpacZTree, SpatialIndex,
+    ZdTree,
+};
+use psi_bench::{fmt_secs, BenchConfig};
+use psi_workloads::{self as workloads, Distribution};
+
+fn run<I: SpatialIndex<2>>(name: &str, data: &[PointI<2>], cfg: &BenchConfig) {
+    let universe = cfg.universe::<2>();
+    let batch = ((data.len() as f64 * 0.0001).ceil() as usize).max(1);
+    let (_res, index) = incremental_insert::<I, 2>(data, batch, &universe, None);
+    for k in [1usize, 10, 100] {
+        let qs = QuerySet {
+            knn_ind: workloads::ind_queries(data, cfg.knn_queries, cfg.seed ^ 0x61),
+            knn_ood: workloads::ood_queries::<2>(cfg.max_coord, cfg.knn_queries, cfg.seed ^ 0x62),
+            k,
+            ranges: vec![],
+        };
+        let t = qs.run(&index);
+        println!(
+            "{:<10} k={:<4} InD={:>9}  OOD={:>9}",
+            name,
+            k,
+            fmt_secs(t.knn_ind),
+            fmt_secs(t.knn_ood)
+        );
+    }
+}
+
+fn main() {
+    let cfg = BenchConfig::default_2d().from_args();
+    println!(
+        "# Figure 4: kNN time vs k (n = {}, {} queries per point set)",
+        cfg.n, cfg.knn_queries
+    );
+    for dist in Distribution::ALL {
+        println!("\n== {} ==", dist.name());
+        let data = dist.generate::<2>(cfg.n, cfg.max_coord, cfg.seed);
+        run::<POrthTree2>("P-Orth", &data, &cfg);
+        run::<ZdTree<2>>("Zd-Tree", &data, &cfg);
+        run::<SpacHTree<2>>("SPaC-H", &data, &cfg);
+        run::<SpacZTree<2>>("SPaC-Z", &data, &cfg);
+        run::<CpamHTree<2>>("CPAM-H", &data, &cfg);
+        run::<CpamZTree<2>>("CPAM-Z", &data, &cfg);
+        run::<RTree<2>>("Boost-R", &data, &cfg);
+        run::<PkdTree<2>>("Pkd-Tree", &data, &cfg);
+    }
+}

@@ -1,0 +1,63 @@
+//! Figure 5 — range-report (range-list) query time as a function of the
+//! output size, on a tree built by incremental insertion with 0.01% batches.
+//!
+//! Usage: `cargo run --release -p psi-bench --bin figure5 [-- --n 100000]`
+
+use psi::driver::{incremental_insert, QuerySet};
+use psi::{
+    CpamHTree, CpamZTree, PkdTree, POrthTree2, PointI, RTree, SpacHTree, SpacZTree, SpatialIndex,
+    ZdTree,
+};
+use psi_bench::{fmt_secs, BenchConfig};
+use psi_workloads::{self as workloads, Distribution};
+
+fn run<I: SpatialIndex<2>>(name: &str, data: &[PointI<2>], cfg: &BenchConfig) {
+    let universe = cfg.universe::<2>();
+    let batch = ((data.len() as f64 * 0.0001).ceil() as usize).max(1);
+    let (_res, index) = incremental_insert::<I, 2>(data, batch, &universe, None);
+    // Sweep the target output size over four decades (the paper sweeps the
+    // range size from 10^4 to 10^6 coordinates on 10^9 points; at our scale we
+    // sweep expected output counts instead, which is the same x-axis).
+    for target in [10usize, 100, 1_000, 10_000] {
+        let qs = QuerySet {
+            knn_ind: vec![],
+            knn_ood: vec![],
+            k: 1,
+            ranges: workloads::range_queries(
+                data,
+                cfg.max_coord,
+                target,
+                cfg.range_queries,
+                cfg.seed ^ 0x71,
+            ),
+        };
+        let t = qs.run(&index);
+        println!(
+            "{:<10} target_output={:<7} range_list={:>9}  (range_count={:>9})",
+            name,
+            target,
+            fmt_secs(t.range_list),
+            fmt_secs(t.range_count)
+        );
+    }
+}
+
+fn main() {
+    let cfg = BenchConfig::default_2d().from_args();
+    println!(
+        "# Figure 5: range-report time vs output size (n = {}, {} range queries)",
+        cfg.n, cfg.range_queries
+    );
+    for dist in Distribution::ALL {
+        println!("\n== {} ==", dist.name());
+        let data = dist.generate::<2>(cfg.n, cfg.max_coord, cfg.seed);
+        run::<POrthTree2>("P-Orth", &data, &cfg);
+        run::<ZdTree<2>>("Zd-Tree", &data, &cfg);
+        run::<SpacHTree<2>>("SPaC-H", &data, &cfg);
+        run::<SpacZTree<2>>("SPaC-Z", &data, &cfg);
+        run::<CpamHTree<2>>("CPAM-H", &data, &cfg);
+        run::<CpamZTree<2>>("CPAM-Z", &data, &cfg);
+        run::<RTree<2>>("Boost-R", &data, &cfg);
+        run::<PkdTree<2>>("Pkd-Tree", &data, &cfg);
+    }
+}

@@ -1,0 +1,56 @@
+//! Figure 8 — the update-vs-query trade-off scatter plot.
+//!
+//! The paper summarises Fig. 3 by plotting, for every index and every
+//! distribution, the geometric mean of its update times against the geometric
+//! mean of its query times. This binary re-runs a reduced version of the
+//! Fig. 3 protocol and prints the scatter coordinates (one line per index per
+//! distribution); lower is better on both axes.
+//!
+//! Usage: `cargo run --release -p psi-bench --bin figure8 [-- --n 100000]`
+
+use psi::{CpamHTree, CpamZTree, PkdTree, POrthTree2, RTree, SpacHTree, SpacZTree, ZdTree};
+use psi_bench::{geometric_mean, master_row, BenchConfig, MasterRow};
+use psi_workloads::Distribution;
+use std::time::Duration;
+
+fn scatter_point(row: &MasterRow) -> (f64, f64) {
+    // Update axis: build + all incremental insert/delete totals.
+    let mut updates: Vec<Duration> = vec![row.build];
+    updates.extend(&row.inc_insert);
+    updates.extend(&row.inc_delete);
+    // Query axis: every query column of the three probes.
+    let queries: Vec<Duration> = [row.q_build, row.q_insert, row.q_delete]
+        .iter()
+        .flat_map(|q| [q.knn_ind, q.knn_ood, q.range_count, q.range_list])
+        .collect();
+    (geometric_mean(&updates), geometric_mean(&queries))
+}
+
+fn main() {
+    let mut cfg = BenchConfig::default_2d();
+    cfg.n = 100_000;
+    cfg.batch_ratios = vec![0.01, 0.0001];
+    let cfg = cfg.from_args();
+    println!(
+        "# Figure 8: update-vs-query scatter (geometric means, seconds); n = {}",
+        cfg.n
+    );
+    println!("{:<12} {:<12} {:>14} {:>14}", "distribution", "index", "update_gm", "query_gm");
+
+    for dist in Distribution::ALL {
+        let data = dist.generate::<2>(cfg.n, cfg.max_coord, cfg.seed);
+        let rows = vec![
+            ("P-Orth", scatter_point(&master_row::<POrthTree2, 2>(&data, &cfg))),
+            ("Zd-Tree", scatter_point(&master_row::<ZdTree<2>, 2>(&data, &cfg))),
+            ("SPaC-H", scatter_point(&master_row::<SpacHTree<2>, 2>(&data, &cfg))),
+            ("SPaC-Z", scatter_point(&master_row::<SpacZTree<2>, 2>(&data, &cfg))),
+            ("CPAM-H", scatter_point(&master_row::<CpamHTree<2>, 2>(&data, &cfg))),
+            ("CPAM-Z", scatter_point(&master_row::<CpamZTree<2>, 2>(&data, &cfg))),
+            ("Boost-R", scatter_point(&master_row::<RTree<2>, 2>(&data, &cfg))),
+            ("Pkd-Tree", scatter_point(&master_row::<PkdTree<2>, 2>(&data, &cfg))),
+        ];
+        for (name, (u, q)) in rows {
+            println!("{:<12} {:<12} {:>14.5} {:>14.5}", dist.name(), name, u, q);
+        }
+    }
+}

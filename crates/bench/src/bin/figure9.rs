@@ -1,0 +1,32 @@
+//! Figure 9 — the 3-D synthetic master table (same protocol as Fig. 3, on
+//! 3-D points with coordinates in [0, 10^6], restricted to the indexes the
+//! paper keeps for this experiment: P-Orth, SPaC-H and Pkd-tree).
+//!
+//! Usage: `cargo run --release -p psi-bench --bin figure9 [-- --n 100000]`
+
+use psi::{PkdTree, POrthTree, SpacHTree};
+use psi_bench::{master_header, master_row, master_row_line, BenchConfig};
+use psi_workloads::Distribution;
+
+fn main() {
+    let cfg = BenchConfig::default_3d().from_args();
+    println!(
+        "# Figure 9: 3-D synthetic master table (n = {}, coords in [0, {}])",
+        cfg.n, cfg.max_coord
+    );
+
+    for dist in Distribution::ALL {
+        let data = dist.generate::<3>(cfg.n, cfg.max_coord, cfg.seed);
+        println!("\n== {} ==", dist.name());
+        println!("{}", master_header(&cfg.batch_ratios));
+        let mut porth = master_row::<POrthTree<3>, 3>(&data, &cfg);
+        porth.name = "P-Orth".into();
+        println!("{}", master_row_line(&porth));
+        let mut spac = master_row::<SpacHTree<3>, 3>(&data, &cfg);
+        spac.name = "SPaC-H".into();
+        println!("{}", master_row_line(&spac));
+        let mut pkd = master_row::<PkdTree<3>, 3>(&data, &cfg);
+        pkd.name = "Pkd-Tree".into();
+        println!("{}", master_row_line(&pkd));
+    }
+}

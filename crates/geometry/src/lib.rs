@@ -1,0 +1,35 @@
+//! Geometry kernel for Ψ-Lib-rs.
+//!
+//! Provides the basic spatial types shared by every index in the workspace:
+//!
+//! * [`Point`] — a point in `D`-dimensional Euclidean space with a generic
+//!   coordinate type (64-bit integers for the paper's workloads, `f64` for the
+//!   SFC-free P-Orth tree which has no integer-coordinate restriction),
+//! * [`Rect`] — an axis-aligned bounding box (the "bounding box"/"bounding
+//!   volume" every spatial index in the paper augments its nodes with),
+//! * distance computations with exact integer arithmetic (no precision loss
+//!   for coordinates up to the paper's `[0, 10^9]` range),
+//! * box/box and box/point predicates used for query-time pruning.
+//!
+//! The paper studies `D = 2` and `D = 3`; all types here are const-generic over
+//! `D` and work for any `D >= 1`.
+
+pub mod coord;
+pub mod knn;
+pub mod point;
+pub mod rect;
+
+pub use coord::Coord;
+pub use knn::{brute_force_knn, KnnHeap};
+pub use point::Point;
+pub use rect::Rect;
+
+/// Convenience alias: integer-coordinate point, the representation used by all
+/// SFC-based indexes in the paper (coordinates are 64-bit integers in `[0, 10^9]`).
+pub type PointI<const D: usize> = Point<i64, D>;
+/// Convenience alias: integer-coordinate axis-aligned box.
+pub type RectI<const D: usize> = Rect<i64, D>;
+/// Convenience alias: floating-point point (supported by the P-Orth tree only).
+pub type PointF<const D: usize> = Point<f64, D>;
+/// Convenience alias: floating-point axis-aligned box.
+pub type RectF<const D: usize> = Rect<f64, D>;

@@ -1,0 +1,156 @@
+//! Points in `D`-dimensional Euclidean space.
+
+use crate::coord::Coord;
+
+/// A point in `R^D` with coordinates of type `T`.
+///
+/// Points are `Copy` and laid out as a plain `[T; D]`, so slices of points are
+/// contiguous and cache-friendly — the sieving and sorting passes of the
+/// P-Orth tree and SPaC-tree move points by value exactly like the C++
+/// implementation moves its POD point structs.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct Point<T: Coord, const D: usize> {
+    /// Raw coordinates.
+    pub coords: [T; D],
+}
+
+impl<T: Coord, const D: usize> Point<T, D> {
+    /// Construct a point from its coordinate array.
+    #[inline(always)]
+    pub fn new(coords: [T; D]) -> Self {
+        Point { coords }
+    }
+
+    /// The origin (all coordinates zero).
+    #[inline(always)]
+    pub fn origin() -> Self {
+        Point {
+            coords: [T::ZERO; D],
+        }
+    }
+
+    /// Coordinate along dimension `d`.
+    #[inline(always)]
+    pub fn get(&self, d: usize) -> T {
+        self.coords[d]
+    }
+
+    /// Squared Euclidean distance to another point, computed exactly
+    /// (in `i128` for integer coordinates).
+    #[inline(always)]
+    pub fn dist_sq(&self, other: &Self) -> T::Dist {
+        let mut acc = T::DIST_ZERO;
+        for d in 0..D {
+            acc = T::dist_add(acc, self.coords[d].diff_sq(other.coords[d]));
+        }
+        acc
+    }
+
+    /// Lexicographic comparison over coordinates — used as a canonical total
+    /// order when an index needs to deduplicate or diff point sets.
+    pub fn lex_cmp(&self, other: &Self) -> std::cmp::Ordering {
+        for d in 0..D {
+            let c = self.coords[d].total_cmp(&other.coords[d]);
+            if c != std::cmp::Ordering::Equal {
+                return c;
+            }
+        }
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<T: Coord, const D: usize> Eq for Point<T, D> {}
+
+impl<T: Coord, const D: usize> PartialOrd for Point<T, D> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.lex_cmp(other))
+    }
+}
+
+impl<T: Coord, const D: usize> Ord for Point<T, D> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.lex_cmp(other)
+    }
+}
+
+impl<T: Coord, const D: usize> std::hash::Hash for Point<T, D>
+where
+    T: std::hash::Hash,
+{
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.coords.hash(state);
+    }
+}
+
+impl<T: Coord, const D: usize> From<[T; D]> for Point<T, D> {
+    fn from(coords: [T; D]) -> Self {
+        Point { coords }
+    }
+}
+
+impl<T: Coord, const D: usize> Default for Point<T, D> {
+    fn default() -> Self {
+        Self::origin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PointF, PointI};
+
+    #[test]
+    fn dist_sq_2d() {
+        let a = PointI::<2>::new([0, 0]);
+        let b = PointI::<2>::new([3, 4]);
+        assert_eq!(a.dist_sq(&b), 25);
+        assert_eq!(b.dist_sq(&a), 25);
+        assert_eq!(a.dist_sq(&a), 0);
+    }
+
+    #[test]
+    fn dist_sq_3d() {
+        let a = PointI::<3>::new([1, 2, 3]);
+        let b = PointI::<3>::new([4, 6, 3]);
+        assert_eq!(a.dist_sq(&b), 9 + 16);
+    }
+
+    #[test]
+    fn dist_sq_no_overflow_at_paper_extents() {
+        let a = PointI::<3>::new([0, 0, 0]);
+        let b = PointI::<3>::new([1_000_000_000, 1_000_000_000, 1_000_000_000]);
+        assert_eq!(a.dist_sq(&b), 3_000_000_000_000_000_000i128);
+    }
+
+    #[test]
+    fn float_points() {
+        let a = PointF::<2>::new([0.5, 0.5]);
+        let b = PointF::<2>::new([1.5, 2.5]);
+        assert!((a.dist_sq(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lex_order_is_total_and_consistent() {
+        let mut pts = vec![
+            PointI::<2>::new([2, 1]),
+            PointI::<2>::new([1, 5]),
+            PointI::<2>::new([1, 2]),
+            PointI::<2>::new([2, 0]),
+        ];
+        pts.sort();
+        assert_eq!(
+            pts,
+            vec![
+                PointI::<2>::new([1, 2]),
+                PointI::<2>::new([1, 5]),
+                PointI::<2>::new([2, 0]),
+                PointI::<2>::new([2, 1]),
+            ]
+        );
+    }
+
+    #[test]
+    fn default_is_origin() {
+        assert_eq!(PointI::<3>::default(), PointI::<3>::new([0, 0, 0]));
+    }
+}

@@ -1,0 +1,140 @@
+//! Lightweight instrumentation counters.
+//!
+//! The paper analyses its algorithms in the work–span and ideal-cache models
+//! (§2.1). Absolute wall-clock numbers on a small machine are noisy, so the
+//! ablation benchmarks additionally report *machine-independent proxies*:
+//! how many points were moved, how many tree nodes were visited, how many
+//! leaves were re-sorted, etc. These counters are global, relaxed atomics —
+//! cheap enough to leave enabled, precise enough for comparative ablation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A named global event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A new zeroed counter (usable in `static` position).
+    pub const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Add `n` events.
+    #[inline(always)]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add a single event.
+    #[inline(always)]
+    pub fn bump(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero and return the previous value.
+    pub fn take(&self) -> u64 {
+        self.value.swap(0, Ordering::Relaxed)
+    }
+}
+
+/// Counters shared by the index implementations. Each index bumps the subset
+/// that is meaningful for it; the ablation benches snapshot them around a
+/// measured region via [`snapshot`]/[`delta`].
+pub mod counters {
+    use super::Counter;
+
+    /// Points physically moved by sieve/scatter/sort passes (the cache-cost proxy).
+    pub static POINTS_MOVED: Counter = Counter::new();
+    /// Tree nodes visited by queries.
+    pub static NODES_VISITED: Counter = Counter::new();
+    /// Leaves whose points had to be (re-)sorted (the SPaC vs CPAM ablation signal).
+    pub static LEAVES_SORTED: Counter = Counter::new();
+    /// SFC codes computed.
+    pub static CODES_COMPUTED: Counter = Counter::new();
+    /// Join/rebalance operations performed.
+    pub static REBALANCES: Counter = Counter::new();
+}
+
+/// A snapshot of all counters at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    pub points_moved: u64,
+    pub nodes_visited: u64,
+    pub leaves_sorted: u64,
+    pub codes_computed: u64,
+    pub rebalances: u64,
+}
+
+/// Read all counters.
+pub fn snapshot() -> Snapshot {
+    Snapshot {
+        points_moved: counters::POINTS_MOVED.get(),
+        nodes_visited: counters::NODES_VISITED.get(),
+        leaves_sorted: counters::LEAVES_SORTED.get(),
+        codes_computed: counters::CODES_COMPUTED.get(),
+        rebalances: counters::REBALANCES.get(),
+    }
+}
+
+/// Difference between two snapshots (later minus earlier, saturating).
+pub fn delta(before: Snapshot, after: Snapshot) -> Snapshot {
+    Snapshot {
+        points_moved: after.points_moved.saturating_sub(before.points_moved),
+        nodes_visited: after.nodes_visited.saturating_sub(before.nodes_visited),
+        leaves_sorted: after.leaves_sorted.saturating_sub(before.leaves_sorted),
+        codes_computed: after.codes_computed.saturating_sub(before.codes_computed),
+        rebalances: after.rebalances.saturating_sub(before.rebalances),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.bump();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.take(), 10);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_is_thread_safe() {
+        let c = Counter::new();
+        rayon::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    for _ in 0..1000 {
+                        c.bump();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let before = snapshot();
+        counters::POINTS_MOVED.add(5);
+        counters::LEAVES_SORTED.add(2);
+        let after = snapshot();
+        let d = delta(before, after);
+        assert!(d.points_moved >= 5);
+        assert!(d.leaves_sorted >= 2);
+        assert_eq!(d.nodes_visited, after.nodes_visited - before.nodes_visited);
+    }
+}

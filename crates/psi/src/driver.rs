@@ -1,0 +1,321 @@
+//! The incremental-workload driver: the measurement harness behind the
+//! paper's "highly dynamic" experiments (§5.1).
+//!
+//! The paper evaluates each index not just on a one-shot build but on
+//! *incremental* workloads: the index is assembled by `n / b` successive batch
+//! insertions (or torn down by batch deletions), the total update time is
+//! reported, and query latency is sampled after half of the batches have been
+//! applied — measuring how much the index quality degrades under a constantly
+//! evolving dataset. This module implements exactly that protocol, plus the
+//! parallel query runners (the paper runs its 10⁷ kNN queries concurrently).
+
+use crate::SpatialIndex;
+use psi_geometry::{PointI, RectI};
+use rayon::prelude::*;
+use std::time::{Duration, Instant};
+
+/// A bundle of queries measured together, mirroring the columns of Fig. 3:
+/// in-distribution kNN, out-of-distribution kNN, range-count and range-list.
+#[derive(Clone, Debug, Default)]
+pub struct QuerySet<const D: usize> {
+    /// In-distribution kNN query points.
+    pub knn_ind: Vec<PointI<D>>,
+    /// Out-of-distribution kNN query points.
+    pub knn_ood: Vec<PointI<D>>,
+    /// Number of neighbours per kNN query (10 in Fig. 3).
+    pub k: usize,
+    /// Range-query rectangles (used for both count and list).
+    pub ranges: Vec<RectI<D>>,
+}
+
+/// Wall-clock results of running a [`QuerySet`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueryTimes {
+    /// Total time for the in-distribution kNN queries.
+    pub knn_ind: Duration,
+    /// Total time for the out-of-distribution kNN queries.
+    pub knn_ood: Duration,
+    /// Total time for the range-count queries.
+    pub range_count: Duration,
+    /// Total time for the range-list queries.
+    pub range_list: Duration,
+    /// Checksum of query outputs (guards against the optimiser skipping work
+    /// and doubles as a cross-index consistency probe).
+    pub checksum: u64,
+}
+
+impl<const D: usize> QuerySet<D> {
+    /// Run every query in the set against `index`, queries in parallel, and
+    /// return the per-category wall-clock times.
+    pub fn run<I: SpatialIndex<D>>(&self, index: &I) -> QueryTimes {
+        let mut times = QueryTimes::default();
+        let mut checksum = 0u64;
+
+        if !self.knn_ind.is_empty() {
+            let t = Instant::now();
+            let s: u64 = self
+                .knn_ind
+                .par_iter()
+                .map(|q| index.knn(q, self.k).len() as u64)
+                .sum();
+            times.knn_ind = t.elapsed();
+            checksum = checksum.wrapping_add(s);
+        }
+        if !self.knn_ood.is_empty() {
+            let t = Instant::now();
+            let s: u64 = self
+                .knn_ood
+                .par_iter()
+                .map(|q| index.knn(q, self.k).len() as u64)
+                .sum();
+            times.knn_ood = t.elapsed();
+            checksum = checksum.wrapping_add(s);
+        }
+        if !self.ranges.is_empty() {
+            let t = Instant::now();
+            let s: u64 = self
+                .ranges
+                .par_iter()
+                .map(|r| index.range_count(r) as u64)
+                .sum();
+            times.range_count = t.elapsed();
+            checksum = checksum.wrapping_add(s);
+
+            let t = Instant::now();
+            let s: u64 = self
+                .ranges
+                .par_iter()
+                .map(|r| index.range_list(r).len() as u64)
+                .sum();
+            times.range_list = t.elapsed();
+            checksum = checksum.wrapping_add(s);
+        }
+        times.checksum = checksum;
+        times
+    }
+}
+
+/// Result of one incremental insertion or deletion run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IncrementalResult {
+    /// Total wall-clock time spent in batch updates (construction of the first
+    /// batch included for insertion runs).
+    pub update_time: Duration,
+    /// Query times sampled after half of the batches (if a query set was given).
+    pub queries_at_half: Option<QueryTimes>,
+    /// Number of batches applied.
+    pub batches: usize,
+    /// Final index size.
+    pub final_len: usize,
+}
+
+/// Build `I` by inserting `points` in `ceil(n / batch_size)` successive
+/// batches (the first batch doubles as the initial build), timing only the
+/// update operations. If `queries` is provided, it is run once after half of
+/// the batches and its times are reported separately (not counted as update
+/// time). Returns the result together with the final index.
+pub fn incremental_insert<I: SpatialIndex<D>, const D: usize>(
+    points: &[PointI<D>],
+    batch_size: usize,
+    universe: &RectI<D>,
+    queries: Option<&QuerySet<D>>,
+) -> (IncrementalResult, I) {
+    assert!(batch_size > 0, "batch size must be positive");
+    let n = points.len();
+    let mut result = IncrementalResult::default();
+    let half = n / 2;
+
+    let t0 = Instant::now();
+    let first = batch_size.min(n);
+    let mut index = I::build(&points[..first], universe);
+    let mut update_time = t0.elapsed();
+    result.batches = 1;
+
+    let mut applied = first;
+    let mut queried = false;
+    while applied < n {
+        if !queried && applied >= half {
+            if let Some(qs) = queries {
+                result.queries_at_half = Some(qs.run(&index));
+            }
+            queried = true;
+        }
+        let next = (applied + batch_size).min(n);
+        let t = Instant::now();
+        index.batch_insert(&points[applied..next]);
+        update_time += t.elapsed();
+        applied = next;
+        result.batches += 1;
+    }
+    if !queried && queries.is_some() {
+        result.queries_at_half = queries.map(|qs| qs.run(&index));
+    }
+    result.update_time = update_time;
+    result.final_len = index.len();
+    (result, index)
+}
+
+/// Tear an index down by deleting `points` in `ceil(n / batch_size)` batches,
+/// starting from an index containing all of `points`. Queries are sampled
+/// after half of the deletion batches.
+pub fn incremental_delete<I: SpatialIndex<D>, const D: usize>(
+    points: &[PointI<D>],
+    batch_size: usize,
+    universe: &RectI<D>,
+    queries: Option<&QuerySet<D>>,
+) -> (IncrementalResult, I) {
+    assert!(batch_size > 0, "batch size must be positive");
+    let n = points.len();
+    let mut result = IncrementalResult::default();
+    let mut index = I::build(points, universe);
+    let half = n / 2;
+
+    let mut removed = 0usize;
+    let mut update_time = Duration::ZERO;
+    let mut queried = false;
+    while removed < n {
+        if !queried && removed >= half {
+            if let Some(qs) = queries {
+                result.queries_at_half = Some(qs.run(&index));
+            }
+            queried = true;
+        }
+        let next = (removed + batch_size).min(n);
+        let t = Instant::now();
+        index.batch_delete(&points[removed..next]);
+        update_time += t.elapsed();
+        removed = next;
+        result.batches += 1;
+    }
+    if !queried && queries.is_some() {
+        result.queries_at_half = queries.map(|qs| qs.run(&index));
+    }
+    result.update_time = update_time;
+    result.final_len = index.len();
+    (result, index)
+}
+
+/// Time a one-shot build.
+pub fn timed_build<I: SpatialIndex<D>, const D: usize>(
+    points: &[PointI<D>],
+    universe: &RectI<D>,
+) -> (Duration, I) {
+    let t = Instant::now();
+    let index = I::build(points, universe);
+    (t.elapsed(), index)
+}
+
+/// Time a single batch insertion into an existing index.
+pub fn timed_batch_insert<I: SpatialIndex<D>, const D: usize>(
+    index: &mut I,
+    batch: &[PointI<D>],
+) -> Duration {
+    let t = Instant::now();
+    index.batch_insert(batch);
+    t.elapsed()
+}
+
+/// Time a single batch deletion from an existing index.
+pub fn timed_batch_delete<I: SpatialIndex<D>, const D: usize>(
+    index: &mut I,
+    batch: &[PointI<D>],
+) -> Duration {
+    let t = Instant::now();
+    index.batch_delete(batch);
+    t.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BruteForce, POrthTree2, SpacHTree, SpatialIndex};
+    use psi_geometry::{Point, Rect};
+    use psi_workloads as workloads;
+
+    #[test]
+    fn incremental_insert_builds_the_full_index() {
+        let data = workloads::uniform::<2>(3_000, 100_000, 1);
+        let uni = workloads::universe::<2>(100_000);
+        let (res, index) =
+            incremental_insert::<POrthTree2, 2>(&data, 500, &uni, None);
+        assert_eq!(res.final_len, 3_000);
+        assert_eq!(index.len(), 3_000);
+        assert_eq!(res.batches, 6);
+        assert!(res.queries_at_half.is_none());
+    }
+
+    #[test]
+    fn incremental_delete_empties_the_index() {
+        let data = workloads::uniform::<2>(2_000, 100_000, 2);
+        let uni = workloads::universe::<2>(100_000);
+        let (res, index) = incremental_delete::<SpacHTree<2>, 2>(&data, 300, &uni, None);
+        assert_eq!(res.final_len, 0);
+        assert!(index.is_empty());
+        assert_eq!(res.batches, 7);
+    }
+
+    #[test]
+    fn queries_at_half_fire_once_and_are_consistent() {
+        let data = workloads::uniform::<2>(2_000, 50_000, 3);
+        let uni = workloads::universe::<2>(50_000);
+        let qs = QuerySet {
+            knn_ind: workloads::ind_queries(&data, 50, 7),
+            knn_ood: workloads::ood_queries::<2>(50_000, 50, 7),
+            k: 5,
+            ranges: workloads::range_queries(&data, 50_000, 50, 20, 7),
+        };
+        let (res_a, _) = incremental_insert::<POrthTree2, 2>(&data, 400, &uni, Some(&qs));
+        let (res_b, _) = incremental_insert::<BruteForce<2>, 2>(&data, 400, &uni, Some(&qs));
+        let qa = res_a.queries_at_half.expect("queries must run");
+        let qb = res_b.queries_at_half.expect("queries must run");
+        // Both indexes saw the same prefix of the data when queried, so the
+        // result checksums must agree.
+        assert_eq!(qa.checksum, qb.checksum);
+    }
+
+    #[test]
+    fn timed_single_batches() {
+        let data = workloads::uniform::<2>(1_000, 10_000, 4);
+        let uni = workloads::universe::<2>(10_000);
+        let (_, mut index) = timed_build::<SpacHTree<2>, 2>(&data, &uni);
+        let extra = workloads::uniform::<2>(200, 10_000, 5);
+        timed_batch_insert(&mut index, &extra);
+        assert_eq!(index.len(), 1_200);
+        timed_batch_delete(&mut index, &extra);
+        assert_eq!(index.len(), 1_000);
+    }
+
+    #[test]
+    fn query_set_checksum_detects_differences() {
+        let data = workloads::uniform::<2>(1_000, 10_000, 6);
+        let uni = workloads::universe::<2>(10_000);
+        let full = BruteForce::<2>::build(&data, &uni);
+        let partial = BruteForce::<2>::build(&data[..500], &uni);
+        let qs = QuerySet {
+            knn_ind: workloads::ind_queries(&data, 30, 8),
+            knn_ood: vec![],
+            k: 3,
+            ranges: workloads::range_queries(&data, 10_000, 200, 10, 8),
+        };
+        let a = qs.run(&full);
+        let b = qs.run(&partial);
+        assert_ne!(a.checksum, b.checksum);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_panics() {
+        let data = workloads::uniform::<2>(100, 1_000, 9);
+        let uni = workloads::universe::<2>(1_000);
+        let _ = incremental_insert::<POrthTree2, 2>(&data, 0, &uni, None);
+    }
+
+    #[test]
+    fn empty_rect_universe_is_fine_for_non_porth() {
+        let data = workloads::uniform::<2>(500, 1_000, 10);
+        let empty_universe = Rect::from_corners(Point::new([0, 0]), Point::new([0, 0]));
+        // Indexes that ignore the universe must still work when handed a bogus one.
+        let t = <SpacHTree<2> as SpatialIndex<2>>::build(&data, &empty_universe);
+        assert_eq!(t.len(), 500);
+    }
+}

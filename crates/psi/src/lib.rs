@@ -1,0 +1,443 @@
+//! **Ψ-Lib-rs** — Parallel Spatial Indexes: the unified public API.
+//!
+//! This crate ties the workspace together the way the paper's Ψ-Lib does for
+//! its C++ components: a single [`SpatialIndex`] trait implemented by every
+//! index under study, a brute-force [`BruteForce`] oracle used to validate
+//! query answers, and the [`driver`] module that reproduces the paper's
+//! *incremental* (highly dynamic) workloads — building an index through a long
+//! sequence of batch insertions or deletions and probing query quality along
+//! the way.
+//!
+//! Indexes re-exported here:
+//!
+//! | type | paper name | family |
+//! |---|---|---|
+//! | [`POrthTree`] | P-Orth tree ★ | space-partitioning (Orth-tree) |
+//! | [`SpacHTree`], [`SpacZTree`] | SPaC-H / SPaC-Z ★ | object-partitioning (R-tree over SFC) |
+//! | [`CpamHTree`], [`CpamZTree`] | CPAM-H / CPAM-Z | baseline (total order) |
+//! | [`PkdTree`] | Pkd-tree | space-partitioning (kd-tree) |
+//! | [`ZdTree`] | Zd-tree | space-partitioning (Morton Orth-tree) |
+//! | [`RTree`] | Boost-R (stand-in) | object-partitioning, sequential |
+//!
+//! ★ = the paper's contributions.
+//!
+//! # Quick start
+//!
+//! ```
+//! use psi::{SpatialIndex, SpacHTree, POrthTree2};
+//! use psi::workloads;
+//! use psi_geometry::Point;
+//!
+//! let data = workloads::uniform::<2>(5_000, 1_000_000, 42);
+//! let universe = workloads::universe::<2>(1_000_000);
+//!
+//! // Build two different indexes through the same trait.
+//! let spac = <SpacHTree<2> as SpatialIndex<2>>::build(&data, &universe);
+//! let porth = <POrthTree2 as SpatialIndex<2>>::build(&data, &universe);
+//!
+//! let q = Point::new([500_000, 500_000]);
+//! assert_eq!(
+//!     spac.knn(&q, 10).len(),
+//!     porth.knn(&q, 10).len(),
+//! );
+//! ```
+
+pub mod driver;
+pub mod oracle;
+
+pub use oracle::BruteForce;
+
+pub use psi_geometry::{brute_force_knn, Coord, KnnHeap, Point, PointI, Rect, RectI};
+pub use psi_pkd::{PkdConfig, PkdTree as PkdTreeGeneric};
+pub use psi_porth::{POrthConfig, POrthTree as POrthTreeGeneric};
+pub use psi_rtree::RTree;
+pub use psi_sfc::{HilbertCurve, MortonCurve, SfcCurve};
+pub use psi_spac::{CpamHTree, CpamTree, CpamZTree, SpacConfig, SpacHTree, SpacTree, SpacZTree};
+pub use psi_workloads as workloads;
+pub use psi_zd::ZdTree;
+
+/// The P-Orth tree over integer coordinates (the configuration used by every
+/// experiment in the paper); alias so trait impls don't clash with the generic.
+pub type POrthTree<const D: usize> = POrthTreeGeneric<i64, D>;
+/// 2-D integer P-Orth tree.
+pub type POrthTree2 = POrthTree<2>;
+/// 3-D integer P-Orth tree.
+pub type POrthTree3 = POrthTree<3>;
+/// The Pkd-tree over integer coordinates.
+pub type PkdTree<const D: usize> = PkdTreeGeneric<i64, D>;
+
+/// The interface shared by every spatial index in Ψ-Lib-rs: parallel batch
+/// construction and updates plus the paper's three query types.
+///
+/// `universe` is the data domain; indexes that do not need it (everything
+/// except the P-Orth tree) are free to ignore it.
+pub trait SpatialIndex<const D: usize>: Sized + Send + Sync {
+    /// Short name used in benchmark tables ("P-Orth", "SPaC-H", ...).
+    const NAME: &'static str;
+
+    /// Build the index over `points`.
+    fn build(points: &[PointI<D>], universe: &RectI<D>) -> Self;
+
+    /// Insert a batch of points.
+    fn batch_insert(&mut self, points: &[PointI<D>]);
+
+    /// Delete a batch of points (each element removes at most one stored
+    /// match); returns the number removed.
+    fn batch_delete(&mut self, points: &[PointI<D>]) -> usize;
+
+    /// The `k` nearest neighbours of `q`, closest first.
+    fn knn(&self, q: &PointI<D>, k: usize) -> Vec<PointI<D>>;
+
+    /// Number of stored points in the closed axis-aligned box.
+    fn range_count(&self, rect: &RectI<D>) -> usize;
+
+    /// The stored points in the closed axis-aligned box.
+    fn range_list(&self, rect: &RectI<D>) -> Vec<PointI<D>>;
+
+    /// Number of stored points.
+    fn len(&self) -> usize;
+
+    /// `true` if no points are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Check internal structural invariants (used by tests); default is a no-op
+    /// for indexes without a checker.
+    fn check_invariants(&self) {}
+
+    /// Apply a deletion batch and an insertion batch as one logical update
+    /// (the `BatchDiff` operation of the Ψ-Lib API): first the deletions, then
+    /// the insertions. Returns the number of points actually deleted.
+    fn batch_diff(&mut self, delete: &[PointI<D>], insert: &[PointI<D>]) -> usize {
+        let removed = self.batch_delete(delete);
+        self.batch_insert(insert);
+        removed
+    }
+
+    /// Answer many kNN queries, running them in parallel (the paper's query
+    /// benchmarks issue millions of concurrent queries this way).
+    fn knn_batch(&self, queries: &[PointI<D>], k: usize) -> Vec<Vec<PointI<D>>> {
+        use rayon::prelude::*;
+        queries.par_iter().map(|q| self.knn(q, k)).collect()
+    }
+
+    /// Answer many range-count queries in parallel.
+    fn range_count_batch(&self, rects: &[RectI<D>]) -> Vec<usize> {
+        use rayon::prelude::*;
+        rects.par_iter().map(|r| self.range_count(r)).collect()
+    }
+}
+
+impl<const D: usize> SpatialIndex<D> for POrthTree<D> {
+    const NAME: &'static str = "P-Orth";
+
+    fn build(points: &[PointI<D>], universe: &RectI<D>) -> Self {
+        POrthTreeGeneric::build_with_universe(points, *universe)
+    }
+    fn batch_insert(&mut self, points: &[PointI<D>]) {
+        POrthTreeGeneric::batch_insert(self, points)
+    }
+    fn batch_delete(&mut self, points: &[PointI<D>]) -> usize {
+        POrthTreeGeneric::batch_delete(self, points)
+    }
+    fn knn(&self, q: &PointI<D>, k: usize) -> Vec<PointI<D>> {
+        POrthTreeGeneric::knn(self, q, k)
+    }
+    fn range_count(&self, rect: &RectI<D>) -> usize {
+        POrthTreeGeneric::range_count(self, rect)
+    }
+    fn range_list(&self, rect: &RectI<D>) -> Vec<PointI<D>> {
+        POrthTreeGeneric::range_list(self, rect)
+    }
+    fn len(&self) -> usize {
+        POrthTreeGeneric::len(self)
+    }
+    fn check_invariants(&self) {
+        POrthTreeGeneric::check_invariants(self)
+    }
+}
+
+impl<C: SfcCurve<D>, const D: usize> SpatialIndex<D> for SpacTree<C, D> {
+    const NAME: &'static str = "SPaC";
+
+    fn build(points: &[PointI<D>], _universe: &RectI<D>) -> Self {
+        SpacTree::build(points)
+    }
+    fn batch_insert(&mut self, points: &[PointI<D>]) {
+        SpacTree::batch_insert(self, points)
+    }
+    fn batch_delete(&mut self, points: &[PointI<D>]) -> usize {
+        SpacTree::batch_delete(self, points)
+    }
+    fn knn(&self, q: &PointI<D>, k: usize) -> Vec<PointI<D>> {
+        SpacTree::knn(self, q, k)
+    }
+    fn range_count(&self, rect: &RectI<D>) -> usize {
+        SpacTree::range_count(self, rect)
+    }
+    fn range_list(&self, rect: &RectI<D>) -> Vec<PointI<D>> {
+        SpacTree::range_list(self, rect)
+    }
+    fn len(&self) -> usize {
+        SpacTree::len(self)
+    }
+    fn check_invariants(&self) {
+        SpacTree::check_invariants(self)
+    }
+}
+
+impl<C: SfcCurve<D>, const D: usize> SpatialIndex<D> for CpamTree<C, D> {
+    const NAME: &'static str = "CPAM";
+
+    fn build(points: &[PointI<D>], _universe: &RectI<D>) -> Self {
+        CpamTree::build(points)
+    }
+    fn batch_insert(&mut self, points: &[PointI<D>]) {
+        CpamTree::batch_insert(self, points)
+    }
+    fn batch_delete(&mut self, points: &[PointI<D>]) -> usize {
+        CpamTree::batch_delete(self, points)
+    }
+    fn knn(&self, q: &PointI<D>, k: usize) -> Vec<PointI<D>> {
+        CpamTree::knn(self, q, k)
+    }
+    fn range_count(&self, rect: &RectI<D>) -> usize {
+        CpamTree::range_count(self, rect)
+    }
+    fn range_list(&self, rect: &RectI<D>) -> Vec<PointI<D>> {
+        CpamTree::range_list(self, rect)
+    }
+    fn len(&self) -> usize {
+        CpamTree::len(self)
+    }
+    fn check_invariants(&self) {
+        CpamTree::check_invariants(self)
+    }
+}
+
+impl<const D: usize> SpatialIndex<D> for PkdTree<D> {
+    const NAME: &'static str = "Pkd";
+
+    fn build(points: &[PointI<D>], _universe: &RectI<D>) -> Self {
+        PkdTreeGeneric::build(points)
+    }
+    fn batch_insert(&mut self, points: &[PointI<D>]) {
+        PkdTreeGeneric::batch_insert(self, points)
+    }
+    fn batch_delete(&mut self, points: &[PointI<D>]) -> usize {
+        PkdTreeGeneric::batch_delete(self, points)
+    }
+    fn knn(&self, q: &PointI<D>, k: usize) -> Vec<PointI<D>> {
+        PkdTreeGeneric::knn(self, q, k)
+    }
+    fn range_count(&self, rect: &RectI<D>) -> usize {
+        PkdTreeGeneric::range_count(self, rect)
+    }
+    fn range_list(&self, rect: &RectI<D>) -> Vec<PointI<D>> {
+        PkdTreeGeneric::range_list(self, rect)
+    }
+    fn len(&self) -> usize {
+        PkdTreeGeneric::len(self)
+    }
+    fn check_invariants(&self) {
+        PkdTreeGeneric::check_invariants(self)
+    }
+}
+
+impl<const D: usize> SpatialIndex<D> for ZdTree<D>
+where
+    MortonCurve: SfcCurve<D>,
+{
+    const NAME: &'static str = "Zd-Tree";
+
+    fn build(points: &[PointI<D>], _universe: &RectI<D>) -> Self {
+        ZdTree::build(points)
+    }
+    fn batch_insert(&mut self, points: &[PointI<D>]) {
+        ZdTree::batch_insert(self, points)
+    }
+    fn batch_delete(&mut self, points: &[PointI<D>]) -> usize {
+        ZdTree::batch_delete(self, points)
+    }
+    fn knn(&self, q: &PointI<D>, k: usize) -> Vec<PointI<D>> {
+        ZdTree::knn(self, q, k)
+    }
+    fn range_count(&self, rect: &RectI<D>) -> usize {
+        ZdTree::range_count(self, rect)
+    }
+    fn range_list(&self, rect: &RectI<D>) -> Vec<PointI<D>> {
+        ZdTree::range_list(self, rect)
+    }
+    fn len(&self) -> usize {
+        ZdTree::len(self)
+    }
+    fn check_invariants(&self) {
+        ZdTree::check_invariants(self)
+    }
+}
+
+impl<const D: usize> SpatialIndex<D> for RTree<D> {
+    const NAME: &'static str = "Boost-R";
+
+    fn build(points: &[PointI<D>], _universe: &RectI<D>) -> Self {
+        RTree::build(points)
+    }
+    fn batch_insert(&mut self, points: &[PointI<D>]) {
+        RTree::batch_insert(self, points)
+    }
+    fn batch_delete(&mut self, points: &[PointI<D>]) -> usize {
+        RTree::batch_delete(self, points)
+    }
+    fn knn(&self, q: &PointI<D>, k: usize) -> Vec<PointI<D>> {
+        RTree::knn(self, q, k)
+    }
+    fn range_count(&self, rect: &RectI<D>) -> usize {
+        RTree::range_count(self, rect)
+    }
+    fn range_list(&self, rect: &RectI<D>) -> Vec<PointI<D>> {
+        RTree::range_list(self, rect)
+    }
+    fn len(&self) -> usize {
+        RTree::len(self)
+    }
+    fn check_invariants(&self) {
+        RTree::check_invariants(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng as _, SeedableRng as _};
+
+    fn random_points(n: usize, seed: u64, max: i64) -> Vec<PointI<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new([rng.gen_range(0..max), rng.gen_range(0..max)]))
+            .collect()
+    }
+
+    /// Exercise one index through the whole trait surface and compare every
+    /// query answer against the brute-force oracle.
+    fn conformance<I: SpatialIndex<2>>(seed: u64) {
+        let max = 200_000;
+        let universe = Rect::from_corners(Point::new([0, 0]), Point::new([max, max]));
+        let all = random_points(4_000, seed, max);
+        let (base, extra) = all.split_at(2_500);
+
+        let mut index = I::build(base, &universe);
+        let mut oracle = BruteForce::<2>::build(base, &universe);
+        assert_eq!(index.len(), 2_500);
+        index.check_invariants();
+
+        index.batch_insert(extra);
+        oracle.batch_insert(extra);
+        index.check_invariants();
+        assert_eq!(index.len(), oracle.len());
+
+        let removed = index.batch_delete(&all[..1_000]);
+        let removed_oracle = oracle.batch_delete(&all[..1_000]);
+        assert_eq!(removed, removed_oracle);
+        index.check_invariants();
+        assert_eq!(index.len(), oracle.len());
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        for _ in 0..25 {
+            let q = Point::new([rng.gen_range(0..max), rng.gen_range(0..max)]);
+            let got: Vec<i128> = index.knn(&q, 10).iter().map(|p| q.dist_sq(p)).collect();
+            let want: Vec<i128> = oracle.knn(&q, 10).iter().map(|p| q.dist_sq(p)).collect();
+            assert_eq!(got, want, "{} kNN disagrees with oracle", I::NAME);
+
+            let a = Point::new([rng.gen_range(0..max), rng.gen_range(0..max)]);
+            let b = Point::new([rng.gen_range(0..max), rng.gen_range(0..max)]);
+            let rect = Rect::new(a, b);
+            assert_eq!(
+                index.range_count(&rect),
+                oracle.range_count(&rect),
+                "{} range_count disagrees",
+                I::NAME
+            );
+            let mut got = index.range_list(&rect);
+            let mut want = oracle.range_list(&rect);
+            got.sort();
+            want.sort();
+            assert_eq!(got, want, "{} range_list disagrees", I::NAME);
+        }
+    }
+
+    #[test]
+    fn porth_conforms() {
+        conformance::<POrthTree2>(1);
+    }
+
+    #[test]
+    fn spac_h_conforms() {
+        conformance::<SpacHTree<2>>(2);
+    }
+
+    #[test]
+    fn spac_z_conforms() {
+        conformance::<SpacZTree<2>>(3);
+    }
+
+    #[test]
+    fn cpam_h_conforms() {
+        conformance::<CpamHTree<2>>(4);
+    }
+
+    #[test]
+    fn cpam_z_conforms() {
+        conformance::<CpamZTree<2>>(5);
+    }
+
+    #[test]
+    fn pkd_conforms() {
+        conformance::<PkdTree<2>>(6);
+    }
+
+    #[test]
+    fn zd_conforms() {
+        conformance::<ZdTree<2>>(7);
+    }
+
+    #[test]
+    fn rtree_conforms() {
+        conformance::<RTree<2>>(8);
+    }
+
+    #[test]
+    fn batch_diff_moves_points() {
+        let max = 100_000;
+        let universe = Rect::from_corners(Point::new([0, 0]), Point::new([max, max]));
+        let data = random_points(2_000, 21, max);
+        let fresh = random_points(500, 22, max);
+        let mut index = <SpacHTree<2> as SpatialIndex<2>>::build(&data, &universe);
+        let removed = index.batch_diff(&data[..500], &fresh);
+        assert_eq!(removed, 500);
+        assert_eq!(index.len(), 2_000);
+        index.check_invariants();
+    }
+
+    #[test]
+    fn parallel_batch_queries_match_sequential() {
+        let max = 50_000;
+        let universe = Rect::from_corners(Point::new([0, 0]), Point::new([max, max]));
+        let data = random_points(3_000, 23, max);
+        let index = <POrthTree2 as SpatialIndex<2>>::build(&data, &universe);
+        let queries = random_points(100, 24, max);
+        let batched = index.knn_batch(&queries, 5);
+        for (q, got) in queries.iter().zip(batched.iter()) {
+            assert_eq!(got, &index.knn(q, 5));
+        }
+        let rects: Vec<RectI<2>> = queries
+            .windows(2)
+            .map(|w| Rect::new(w[0], w[1]))
+            .collect();
+        let counts = index.range_count_batch(&rects);
+        for (r, got) in rects.iter().zip(counts.iter()) {
+            assert_eq!(*got, index.range_count(r));
+        }
+    }
+}

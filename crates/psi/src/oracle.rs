@@ -1,0 +1,108 @@
+//! The brute-force oracle: a "spatial index" that simply stores the points in
+//! a vector and answers every query by exhaustive scan.
+//!
+//! Slow but obviously correct — every other index is validated against it in
+//! the conformance tests and the property suite, and it doubles as a reference
+//! when debugging new index implementations.
+
+use crate::SpatialIndex;
+use psi_geometry::{brute_force_knn, PointI, RectI};
+
+/// Exhaustive-scan implementation of [`SpatialIndex`].
+pub struct BruteForce<const D: usize> {
+    points: Vec<PointI<D>>,
+}
+
+impl<const D: usize> BruteForce<D> {
+    /// All stored points (insertion order).
+    pub fn points(&self) -> &[PointI<D>] {
+        &self.points
+    }
+}
+
+impl<const D: usize> SpatialIndex<D> for BruteForce<D> {
+    const NAME: &'static str = "BruteForce";
+
+    fn build(points: &[PointI<D>], _universe: &RectI<D>) -> Self {
+        BruteForce {
+            points: points.to_vec(),
+        }
+    }
+
+    fn batch_insert(&mut self, points: &[PointI<D>]) {
+        self.points.extend_from_slice(points);
+    }
+
+    fn batch_delete(&mut self, points: &[PointI<D>]) -> usize {
+        // Multiset removal: each batch element removes at most one stored copy.
+        let mut to_remove = points.to_vec();
+        to_remove.sort();
+        let mut kept = Vec::with_capacity(self.points.len());
+        let mut stored = std::mem::take(&mut self.points);
+        stored.sort();
+        let mut j = 0;
+        let mut removed = 0;
+        for p in stored {
+            while j < to_remove.len() && to_remove[j] < p {
+                j += 1;
+            }
+            if j < to_remove.len() && to_remove[j] == p {
+                j += 1;
+                removed += 1;
+            } else {
+                kept.push(p);
+            }
+        }
+        self.points = kept;
+        removed
+    }
+
+    fn knn(&self, q: &PointI<D>, k: usize) -> Vec<PointI<D>> {
+        if k == 0 {
+            return Vec::new();
+        }
+        brute_force_knn(&self.points, q, k)
+    }
+
+    fn range_count(&self, rect: &RectI<D>) -> usize {
+        self.points.iter().filter(|p| rect.contains(p)).count()
+    }
+
+    fn range_list(&self, rect: &RectI<D>) -> Vec<PointI<D>> {
+        self.points
+            .iter()
+            .copied()
+            .filter(|p| rect.contains(p))
+            .collect()
+    }
+
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_geometry::{Point, Rect};
+
+    #[test]
+    fn oracle_basics() {
+        let uni = Rect::from_corners(Point::new([0, 0]), Point::new([100, 100]));
+        let pts = vec![
+            Point::new([1, 1]),
+            Point::new([2, 2]),
+            Point::new([2, 2]),
+            Point::new([50, 50]),
+        ];
+        let mut o = BruteForce::<2>::build(&pts, &uni);
+        assert_eq!(o.len(), 4);
+        assert_eq!(o.batch_delete(&[Point::new([2, 2])]), 1);
+        assert_eq!(o.len(), 3);
+        assert_eq!(o.range_count(&Rect::from_corners(Point::new([0, 0]), Point::new([10, 10]))), 2);
+        assert_eq!(o.knn(&Point::new([0, 0]), 1), vec![Point::new([1, 1])]);
+        assert_eq!(o.knn(&Point::new([0, 0]), 0), vec![]);
+        o.batch_insert(&[Point::new([3, 3])]);
+        assert_eq!(o.len(), 4);
+    }
+}

@@ -1,0 +1,450 @@
+//! **SPaC-tree** — the Spatial PaC-tree family of §4, plus the CPAM-style
+//! baseline the paper compares against.
+//!
+//! A SPaC-tree is an R-tree built as a parallel balanced binary search tree
+//! over the space-filling-curve codes of the points, with every node augmented
+//! by the bounding box of its subtree. The backbone is a re-implementation of
+//! the **PaC-tree** (a weight-balanced, join-based BST with compressed/blocked
+//! leaves); the paper's key modification is to relax the SFC total order
+//! *inside leaves*: batch updates may leave leaf blocks unsorted (marking
+//! them), and the order is lazily restored only when a join actually needs to
+//! expose a leaf. Spatial queries never look at the order, so query
+//! performance is unaffected while update cost drops sharply (the central
+//! ablation of Fig. 3: SPaC-H/Z vs CPAM-H/Z).
+//!
+//! Two curve instantiations are provided, mirroring Ψ-Lib:
+//! [`SpacZTree`] (Morton) and [`SpacHTree`] (Hilbert); and the baseline
+//! [`CpamZTree`] / [`CpamHTree`] which keep leaves totally ordered and
+//! pre-compute codes before sorting — exactly the configuration the paper
+//! labels CPAM-Z / CPAM-H.
+//!
+//! # Example
+//!
+//! ```
+//! use psi_geometry::{Point, PointI};
+//! use psi_spac::SpacHTree;
+//!
+//! let pts: Vec<PointI<2>> = (0..500).map(|i| Point::new([i * 7 % 997, i * 13 % 997])).collect();
+//! let mut tree = SpacHTree::<2>::build(&pts);
+//! assert_eq!(tree.len(), 500);
+//! tree.batch_insert(&[Point::new([123, 456])]);
+//! let nn = tree.knn(&Point::new([100, 450]), 2);
+//! assert_eq!(nn.len(), 2);
+//! ```
+
+mod build;
+mod pac;
+mod query;
+mod update;
+
+pub use pac::{PNode, SpacConfig};
+
+use psi_geometry::{Point, PointI, RectI};
+use psi_sfc::{HilbertCurve, MortonCurve, SfcCurve};
+use std::marker::PhantomData;
+
+/// An entry stored in the tree: the point's SFC code and the point itself.
+pub type Entry<const D: usize> = (u64, PointI<D>);
+
+/// The Spatial PaC-tree, generic over the space-filling curve `C`.
+///
+/// With [`SpacConfig::spac`] (the default) this is the paper's SPaC-tree; with
+/// [`SpacConfig::cpam`] it becomes the CPAM baseline (sorted leaves, presorted
+/// construction).
+pub struct SpacTree<C: SfcCurve<D>, const D: usize> {
+    root: PNode<D>,
+    cfg: SpacConfig,
+    _curve: PhantomData<C>,
+}
+
+/// SPaC-tree using the Morton (Z) curve — fastest updates, slower queries.
+pub type SpacZTree<const D: usize> = SpacTree<MortonCurve, D>;
+/// SPaC-tree using the Hilbert curve — the paper's recommended default.
+pub type SpacHTree<const D: usize> = SpacTree<HilbertCurve, D>;
+
+/// The CPAM-Z baseline: same tree, but leaves keep the Morton total order.
+pub struct CpamTree<C: SfcCurve<D>, const D: usize>(SpacTree<C, D>);
+/// CPAM baseline over the Morton curve.
+pub type CpamZTree<const D: usize> = CpamTree<MortonCurve, D>;
+/// CPAM baseline over the Hilbert curve.
+pub type CpamHTree<const D: usize> = CpamTree<HilbertCurve, D>;
+
+impl<C: SfcCurve<D>, const D: usize> SpacTree<C, D> {
+    /// Build a SPaC-tree with the paper's default configuration.
+    pub fn build(points: &[PointI<D>]) -> Self {
+        Self::build_with_config(points, SpacConfig::spac())
+    }
+
+    /// Build with an explicit configuration (used by the CPAM baseline and the
+    /// ablation benchmarks).
+    pub fn build_with_config(points: &[PointI<D>], cfg: SpacConfig) -> Self {
+        let root = build::build_tree::<C, D>(points, &cfg);
+        SpacTree {
+            root,
+            cfg,
+            _curve: PhantomData,
+        }
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.root.size()
+    }
+
+    /// `true` if no points are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tight bounding box of the stored points.
+    pub fn bounding_box(&self) -> RectI<D> {
+        *self.root.bbox()
+    }
+
+    /// Height of the tree (leaf = 1).
+    pub fn height(&self) -> usize {
+        self.root.height()
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &SpacConfig {
+        &self.cfg
+    }
+
+    /// Collect all stored points (in SFC order across leaves; within an
+    /// unsorted leaf, in insertion order).
+    pub fn collect_points(&self) -> Vec<PointI<D>> {
+        let mut out = Vec::with_capacity(self.len());
+        self.root.collect_points(&mut out);
+        out
+    }
+
+    /// Batch insertion (Alg. 4).
+    pub fn batch_insert(&mut self, points: &[PointI<D>]) {
+        if points.is_empty() {
+            return;
+        }
+        let root = std::mem::replace(&mut self.root, PNode::empty());
+        self.root = update::batch_insert::<C, D>(root, points, &self.cfg);
+    }
+
+    /// Batch deletion; each batch element removes at most one matching stored
+    /// point. Returns the number of points removed.
+    pub fn batch_delete(&mut self, points: &[PointI<D>]) -> usize {
+        if points.is_empty() {
+            return 0;
+        }
+        let before = self.len();
+        let root = std::mem::replace(&mut self.root, PNode::empty());
+        self.root = update::batch_delete::<C, D>(root, points, &self.cfg);
+        before - self.len()
+    }
+
+    /// The `k` nearest neighbours of `q`, closest first.
+    pub fn knn(&self, q: &PointI<D>, k: usize) -> Vec<PointI<D>> {
+        query::knn(&self.root, q, k)
+    }
+
+    /// Number of stored points inside the closed box.
+    pub fn range_count(&self, rect: &RectI<D>) -> usize {
+        query::range_count(&self.root, rect)
+    }
+
+    /// All stored points inside the closed box.
+    pub fn range_list(&self, rect: &RectI<D>) -> Vec<PointI<D>> {
+        let mut out = Vec::new();
+        query::range_list(&self.root, rect, &mut out);
+        out
+    }
+
+    /// Validate structural invariants (sizes, bounding boxes, SFC order across
+    /// leaves, sorted-flag honesty, weight balance). Panics on violation.
+    pub fn check_invariants(&self) {
+        pac::check_invariants::<C, D>(&self.root, &self.cfg);
+    }
+
+    /// Read-only access to the root, for white-box tests.
+    pub fn root(&self) -> &PNode<D> {
+        &self.root
+    }
+}
+
+impl<C: SfcCurve<D>, const D: usize> CpamTree<C, D> {
+    /// Build the CPAM baseline (total order, presorted construction).
+    pub fn build(points: &[PointI<D>]) -> Self {
+        CpamTree(SpacTree::build_with_config(points, SpacConfig::cpam()))
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// `true` if no points are stored.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Batch insertion, keeping every leaf totally ordered.
+    pub fn batch_insert(&mut self, points: &[PointI<D>]) {
+        self.0.batch_insert(points)
+    }
+
+    /// Batch deletion.
+    pub fn batch_delete(&mut self, points: &[PointI<D>]) -> usize {
+        self.0.batch_delete(points)
+    }
+
+    /// The `k` nearest neighbours of `q`.
+    pub fn knn(&self, q: &PointI<D>, k: usize) -> Vec<PointI<D>> {
+        self.0.knn(q, k)
+    }
+
+    /// Number of stored points inside the closed box.
+    pub fn range_count(&self, rect: &RectI<D>) -> usize {
+        self.0.range_count(rect)
+    }
+
+    /// All stored points inside the closed box.
+    pub fn range_list(&self, rect: &RectI<D>) -> Vec<PointI<D>> {
+        self.0.range_list(rect)
+    }
+
+    /// Validate structural invariants.
+    pub fn check_invariants(&self) {
+        self.0.check_invariants()
+    }
+
+    /// Collect all stored points.
+    pub fn collect_points(&self) -> Vec<PointI<D>> {
+        self.0.collect_points()
+    }
+}
+
+/// Re-export of the geometric point type for convenience in examples.
+pub type Point2 = Point<i64, 2>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_geometry::{brute_force_knn, Rect};
+    use rand::rngs::StdRng;
+    use rand::{Rng as _, SeedableRng as _};
+
+    fn random_points(n: usize, seed: u64, max: i64) -> Vec<PointI<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new([rng.gen_range(0..max), rng.gen_range(0..max)]))
+            .collect()
+    }
+
+    fn check_knn_against_oracle<C: SfcCurve<2>>(
+        tree: &SpacTree<C, 2>,
+        pts: &[PointI<2>],
+        seed: u64,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..30 {
+            let q = Point::new([rng.gen_range(0..1_000_000), rng.gen_range(0..1_000_000)]);
+            let got = tree.knn(&q, 10);
+            let expect = brute_force_knn(pts, &q, 10);
+            assert_eq!(
+                got.iter().map(|p| q.dist_sq(p)).collect::<Vec<_>>(),
+                expect.iter().map(|p| q.dist_sq(p)).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn build_empty_and_single() {
+        let tree = SpacHTree::<2>::build(&[]);
+        assert!(tree.is_empty());
+        assert!(tree.knn(&Point::new([0, 0]), 5).is_empty());
+        tree.check_invariants();
+
+        let p = PointI::<2>::new([42, 43]);
+        let tree = SpacHTree::<2>::build(&[p]);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.knn(&Point::new([0, 0]), 1), vec![p]);
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn build_and_knn_hilbert() {
+        let pts = random_points(5_000, 1, 1_000_000);
+        let tree = SpacHTree::<2>::build(&pts);
+        assert_eq!(tree.len(), pts.len());
+        tree.check_invariants();
+        check_knn_against_oracle(&tree, &pts, 100);
+    }
+
+    #[test]
+    fn build_and_knn_morton() {
+        let pts = random_points(5_000, 2, 1_000_000);
+        let tree = SpacZTree::<2>::build(&pts);
+        tree.check_invariants();
+        check_knn_against_oracle(&tree, &pts, 101);
+    }
+
+    #[test]
+    fn range_queries_match_scan() {
+        let pts = random_points(4_000, 3, 100_000);
+        let tree = SpacHTree::<2>::build(&pts);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..40 {
+            let a = Point::new([rng.gen_range(0..100_000), rng.gen_range(0..100_000)]);
+            let b = Point::new([rng.gen_range(0..100_000), rng.gen_range(0..100_000)]);
+            let rect = Rect::new(a, b);
+            let expect: Vec<_> = pts.iter().copied().filter(|p| rect.contains(p)).collect();
+            assert_eq!(tree.range_count(&rect), expect.len());
+            let mut got = tree.range_list(&rect);
+            let mut want = expect;
+            got.sort();
+            want.sort();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn insert_preserves_content_and_queries() {
+        let all = random_points(6_000, 4, 1_000_000);
+        let (a, b) = all.split_at(3_000);
+        let mut tree = SpacHTree::<2>::build(a);
+        // Insert the second half in several smaller batches to exercise the
+        // unsorted-leaf path repeatedly.
+        for chunk in b.chunks(700) {
+            tree.batch_insert(chunk);
+            tree.check_invariants();
+        }
+        assert_eq!(tree.len(), all.len());
+        let mut got = tree.collect_points();
+        let mut want = all.clone();
+        got.sort();
+        want.sort();
+        assert_eq!(got, want);
+        check_knn_against_oracle(&tree, &all, 102);
+    }
+
+    #[test]
+    fn delete_in_batches_until_empty() {
+        let pts = random_points(3_000, 5, 500_000);
+        let mut tree = SpacZTree::<2>::build(&pts);
+        let mut remaining = pts.clone();
+        for chunk in pts.chunks(800) {
+            let removed = tree.batch_delete(chunk);
+            assert_eq!(removed, chunk.len());
+            tree.check_invariants();
+            remaining.drain(..chunk.len().min(remaining.len()));
+        }
+        assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn delete_subset_queries_still_correct() {
+        let pts = random_points(4_000, 6, 1_000_000);
+        let mut tree = SpacHTree::<2>::build(&pts);
+        tree.batch_delete(&pts[..2_000]);
+        tree.check_invariants();
+        let survivors: Vec<_> = pts[2_000..].to_vec();
+        assert_eq!(tree.len(), survivors.len());
+        check_knn_against_oracle(&tree, &survivors, 103);
+    }
+
+    #[test]
+    fn duplicates_multiset_semantics() {
+        let p = PointI::<2>::new([9, 9]);
+        let pts = vec![p; 150];
+        let mut tree = SpacHTree::<2>::build(&pts);
+        assert_eq!(tree.len(), 150);
+        tree.check_invariants();
+        assert_eq!(tree.batch_delete(&vec![p; 60]), 60);
+        assert_eq!(tree.len(), 90);
+        tree.check_invariants();
+        assert_eq!(tree.batch_delete(&vec![p; 200]), 90);
+        assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn delete_absent_points_is_noop() {
+        let pts = random_points(1_000, 7, 1_000);
+        let mut tree = SpacHTree::<2>::build(&pts);
+        let absent = vec![PointI::<2>::new([5_000_000, 5_000_000])];
+        assert_eq!(tree.batch_delete(&absent), 0);
+        assert_eq!(tree.len(), 1_000);
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn cpam_baseline_same_results_as_spac() {
+        let pts = random_points(3_000, 8, 1_000_000);
+        let (a, b) = pts.split_at(1_500);
+        let mut spac = SpacHTree::<2>::build(a);
+        let mut cpam = CpamHTree::<2>::build(a);
+        spac.batch_insert(b);
+        cpam.batch_insert(b);
+        spac.check_invariants();
+        cpam.check_invariants();
+        assert_eq!(spac.len(), cpam.len());
+
+        let mut rng = StdRng::seed_from_u64(55);
+        for _ in 0..20 {
+            let q = Point::new([rng.gen_range(0..1_000_000), rng.gen_range(0..1_000_000)]);
+            assert_eq!(
+                spac.knn(&q, 10)
+                    .iter()
+                    .map(|p| q.dist_sq(p))
+                    .collect::<Vec<_>>(),
+                cpam.knn(&q, 10)
+                    .iter()
+                    .map(|p| q.dist_sq(p))
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn three_dimensional_spac() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let pts: Vec<PointI<3>> = (0..3_000)
+            .map(|_| {
+                Point::new([
+                    rng.gen_range(0..1_000_000),
+                    rng.gen_range(0..1_000_000),
+                    rng.gen_range(0..1_000_000),
+                ])
+            })
+            .collect();
+        let mut tree = SpacHTree::<3>::build(&pts);
+        tree.check_invariants();
+        let q = Point::new([500_000, 500_000, 500_000]);
+        let got = tree.knn(&q, 10);
+        let expect = brute_force_knn(&pts, &q, 10);
+        assert_eq!(
+            got.iter().map(|p| q.dist_sq(p)).collect::<Vec<_>>(),
+            expect.iter().map(|p| q.dist_sq(p)).collect::<Vec<_>>()
+        );
+        tree.batch_delete(&pts[..1_000]);
+        assert_eq!(tree.len(), 2_000);
+        tree.check_invariants();
+    }
+
+    #[test]
+    fn skewed_input_stays_balanced() {
+        // Sweepline-like: sorted along x. The comparison-based SFC sort keeps
+        // the tree balanced regardless of input order.
+        let mut pts = random_points(5_000, 10, 1_000_000);
+        pts.sort_by_key(|p| p.coords[0]);
+        let mut tree = SpacHTree::<2>::build(&pts[..2_500]);
+        for chunk in pts[2_500..].chunks(250) {
+            tree.batch_insert(chunk);
+        }
+        tree.check_invariants();
+        let n = tree.len() as f64;
+        assert!(
+            (tree.height() as f64) < 4.0 * n.log2(),
+            "height {} too large for n = {}",
+            tree.height(),
+            n
+        );
+    }
+}

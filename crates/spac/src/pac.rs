@@ -1,0 +1,715 @@
+//! The PaC-tree backbone: a weight-balanced, join-based binary search tree
+//! with blocked ("wrapped") leaves, augmented with bounding boxes.
+//!
+//! This module contains everything the paper treats as "the underlying
+//! PaC-tree": the node representation, the `Expose` / `Node` / `Join`
+//! primitives of Alg. 4, the perfect builder used for sorted inputs, and the
+//! structural invariant checker. The SPaC-specific relaxation — leaves that
+//! may be left unsorted by updates — lives in the `sorted` flag of leaf nodes
+//! and in [`SpacConfig::sorted_leaves`], which the CPAM baseline sets to force
+//! the original total-order behaviour.
+
+use crate::Entry;
+use psi_geometry::{PointI, Rect, RectI};
+use psi_parutils::stats::counters;
+use psi_sfc::SfcCurve;
+
+/// Tuning knobs for [`crate::SpacTree`]; the two presets correspond to the
+/// paper's SPaC-trees and CPAM baselines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpacConfig {
+    /// Leaf wrap threshold `φ` (paper: 40 for SPaC and CPAM).
+    pub leaf_cap: usize,
+    /// Weight-balance parameter `α` expressed as the fraction `num/den`
+    /// (paper: 0.2, i.e. each side carries at least 20% of the weight).
+    pub alpha_num: usize,
+    /// Denominator of `α`.
+    pub alpha_den: usize,
+    /// Keep leaves totally ordered at all times (the CPAM baselines). When
+    /// `false` (SPaC), batch updates append to leaves and defer sorting until
+    /// a join needs to expose the leaf.
+    pub sorted_leaves: bool,
+    /// Pre-compute all SFC codes into a keyed pair array before sorting
+    /// (CPAM-style construction) instead of fusing code computation into the
+    /// first pass of the sample sort (the paper's HybridSort).
+    pub presort: bool,
+    /// Leaf-overflow heuristic threshold from §C, as a multiple of `φ`: an
+    /// overflowing leaf plus its incoming batch is rebuilt locally when the
+    /// combined size is below `rebuild_mul * φ`, and exposed + batch-inserted
+    /// otherwise.
+    pub rebuild_mul: usize,
+}
+
+impl SpacConfig {
+    /// The paper's SPaC-tree configuration.
+    pub fn spac() -> Self {
+        SpacConfig {
+            leaf_cap: 40,
+            alpha_num: 1,
+            alpha_den: 5,
+            sorted_leaves: false,
+            presort: false,
+            rebuild_mul: 4,
+        }
+    }
+
+    /// The paper's CPAM-H / CPAM-Z baseline configuration: identical tree, but
+    /// the total SFC order is maintained everywhere and codes are precomputed.
+    pub fn cpam() -> Self {
+        SpacConfig {
+            sorted_leaves: true,
+            presort: true,
+            ..Self::spac()
+        }
+    }
+}
+
+/// A PaC-tree node: either a wrapped leaf block or an interior node holding a
+/// single pivot entry.
+pub enum PNode<const D: usize> {
+    /// A block of at most `2φ` entries (normally at most `φ`; up to `2φ`
+    /// transiently before redistribution).
+    Leaf {
+        /// The stored entries. Order is ascending by code iff `sorted`.
+        entries: Vec<Entry<D>>,
+        /// Whether `entries` is currently sorted by code.
+        sorted: bool,
+        /// Tight bounding box of the entries' points.
+        bbox: RectI<D>,
+    },
+    /// An interior node; the pivot entry itself belongs to the set.
+    Interior {
+        /// Left subtree: every code is `<=` the pivot code.
+        left: Box<PNode<D>>,
+        /// Right subtree: every code is `>=` the pivot code.
+        right: Box<PNode<D>>,
+        /// The pivot entry.
+        pivot: Entry<D>,
+        /// Total number of entries in this subtree (including the pivot).
+        size: usize,
+        /// Tight bounding box of every point in the subtree.
+        bbox: RectI<D>,
+    },
+}
+
+impl<const D: usize> PNode<D> {
+    /// An empty leaf.
+    pub fn empty() -> Self {
+        PNode::Leaf {
+            entries: Vec::new(),
+            sorted: true,
+            bbox: Rect::empty(),
+        }
+    }
+
+    /// A leaf from entries; `sorted` must honestly describe their order.
+    pub fn leaf_from(entries: Vec<Entry<D>>, sorted: bool) -> Self {
+        let bbox = bbox_of_entries(&entries);
+        let sorted = sorted || entries_sorted_trivially(&entries);
+        PNode::Leaf {
+            entries,
+            sorted,
+            bbox,
+        }
+    }
+
+    /// Number of entries in the subtree.
+    pub fn size(&self) -> usize {
+        match self {
+            PNode::Leaf { entries, .. } => entries.len(),
+            PNode::Interior { size, .. } => *size,
+        }
+    }
+
+    /// Weight (`size + 1`), the quantity the balance criterion is defined on.
+    pub fn weight(&self) -> usize {
+        self.size() + 1
+    }
+
+    /// Tight bounding box of the subtree.
+    pub fn bbox(&self) -> &RectI<D> {
+        match self {
+            PNode::Leaf { bbox, .. } => bbox,
+            PNode::Interior { bbox, .. } => bbox,
+        }
+    }
+
+    /// `true` for leaf blocks.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, PNode::Leaf { .. })
+    }
+
+    /// Height of the subtree (a leaf counts 1).
+    pub fn height(&self) -> usize {
+        match self {
+            PNode::Leaf { .. } => 1,
+            PNode::Interior { left, right, .. } => 1 + left.height().max(right.height()),
+        }
+    }
+
+    /// Append all points (in tree order) to `out`.
+    pub fn collect_points(&self, out: &mut Vec<PointI<D>>) {
+        match self {
+            PNode::Leaf { entries, .. } => out.extend(entries.iter().map(|e| e.1)),
+            PNode::Interior {
+                left, right, pivot, ..
+            } => {
+                left.collect_points(out);
+                out.push(pivot.1);
+                right.collect_points(out);
+            }
+        }
+    }
+
+    /// Append all entries (in tree order) to `out`.
+    pub fn collect_entries(&self, out: &mut Vec<Entry<D>>) {
+        match self {
+            PNode::Leaf { entries, .. } => out.extend_from_slice(entries),
+            PNode::Interior {
+                left, right, pivot, ..
+            } => {
+                left.collect_entries(out);
+                out.push(*pivot);
+                right.collect_entries(out);
+            }
+        }
+    }
+}
+
+/// Bounding box of a slice of entries.
+pub fn bbox_of_entries<const D: usize>(entries: &[Entry<D>]) -> RectI<D> {
+    let mut b = Rect::empty();
+    for (_, p) in entries {
+        b.expand(p);
+    }
+    b
+}
+
+fn entries_sorted_trivially<const D: usize>(entries: &[Entry<D>]) -> bool {
+    entries.len() <= 1
+}
+
+/// The weight-balance predicate of a BB[α] tree: a node whose children have
+/// weights `wl` and `wr` is balanced iff each side carries at least an `α`
+/// fraction of the total weight.
+#[inline]
+pub fn balanced(wl: usize, wr: usize, cfg: &SpacConfig) -> bool {
+    let total = wl + wr;
+    wl * cfg.alpha_den >= cfg.alpha_num * total && wr * cfg.alpha_den >= cfg.alpha_num * total
+}
+
+/// Build a perfectly balanced subtree from entries already sorted by code.
+pub fn build_sorted_entries<const D: usize>(entries: &[Entry<D>], cfg: &SpacConfig) -> PNode<D> {
+    let n = entries.len();
+    if n <= cfg.leaf_cap {
+        return PNode::leaf_from(entries.to_vec(), true);
+    }
+    let m = n / 2;
+    let (left, right) = if n > 8 * cfg.leaf_cap {
+        rayon::join(
+            || build_sorted_entries(&entries[..m], cfg),
+            || build_sorted_entries(&entries[m + 1..], cfg),
+        )
+    } else {
+        (
+            build_sorted_entries(&entries[..m], cfg),
+            build_sorted_entries(&entries[m + 1..], cfg),
+        )
+    };
+    let pivot = entries[m];
+    interior(left, pivot, right)
+}
+
+/// Plain interior-node constructor: computes size and bounding box, performs
+/// no leaf wrapping. Callers that may produce small subtrees use [`node_ctor`].
+pub fn interior<const D: usize>(left: PNode<D>, pivot: Entry<D>, right: PNode<D>) -> PNode<D> {
+    let size = left.size() + right.size() + 1;
+    let mut bbox = left.bbox().merged(right.bbox());
+    bbox.expand(&pivot.1);
+    PNode::Interior {
+        left: Box::new(left),
+        right: Box::new(right),
+        pivot,
+        size,
+        bbox,
+    }
+}
+
+/// Sort a leaf's entries in place by code (ties broken by point order so the
+/// result is deterministic), and mark it sorted.
+pub fn sort_leaf<const D: usize>(entries: &mut [Entry<D>]) {
+    counters::LEAVES_SORTED.bump();
+    entries.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.lex_cmp(&b.1)));
+}
+
+/// `Expose` (Alg. 4): view a subtree as `(left, pivot, right)`. For a leaf this
+/// sorts the block if it was left unsorted and splits it around its median
+/// entry; for an interior node it simply destructures it.
+///
+/// Must not be called on an empty subtree.
+pub fn expose<const D: usize>(node: PNode<D>, cfg: &SpacConfig) -> (PNode<D>, Entry<D>, PNode<D>) {
+    match node {
+        PNode::Interior {
+            left, right, pivot, ..
+        } => (*left, pivot, *right),
+        PNode::Leaf {
+            mut entries,
+            sorted,
+            ..
+        } => {
+            assert!(!entries.is_empty(), "cannot expose an empty leaf");
+            if !sorted {
+                sort_leaf(&mut entries);
+            }
+            let m = entries.len() / 2;
+            let pivot = entries[m];
+            let right: Vec<Entry<D>> = entries[m + 1..].to_vec();
+            entries.truncate(m);
+            let _ = cfg;
+            (
+                PNode::leaf_from(entries, true),
+                pivot,
+                PNode::leaf_from(right, true),
+            )
+        }
+    }
+}
+
+/// `Node` (Alg. 4): create a node over `(left, pivot, right)` while maintaining
+/// the leaf-wrapping invariant: small results are flattened into a single leaf;
+/// results between `φ` and `2φ` are redistributed into two sorted leaves.
+pub fn node_ctor<const D: usize>(
+    left: PNode<D>,
+    pivot: Entry<D>,
+    right: PNode<D>,
+    cfg: &SpacConfig,
+) -> PNode<D> {
+    let n = left.size() + right.size() + 1;
+    if n > 2 * cfg.leaf_cap {
+        return interior(left, pivot, right);
+    }
+    // Gather all entries of the (small) subtree.
+    let mut entries = Vec::with_capacity(n);
+    left.collect_entries(&mut entries);
+    entries.push(pivot);
+    right.collect_entries(&mut entries);
+
+    if n > cfg.leaf_cap {
+        // Redistribute into two leaves around the median entry; this requires
+        // the total order, so sort (Alg. 4 line 43).
+        sort_leaf(&mut entries);
+        let m = entries.len() / 2;
+        let new_pivot = entries[m];
+        let right_half: Vec<Entry<D>> = entries[m + 1..].to_vec();
+        entries.truncate(m);
+        interior(
+            PNode::leaf_from(entries, true),
+            new_pivot,
+            PNode::leaf_from(right_half, true),
+        )
+    } else {
+        // Flatten into one leaf (Alg. 4 line 47). The CPAM baseline keeps the
+        // block sorted; SPaC leaves it as gathered and marks it unsorted.
+        if cfg.sorted_leaves {
+            sort_leaf(&mut entries);
+            PNode::leaf_from(entries, true)
+        } else {
+            PNode::leaf_from(entries, false)
+        }
+    }
+}
+
+/// `Join` (Alg. 4): combine `left`, `pivot`, `right` (where every code in
+/// `left` is `<=` the pivot code `<=` every code in `right`) into a single
+/// weight-balanced tree.
+pub fn join<const D: usize>(
+    left: PNode<D>,
+    pivot: Entry<D>,
+    right: PNode<D>,
+    cfg: &SpacConfig,
+) -> PNode<D> {
+    let (wl, wr) = (left.weight(), right.weight());
+    if balanced(wl, wr, cfg) {
+        node_ctor(left, pivot, right, cfg)
+    } else if wl > wr {
+        counters::REBALANCES.bump();
+        join_right(left, pivot, right, cfg)
+    } else {
+        counters::REBALANCES.bump();
+        join_left(left, pivot, right, cfg)
+    }
+}
+
+/// `RightJoin` (Alg. 4): `left` is the heavier side; descend its right spine
+/// until a subtree balances with `right`, attach, and fix balance on the way
+/// back up with single/double rotations.
+fn join_right<const D: usize>(
+    left: PNode<D>,
+    pivot: Entry<D>,
+    right: PNode<D>,
+    cfg: &SpacConfig,
+) -> PNode<D> {
+    if balanced(left.weight(), right.weight(), cfg) {
+        return node_ctor(left, pivot, right, cfg);
+    }
+    let (l, k, c) = expose(left, cfg);
+    let t = join_right(c, pivot, right, cfg);
+    rebalance_right_heavy(l, k, t, cfg)
+}
+
+/// Symmetric counterpart of [`join_right`].
+fn join_left<const D: usize>(
+    left: PNode<D>,
+    pivot: Entry<D>,
+    right: PNode<D>,
+    cfg: &SpacConfig,
+) -> PNode<D> {
+    if balanced(left.weight(), right.weight(), cfg) {
+        return node_ctor(left, pivot, right, cfg);
+    }
+    let (c, k, r) = expose(right, cfg);
+    let t = join_left(left, pivot, c, cfg);
+    rebalance_left_heavy(t, k, r, cfg)
+}
+
+/// After a recursive right join, the combination `(l, k, t)` may be right-heavy;
+/// restore the weight balance with a single or double left rotation.
+fn rebalance_right_heavy<const D: usize>(
+    l: PNode<D>,
+    k: Entry<D>,
+    t: PNode<D>,
+    cfg: &SpacConfig,
+) -> PNode<D> {
+    if balanced(l.weight(), t.weight(), cfg) {
+        return node_ctor(l, k, t, cfg);
+    }
+    // t is too heavy relative to l.
+    let (t_l, t_k, t_r) = expose(t, cfg);
+    let wl = l.weight();
+    if balanced(wl, t_l.weight(), cfg) && balanced(wl + t_l.weight(), t_r.weight(), cfg) {
+        // Single left rotation.
+        node_ctor(node_ctor(l, k, t_l, cfg), t_k, t_r, cfg)
+    } else {
+        // Double rotation: rotate t's left child up first.
+        let (a, t_lk, b) = expose(t_l, cfg);
+        node_ctor(
+            node_ctor(l, k, a, cfg),
+            t_lk,
+            node_ctor(b, t_k, t_r, cfg),
+            cfg,
+        )
+    }
+}
+
+/// Mirror image of [`rebalance_right_heavy`].
+fn rebalance_left_heavy<const D: usize>(
+    t: PNode<D>,
+    k: Entry<D>,
+    r: PNode<D>,
+    cfg: &SpacConfig,
+) -> PNode<D> {
+    if balanced(t.weight(), r.weight(), cfg) {
+        return node_ctor(t, k, r, cfg);
+    }
+    let (t_l, t_k, t_r) = expose(t, cfg);
+    let wr = r.weight();
+    if balanced(t_r.weight(), wr, cfg) && balanced(t_l.weight(), t_r.weight() + wr, cfg) {
+        // Single right rotation.
+        node_ctor(t_l, t_k, node_ctor(t_r, k, r, cfg), cfg)
+    } else {
+        // Double rotation through t's right child.
+        let (a, t_rk, b) = expose(t_r, cfg);
+        node_ctor(
+            node_ctor(t_l, t_k, a, cfg),
+            t_rk,
+            node_ctor(b, k, r, cfg),
+            cfg,
+        )
+    }
+}
+
+/// Join without a middle entry: concatenate two trees whose code ranges are
+/// already ordered (`left` entirely `<=` `right`). Used by deletions when the
+/// pivot entry itself is removed.
+pub fn join2<const D: usize>(left: PNode<D>, right: PNode<D>, cfg: &SpacConfig) -> PNode<D> {
+    if left.size() == 0 {
+        return right;
+    }
+    if right.size() == 0 {
+        return left;
+    }
+    let (rest, last) = split_last(left, cfg);
+    join(rest, last, right, cfg)
+}
+
+/// Remove and return the entry with the largest code from the subtree
+/// (ties: any of the maximal entries). The subtree must be non-empty.
+pub fn split_last<const D: usize>(node: PNode<D>, cfg: &SpacConfig) -> (PNode<D>, Entry<D>) {
+    match node {
+        PNode::Leaf {
+            mut entries,
+            sorted,
+            ..
+        } => {
+            assert!(!entries.is_empty(), "split_last on empty leaf");
+            let idx = entries
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, e)| e.0)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            let last = entries.swap_remove(idx);
+            // swap_remove perturbs order; the leaf may no longer be sorted.
+            let still_sorted = sorted && (idx >= entries.len());
+            (PNode::leaf_from(entries, still_sorted), last)
+        }
+        PNode::Interior {
+            left, right, pivot, ..
+        } => {
+            if right.size() == 0 {
+                (*left, pivot)
+            } else {
+                let (rest, last) = split_last(*right, cfg);
+                (join(*left, pivot, rest, cfg), last)
+            }
+        }
+    }
+}
+
+/// Validate the structural invariants of a SPaC/CPAM tree:
+///
+/// * sizes and bounding boxes are consistent,
+/// * leaf blocks respect the wrap limit (`<= 2φ`),
+/// * the `sorted` flag is honest, and CPAM-mode leaves are always sorted,
+/// * the BST order over SFC codes holds across the tree,
+/// * every stored code equals the curve encoding of its point,
+/// * large interior nodes are (approximately) weight balanced.
+pub fn check_invariants<C: SfcCurve<D>, const D: usize>(root: &PNode<D>, cfg: &SpacConfig) {
+    fn rec<C: SfcCurve<D>, const D: usize>(
+        node: &PNode<D>,
+        cfg: &SpacConfig,
+    ) -> (u64, u64, usize, RectI<D>) {
+        match node {
+            PNode::Leaf {
+                entries,
+                sorted,
+                bbox,
+            } => {
+                assert!(
+                    entries.len() <= 2 * cfg.leaf_cap,
+                    "leaf exceeds 2φ: {} > {}",
+                    entries.len(),
+                    2 * cfg.leaf_cap
+                );
+                if *sorted {
+                    assert!(
+                        entries.windows(2).all(|w| w[0].0 <= w[1].0),
+                        "leaf marked sorted but out of order"
+                    );
+                }
+                if cfg.sorted_leaves {
+                    assert!(*sorted, "CPAM-mode leaf must stay sorted");
+                }
+                for (code, p) in entries {
+                    assert_eq!(*code, C::encode(p), "stored code must match the curve");
+                }
+                assert_eq!(*bbox, bbox_of_entries(entries), "leaf bbox mismatch");
+                let min = entries.iter().map(|e| e.0).min().unwrap_or(u64::MAX);
+                let max = entries.iter().map(|e| e.0).max().unwrap_or(0);
+                (min, max, entries.len(), *bbox)
+            }
+            PNode::Interior {
+                left,
+                right,
+                pivot,
+                size,
+                bbox,
+            } => {
+                assert_eq!(pivot.0, C::encode(&pivot.1), "pivot code must match");
+                let (lmin, lmax, lsize, lbox) = rec::<C, D>(left, cfg);
+                let (rmin, rmax, rsize, rbox) = rec::<C, D>(right, cfg);
+                assert_eq!(lsize + rsize + 1, *size, "interior size mismatch");
+                if lsize > 0 {
+                    assert!(lmax <= pivot.0, "left subtree violates code order");
+                }
+                if rsize > 0 {
+                    assert!(rmin >= pivot.0, "right subtree violates code order");
+                }
+                let mut expect = lbox.merged(&rbox);
+                expect.expand(&pivot.1);
+                assert_eq!(&expect, bbox, "interior bbox mismatch");
+
+                // Weight balance, with slack for leaf-wrap boundary effects:
+                // only enforced when both children are well above the wrap size.
+                let (wl, wr) = (lsize + 1, rsize + 1);
+                if wl > 4 * cfg.leaf_cap && wr > 4 * cfg.leaf_cap {
+                    let total = wl + wr;
+                    assert!(
+                        wl * (cfg.alpha_den + 1) >= cfg.alpha_num * total
+                            && wr * (cfg.alpha_den + 1) >= cfg.alpha_num * total,
+                        "interior node badly unbalanced: wl={wl} wr={wr}"
+                    );
+                }
+                let min = if lsize > 0 { lmin.min(pivot.0) } else { pivot.0 };
+                let max = if rsize > 0 { rmax.max(pivot.0) } else { pivot.0 };
+                (min, max, *size, *bbox)
+            }
+        }
+    }
+    let n = root.size();
+    rec::<C, D>(root, cfg);
+    if n > 0 {
+        let max_height = 4 * (usize::BITS - (n + 1).leading_zeros()) as usize + 8;
+        assert!(
+            root.height() <= max_height,
+            "tree height {} exceeds O(log n) bound for n = {}",
+            root.height(),
+            n
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi_geometry::Point;
+    use psi_sfc::MortonCurve;
+
+    type E = Entry<2>;
+
+    fn entry(x: i64, y: i64) -> E {
+        let p = Point::new([x, y]);
+        (<MortonCurve as SfcCurve<2>>::encode(&p), p)
+    }
+
+    fn sorted_entries(n: i64) -> Vec<E> {
+        let mut v: Vec<E> = (0..n).map(|i| entry(i * 3 % 1000, i * 7 % 1000)).collect();
+        v.sort_by_key(|e| e.0);
+        v
+    }
+
+    #[test]
+    fn balance_predicate() {
+        let cfg = SpacConfig::spac();
+        assert!(balanced(50, 50, &cfg));
+        assert!(balanced(20, 80, &cfg));
+        assert!(!balanced(10, 90, &cfg));
+        assert!(balanced(1, 1, &cfg));
+    }
+
+    #[test]
+    fn build_sorted_is_balanced_and_ordered() {
+        let cfg = SpacConfig::spac();
+        let entries = sorted_entries(5_000);
+        let tree = build_sorted_entries(&entries, &cfg);
+        assert_eq!(tree.size(), 5_000);
+        check_invariants::<MortonCurve, 2>(&tree, &cfg);
+        let mut out = Vec::new();
+        tree.collect_entries(&mut out);
+        assert!(out.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(out.len(), 5_000);
+    }
+
+    #[test]
+    fn expose_of_unsorted_leaf_sorts_it() {
+        let cfg = SpacConfig::spac();
+        let mut entries = sorted_entries(30);
+        entries.reverse();
+        let leaf = PNode::leaf_from(entries.clone(), false);
+        let (l, k, r) = expose(leaf, &cfg);
+        let mut all = Vec::new();
+        l.collect_entries(&mut all);
+        all.push(k);
+        r.collect_entries(&mut all);
+        assert!(all.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(all.len(), 30);
+    }
+
+    #[test]
+    fn node_ctor_flattens_small_and_redistributes_medium() {
+        let cfg = SpacConfig::spac();
+        // small: total 11 entries -> one leaf
+        let left = PNode::leaf_from(sorted_entries(5), true);
+        let right = PNode::leaf_from(sorted_entries(5), true);
+        let n = node_ctor(left, entry(1, 1), right, &cfg);
+        assert!(n.is_leaf());
+        assert_eq!(n.size(), 11);
+
+        // medium: total between φ and 2φ -> interior with two sorted leaves
+        let left = PNode::leaf_from(sorted_entries(30), true);
+        let right = PNode::leaf_from(sorted_entries(30), true);
+        let n = node_ctor(left, entry(2, 2), right, &cfg);
+        assert!(!n.is_leaf());
+        assert_eq!(n.size(), 61);
+        match &n {
+            PNode::Interior { left, right, .. } => {
+                assert!(left.is_leaf() && right.is_leaf());
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn join_of_lopsided_trees_rebalances() {
+        let cfg = SpacConfig::spac();
+        let mut big = sorted_entries(4_000);
+        big.retain(|e| e.0 < u64::MAX / 2);
+        let small: Vec<E> = sorted_entries(4_000)
+            .into_iter()
+            .filter(|e| e.0 >= u64::MAX / 2)
+            .collect();
+        // Construct left = all small-code entries, right = all large-code ones.
+        let left = build_sorted_entries(&big, &cfg);
+        let right = build_sorted_entries(&small, &cfg);
+        // A pivot with a code between the two halves.
+        let pivot_point = Point::new([u32::MAX as i64, 0]);
+        let pivot = (
+            <MortonCurve as SfcCurve<2>>::encode(&pivot_point),
+            pivot_point,
+        );
+        // Ensure ordering pre-condition actually holds for this synthetic pivot.
+        let lmax = big.iter().map(|e| e.0).max().unwrap_or(0);
+        let rmin = small.iter().map(|e| e.0).min().unwrap_or(u64::MAX);
+        if lmax <= pivot.0 && pivot.0 <= rmin {
+            let joined = join(left, pivot, right, &cfg);
+            assert_eq!(joined.size(), big.len() + small.len() + 1);
+            check_invariants::<MortonCurve, 2>(&joined, &cfg);
+        }
+    }
+
+    #[test]
+    fn join2_concatenates() {
+        let cfg = SpacConfig::spac();
+        let all = sorted_entries(2_000);
+        let (a, b) = all.split_at(700);
+        let left = build_sorted_entries(a, &cfg);
+        let right = build_sorted_entries(b, &cfg);
+        let joined = join2(left, right, &cfg);
+        assert_eq!(joined.size(), 2_000);
+        check_invariants::<MortonCurve, 2>(&joined, &cfg);
+        let mut out = Vec::new();
+        joined.collect_entries(&mut out);
+        assert!(out.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn split_last_removes_the_max_code() {
+        let cfg = SpacConfig::spac();
+        let entries = sorted_entries(500);
+        let max_code = entries.iter().map(|e| e.0).max().unwrap();
+        let tree = build_sorted_entries(&entries, &cfg);
+        let (rest, last) = split_last(tree, &cfg);
+        assert_eq!(last.0, max_code);
+        assert_eq!(rest.size(), 499);
+        check_invariants::<MortonCurve, 2>(&rest, &cfg);
+    }
+
+    #[test]
+    fn empty_helpers() {
+        let e = PNode::<2>::empty();
+        assert_eq!(e.size(), 0);
+        assert_eq!(e.weight(), 1);
+        assert!(e.is_leaf());
+        assert!(e.bbox().is_empty());
+    }
+}

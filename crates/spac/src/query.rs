@@ -1,0 +1,160 @@
+//! Queries on SPaC-trees: kNN, range-count and range-list.
+//!
+//! SPaC-trees are object-partitioning trees, so sibling bounding boxes may
+//! overlap (the reason the paper finds R-tree-family queries slower than
+//! space-partitioning trees); the traversal logic is nevertheless the same
+//! bbox-pruning pattern. Note that nothing here ever looks at the SFC order of
+//! a leaf — the observation that justifies leaving leaves unsorted.
+
+use crate::pac::PNode;
+use psi_geometry::{Coord, KnnHeap, PointI, RectI};
+use psi_parutils::stats::counters;
+
+/// The `k` nearest neighbours of `q`, closest first.
+pub fn knn<const D: usize>(root: &PNode<D>, q: &PointI<D>, k: usize) -> Vec<PointI<D>> {
+    if k == 0 || root.size() == 0 {
+        return Vec::new();
+    }
+    let mut heap = KnnHeap::new(k);
+    knn_rec(root, q, &mut heap);
+    heap.into_sorted()
+}
+
+fn knn_rec<const D: usize>(node: &PNode<D>, q: &PointI<D>, heap: &mut KnnHeap<i64, D>) {
+    counters::NODES_VISITED.bump();
+    match node {
+        PNode::Leaf { entries, .. } => {
+            for (_, p) in entries {
+                heap.offer_point(q, *p);
+            }
+        }
+        PNode::Interior {
+            left, right, pivot, ..
+        } => {
+            heap.offer_point(q, pivot.1);
+            let dl = left.bbox().dist_sq_to_point(q);
+            let dr = right.bbox().dist_sq_to_point(q);
+            // Visit the closer child first; prune whichever cannot improve.
+            let (first, first_d, second, second_d) =
+                if <i64 as Coord>::dist_cmp(dl, dr) != std::cmp::Ordering::Greater {
+                    (left, dl, right, dr)
+                } else {
+                    (right, dr, left, dl)
+                };
+            if first.size() > 0 && heap.could_improve(first_d) {
+                knn_rec(first, q, heap);
+            }
+            if second.size() > 0 && heap.could_improve(second_d) {
+                knn_rec(second, q, heap);
+            }
+        }
+    }
+}
+
+/// Number of stored points inside the closed box `rect`.
+pub fn range_count<const D: usize>(node: &PNode<D>, rect: &RectI<D>) -> usize {
+    counters::NODES_VISITED.bump();
+    if node.size() == 0 || !rect.intersects(node.bbox()) {
+        return 0;
+    }
+    if rect.contains_rect(node.bbox()) {
+        return node.size();
+    }
+    match node {
+        PNode::Leaf { entries, .. } => entries.iter().filter(|(_, p)| rect.contains(p)).count(),
+        PNode::Interior {
+            left, right, pivot, ..
+        } => {
+            let own = usize::from(rect.contains(&pivot.1));
+            own + range_count(left, rect) + range_count(right, rect)
+        }
+    }
+}
+
+/// Append every stored point inside the closed box `rect` to `out`.
+pub fn range_list<const D: usize>(node: &PNode<D>, rect: &RectI<D>, out: &mut Vec<PointI<D>>) {
+    counters::NODES_VISITED.bump();
+    if node.size() == 0 || !rect.intersects(node.bbox()) {
+        return;
+    }
+    if rect.contains_rect(node.bbox()) {
+        node.collect_points(out);
+        return;
+    }
+    match node {
+        PNode::Leaf { entries, .. } => {
+            out.extend(entries.iter().filter(|(_, p)| rect.contains(p)).map(|e| e.1))
+        }
+        PNode::Interior {
+            left, right, pivot, ..
+        } => {
+            range_list(left, rect, out);
+            if rect.contains(&pivot.1) {
+                out.push(pivot.1);
+            }
+            range_list(right, rect, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SpacHTree, SpacZTree};
+    use psi_geometry::{brute_force_knn, Point, Rect};
+
+    fn grid(n: i64) -> Vec<PointI<2>> {
+        let mut v = Vec::new();
+        for x in 0..n {
+            for y in 0..n {
+                v.push(Point::new([x * 10, y * 10]));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn knn_on_grid_both_curves() {
+        let pts = grid(40);
+        let q = Point::new([203, 207]);
+        let expect = brute_force_knn(&pts, &q, 4);
+        for dists in [
+            SpacHTree::<2>::build(&pts)
+                .knn(&q, 4)
+                .iter()
+                .map(|p| q.dist_sq(p))
+                .collect::<Vec<_>>(),
+            SpacZTree::<2>::build(&pts)
+                .knn(&q, 4)
+                .iter()
+                .map(|p| q.dist_sq(p))
+                .collect::<Vec<_>>(),
+        ] {
+            assert_eq!(
+                dists,
+                expect.iter().map(|p| q.dist_sq(p)).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn knn_edge_cases() {
+        let pts = grid(5);
+        let tree = SpacHTree::<2>::build(&pts);
+        assert!(tree.knn(&Point::new([0, 0]), 0).is_empty());
+        assert_eq!(tree.knn(&Point::new([0, 0]), 500).len(), 25);
+    }
+
+    #[test]
+    fn range_count_covers() {
+        let pts = grid(20);
+        let tree = SpacHTree::<2>::build(&pts);
+        let everything = Rect::from_corners(Point::new([-5, -5]), Point::new([500, 500]));
+        assert_eq!(tree.range_count(&everything), 400);
+        let nothing = Rect::from_corners(Point::new([-50, -50]), Point::new([-1, -1]));
+        assert_eq!(tree.range_count(&nothing), 0);
+        let quarter = Rect::from_corners(Point::new([0, 0]), Point::new([95, 95]));
+        assert_eq!(tree.range_count(&quarter), 100);
+        assert_eq!(tree.range_list(&quarter).len(), 100);
+    }
+}

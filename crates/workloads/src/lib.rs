@@ -1,0 +1,408 @@
+//! Workload generators for Ψ-Lib-rs — the synthetic and "real-world stand-in"
+//! datasets, query mixes and update patterns used by the paper's evaluation
+//! (§5.1, §5.2) and by this repository's benchmark harness.
+//!
+//! Synthetic distributions (all deterministic given a seed):
+//!
+//! * [`uniform`] — points drawn uniformly from the coordinate domain
+//!   (`[0, 10^9]` in the paper's 2-D runs),
+//! * [`sweepline`] — the same uniform points, *sorted along the first
+//!   dimension*; used to simulate a spatially local (skewed) update pattern,
+//! * [`varden`] — the Varden clustered distribution: a random walk with small
+//!   steps that occasionally restarts at a fresh random location, producing
+//!   dense, well separated clusters (the skewed input the Orth-tree family
+//!   struggles with),
+//! * [`cosmo_like`] — a 3-D stand-in for the COSMO N-body snapshot: heavily
+//!   clustered "halos" with power-law-ish sizes,
+//! * [`osm_like`] — a 2-D stand-in for OpenStreetMap North America: points
+//!   strung densely along polyline "roads" connecting random waypoints.
+//!
+//! Query generators: in-distribution (`InD`) and out-of-distribution (`OOD`)
+//! kNN query points, and range-query boxes targeting a given result size.
+//!
+//! The [`Distribution`] enum gives the benchmark harness a uniform way to name
+//! and produce each workload.
+
+use psi_geometry::{Point, PointI, Rect, RectI};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// The default coordinate upper bound used by the paper for 2-D synthetic data.
+pub const DEFAULT_MAX_COORD_2D: i64 = 1_000_000_000;
+/// The coordinate upper bound the paper uses for 3-D data (so Hilbert codes fit).
+pub const DEFAULT_MAX_COORD_3D: i64 = 1_000_000;
+
+/// A named synthetic point distribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Distribution {
+    /// Uniformly random points.
+    Uniform,
+    /// Uniform points sorted along dimension 0 (skewed *update order*).
+    Sweepline,
+    /// Clustered random-walk points (skewed *spatial distribution*).
+    Varden,
+}
+
+impl Distribution {
+    /// All distributions, in the order the paper's tables list them.
+    pub const ALL: [Distribution; 3] = [
+        Distribution::Uniform,
+        Distribution::Sweepline,
+        Distribution::Varden,
+    ];
+
+    /// Human-readable name used in benchmark output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Distribution::Uniform => "Uniform",
+            Distribution::Sweepline => "Sweepline",
+            Distribution::Varden => "Varden",
+        }
+    }
+
+    /// Generate `n` points of this distribution in `[0, max_coord]^D`.
+    pub fn generate<const D: usize>(&self, n: usize, max_coord: i64, seed: u64) -> Vec<PointI<D>> {
+        match self {
+            Distribution::Uniform => uniform(n, max_coord, seed),
+            Distribution::Sweepline => sweepline(n, max_coord, seed),
+            Distribution::Varden => varden(n, max_coord, seed),
+        }
+    }
+}
+
+fn rng_for(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// `n` points uniformly random in `[0, max_coord]^D`.
+pub fn uniform<const D: usize>(n: usize, max_coord: i64, seed: u64) -> Vec<PointI<D>> {
+    // Chunked parallel generation with per-chunk derived seeds keeps the output
+    // deterministic regardless of thread count.
+    let chunk = 64 * 1024;
+    let nchunks = n.div_ceil(chunk).max(1);
+    (0..nchunks)
+        .into_par_iter()
+        .flat_map_iter(|c| {
+            let mut rng = rng_for(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(c as u64 + 1)));
+            let lo = c * chunk;
+            let hi = ((c + 1) * chunk).min(n);
+            (lo..hi)
+                .map(move |_| {
+                    let mut coords = [0i64; D];
+                    for c in coords.iter_mut() {
+                        *c = rng.gen_range(0..=max_coord);
+                    }
+                    Point::new(coords)
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Uniform points sorted by their first coordinate — the paper's Sweepline
+/// workload, which makes successive update batches spatially clustered.
+pub fn sweepline<const D: usize>(n: usize, max_coord: i64, seed: u64) -> Vec<PointI<D>> {
+    let mut pts = uniform::<D>(n, max_coord, seed);
+    pts.sort_by_key(|p| p.coords[0]);
+    pts
+}
+
+/// The Varden clustered distribution: a bounded random walk with restart.
+///
+/// Each step moves a small distance from the previous point; with a small
+/// probability the walk restarts at a fresh uniform location. The result is a
+/// set of dense clusters far apart from each other (large aspect ratio Δ),
+/// which is what stresses spatial-median splitting.
+pub fn varden<const D: usize>(n: usize, max_coord: i64, seed: u64) -> Vec<PointI<D>> {
+    let mut rng = rng_for(seed);
+    let mut pts = Vec::with_capacity(n);
+    let restart_prob = 1e-4;
+    // Step size: keep clusters tight relative to the domain.
+    let step = (max_coord / 100_000).max(2);
+    let mut cur = [0i64; D];
+    for c in cur.iter_mut() {
+        *c = rng.gen_range(0..=max_coord);
+    }
+    for _ in 0..n {
+        if rng.gen_bool(restart_prob) {
+            for c in cur.iter_mut() {
+                *c = rng.gen_range(0..=max_coord);
+            }
+        } else {
+            for c in cur.iter_mut() {
+                let delta = rng.gen_range(-step..=step);
+                *c = (*c + delta).clamp(0, max_coord);
+            }
+        }
+        pts.push(Point::new(cur));
+    }
+    pts
+}
+
+/// 3-D stand-in for the COSMO N-body dataset: points concentrated in "halos"
+/// whose populations follow a heavy-tailed distribution, plus a thin uniform
+/// background. Substitutes the real 317M-particle snapshot while preserving
+/// the property the paper exploits it for: extreme clustering.
+pub fn cosmo_like(n: usize, max_coord: i64, seed: u64) -> Vec<PointI<3>> {
+    let mut rng = rng_for(seed);
+    let mut pts = Vec::with_capacity(n);
+    let n_background = n / 20;
+    let n_clustered = n - n_background;
+
+    // Halo centres and scale radii.
+    let n_halos = (n / 2_000).clamp(8, 4_000);
+    let halos: Vec<([i64; 3], i64)> = (0..n_halos)
+        .map(|_| {
+            let centre = [
+                rng.gen_range(0..=max_coord),
+                rng.gen_range(0..=max_coord),
+                rng.gen_range(0..=max_coord),
+            ];
+            // Heavy-tailed halo radius.
+            let u: f64 = rng.gen_range(0.0..1.0f64);
+            let radius = ((max_coord as f64) * 0.002 * (1.0 / (1.0 - u)).powf(0.5))
+                .min(max_coord as f64 * 0.05) as i64;
+            (centre, radius.max(2))
+        })
+        .collect();
+
+    for i in 0..n_clustered {
+        // Zipf-ish halo choice: earlier halos get more points.
+        let h = (rng.gen_range(0.0f64..1.0).powi(2) * n_halos as f64) as usize % n_halos;
+        let (centre, radius) = halos[h];
+        let mut coords = [0i64; 3];
+        for (d, c) in coords.iter_mut().enumerate() {
+            // A crude radially concentrated profile: sum of two uniforms.
+            let offset = rng.gen_range(-radius..=radius) / 2 + rng.gen_range(-radius..=radius) / 2;
+            *c = (centre[d] + offset).clamp(0, max_coord);
+        }
+        pts.push(Point::new(coords));
+        let _ = i;
+    }
+    for _ in 0..n_background {
+        pts.push(Point::new([
+            rng.gen_range(0..=max_coord),
+            rng.gen_range(0..=max_coord),
+            rng.gen_range(0..=max_coord),
+        ]));
+    }
+    pts
+}
+
+/// 2-D stand-in for the OSM North-America dataset: points sampled densely
+/// along polylines ("roads") between random waypoints, so the data is locally
+/// one-dimensional and globally patchy — the structure that makes real road
+/// networks hard for spatial-median splits.
+pub fn osm_like(n: usize, max_coord: i64, seed: u64) -> Vec<PointI<2>> {
+    let mut rng = rng_for(seed);
+    let mut pts = Vec::with_capacity(n);
+    let n_roads = (n / 5_000).clamp(4, 2_000);
+    let jitter = (max_coord / 200_000).max(1);
+    let mut remaining = n;
+    for _ in 0..n_roads {
+        if remaining == 0 {
+            break;
+        }
+        let take = (n / n_roads).min(remaining);
+        remaining -= take;
+        let a = [rng.gen_range(0..=max_coord), rng.gen_range(0..=max_coord)];
+        let b = [rng.gen_range(0..=max_coord), rng.gen_range(0..=max_coord)];
+        for i in 0..take {
+            let t = i as f64 / take.max(1) as f64;
+            let x = a[0] as f64 + t * (b[0] - a[0]) as f64 + rng.gen_range(-jitter..=jitter) as f64;
+            let y = a[1] as f64 + t * (b[1] - a[1]) as f64 + rng.gen_range(-jitter..=jitter) as f64;
+            pts.push(Point::new([
+                (x as i64).clamp(0, max_coord),
+                (y as i64).clamp(0, max_coord),
+            ]));
+        }
+    }
+    while pts.len() < n {
+        pts.push(Point::new([
+            rng.gen_range(0..=max_coord),
+            rng.gen_range(0..=max_coord),
+        ]));
+    }
+    pts
+}
+
+/// In-distribution query points: sampled (with replacement) from the dataset
+/// itself, optionally perturbed by one unit so queries don't trivially hit
+/// stored points.
+pub fn ind_queries<const D: usize>(data: &[PointI<D>], n: usize, seed: u64) -> Vec<PointI<D>> {
+    assert!(!data.is_empty(), "InD queries need a non-empty dataset");
+    let mut rng = rng_for(seed);
+    (0..n)
+        .map(|_| {
+            let mut p = data[rng.gen_range(0..data.len())];
+            for c in p.coords.iter_mut() {
+                *c += rng.gen_range(-1..=1);
+            }
+            p
+        })
+        .collect()
+}
+
+/// Out-of-distribution query points: uniform over the bounding domain, i.e.
+/// mostly falling into regions the (possibly skewed) data does not occupy.
+pub fn ood_queries<const D: usize>(max_coord: i64, n: usize, seed: u64) -> Vec<PointI<D>> {
+    uniform::<D>(n, max_coord, seed ^ 0xDEAD_BEEF)
+}
+
+/// Range-query boxes: squares centred on data points, sized so each box is
+/// expected to contain roughly `target_output` points given a dataset of
+/// `data_len` points spread over `[0, max_coord]^D`.
+pub fn range_queries<const D: usize>(
+    data: &[PointI<D>],
+    max_coord: i64,
+    target_output: usize,
+    n: usize,
+    seed: u64,
+) -> Vec<RectI<D>> {
+    assert!(!data.is_empty());
+    let mut rng = rng_for(seed.wrapping_add(17));
+    let frac = (target_output as f64 / data.len() as f64).min(1.0);
+    let side = ((frac.powf(1.0 / D as f64)) * max_coord as f64).max(1.0) as i64;
+    (0..n)
+        .map(|_| {
+            let centre = data[rng.gen_range(0..data.len())];
+            let mut lo = centre;
+            let mut hi = centre;
+            for d in 0..D {
+                lo.coords[d] = (centre.coords[d] - side / 2).clamp(0, max_coord);
+                hi.coords[d] = (centre.coords[d] + side / 2).clamp(0, max_coord);
+            }
+            Rect::from_corners(lo, hi)
+        })
+        .collect()
+}
+
+/// The root region that contains every point any generator in this crate can
+/// produce for the given coordinate bound — handed to
+/// `POrthTree::build_with_universe` so incremental and from-scratch builds
+/// share the same space decomposition.
+pub fn universe<const D: usize>(max_coord: i64) -> RectI<D> {
+    Rect::from_corners(Point::new([0; D]), Point::new([max_coord; D]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic_and_sized() {
+        for dist in Distribution::ALL {
+            let a = dist.generate::<2>(10_000, DEFAULT_MAX_COORD_2D, 42);
+            let b = dist.generate::<2>(10_000, DEFAULT_MAX_COORD_2D, 42);
+            assert_eq!(a.len(), 10_000);
+            assert_eq!(a, b, "{} must be deterministic", dist.name());
+            let c = dist.generate::<2>(10_000, DEFAULT_MAX_COORD_2D, 43);
+            assert_ne!(a, c, "{} must vary with the seed", dist.name());
+        }
+    }
+
+    #[test]
+    fn points_respect_domain() {
+        for dist in Distribution::ALL {
+            let pts = dist.generate::<3>(5_000, DEFAULT_MAX_COORD_3D, 7);
+            for p in &pts {
+                for d in 0..3 {
+                    assert!(p.coords[d] >= 0 && p.coords[d] <= DEFAULT_MAX_COORD_3D);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sweepline_is_sorted_on_dim0() {
+        let pts = sweepline::<2>(5_000, DEFAULT_MAX_COORD_2D, 1);
+        assert!(pts.windows(2).all(|w| w[0].coords[0] <= w[1].coords[0]));
+    }
+
+    #[test]
+    fn varden_is_clustered() {
+        // Clustered data has far smaller average nearest-step distance than
+        // uniform data at the same density.
+        let n = 20_000;
+        let max = DEFAULT_MAX_COORD_2D;
+        let v = varden::<2>(n, max, 3);
+        let u = uniform::<2>(n, max, 3);
+        let step_avg = |pts: &[PointI<2>]| -> f64 {
+            pts.windows(2)
+                .map(|w| (w[0].dist_sq(&w[1]) as f64).sqrt())
+                .sum::<f64>()
+                / (pts.len() - 1) as f64
+        };
+        assert!(
+            step_avg(&v) * 100.0 < step_avg(&u),
+            "varden consecutive points must be much closer than uniform"
+        );
+    }
+
+    #[test]
+    fn cosmo_like_is_clustered_3d() {
+        let n = 20_000;
+        let pts = cosmo_like(n, DEFAULT_MAX_COORD_3D, 5);
+        assert_eq!(pts.len(), n);
+        // A substantial fraction of the domain must be empty: count distinct
+        // coarse grid cells touched; clustered data touches far fewer than n.
+        use std::collections::HashSet;
+        let cells: HashSet<(i64, i64, i64)> = pts
+            .iter()
+            .map(|p| {
+                (
+                    p.coords[0] / 50_000,
+                    p.coords[1] / 50_000,
+                    p.coords[2] / 50_000,
+                )
+            })
+            .collect();
+        assert!(
+            cells.len() * 3 < n,
+            "cosmo_like should be clustered ({} cells for {} points)",
+            cells.len(),
+            n
+        );
+    }
+
+    #[test]
+    fn osm_like_is_locally_linear() {
+        let pts = osm_like(20_000, DEFAULT_MAX_COORD_2D, 6);
+        assert_eq!(pts.len(), 20_000);
+        // Consecutive points along a road are close together.
+        let close = pts
+            .windows(2)
+            .filter(|w| w[0].dist_sq(&w[1]) < (DEFAULT_MAX_COORD_2D as i128 / 100).pow(2))
+            .count();
+        assert!(close * 10 > pts.len() * 8, "most consecutive points lie on the same road");
+    }
+
+    #[test]
+    fn query_generators() {
+        let data = uniform::<2>(10_000, 1_000_000, 9);
+        let ind = ind_queries(&data, 100, 1);
+        assert_eq!(ind.len(), 100);
+        let ood = ood_queries::<2>(1_000_000, 100, 1);
+        assert_eq!(ood.len(), 100);
+        let ranges = range_queries(&data, 1_000_000, 100, 50, 1);
+        assert_eq!(ranges.len(), 50);
+        // Expected output size should be in the right ballpark (within 10x).
+        let avg: f64 = ranges
+            .iter()
+            .map(|r| data.iter().filter(|p| r.contains(p)).count() as f64)
+            .sum::<f64>()
+            / ranges.len() as f64;
+        assert!(avg > 10.0 && avg < 1_000.0, "average range output {avg} out of ballpark");
+    }
+
+    #[test]
+    fn universe_contains_everything() {
+        let u = universe::<2>(DEFAULT_MAX_COORD_2D);
+        for dist in Distribution::ALL {
+            for p in dist.generate::<2>(2_000, DEFAULT_MAX_COORD_2D, 11) {
+                assert!(u.contains(&p));
+            }
+        }
+    }
+}

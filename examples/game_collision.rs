@@ -1,0 +1,86 @@
+//! Dynamic 3-D scene maintenance — the "moving objects in a game" scenario
+//! from the paper's introduction: thousands of objects move every frame, the
+//! index must absorb the movement as batch updates with low latency, and
+//! collision detection issues k-NN queries against the fresh index.
+//!
+//! Run with: `cargo run --release --example game_collision`
+
+use psi::{Point, PointI, SpacHTree, SpatialIndex};
+use psi_workloads as workloads;
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+use std::time::Instant;
+
+const WORLD: i64 = 1_000_000; // 3-D world with 10^6 units per axis
+const OBJECTS: usize = 50_000;
+const MOVERS_PER_FRAME: usize = 5_000;
+const FRAMES: usize = 20;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let universe = workloads::universe::<3>(WORLD);
+
+    // Initial object positions: clustered, as game entities tend to be.
+    let mut positions = workloads::cosmo_like(OBJECTS, WORLD, 3);
+    let mut index = <SpacHTree<3> as SpatialIndex<3>>::build(&positions, &universe);
+    println!(
+        "world initialised: {} objects, index height-ish {} levels",
+        index.len(),
+        (OBJECTS as f64).log2() as usize
+    );
+
+    let mut total_update = 0.0;
+    let mut total_query = 0.0;
+    for frame in 0..FRAMES {
+        // A subset of objects moves this frame.
+        let mover_ids: Vec<usize> = (0..MOVERS_PER_FRAME)
+            .map(|_| rng.gen_range(0..positions.len()))
+            .collect();
+        let old_positions: Vec<PointI<3>> = mover_ids.iter().map(|&i| positions[i]).collect();
+        let new_positions: Vec<PointI<3>> = old_positions
+            .iter()
+            .map(|p| {
+                let mut c = p.coords;
+                for x in c.iter_mut() {
+                    *x = (*x + rng.gen_range(-500..=500)).clamp(0, WORLD);
+                }
+                Point::new(c)
+            })
+            .collect();
+
+        // Reflect the movement in the index: delete old positions, insert new.
+        let t = Instant::now();
+        index.batch_delete(&old_positions);
+        index.batch_insert(&new_positions);
+        total_update += t.elapsed().as_secs_f64();
+        for (slot, &id) in mover_ids.iter().enumerate() {
+            positions[id] = new_positions[slot];
+        }
+        assert_eq!(index.len(), OBJECTS, "object count must stay constant");
+
+        // Collision candidates: the 8 nearest neighbours of every moved object.
+        let t = Instant::now();
+        let near_pairs: usize = new_positions
+            .iter()
+            .map(|p| {
+                index
+                    .knn(p, 8)
+                    .iter()
+                    .filter(|o| p.dist_sq(o) < 100 * 100)
+                    .count()
+            })
+            .sum();
+        total_query += t.elapsed().as_secs_f64();
+
+        if frame % 5 == 0 {
+            println!(
+                "frame {frame:>3}: {MOVERS_PER_FRAME} objects moved, {near_pairs} close-contact candidates"
+            );
+        }
+    }
+    println!(
+        "\n{FRAMES} frames: {:.1} ms/frame updating the index, {:.1} ms/frame on collision queries",
+        1e3 * total_update / FRAMES as f64,
+        1e3 * total_query / FRAMES as f64
+    );
+}

@@ -1,0 +1,84 @@
+//! GIS sensor-stream ingestion — the paper's second motivating scenario:
+//! high-volume position reports arrive in batches and must be folded into the
+//! index with high throughput, while analysts run window (range) queries over
+//! the continuously changing map.
+//!
+//! Two indexes process the same stream so their trade-off is visible: the
+//! P-Orth tree (best query latency) and the SPaC-H tree (best ingest
+//! throughput). A brute-force check validates one window count at the end.
+//!
+//! Run with: `cargo run --release --example gis_stream`
+
+use psi::{BruteForce, POrthTree2, Point, Rect, SpacHTree, SpatialIndex};
+use psi_workloads as workloads;
+use std::time::Instant;
+
+const MAX_COORD: i64 = 1_000_000_000;
+const INITIAL: usize = 200_000;
+const BATCHES: usize = 50;
+const BATCH_SIZE: usize = 4_000;
+
+fn main() {
+    let universe = workloads::universe::<2>(MAX_COORD);
+    // The base map: road-network-like points.
+    let base = workloads::osm_like(INITIAL, MAX_COORD, 11);
+
+    let mut porth = <POrthTree2 as SpatialIndex<2>>::build(&base, &universe);
+    let mut spac = <SpacHTree<2> as SpatialIndex<2>>::build(&base, &universe);
+    let mut oracle = <BruteForce<2> as SpatialIndex<2>>::build(&base, &universe);
+    println!("base map loaded: {} points", porth.len());
+
+    // Analyst viewports: a handful of fixed windows queried after every batch.
+    let viewports: Vec<Rect<i64, 2>> = (0..5)
+        .map(|i| {
+            let cx = (i as i64 + 1) * MAX_COORD / 6;
+            Rect::from_corners(
+                Point::new([cx - MAX_COORD / 50, cx - MAX_COORD / 50]),
+                Point::new([cx + MAX_COORD / 50, cx + MAX_COORD / 50]),
+            )
+        })
+        .collect();
+
+    let mut porth_ingest = 0.0;
+    let mut spac_ingest = 0.0;
+    for b in 0..BATCHES {
+        // New sensor readings cluster along roads too.
+        let batch = workloads::osm_like(BATCH_SIZE, MAX_COORD, 1000 + b as u64);
+
+        let t = Instant::now();
+        porth.batch_insert(&batch);
+        porth_ingest += t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        spac.batch_insert(&batch);
+        spac_ingest += t.elapsed().as_secs_f64();
+
+        oracle.batch_insert(&batch);
+
+        if b % 10 == 9 {
+            let counts: Vec<usize> = viewports.iter().map(|v| porth.range_count(v)).collect();
+            println!(
+                "after batch {:>3}: {} points indexed, viewport counts {:?}",
+                b + 1,
+                porth.len(),
+                counts
+            );
+        }
+    }
+
+    // The two parallel indexes and the brute-force oracle agree exactly.
+    for v in &viewports {
+        let expected = oracle.range_count(v);
+        assert_eq!(porth.range_count(v), expected);
+        assert_eq!(spac.range_count(v), expected);
+    }
+
+    let ingested = (BATCHES * BATCH_SIZE) as f64;
+    println!(
+        "\ningest throughput over {} batches: P-Orth {:.2} Mpts/s, SPaC-H {:.2} Mpts/s",
+        BATCHES,
+        ingested / porth_ingest / 1e6,
+        ingested / spac_ingest / 1e6
+    );
+    println!("final index size: {} points (all three structures agree)", spac.len());
+}

@@ -1,0 +1,64 @@
+//! Side-by-side comparison of every index in Ψ-Lib-rs on one dynamic
+//! workload — a miniature of the paper's Fig. 3 that runs in seconds and
+//! prints a compact table.
+//!
+//! Run with: `cargo run --release --example index_comparison`
+//! Change the distribution by passing `uniform`, `sweepline` or `varden`.
+
+use psi::driver::{incremental_insert, QuerySet};
+use psi::{
+    CpamHTree, CpamZTree, PkdTree, POrthTree2, PointI, RTree, SpacHTree, SpacZTree, SpatialIndex,
+    ZdTree,
+};
+use psi_workloads::{self as workloads, Distribution};
+use std::time::Instant;
+
+const N: usize = 100_000;
+const MAX_COORD: i64 = 1_000_000_000;
+
+fn run<I: SpatialIndex<2>>(name: &str, data: &[PointI<2>], queries: &QuerySet<2>) {
+    let universe = workloads::universe::<2>(MAX_COORD);
+
+    let t = Instant::now();
+    let index = I::build(data, &universe);
+    let build = t.elapsed();
+    drop(index);
+
+    // Dynamic build: 1% batches.
+    let (res, index) = incremental_insert::<I, 2>(data, N / 100, &universe, None);
+    let q = queries.run(&index);
+
+    println!(
+        "{:<10} build {:>8.3}s | inc-insert {:>8.3}s | 10NN {:>8.3}s | range {:>8.3}s",
+        name,
+        build.as_secs_f64(),
+        res.update_time.as_secs_f64(),
+        q.knn_ind.as_secs_f64(),
+        q.range_list.as_secs_f64(),
+    );
+}
+
+fn main() {
+    let dist = match std::env::args().nth(1).as_deref() {
+        Some("sweepline") => Distribution::Sweepline,
+        Some("varden") => Distribution::Varden,
+        _ => Distribution::Uniform,
+    };
+    println!("distribution: {} (n = {})", dist.name(), N);
+    let data = dist.generate::<2>(N, MAX_COORD, 42);
+    let queries = QuerySet {
+        knn_ind: workloads::ind_queries(&data, 2_000, 7),
+        knn_ood: vec![],
+        k: 10,
+        ranges: workloads::range_queries(&data, MAX_COORD, 1_000, 200, 7),
+    };
+
+    run::<POrthTree2>("P-Orth", &data, &queries);
+    run::<ZdTree<2>>("Zd-Tree", &data, &queries);
+    run::<SpacHTree<2>>("SPaC-H", &data, &queries);
+    run::<SpacZTree<2>>("SPaC-Z", &data, &queries);
+    run::<CpamHTree<2>>("CPAM-H", &data, &queries);
+    run::<CpamZTree<2>>("CPAM-Z", &data, &queries);
+    run::<PkdTree<2>>("Pkd-Tree", &data, &queries);
+    run::<RTree<2>>("Boost-R", &data, &queries);
+}

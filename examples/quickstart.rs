@@ -1,0 +1,61 @@
+//! Quickstart: build a spatial index, query it, and keep it up to date with
+//! batch insertions and deletions.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use psi::{POrthTree2, Point, Rect, SpacHTree, SpatialIndex};
+use psi_workloads as workloads;
+
+fn main() {
+    // 1. Some spatial data: one million-ish points would also work, but the
+    //    example keeps it small so it runs instantly.
+    let n = 100_000;
+    let max_coord = 1_000_000_000;
+    let data = workloads::uniform::<2>(n, max_coord, 1);
+    let universe = workloads::universe::<2>(max_coord);
+
+    // 2. Build two of Ψ-Lib's indexes through the shared `SpatialIndex` trait:
+    //    the P-Orth tree (fastest queries on uniform data) and the SPaC-H tree
+    //    (fastest batch updates).
+    let mut porth = <POrthTree2 as SpatialIndex<2>>::build(&data, &universe);
+    let mut spac = <SpacHTree<2> as SpatialIndex<2>>::build(&data, &universe);
+    println!("built P-Orth ({} points) and SPaC-H ({} points)", porth.len(), spac.len());
+
+    // 3. k-nearest-neighbour query.
+    let q = Point::new([500_000_000, 500_000_000]);
+    let nn = porth.knn(&q, 5);
+    println!("5 nearest neighbours of {:?}:", q.coords);
+    for p in &nn {
+        println!("  {:?}  (squared distance {})", p.coords, q.dist_sq(p));
+    }
+    assert_eq!(nn, spac.knn(&q, 5), "both indexes agree");
+
+    // 4. Range queries: count and list the points in an axis-aligned window.
+    let window = Rect::from_corners(
+        Point::new([250_000_000, 250_000_000]),
+        Point::new([260_000_000, 260_000_000]),
+    );
+    println!(
+        "points in window: {} (P-Orth) = {} (SPaC-H)",
+        porth.range_count(&window),
+        spac.range_count(&window)
+    );
+
+    // 5. The data moves: apply a batch deletion of stale points and a batch
+    //    insertion of fresh ones. Batches are processed in parallel internally.
+    let stale = &data[..10_000];
+    let fresh = workloads::uniform::<2>(10_000, max_coord, 2);
+    porth.batch_delete(stale);
+    porth.batch_insert(&fresh);
+    spac.batch_delete(stale);
+    spac.batch_insert(&fresh);
+    println!(
+        "after one update round both indexes hold {} points",
+        porth.len()
+    );
+    assert_eq!(porth.len(), spac.len());
+
+    // 6. Queries keep working on the updated indexes.
+    let nn = spac.knn(&q, 3);
+    println!("3-NN after the update: {:?}", nn.iter().map(|p| p.coords).collect::<Vec<_>>());
+}

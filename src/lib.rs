@@ -1,0 +1,3 @@
+//! Umbrella crate for the Ψ-Lib workspace: re-exports the public API and hosts the
+//! workspace-level integration tests and runnable examples.
+pub use psi::*;

@@ -1,0 +1,155 @@
+//! Workspace-level integration test: every index in Ψ-Lib-rs must give
+//! identical answers to the brute-force oracle on the same dynamic workload —
+//! in 2-D and 3-D, across all three synthetic distributions.
+
+use psi::{
+    BruteForce, CpamHTree, CpamZTree, PkdTree, POrthTree, RTree, SpacHTree, SpacZTree,
+    SpatialIndex, ZdTree,
+};
+use psi_geometry::{Point, PointI};
+use psi_workloads::{self as workloads, Distribution};
+
+/// Run a build → insert → delete → query scenario and compare with the oracle.
+fn scenario<I: SpatialIndex<D>, const D: usize>(dist: Distribution, max_coord: i64, seed: u64) {
+    let n = 3_000;
+    let data = dist.generate::<D>(n, max_coord, seed);
+    let extra = dist.generate::<D>(n / 2, max_coord, seed ^ 0xF00D);
+    let universe = workloads::universe::<D>(max_coord);
+
+    let mut index = I::build(&data, &universe);
+    let mut oracle = BruteForce::<D>::build(&data, &universe);
+    assert_eq!(index.len(), oracle.len(), "{}: build size", I::NAME);
+
+    index.batch_insert(&extra);
+    oracle.batch_insert(&extra);
+    index.check_invariants();
+
+    let victims: Vec<PointI<D>> = data.iter().step_by(3).copied().collect();
+    let removed_index = index.batch_delete(&victims);
+    let removed_oracle = oracle.batch_delete(&victims);
+    assert_eq!(removed_index, removed_oracle, "{}: delete count", I::NAME);
+    assert_eq!(index.len(), oracle.len(), "{}: size after delete", I::NAME);
+    index.check_invariants();
+
+    // kNN and range queries at InD and OOD locations.
+    let ind = workloads::ind_queries(&data, 20, seed ^ 1);
+    let ood = workloads::ood_queries::<D>(max_coord, 20, seed ^ 2);
+    for q in ind.iter().chain(ood.iter()) {
+        let got: Vec<_> = index.knn(q, 10).iter().map(|p| q.dist_sq(p)).collect();
+        let want: Vec<_> = oracle.knn(q, 10).iter().map(|p| q.dist_sq(p)).collect();
+        assert_eq!(got, want, "{}: kNN distances disagree", I::NAME);
+    }
+    for rect in workloads::range_queries(&data, max_coord, 50, 20, seed ^ 3) {
+        assert_eq!(
+            index.range_count(&rect),
+            oracle.range_count(&rect),
+            "{}: range_count disagrees",
+            I::NAME
+        );
+        let mut got = index.range_list(&rect);
+        let mut want = oracle.range_list(&rect);
+        got.sort();
+        want.sort();
+        assert_eq!(got, want, "{}: range_list disagrees", I::NAME);
+    }
+}
+
+fn all_indexes_2d(dist: Distribution, seed: u64) {
+    let max = 1_000_000_000;
+    scenario::<POrthTree<2>, 2>(dist, max, seed);
+    scenario::<SpacHTree<2>, 2>(dist, max, seed);
+    scenario::<SpacZTree<2>, 2>(dist, max, seed);
+    scenario::<CpamHTree<2>, 2>(dist, max, seed);
+    scenario::<CpamZTree<2>, 2>(dist, max, seed);
+    scenario::<PkdTree<2>, 2>(dist, max, seed);
+    scenario::<ZdTree<2>, 2>(dist, max, seed);
+    scenario::<RTree<2>, 2>(dist, max, seed);
+}
+
+#[test]
+fn uniform_2d_all_indexes_agree() {
+    all_indexes_2d(Distribution::Uniform, 1);
+}
+
+#[test]
+fn sweepline_2d_all_indexes_agree() {
+    all_indexes_2d(Distribution::Sweepline, 2);
+}
+
+#[test]
+fn varden_2d_all_indexes_agree() {
+    all_indexes_2d(Distribution::Varden, 3);
+}
+
+#[test]
+fn uniform_3d_all_indexes_agree() {
+    let max = 1_000_000;
+    scenario::<POrthTree<3>, 3>(Distribution::Uniform, max, 4);
+    scenario::<SpacHTree<3>, 3>(Distribution::Uniform, max, 4);
+    scenario::<SpacZTree<3>, 3>(Distribution::Uniform, max, 4);
+    scenario::<PkdTree<3>, 3>(Distribution::Uniform, max, 4);
+    scenario::<ZdTree<3>, 3>(Distribution::Uniform, max, 4);
+    scenario::<RTree<3>, 3>(Distribution::Uniform, max, 4);
+}
+
+#[test]
+fn varden_3d_clustered_agree() {
+    let max = 1_000_000;
+    scenario::<POrthTree<3>, 3>(Distribution::Varden, max, 5);
+    scenario::<SpacHTree<3>, 3>(Distribution::Varden, max, 5);
+    scenario::<PkdTree<3>, 3>(Distribution::Varden, max, 5);
+}
+
+#[test]
+fn real_world_standins_agree() {
+    // cosmo_like (3-D) and osm_like (2-D) through two representative indexes.
+    let cosmo = workloads::cosmo_like(3_000, 1_000_000, 6);
+    let uni3 = workloads::universe::<3>(1_000_000);
+    let spac = SpacHTree::<3>::build(&cosmo);
+    let oracle = BruteForce::<3>::build(&cosmo, &uni3);
+    for q in workloads::ind_queries(&cosmo, 20, 7) {
+        assert_eq!(
+            spac.knn(&q, 5).iter().map(|p| q.dist_sq(p)).collect::<Vec<_>>(),
+            oracle.knn(&q, 5).iter().map(|p| q.dist_sq(p)).collect::<Vec<_>>()
+        );
+    }
+
+    let osm = workloads::osm_like(4_000, 1_000_000_000, 8);
+    let uni2 = workloads::universe::<2>(1_000_000_000);
+    let porth = <POrthTree<2> as SpatialIndex<2>>::build(&osm, &uni2);
+    let oracle = BruteForce::<2>::build(&osm, &uni2);
+    for rect in workloads::range_queries(&osm, 1_000_000_000, 100, 20, 9) {
+        assert_eq!(porth.range_count(&rect), oracle.range_count(&rect));
+    }
+}
+
+#[test]
+fn degenerate_inputs_all_indexes() {
+    // All-duplicate and collinear data must not break any index.
+    let max = 1_000_000_000;
+    let universe = workloads::universe::<2>(max);
+    let dup = vec![Point::new([123, 456]); 500];
+    let collinear: Vec<PointI<2>> = (0..500).map(|i| Point::new([i * 1000, 777])).collect();
+
+    macro_rules! check {
+        ($ty:ty) => {
+            for data in [&dup, &collinear] {
+                let mut idx = <$ty as SpatialIndex<2>>::build(data, &universe);
+                idx.check_invariants();
+                assert_eq!(idx.len(), data.len());
+                assert_eq!(idx.batch_delete(&data[..100]), 100);
+                idx.check_invariants();
+                assert_eq!(idx.len(), data.len() - 100);
+                let q = Point::new([0, 0]);
+                assert_eq!(idx.knn(&q, 3).len(), 3);
+            }
+        };
+    }
+    check!(POrthTree<2>);
+    check!(SpacHTree<2>);
+    check!(SpacZTree<2>);
+    check!(CpamHTree<2>);
+    check!(PkdTree<2>);
+    check!(ZdTree<2>);
+    check!(RTree<2>);
+}

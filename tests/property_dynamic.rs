@@ -1,0 +1,162 @@
+//! Property-based integration tests: random *sequences* of batch operations
+//! applied to the paper's two contributed indexes (P-Orth tree and SPaC-tree)
+//! must always leave them consistent with the brute-force oracle and their own
+//! structural invariants.
+
+use proptest::prelude::*;
+use psi::{BruteForce, POrthTree, SpacHTree, SpatialIndex};
+use psi_geometry::{Point, PointI, Rect};
+use psi_workloads as workloads;
+
+const MAX: i64 = 1 << 20;
+
+/// One step of a dynamic workload.
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(Vec<(i64, i64)>),
+    /// Delete a slice of previously inserted points, identified by fractions
+    /// of the current content (start, len).
+    DeleteExisting(u8, u8),
+    /// Delete points that were never inserted.
+    DeleteAbsent(Vec<(i64, i64)>),
+}
+
+fn point_strategy() -> impl Strategy<Value = (i64, i64)> {
+    (0..MAX, 0..MAX)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        proptest::collection::vec(point_strategy(), 1..80).prop_map(Op::Insert),
+        (any::<u8>(), any::<u8>()).prop_map(|(a, b)| Op::DeleteExisting(a, b)),
+        proptest::collection::vec(point_strategy(), 1..20).prop_map(Op::DeleteAbsent),
+    ]
+}
+
+fn to_points(v: &[(i64, i64)]) -> Vec<PointI<2>> {
+    v.iter().map(|&(x, y)| Point::new([x, y])).collect()
+}
+
+/// Apply the op sequence to an index and the oracle simultaneously, verifying
+/// sizes, delete counts, invariants and query agreement at every step.
+fn run_sequence<I: SpatialIndex<2>>(initial: &[PointI<2>], ops: &[Op]) {
+    let universe = workloads::universe::<2>(MAX);
+    let mut index = I::build(initial, &universe);
+    let mut oracle = BruteForce::<2>::build(initial, &universe);
+    let mut contents: Vec<PointI<2>> = initial.to_vec();
+
+    for op in ops {
+        match op {
+            Op::Insert(raw) => {
+                let pts = to_points(raw);
+                index.batch_insert(&pts);
+                oracle.batch_insert(&pts);
+                contents.extend_from_slice(&pts);
+            }
+            Op::DeleteExisting(a, b) => {
+                if contents.is_empty() {
+                    continue;
+                }
+                let start = (*a as usize * contents.len()) / 256;
+                let len = ((*b as usize * contents.len()) / 256).min(contents.len() - start);
+                let victims: Vec<PointI<2>> = contents[start..start + len].to_vec();
+                let r1 = index.batch_delete(&victims);
+                let r2 = oracle.batch_delete(&victims);
+                assert_eq!(r1, r2, "{}: delete count mismatch", I::NAME);
+                contents.drain(start..start + len);
+            }
+            Op::DeleteAbsent(raw) => {
+                // Shift the coordinates outside the generation domain so the
+                // points are guaranteed absent.
+                let pts: Vec<PointI<2>> = raw
+                    .iter()
+                    .map(|&(x, y)| Point::new([x + MAX + 1, y + MAX + 1]))
+                    .collect();
+                let r1 = index.batch_delete(&pts);
+                let r2 = oracle.batch_delete(&pts);
+                assert_eq!(r1, 0, "{}: deleted an absent point", I::NAME);
+                assert_eq!(r2, 0);
+            }
+        }
+        assert_eq!(index.len(), oracle.len(), "{}: size drift", I::NAME);
+        index.check_invariants();
+    }
+
+    // Final query agreement.
+    let q = Point::new([MAX / 2, MAX / 2]);
+    assert_eq!(
+        index.knn(&q, 10).iter().map(|p| q.dist_sq(p)).collect::<Vec<_>>(),
+        oracle.knn(&q, 10).iter().map(|p| q.dist_sq(p)).collect::<Vec<_>>(),
+        "{}: final kNN disagreement",
+        I::NAME
+    );
+    let rect = Rect::from_corners(Point::new([MAX / 4, MAX / 4]), Point::new([MAX / 2, MAX / 2]));
+    assert_eq!(index.range_count(&rect), oracle.range_count(&rect));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn porth_random_dynamic_sequences(
+        initial in proptest::collection::vec(point_strategy(), 0..300),
+        ops in proptest::collection::vec(op_strategy(), 1..12),
+    ) {
+        run_sequence::<POrthTree<2>>(&to_points(&initial), &ops);
+    }
+
+    #[test]
+    fn spac_random_dynamic_sequences(
+        initial in proptest::collection::vec(point_strategy(), 0..300),
+        ops in proptest::collection::vec(op_strategy(), 1..12),
+    ) {
+        run_sequence::<SpacHTree<2>>(&to_points(&initial), &ops);
+    }
+
+    /// Insert-then-delete of the same batch is an identity on the point set.
+    #[test]
+    fn insert_then_delete_is_identity(
+        base in proptest::collection::vec(point_strategy(), 1..200),
+        batch in proptest::collection::vec(point_strategy(), 1..100),
+    ) {
+        let universe = workloads::universe::<2>(MAX);
+        let base = to_points(&base);
+        let batch = to_points(&batch);
+
+        let mut spac = <SpacHTree<2> as SpatialIndex<2>>::build(&base, &universe);
+        spac.batch_insert(&batch);
+        prop_assert_eq!(spac.batch_delete(&batch), batch.len());
+        prop_assert_eq!(spac.len(), base.len());
+        spac.check_invariants();
+
+        let mut porth = <POrthTree<2> as SpatialIndex<2>>::build(&base, &universe);
+        porth.batch_insert(&batch);
+        prop_assert_eq!(porth.batch_delete(&batch), batch.len());
+        prop_assert_eq!(porth.len(), base.len());
+        porth.check_invariants();
+    }
+
+    /// The P-Orth tree is history independent: any split of the data into two
+    /// insertion batches produces a tree answering queries identically to the
+    /// from-scratch build (with the same fixed universe).
+    #[test]
+    fn porth_history_independence(
+        pts in proptest::collection::vec(point_strategy(), 2..400),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let universe = workloads::universe::<2>(MAX);
+        let all = to_points(&pts);
+        let split = ((all.len() as f64) * split_frac) as usize;
+
+        let direct = <POrthTree<2> as SpatialIndex<2>>::build(&all, &universe);
+        let mut incremental = <POrthTree<2> as SpatialIndex<2>>::build(&all[..split], &universe);
+        incremental.batch_insert(&all[split..]);
+
+        prop_assert_eq!(direct.len(), incremental.len());
+        let q = Point::new([MAX / 3, MAX / 3]);
+        prop_assert_eq!(
+            direct.knn(&q, 5).iter().map(|p| q.dist_sq(p)).collect::<Vec<_>>(),
+            incremental.knn(&q, 5).iter().map(|p| q.dist_sq(p)).collect::<Vec<_>>()
+        );
+    }
+}
