@@ -16,7 +16,10 @@ const N: usize = 50_000;
 const BATCH: usize = 2_000;
 const BATCHES: usize = 10;
 
-fn small_group<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+fn small_group<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
     let mut g = c.benchmark_group(name);
     g.sample_size(10)
         .warm_up_time(Duration::from_millis(300))

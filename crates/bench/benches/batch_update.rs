@@ -2,7 +2,7 @@
 //! existing tree (the paper's headline operation).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use psi::{PkdTree, POrthTree2, SpacHTree, SpacZTree, SpatialIndex, ZdTree};
+use psi::{POrthTree2, PkdTree, SpacHTree, SpacZTree, SpatialIndex, ZdTree};
 use psi_workloads::{self as workloads, Distribution};
 use std::time::Duration;
 
@@ -25,7 +25,7 @@ fn bench_insert(c: &mut Criterion) {
             ($name:literal, $ty:ty) => {
                 group.bench_with_input(BenchmarkId::new($name, dist.name()), &data, |b, d| {
                     b.iter_batched(
-                        || <$ty as SpatialIndex<2>>::build(d, &universe),
+                        || <$ty as SpatialIndex<i64, 2>>::build(d, &universe),
                         |mut index| index.batch_insert(&batch),
                         criterion::BatchSize::LargeInput,
                     )
@@ -57,7 +57,7 @@ fn bench_delete(c: &mut Criterion) {
             ($name:literal, $ty:ty) => {
                 group.bench_with_input(BenchmarkId::new($name, dist.name()), &data, |b, d| {
                     b.iter_batched(
-                        || <$ty as SpatialIndex<2>>::build(d, &universe),
+                        || <$ty as SpatialIndex<i64, 2>>::build(d, &universe),
                         |mut index| index.batch_delete(victims),
                         criterion::BatchSize::LargeInput,
                     )

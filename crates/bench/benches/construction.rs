@@ -4,7 +4,7 @@
 //! timings at a smaller scale (fast enough to run in CI).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use psi::{CpamHTree, PkdTree, POrthTree2, SpacHTree, SpacZTree, SpatialIndex, ZdTree};
+use psi::{CpamHTree, POrthTree2, PkdTree, SpacHTree, SpacZTree, SpatialIndex, ZdTree};
 use psi_workloads::{self as workloads, Distribution};
 use std::time::Duration;
 
@@ -21,22 +21,22 @@ fn bench_construction(c: &mut Criterion) {
     for dist in Distribution::ALL {
         let data = dist.generate::<2>(N, workloads::DEFAULT_MAX_COORD_2D, 42);
         group.bench_with_input(BenchmarkId::new("P-Orth", dist.name()), &data, |b, d| {
-            b.iter(|| <POrthTree2 as SpatialIndex<2>>::build(d, &universe))
+            b.iter(|| <POrthTree2 as SpatialIndex<i64, 2>>::build(d, &universe))
         });
         group.bench_with_input(BenchmarkId::new("SPaC-H", dist.name()), &data, |b, d| {
-            b.iter(|| <SpacHTree<2> as SpatialIndex<2>>::build(d, &universe))
+            b.iter(|| <SpacHTree<2> as SpatialIndex<i64, 2>>::build(d, &universe))
         });
         group.bench_with_input(BenchmarkId::new("SPaC-Z", dist.name()), &data, |b, d| {
-            b.iter(|| <SpacZTree<2> as SpatialIndex<2>>::build(d, &universe))
+            b.iter(|| <SpacZTree<2> as SpatialIndex<i64, 2>>::build(d, &universe))
         });
         group.bench_with_input(BenchmarkId::new("CPAM-H", dist.name()), &data, |b, d| {
-            b.iter(|| <CpamHTree<2> as SpatialIndex<2>>::build(d, &universe))
+            b.iter(|| <CpamHTree<2> as SpatialIndex<i64, 2>>::build(d, &universe))
         });
         group.bench_with_input(BenchmarkId::new("Zd-Tree", dist.name()), &data, |b, d| {
-            b.iter(|| <ZdTree<2> as SpatialIndex<2>>::build(d, &universe))
+            b.iter(|| <ZdTree<2> as SpatialIndex<i64, 2>>::build(d, &universe))
         });
         group.bench_with_input(BenchmarkId::new("Pkd-Tree", dist.name()), &data, |b, d| {
-            b.iter(|| <PkdTree<2> as SpatialIndex<2>>::build(d, &universe))
+            b.iter(|| <PkdTree<2> as SpatialIndex<i64, 2>>::build(d, &universe))
         });
     }
     group.finish();

@@ -17,14 +17,14 @@ fn bench_sfc(c: &mut Criterion) {
     group.bench_function("morton2", |b| {
         b.iter(|| {
             pts.iter()
-                .map(|p| <MortonCurve as SfcCurve<2>>::encode(p))
+                .map(<MortonCurve as SfcCurve<2>>::encode)
                 .fold(0u64, u64::wrapping_add)
         })
     });
     group.bench_function("hilbert2", |b| {
         b.iter(|| {
             pts.iter()
-                .map(|p| <HilbertCurve as SfcCurve<2>>::encode(p))
+                .map(<HilbertCurve as SfcCurve<2>>::encode)
                 .fold(0u64, u64::wrapping_add)
         })
     });
@@ -32,14 +32,14 @@ fn bench_sfc(c: &mut Criterion) {
     group.bench_function("morton3", |b| {
         b.iter(|| {
             pts3.iter()
-                .map(|p| <MortonCurve as SfcCurve<3>>::encode(p))
+                .map(<MortonCurve as SfcCurve<3>>::encode)
                 .fold(0u64, u64::wrapping_add)
         })
     });
     group.bench_function("hilbert3", |b| {
         b.iter(|| {
             pts3.iter()
-                .map(|p| <HilbertCurve as SfcCurve<3>>::encode(p))
+                .map(<HilbertCurve as SfcCurve<3>>::encode)
                 .fold(0u64, u64::wrapping_add)
         })
     });
@@ -53,20 +53,18 @@ fn bench_sieve_and_sort(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_secs(2));
 
-    let data: Vec<u64> = (0..400_000u64).map(|i| i.wrapping_mul(2654435761)).collect();
+    let data: Vec<u64> = (0..400_000u64)
+        .map(|i| i.wrapping_mul(2654435761))
+        .collect();
 
     for nbuckets in [4usize, 64, 256] {
-        group.bench_with_input(
-            BenchmarkId::new("sieve", nbuckets),
-            &nbuckets,
-            |b, &nb| {
-                b.iter_batched(
-                    || data.clone(),
-                    |mut v| sieve_by(&mut v, nb, |x| (*x as usize) % nb),
-                    criterion::BatchSize::LargeInput,
-                )
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("sieve", nbuckets), &nbuckets, |b, &nb| {
+            b.iter_batched(
+                || data.clone(),
+                |mut v| sieve_by(&mut v, nb, |x| (*x as usize) % nb),
+                criterion::BatchSize::LargeInput,
+            )
+        });
     }
 
     group.bench_function("par_sort_by_key", |b| {
@@ -80,7 +78,7 @@ fn bench_sieve_and_sort(c: &mut Criterion) {
     let points: Vec<PointI<2>> =
         workloads::uniform::<2>(200_000, workloads::DEFAULT_MAX_COORD_2D, 3);
     group.bench_function("hybrid_sort_keys_hilbert", |b| {
-        b.iter(|| hybrid_sort_keys(&points, |p| <HilbertCurve as SfcCurve<2>>::encode(p)))
+        b.iter(|| hybrid_sort_keys(&points, <HilbertCurve as SfcCurve<2>>::encode))
     });
 
     let counts: Vec<usize> = (0..1_000_000).map(|i| i % 7).collect();

@@ -1,7 +1,7 @@
 //! Criterion micro-benchmarks: kNN and range queries per index family.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use psi::{PkdTree, POrthTree2, RTree, SpacHTree, SpacZTree, SpatialIndex, ZdTree};
+use psi::{POrthTree2, PkdTree, RTree, SpacHTree, SpacZTree, SpatialIndex, ZdTree};
 use psi_workloads::{self as workloads, Distribution};
 use std::time::Duration;
 
@@ -22,13 +22,9 @@ fn bench_knn(c: &mut Criterion) {
 
         macro_rules! bench_index {
             ($name:literal, $ty:ty) => {
-                let index = <$ty as SpatialIndex<2>>::build(&data, &universe);
+                let index = <$ty as SpatialIndex<i64, 2>>::build(&data, &universe);
                 group.bench_with_input(BenchmarkId::new($name, dist.name()), &queries, |b, qs| {
-                    b.iter(|| {
-                        qs.iter()
-                            .map(|q| index.knn(q, 10).len())
-                            .sum::<usize>()
-                    })
+                    b.iter(|| qs.iter().map(|q| index.knn(q, 10).len()).sum::<usize>())
                 });
             };
         }
@@ -54,7 +50,7 @@ fn bench_range(c: &mut Criterion) {
 
     macro_rules! bench_index {
         ($name:literal, $ty:ty) => {
-            let index = <$ty as SpatialIndex<2>>::build(&data, &universe);
+            let index = <$ty as SpatialIndex<i64, 2>>::build(&data, &universe);
             group.bench_function($name, |b| {
                 b.iter(|| {
                     ranges

@@ -9,11 +9,11 @@
 //! Usage: `cargo run --release -p psi-bench --bin figure10 [-- --n 200000]`
 
 use psi::driver::{timed_batch_delete, timed_batch_insert, timed_build};
-use psi::{PkdTree, POrthTree2, PointI, SpacHTree, SpacZTree, SpatialIndex, ZdTree};
+use psi::{POrthTree2, PkdTree, PointI, SpacHTree, SpacZTree, SpatialIndex, ZdTree};
 use psi_bench::{fmt_secs, BenchConfig};
 use psi_workloads::Distribution;
 
-fn run<I: SpatialIndex<2>>(
+fn run<I: SpatialIndex<i64, 2>>(
     name: &str,
     data: &[PointI<2>],
     dist: Distribution,
@@ -27,9 +27,9 @@ fn run<I: SpatialIndex<2>>(
         let insert_batch = dist.generate::<2>(b, cfg.max_coord, cfg.seed ^ 0xA1);
         let delete_batch = &data[..b];
 
-        let (_t, mut index) = timed_build::<I, 2>(data, &universe);
+        let (_t, mut index) = timed_build::<I, i64, 2>(data, &universe);
         let ti = timed_batch_insert(&mut index, &insert_batch);
-        let (_t, mut index) = timed_build::<I, 2>(data, &universe);
+        let (_t, mut index) = timed_build::<I, i64, 2>(data, &universe);
         let td = timed_batch_delete(&mut index, delete_batch);
         println!(
             "{:<10} batch={:<9} insert={:>9} delete={:>9}",

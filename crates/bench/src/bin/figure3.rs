@@ -9,27 +9,75 @@
 //!
 //! Usage: `cargo run --release -p psi-bench --bin figure3 [-- --n 200000]`
 
-use psi::{CpamHTree, CpamZTree, PkdTree, POrthTree2, RTree, SpacHTree, SpacZTree, ZdTree};
+use psi::{CpamHTree, CpamZTree, POrthTree2, PkdTree, RTree, SpacHTree, SpacZTree, ZdTree};
 use psi_bench::{master_header, master_row, master_row_line, BenchConfig};
 use psi_workloads::Distribution;
 
 fn main() {
     let cfg = BenchConfig::default_2d().from_args();
-    println!("# Figure 3: 2-D synthetic master table (n = {}, seed = {})", cfg.n, cfg.seed);
+    println!(
+        "# Figure 3: 2-D synthetic master table (n = {}, seed = {})",
+        cfg.n, cfg.seed
+    );
     println!("# times in seconds; paper reference: Fig. 3 of arXiv:2601.05347");
 
     for dist in Distribution::ALL {
         let data = dist.generate::<2>(cfg.n, cfg.max_coord, cfg.seed);
         println!("\n== {} ==", dist.name());
         println!("{}", master_header(&cfg.batch_ratios));
-        println!("{}", master_row_line(&master_row::<POrthTree2, 2>(&data, &cfg)));
-        println!("{}", master_row_line(&with_name(master_row::<ZdTree<2>, 2>(&data, &cfg), "Zd-Tree")));
-        println!("{}", master_row_line(&with_name(master_row::<SpacHTree<2>, 2>(&data, &cfg), "SPaC-H")));
-        println!("{}", master_row_line(&with_name(master_row::<SpacZTree<2>, 2>(&data, &cfg), "SPaC-Z")));
-        println!("{}", master_row_line(&with_name(master_row::<CpamHTree<2>, 2>(&data, &cfg), "CPAM-H")));
-        println!("{}", master_row_line(&with_name(master_row::<CpamZTree<2>, 2>(&data, &cfg), "CPAM-Z")));
-        println!("{}", master_row_line(&with_name(master_row::<RTree<2>, 2>(&data, &cfg), "Boost-R")));
-        println!("{}", master_row_line(&with_name(master_row::<PkdTree<2>, 2>(&data, &cfg), "Pkd-Tree")));
+        println!(
+            "{}",
+            master_row_line(&master_row::<POrthTree2, 2>(&data, &cfg))
+        );
+        println!(
+            "{}",
+            master_row_line(&with_name(
+                master_row::<ZdTree<2>, 2>(&data, &cfg),
+                "Zd-Tree"
+            ))
+        );
+        println!(
+            "{}",
+            master_row_line(&with_name(
+                master_row::<SpacHTree<2>, 2>(&data, &cfg),
+                "SPaC-H"
+            ))
+        );
+        println!(
+            "{}",
+            master_row_line(&with_name(
+                master_row::<SpacZTree<2>, 2>(&data, &cfg),
+                "SPaC-Z"
+            ))
+        );
+        println!(
+            "{}",
+            master_row_line(&with_name(
+                master_row::<CpamHTree<2>, 2>(&data, &cfg),
+                "CPAM-H"
+            ))
+        );
+        println!(
+            "{}",
+            master_row_line(&with_name(
+                master_row::<CpamZTree<2>, 2>(&data, &cfg),
+                "CPAM-Z"
+            ))
+        );
+        println!(
+            "{}",
+            master_row_line(&with_name(
+                master_row::<RTree<2>, 2>(&data, &cfg),
+                "Boost-R"
+            ))
+        );
+        println!(
+            "{}",
+            master_row_line(&with_name(
+                master_row::<PkdTree<2>, 2>(&data, &cfg),
+                "Pkd-Tree"
+            ))
+        );
     }
 }
 

@@ -6,16 +6,16 @@
 
 use psi::driver::{incremental_insert, QuerySet};
 use psi::{
-    CpamHTree, CpamZTree, PkdTree, POrthTree2, PointI, RTree, SpacHTree, SpacZTree, SpatialIndex,
+    CpamHTree, CpamZTree, POrthTree2, PkdTree, PointI, RTree, SpacHTree, SpacZTree, SpatialIndex,
     ZdTree,
 };
 use psi_bench::{fmt_secs, BenchConfig};
 use psi_workloads::{self as workloads, Distribution};
 
-fn run<I: SpatialIndex<2>>(name: &str, data: &[PointI<2>], cfg: &BenchConfig) {
+fn run<I: SpatialIndex<i64, 2>>(name: &str, data: &[PointI<2>], cfg: &BenchConfig) {
     let universe = cfg.universe::<2>();
     let batch = ((data.len() as f64 * 0.0001).ceil() as usize).max(1);
-    let (_res, index) = incremental_insert::<I, 2>(data, batch, &universe, None);
+    let (_res, index) = incremental_insert::<I, i64, 2>(data, batch, &universe, None);
     for k in [1usize, 10, 100] {
         let qs = QuerySet {
             knn_ind: workloads::ind_queries(data, cfg.knn_queries, cfg.seed ^ 0x61),

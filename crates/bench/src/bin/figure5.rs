@@ -5,16 +5,16 @@
 
 use psi::driver::{incremental_insert, QuerySet};
 use psi::{
-    CpamHTree, CpamZTree, PkdTree, POrthTree2, PointI, RTree, SpacHTree, SpacZTree, SpatialIndex,
+    CpamHTree, CpamZTree, POrthTree2, PkdTree, PointI, RTree, SpacHTree, SpacZTree, SpatialIndex,
     ZdTree,
 };
 use psi_bench::{fmt_secs, BenchConfig};
 use psi_workloads::{self as workloads, Distribution};
 
-fn run<I: SpatialIndex<2>>(name: &str, data: &[PointI<2>], cfg: &BenchConfig) {
+fn run<I: SpatialIndex<i64, 2>>(name: &str, data: &[PointI<2>], cfg: &BenchConfig) {
     let universe = cfg.universe::<2>();
     let batch = ((data.len() as f64 * 0.0001).ceil() as usize).max(1);
-    let (_res, index) = incremental_insert::<I, 2>(data, batch, &universe, None);
+    let (_res, index) = incremental_insert::<I, i64, 2>(data, batch, &universe, None);
     // Sweep the target output size over four decades (the paper sweeps the
     // range size from 10^4 to 10^6 coordinates on 10^9 points; at our scale we
     // sweep expected output counts instead, which is the same x-axis).

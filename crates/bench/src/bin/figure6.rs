@@ -11,15 +11,15 @@
 
 use psi::driver::{incremental_delete, incremental_insert, timed_build, QuerySet};
 use psi::{
-    CpamHTree, CpamZTree, PkdTree, POrthTree, POrthTree2, PointI, RTree, SpacHTree, SpacZTree,
+    CpamHTree, CpamZTree, POrthTree, POrthTree2, PkdTree, PointI, RTree, SpacHTree, SpacZTree,
     SpatialIndex, ZdTree,
 };
 use psi_bench::{fmt_secs, BenchConfig};
 use psi_workloads as workloads;
 
-fn run<I: SpatialIndex<D>, const D: usize>(name: &str, data: &[PointI<D>], cfg: &BenchConfig) {
+fn run<I: SpatialIndex<i64, D>, const D: usize>(name: &str, data: &[PointI<D>], cfg: &BenchConfig) {
     let universe = cfg.universe::<D>();
-    let (build, index) = timed_build::<I, D>(data, &universe);
+    let (build, index) = timed_build::<I, i64, D>(data, &universe);
     let qs = QuerySet {
         knn_ind: workloads::ind_queries(data, cfg.knn_queries, cfg.seed ^ 0x81),
         knn_ood: vec![],
@@ -35,8 +35,8 @@ fn run<I: SpatialIndex<D>, const D: usize>(name: &str, data: &[PointI<D>], cfg: 
     let q = qs.run(&index);
     drop(index);
     let batch = ((data.len() as f64 * 0.0001).ceil() as usize).max(1);
-    let (ins, _) = incremental_insert::<I, D>(data, batch, &universe, None);
-    let (del, _) = incremental_delete::<I, D>(data, batch, &universe, None);
+    let (ins, _) = incremental_insert::<I, i64, D>(data, batch, &universe, None);
+    let (del, _) = incremental_delete::<I, i64, D>(data, batch, &universe, None);
     println!(
         "{:<10} build={:>9} insert={:>9} delete={:>9} 10NN={:>9} rangeList={:>9}",
         name,

@@ -9,7 +9,7 @@
 //!
 //! Usage: `cargo run --release -p psi-bench --bin figure7 [-- --n 200000]`
 
-use psi::{PkdTree, POrthTree2, PointI, SpacHTree, SpacZTree, SpatialIndex, ZdTree};
+use psi::{POrthTree2, PkdTree, PointI, SpacHTree, SpacZTree, SpatialIndex, ZdTree};
 use psi_bench::BenchConfig;
 use psi_workloads::{self as workloads, Distribution};
 use std::time::{Duration, Instant};
@@ -29,7 +29,7 @@ struct Timings {
     delete: Duration,
 }
 
-fn measure<I: SpatialIndex<2>>(
+fn measure<I: SpatialIndex<i64, 2>>(
     data: &[PointI<2>],
     batch: &[PointI<2>],
     cfg: &BenchConfig,
@@ -55,7 +55,7 @@ fn measure<I: SpatialIndex<2>>(
 }
 
 fn thread_counts() -> Vec<usize> {
-    let max = num_cpus::get().max(1);
+    let max = rayon::current_num_threads().max(1);
     let mut v = vec![1usize];
     let mut t = 2;
     while t < max {
@@ -68,7 +68,12 @@ fn thread_counts() -> Vec<usize> {
     v
 }
 
-fn sweep<I: SpatialIndex<2>>(name: &str, data: &[PointI<2>], batch: &[PointI<2>], cfg: &BenchConfig) {
+fn sweep<I: SpatialIndex<i64, 2>>(
+    name: &str,
+    data: &[PointI<2>],
+    batch: &[PointI<2>],
+    cfg: &BenchConfig,
+) {
     let counts = thread_counts();
     let base = measure::<I>(data, batch, cfg, 1);
     for &t in &counts {
@@ -100,7 +105,7 @@ fn main() {
     println!(
         "# Figure 7: scalability sweep (n = {}, batch = 1% of n, threads up to {})",
         cfg.n,
-        num_cpus::get()
+        rayon::current_num_threads()
     );
     for dist in Distribution::ALL {
         println!("\n== {} ==", dist.name());

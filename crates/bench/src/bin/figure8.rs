@@ -8,7 +8,7 @@
 //!
 //! Usage: `cargo run --release -p psi-bench --bin figure8 [-- --n 100000]`
 
-use psi::{CpamHTree, CpamZTree, PkdTree, POrthTree2, RTree, SpacHTree, SpacZTree, ZdTree};
+use psi::{CpamHTree, CpamZTree, POrthTree2, PkdTree, RTree, SpacHTree, SpacZTree, ZdTree};
 use psi_bench::{geometric_mean, master_row, BenchConfig, MasterRow};
 use psi_workloads::Distribution;
 use std::time::Duration;
@@ -35,19 +35,46 @@ fn main() {
         "# Figure 8: update-vs-query scatter (geometric means, seconds); n = {}",
         cfg.n
     );
-    println!("{:<12} {:<12} {:>14} {:>14}", "distribution", "index", "update_gm", "query_gm");
+    println!(
+        "{:<12} {:<12} {:>14} {:>14}",
+        "distribution", "index", "update_gm", "query_gm"
+    );
 
     for dist in Distribution::ALL {
         let data = dist.generate::<2>(cfg.n, cfg.max_coord, cfg.seed);
         let rows = vec![
-            ("P-Orth", scatter_point(&master_row::<POrthTree2, 2>(&data, &cfg))),
-            ("Zd-Tree", scatter_point(&master_row::<ZdTree<2>, 2>(&data, &cfg))),
-            ("SPaC-H", scatter_point(&master_row::<SpacHTree<2>, 2>(&data, &cfg))),
-            ("SPaC-Z", scatter_point(&master_row::<SpacZTree<2>, 2>(&data, &cfg))),
-            ("CPAM-H", scatter_point(&master_row::<CpamHTree<2>, 2>(&data, &cfg))),
-            ("CPAM-Z", scatter_point(&master_row::<CpamZTree<2>, 2>(&data, &cfg))),
-            ("Boost-R", scatter_point(&master_row::<RTree<2>, 2>(&data, &cfg))),
-            ("Pkd-Tree", scatter_point(&master_row::<PkdTree<2>, 2>(&data, &cfg))),
+            (
+                "P-Orth",
+                scatter_point(&master_row::<POrthTree2, 2>(&data, &cfg)),
+            ),
+            (
+                "Zd-Tree",
+                scatter_point(&master_row::<ZdTree<2>, 2>(&data, &cfg)),
+            ),
+            (
+                "SPaC-H",
+                scatter_point(&master_row::<SpacHTree<2>, 2>(&data, &cfg)),
+            ),
+            (
+                "SPaC-Z",
+                scatter_point(&master_row::<SpacZTree<2>, 2>(&data, &cfg)),
+            ),
+            (
+                "CPAM-H",
+                scatter_point(&master_row::<CpamHTree<2>, 2>(&data, &cfg)),
+            ),
+            (
+                "CPAM-Z",
+                scatter_point(&master_row::<CpamZTree<2>, 2>(&data, &cfg)),
+            ),
+            (
+                "Boost-R",
+                scatter_point(&master_row::<RTree<2>, 2>(&data, &cfg)),
+            ),
+            (
+                "Pkd-Tree",
+                scatter_point(&master_row::<PkdTree<2>, 2>(&data, &cfg)),
+            ),
         ];
         for (name, (u, q)) in rows {
             println!("{:<12} {:<12} {:>14.5} {:>14.5}", dist.name(), name, u, q);

@@ -4,7 +4,7 @@
 //!
 //! Usage: `cargo run --release -p psi-bench --bin figure9 [-- --n 100000]`
 
-use psi::{PkdTree, POrthTree, SpacHTree};
+use psi::{POrthTree, PkdTree, SpacHTree};
 use psi_bench::{master_header, master_row, master_row_line, BenchConfig};
 use psi_workloads::Distribution;
 

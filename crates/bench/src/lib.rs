@@ -95,10 +95,14 @@ impl BenchConfig {
     }
 
     /// Build the Fig. 3 query set for a dataset.
-    pub fn query_set<const D: usize>(&self, data: &[PointI<D>]) -> QuerySet<D> {
+    pub fn query_set<const D: usize>(&self, data: &[PointI<D>]) -> QuerySet<i64, D> {
         QuerySet {
             knn_ind: workloads::ind_queries(data, self.knn_queries, self.seed ^ 0x51),
-            knn_ood: workloads::ood_queries::<D>(self.max_coord, self.knn_queries, self.seed ^ 0x52),
+            knn_ood: workloads::ood_queries::<D>(
+                self.max_coord,
+                self.knn_queries,
+                self.seed ^ 0x52,
+            ),
             k: self.k,
             ranges: workloads::range_queries(
                 data,
@@ -136,7 +140,7 @@ pub struct MasterRow {
 }
 
 /// Run the full Fig. 3 protocol for one index type on one dataset.
-pub fn master_row<I: SpatialIndex<D>, const D: usize>(
+pub fn master_row<I: SpatialIndex<i64, D>, const D: usize>(
     data: &[PointI<D>],
     cfg: &BenchConfig,
 ) -> MasterRow {
@@ -148,12 +152,12 @@ pub fn master_row<I: SpatialIndex<D>, const D: usize>(
     };
 
     // Static build over the full data.
-    let (build_time, _index) = driver::timed_build::<I, D>(data, &universe);
+    let (build_time, _index) = driver::timed_build::<I, i64, D>(data, &universe);
     row.build = build_time;
 
     // Static query baseline: tree over the first half of the data.
     let half = data.len() / 2;
-    let (_t, half_index) = driver::timed_build::<I, D>(&data[..half], &universe);
+    let (_t, half_index) = driver::timed_build::<I, i64, D>(&data[..half], &universe);
     row.q_build = queries.run(&half_index);
     drop(half_index);
 
@@ -166,7 +170,7 @@ pub fn master_row<I: SpatialIndex<D>, const D: usize>(
         } else {
             None
         };
-        let (res, _index) = driver::incremental_insert::<I, D>(data, batch, &universe, probe);
+        let (res, _index) = driver::incremental_insert::<I, i64, D>(data, batch, &universe, probe);
         row.inc_insert.push(res.update_time);
         if let Some(q) = res.queries_at_half {
             row.q_insert = q;
@@ -181,7 +185,7 @@ pub fn master_row<I: SpatialIndex<D>, const D: usize>(
         } else {
             None
         };
-        let (res, _index) = driver::incremental_delete::<I, D>(data, batch, &universe, probe);
+        let (res, _index) = driver::incremental_delete::<I, i64, D>(data, batch, &universe, probe);
         row.inc_delete.push(res.update_time);
         if let Some(q) = res.queries_at_half {
             row.q_delete = q;
@@ -192,7 +196,10 @@ pub fn master_row<I: SpatialIndex<D>, const D: usize>(
 
 /// Render the header of the master table.
 pub fn master_header(ratios: &[f64]) -> String {
-    let ratio_cols: Vec<String> = ratios.iter().map(|r| format!("{:>8}", format!("{}%", r * 100.0))).collect();
+    let ratio_cols: Vec<String> = ratios
+        .iter()
+        .map(|r| format!("{:>8}", format!("{}%", r * 100.0)))
+        .collect();
     format!(
         "{:<10} {:>8} | {:>8} {:>8} {:>8} {:>8} | {} | {:>8} {:>8} {:>8} {:>8} | {} | {:>8} {:>8} {:>8} {:>8}",
         "index", "build",

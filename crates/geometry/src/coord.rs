@@ -15,9 +15,7 @@ use std::fmt::Debug;
 /// The associated [`Coord::Dist`] type holds squared distances; it is wide
 /// enough that `(a - b)^2` summed over `D <= 8` dimensions never overflows for
 /// the supported coordinate ranges.
-pub trait Coord:
-    Copy + Clone + PartialOrd + PartialEq + Debug + Send + Sync + 'static
-{
+pub trait Coord: Copy + Clone + PartialOrd + PartialEq + Debug + Send + Sync + 'static {
     /// Accumulator type for squared distances.
     type Dist: Copy + Clone + PartialOrd + Debug + Send + Sync + 'static;
 

@@ -26,6 +26,19 @@ impl<T: Coord, const D: usize> KnnHeap<T, D> {
         }
     }
 
+    /// Clear the heap and retarget it to `k` candidates, keeping the backing
+    /// allocation. This is the reuse hook of the allocation-free query layer:
+    /// batch drivers hold one heap per worker thread and `reset` it between
+    /// queries instead of allocating a fresh heap.
+    pub fn reset(&mut self, k: usize) {
+        assert!(k >= 1, "kNN queries require k >= 1");
+        self.k = k;
+        self.heap.clear();
+        // len is 0 here, so this guarantees capacity >= k + 1 (no-op when the
+        // previous run already grew the buffer enough).
+        self.heap.reserve(k + 1);
+    }
+
     /// Number of candidates currently held.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -91,6 +104,22 @@ impl<T: Coord, const D: usize> KnnHeap<T, D> {
         self.heap
             .sort_by(|a, b| T::dist_cmp(a.0, b.0).then_with(|| a.1.lex_cmp(&b.1)));
         self.heap
+    }
+
+    /// Drain the candidates in increasing-distance order into `out`, leaving
+    /// the heap empty (and its allocation intact) for the next query.
+    pub fn drain_sorted_into(&mut self, out: &mut Vec<Point<T, D>>) {
+        self.heap
+            .sort_by(|a, b| T::dist_cmp(a.0, b.0).then_with(|| a.1.lex_cmp(&b.1)));
+        out.extend(self.heap.drain(..).map(|(_, p)| p));
+    }
+
+    /// Drain the candidates into a fresh sorted `Vec`, leaving the heap empty
+    /// and reusable.
+    pub fn drain_sorted(&mut self) -> Vec<Point<T, D>> {
+        let mut out = Vec::with_capacity(self.heap.len());
+        self.drain_sorted_into(&mut out);
+        out
     }
 
     fn sift_up(&mut self, mut i: usize) {
@@ -190,6 +219,29 @@ mod tests {
     }
 
     #[test]
+    fn reset_reuses_the_heap_across_k_changes() {
+        let q = p(0, 0);
+        let mut h = KnnHeap::<i64, 2>::new(2);
+        h.offer_point(&q, p(1, 0));
+        h.offer_point(&q, p(2, 0));
+        // Growing k on a reused heap must hold all k candidates.
+        h.reset(5);
+        assert!(h.is_empty());
+        for x in 1..=10 {
+            h.offer_point(&q, p(x, 0));
+        }
+        assert_eq!(
+            h.drain_sorted(),
+            vec![p(1, 0), p(2, 0), p(3, 0), p(4, 0), p(5, 0)]
+        );
+        // Shrinking k tightens the pruning radius again.
+        h.reset(1);
+        h.offer_point(&q, p(9, 9));
+        h.offer_point(&q, p(1, 1));
+        assert_eq!(h.drain_sorted(), vec![p(1, 1)]);
+    }
+
+    #[test]
     fn duplicate_points_allowed() {
         let mut h = KnnHeap::<i64, 2>::new(3);
         let q = p(0, 0);
@@ -202,10 +254,7 @@ mod tests {
     #[test]
     fn brute_force_small() {
         let pts = vec![p(0, 0), p(10, 10), p(1, 1), p(-5, 2)];
-        assert_eq!(
-            brute_force_knn(&pts, &p(0, 0), 2),
-            vec![p(0, 0), p(1, 1)]
-        );
+        assert_eq!(brute_force_knn(&pts, &p(0, 0), 2), vec![p(0, 0), p(1, 1)]);
     }
 
     proptest! {

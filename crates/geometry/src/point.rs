@@ -63,7 +63,7 @@ impl<T: Coord, const D: usize> Eq for Point<T, D> {}
 
 impl<T: Coord, const D: usize> PartialOrd for Point<T, D> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.lex_cmp(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -96,7 +96,6 @@ impl<T: Coord, const D: usize> Default for Point<T, D> {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::{PointF, PointI};
 
     #[test]

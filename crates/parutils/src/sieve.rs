@@ -146,7 +146,7 @@ where
     // Pair each item with its position so the precomputed id can be looked up.
     let mut indexed: Vec<(usize, T)> = data.iter().copied().enumerate().collect();
     let offsets = sieve_by(&mut indexed, num_buckets, |(i, _)| bucket_ids[*i]);
-    for (dst, (_, item)) in data.iter_mut().zip(indexed.into_iter()) {
+    for (dst, (_, item)) in data.iter_mut().zip(indexed) {
         *dst = item;
     }
     offsets
@@ -244,7 +244,9 @@ mod tests {
 
     #[test]
     fn sieve_large_parallel_path() {
-        let v: Vec<u64> = (0..200_000).map(|i| (i * 2654435761u64) % 1_000_003).collect();
+        let v: Vec<u64> = (0..200_000)
+            .map(|i| (i * 2654435761u64) % 1_000_003)
+            .collect();
         check_sieve(v, 16);
         let v: Vec<u64> = (0..200_000).map(|i| (i * 40503u64) % 97).collect();
         check_sieve(v, 97);

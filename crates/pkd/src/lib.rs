@@ -149,10 +149,13 @@ impl<T: Coord, const D: usize> PkdTree<T, D> {
             return;
         }
         let mut buf = points.to_vec();
-        let root = std::mem::replace(&mut self.root, Node::Leaf {
-            points: Vec::new(),
-            bbox: Rect::empty(),
-        });
+        let root = std::mem::replace(
+            &mut self.root,
+            Node::Leaf {
+                points: Vec::new(),
+                bbox: Rect::empty(),
+            },
+        );
         self.root = insert_rec(root, &mut buf, &self.cfg, 0);
     }
 
@@ -164,10 +167,13 @@ impl<T: Coord, const D: usize> PkdTree<T, D> {
         }
         let before = self.len();
         let mut buf = points.to_vec();
-        let root = std::mem::replace(&mut self.root, Node::Leaf {
-            points: Vec::new(),
-            bbox: Rect::empty(),
-        });
+        let root = std::mem::replace(
+            &mut self.root,
+            Node::Leaf {
+                points: Vec::new(),
+                bbox: Rect::empty(),
+            },
+        );
         self.root = delete_rec(root, &mut buf, &self.cfg, 0);
         before - self.len()
     }
@@ -178,8 +184,23 @@ impl<T: Coord, const D: usize> PkdTree<T, D> {
             return Vec::new();
         }
         let mut heap = KnnHeap::new(k);
-        knn_rec(&self.root, q, &mut heap);
+        self.knn_into(q, k, &mut heap);
         heap.into_sorted()
+    }
+
+    /// kNN primitive: reset `heap` to capacity `k` (reusing its allocation)
+    /// and fill it with the `k` nearest neighbours of `q`. Requires `k >= 1`.
+    pub fn knn_into(&self, q: &Point<T, D>, k: usize, heap: &mut KnnHeap<T, D>) {
+        heap.reset(k);
+        if !self.is_empty() {
+            knn_rec(&self.root, q, heap);
+        }
+    }
+
+    /// Range primitive: call `visitor` on every stored point inside the closed
+    /// box, allocating nothing.
+    pub fn range_visit(&self, rect: &Rect<T, D>, visitor: &mut dyn FnMut(&Point<T, D>)) {
+        range_visit(&self.root, rect, visitor)
     }
 
     /// Number of stored points in the closed box.
@@ -216,16 +237,10 @@ fn widest_dim<T: Coord, const D: usize>(bbox: &Rect<T, D>) -> usize {
 }
 
 /// Approximate object median of dimension `dim` from an evenly spaced sample.
-fn approx_median<T: Coord, const D: usize>(
-    points: &[Point<T, D>],
-    dim: usize,
-    sample: usize,
-) -> T {
+fn approx_median<T: Coord, const D: usize>(points: &[Point<T, D>], dim: usize, sample: usize) -> T {
     let n = points.len();
     let s = sample.min(n).max(1);
-    let mut vals: Vec<T> = (0..s)
-        .map(|i| points[i * n / s].coords[dim])
-        .collect();
+    let mut vals: Vec<T> = (0..s).map(|i| points[i * n / s].coords[dim]).collect();
     vals.sort_by(|a, b| a.total_cmp(b));
     vals[s / 2]
 }
@@ -269,8 +284,10 @@ fn build_rec<T: Coord, const D: usize>(
         points.sort_by(|a, b| a.coords[dim].total_cmp(&b.coords[dim]));
         let target = n / 2;
         let v_mid = points[target].coords[dim];
-        let lo = points.partition_point(|p| p.coords[dim].total_cmp(&v_mid) == std::cmp::Ordering::Less);
-        let hi = points.partition_point(|p| p.coords[dim].total_cmp(&v_mid) != std::cmp::Ordering::Greater);
+        let lo =
+            points.partition_point(|p| p.coords[dim].total_cmp(&v_mid) == std::cmp::Ordering::Less);
+        let hi = points
+            .partition_point(|p| p.coords[dim].total_cmp(&v_mid) != std::cmp::Ordering::Greater);
         let (mid, split) = if lo > 0 {
             (lo, points[lo - 1].coords[dim])
         } else {
@@ -278,7 +295,10 @@ fn build_rec<T: Coord, const D: usize>(
             (hi, v_mid)
         };
         let (l, r) = points.split_at_mut(mid);
-        let (left, right) = rayon::join(|| build_rec(l, cfg, depth + 1), || build_rec(r, cfg, depth + 1));
+        let (left, right) = rayon::join(
+            || build_rec(l, cfg, depth + 1),
+            || build_rec(r, cfg, depth + 1),
+        );
         return Node::Internal {
             dim,
             split,
@@ -290,7 +310,10 @@ fn build_rec<T: Coord, const D: usize>(
     }
     let (l, r) = points.split_at_mut(mid);
     let (left, right) = if n > 4096 {
-        rayon::join(|| build_rec(l, cfg, depth + 1), || build_rec(r, cfg, depth + 1))
+        rayon::join(
+            || build_rec(l, cfg, depth + 1),
+            || build_rec(r, cfg, depth + 1),
+        )
     } else {
         (build_rec(l, cfg, depth + 1), build_rec(r, cfg, depth + 1))
     };
@@ -346,7 +369,11 @@ fn insert_rec<T: Coord, const D: usize>(
 
             // Reconstruction-based rebalancing: if the insertion would tip the
             // subtree past the imbalance factor, rebuild it wholesale.
-            if unbalanced(left.size() + lbatch.len(), right.size() + rbatch.len(), cfg.alpha) {
+            if unbalanced(
+                left.size() + lbatch.len(),
+                right.size() + rbatch.len(),
+                cfg.alpha,
+            ) {
                 counters::REBALANCES.bump();
                 let mut all = Vec::with_capacity(new_size);
                 left.collect_into(&mut all);
@@ -485,12 +512,11 @@ fn knn_rec<T: Coord, const D: usize>(node: &Node<T, D>, q: &Point<T, D>, heap: &
         Node::Internal { left, right, .. } => {
             let dl = left.bbox().dist_sq_to_point(q);
             let dr = right.bbox().dist_sq_to_point(q);
-            let (first, fd, second, sd) =
-                if T::dist_cmp(dl, dr) != std::cmp::Ordering::Greater {
-                    (left, dl, right, dr)
-                } else {
-                    (right, dr, left, dl)
-                };
+            let (first, fd, second, sd) = if T::dist_cmp(dl, dr) != std::cmp::Ordering::Greater {
+                (left, dl, right, dr)
+            } else {
+                (right, dr, left, dl)
+            };
             if first.size() > 0 && heap.could_improve(fd) {
                 knn_rec(first, q, heap);
             }
@@ -520,19 +546,45 @@ fn range_list<T: Coord, const D: usize>(
     rect: &Rect<T, D>,
     out: &mut Vec<Point<T, D>>,
 ) {
+    range_visit(node, rect, &mut |p| out.push(*p));
+}
+
+fn range_visit<T: Coord, const D: usize>(
+    node: &Node<T, D>,
+    rect: &Rect<T, D>,
+    visitor: &mut dyn FnMut(&Point<T, D>),
+) {
     counters::NODES_VISITED.bump();
     if node.size() == 0 || !rect.intersects(node.bbox()) {
         return;
     }
     if rect.contains_rect(node.bbox()) {
-        node.collect_into(out);
+        visit_all(node, visitor);
         return;
     }
     match node {
-        Node::Leaf { points, .. } => out.extend(points.iter().filter(|p| rect.contains(p))),
+        Node::Leaf { points, .. } => {
+            for p in points.iter().filter(|p| rect.contains(p)) {
+                visitor(p);
+            }
+        }
         Node::Internal { left, right, .. } => {
-            range_list(left, rect, out);
-            range_list(right, rect, out);
+            range_visit(left, rect, visitor);
+            range_visit(right, rect, visitor);
+        }
+    }
+}
+
+fn visit_all<T: Coord, const D: usize>(node: &Node<T, D>, visitor: &mut dyn FnMut(&Point<T, D>)) {
+    match node {
+        Node::Leaf { points, .. } => {
+            for p in points {
+                visitor(p);
+            }
+        }
+        Node::Internal { left, right, .. } => {
+            visit_all(left, visitor);
+            visit_all(right, visitor);
         }
     }
 }
@@ -619,7 +671,10 @@ mod tests {
         for _ in 0..40 {
             let q = Point::new([rng.gen_range(0..1_000_000), rng.gen_range(0..1_000_000)]);
             assert_eq!(
-                t.knn(&q, 10).iter().map(|p| q.dist_sq(p)).collect::<Vec<_>>(),
+                t.knn(&q, 10)
+                    .iter()
+                    .map(|p| q.dist_sq(p))
+                    .collect::<Vec<_>>(),
                 brute_force_knn(&pts, &q, 10)
                     .iter()
                     .map(|p| q.dist_sq(p))
@@ -685,7 +740,10 @@ mod tests {
         // Queries still correct after the skewed insertion history.
         let q = Point::new([500_000, 500_000]);
         assert_eq!(
-            t.knn(&q, 5).iter().map(|p| q.dist_sq(p)).collect::<Vec<_>>(),
+            t.knn(&q, 5)
+                .iter()
+                .map(|p| q.dist_sq(p))
+                .collect::<Vec<_>>(),
             brute_force_knn(&pts, &q, 5)
                 .iter()
                 .map(|p| q.dist_sq(p))
@@ -709,7 +767,10 @@ mod tests {
         t.check_invariants();
         let q = Point::new([50_000, 50_000, 50_000]);
         assert_eq!(
-            t.knn(&q, 7).iter().map(|p| q.dist_sq(p)).collect::<Vec<_>>(),
+            t.knn(&q, 7)
+                .iter()
+                .map(|p| q.dist_sq(p))
+                .collect::<Vec<_>>(),
             brute_force_knn(&pts, &q, 7)
                 .iter()
                 .map(|p| q.dist_sq(p))

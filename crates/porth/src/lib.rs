@@ -39,7 +39,7 @@ mod update;
 
 pub use node::Node;
 
-use psi_geometry::{Coord, Point, Rect};
+use psi_geometry::{Coord, KnnHeap, Point, Rect};
 
 /// Tuning parameters of a [`POrthTree`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,7 +49,8 @@ pub struct POrthConfig {
     pub leaf_cap: usize,
     /// Skeleton height `λ`: how many tree levels a single sieve pass builds.
     /// The paper uses 3 for 2-D and 2 for 3-D (§C), keeping the number of
-    /// buckets per pass (`2^{λD}`) cache-resident.
+    /// buckets per pass (`2^{λD}`) cache-resident. `0` means "auto": resolve
+    /// to the paper's per-dimension default at build time.
     pub skeleton_levels: usize,
     /// Hard recursion-depth cap. Purely a safety net for adversarial
     /// floating-point inputs whose midpoints stop making progress; the paper's
@@ -63,6 +64,27 @@ impl POrthConfig {
         POrthConfig {
             leaf_cap: 32,
             skeleton_levels: if d <= 2 { 3 } else { 2 },
+            max_depth: 128,
+        }
+    }
+
+    /// Replace the `0 = auto` skeleton height with the concrete per-dimension
+    /// default; every other field is kept.
+    pub fn resolved(mut self, d: usize) -> Self {
+        if self.skeleton_levels == 0 {
+            self.skeleton_levels = Self::for_dim(d).skeleton_levels;
+        }
+        self
+    }
+}
+
+/// Dimension-independent defaults (`skeleton_levels` stays on auto), so the
+/// config satisfies the unified trait's `Config: Default` bound.
+impl Default for POrthConfig {
+    fn default() -> Self {
+        POrthConfig {
+            leaf_cap: 32,
+            skeleton_levels: 0,
             max_depth: 128,
         }
     }
@@ -102,6 +124,7 @@ impl<T: Coord, const D: usize> POrthTree<T, D> {
         universe: Rect<T, D>,
         cfg: POrthConfig,
     ) -> Self {
+        let cfg = cfg.resolved(D);
         let mut universe = universe;
         for p in points {
             universe.expand(p);
@@ -189,6 +212,18 @@ impl<T: Coord, const D: usize> POrthTree<T, D> {
     /// The `k` nearest neighbours of `q`, ordered by increasing distance.
     pub fn knn(&self, q: &Point<T, D>, k: usize) -> Vec<Point<T, D>> {
         query::knn(&self.root, q, k)
+    }
+
+    /// kNN primitive: reset `heap` to capacity `k` (reusing its allocation)
+    /// and fill it with the `k` nearest neighbours of `q`. Requires `k >= 1`.
+    pub fn knn_into(&self, q: &Point<T, D>, k: usize, heap: &mut KnnHeap<T, D>) {
+        query::knn_into(&self.root, q, k, heap)
+    }
+
+    /// Range primitive: call `visitor` on every stored point inside the closed
+    /// box, allocating nothing.
+    pub fn range_visit(&self, rect: &Rect<T, D>, visitor: &mut dyn FnMut(&Point<T, D>)) {
+        query::range_visit(&self.root, rect, visitor)
     }
 
     /// Number of stored points inside the (closed) axis-aligned box.
@@ -290,8 +325,7 @@ mod tests {
     #[test]
     fn insert_then_matches_full_build() {
         let all = random_points(4_000, 3, 100_000);
-        let universe =
-            RectI::<2>::from_corners(Point::new([0, 0]), Point::new([100_000, 100_000]));
+        let universe = RectI::<2>::from_corners(Point::new([0, 0]), Point::new([100_000, 100_000]));
         let (a, b) = all.split_at(2_000);
         let mut tree = POrthTree::build_with_universe(a, universe);
         tree.batch_insert(b);
@@ -434,8 +468,7 @@ mod tests {
 
     #[test]
     fn large_batch_into_small_tree() {
-        let universe =
-            RectI::<2>::from_corners(Point::new([0, 0]), Point::new([1 << 20, 1 << 20]));
+        let universe = RectI::<2>::from_corners(Point::new([0, 0]), Point::new([1 << 20, 1 << 20]));
         let small = random_points(100, 21, 1 << 20);
         let big = random_points(20_000, 22, 1 << 20);
         let mut tree = POrthTree::build_with_universe(&small, universe);

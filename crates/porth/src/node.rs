@@ -177,7 +177,11 @@ pub fn check_invariants<T: Coord, const D: usize>(
                 );
             }
         }
-        Node::Internal { children, bbox, size } => {
+        Node::Internal {
+            children,
+            bbox,
+            size,
+        } => {
             assert_eq!(children.len(), Node::<T, D>::FANOUT, "fan-out must be 2^D");
             let child_size: usize = children.iter().map(|c| c.size()).sum();
             assert_eq!(child_size, *size, "internal size must equal children sum");
@@ -235,10 +239,7 @@ mod tests {
         for x in 0..=10 {
             for y in 0..=10 {
                 let p = PointI::<2>::new([x, y]);
-                let owners = [c0, c1, c2, c3]
-                    .iter()
-                    .filter(|c| c.contains(&p))
-                    .count();
+                let owners = [c0, c1, c2, c3].iter().filter(|c| c.contains(&p)).count();
                 assert_eq!(owners, 1, "point {:?} owned by {} regions", p, owners);
                 let idx = child_index(&p, &r);
                 assert!(child_region(&r, idx).contains(&p));
@@ -257,8 +258,7 @@ mod tests {
 
     #[test]
     fn child_region_float() {
-        let r: Rect<f64, 2> =
-            Rect::from_corners(Point::new([0.0, 0.0]), Point::new([1.0, 1.0]));
+        let r: Rect<f64, 2> = Rect::from_corners(Point::new([0.0, 0.0]), Point::new([1.0, 1.0]));
         let c3 = child_region(&r, 3);
         assert_eq!(c3.lo, Point::new([0.5, 0.5]));
         assert_eq!(c3.hi, Point::new([1.0, 1.0]));

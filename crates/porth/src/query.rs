@@ -20,8 +20,22 @@ pub fn knn<T: Coord, const D: usize>(
         return Vec::new();
     }
     let mut heap = KnnHeap::new(k);
-    knn_rec(root, q, &mut heap);
+    knn_into(root, q, k, &mut heap);
     heap.into_sorted()
+}
+
+/// kNN primitive: reset `heap` to capacity `k` (keeping its allocation) and
+/// fill it with the `k` nearest neighbours of `q`. Requires `k >= 1`.
+pub fn knn_into<T: Coord, const D: usize>(
+    root: &Node<T, D>,
+    q: &Point<T, D>,
+    k: usize,
+    heap: &mut KnnHeap<T, D>,
+) {
+    heap.reset(k);
+    if root.size() > 0 {
+        knn_rec(root, q, heap);
+    }
 }
 
 fn knn_rec<T: Coord, const D: usize>(node: &Node<T, D>, q: &Point<T, D>, heap: &mut KnnHeap<T, D>) {
@@ -64,9 +78,7 @@ pub fn range_count<T: Coord, const D: usize>(node: &Node<T, D>, rect: &Rect<T, D
     }
     match node {
         Node::Leaf { points, .. } => points.iter().filter(|p| rect.contains(p)).count(),
-        Node::Internal { children, .. } => {
-            children.iter().map(|c| range_count(c, rect)).sum()
-        }
+        Node::Internal { children, .. } => children.iter().map(|c| range_count(c, rect)).sum(),
     }
 }
 
@@ -76,19 +88,50 @@ pub fn range_list<T: Coord, const D: usize>(
     rect: &Rect<T, D>,
     out: &mut Vec<Point<T, D>>,
 ) {
+    range_visit(node, rect, &mut |p| out.push(*p));
+}
+
+/// Range primitive: invoke `visitor` on every stored point inside the closed
+/// box `rect`, allocating nothing. Subtrees fully covered by `rect` are walked
+/// without further box tests.
+pub fn range_visit<T: Coord, const D: usize>(
+    node: &Node<T, D>,
+    rect: &Rect<T, D>,
+    visitor: &mut dyn FnMut(&Point<T, D>),
+) {
     counters::NODES_VISITED.bump();
     if node.size() == 0 || !rect.intersects(node.bbox()) {
         return;
     }
     if rect.contains_rect(node.bbox()) {
-        node.collect_into(out);
+        visit_all(node, visitor);
         return;
     }
     match node {
-        Node::Leaf { points, .. } => out.extend(points.iter().filter(|p| rect.contains(p))),
+        Node::Leaf { points, .. } => {
+            for p in points.iter().filter(|p| rect.contains(p)) {
+                visitor(p);
+            }
+        }
         Node::Internal { children, .. } => {
             for c in children {
-                range_list(c, rect, out);
+                range_visit(c, rect, visitor);
+            }
+        }
+    }
+}
+
+/// Visit every point of a subtree (the fully-covered fast path).
+fn visit_all<T: Coord, const D: usize>(node: &Node<T, D>, visitor: &mut dyn FnMut(&Point<T, D>)) {
+    match node {
+        Node::Leaf { points, .. } => {
+            for p in points {
+                visitor(p);
+            }
+        }
+        Node::Internal { children, .. } => {
+            for c in children {
+                visit_all(c, visitor);
             }
         }
     }

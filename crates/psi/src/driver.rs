@@ -8,24 +8,41 @@
 //! applied — measuring how much the index quality degrades under a constantly
 //! evolving dataset. This module implements exactly that protocol, plus the
 //! parallel query runners (the paper runs its 10⁷ kNN queries concurrently).
+//!
+//! Since the v2 API the driver is generic over the coordinate type and runs
+//! its query probes through the allocation-free primitives: each worker
+//! reuses one [`KnnHeap`] (respectively one scratch `Vec`) across all of its
+//! queries via `map_init`, so the measured numbers are query work, not
+//! allocator traffic.
 
 use crate::SpatialIndex;
-use psi_geometry::{PointI, RectI};
+use psi_geometry::{Coord, KnnHeap, Point, Rect};
 use rayon::prelude::*;
 use std::time::{Duration, Instant};
 
 /// A bundle of queries measured together, mirroring the columns of Fig. 3:
 /// in-distribution kNN, out-of-distribution kNN, range-count and range-list.
-#[derive(Clone, Debug, Default)]
-pub struct QuerySet<const D: usize> {
+#[derive(Clone, Debug)]
+pub struct QuerySet<T: Coord, const D: usize> {
     /// In-distribution kNN query points.
-    pub knn_ind: Vec<PointI<D>>,
+    pub knn_ind: Vec<Point<T, D>>,
     /// Out-of-distribution kNN query points.
-    pub knn_ood: Vec<PointI<D>>,
+    pub knn_ood: Vec<Point<T, D>>,
     /// Number of neighbours per kNN query (10 in Fig. 3).
     pub k: usize,
     /// Range-query rectangles (used for both count and list).
-    pub ranges: Vec<RectI<D>>,
+    pub ranges: Vec<Rect<T, D>>,
+}
+
+impl<T: Coord, const D: usize> Default for QuerySet<T, D> {
+    fn default() -> Self {
+        QuerySet {
+            knn_ind: Vec::new(),
+            knn_ood: Vec::new(),
+            k: 0,
+            ranges: Vec::new(),
+        }
+    }
 }
 
 /// Wall-clock results of running a [`QuerySet`].
@@ -44,30 +61,35 @@ pub struct QueryTimes {
     pub checksum: u64,
 }
 
-impl<const D: usize> QuerySet<D> {
+impl<T: Coord, const D: usize> QuerySet<T, D> {
     /// Run every query in the set against `index`, queries in parallel, and
     /// return the per-category wall-clock times.
-    pub fn run<I: SpatialIndex<D>>(&self, index: &I) -> QueryTimes {
+    pub fn run<I: SpatialIndex<T, D>>(&self, index: &I) -> QueryTimes {
         let mut times = QueryTimes::default();
         let mut checksum = 0u64;
 
-        if !self.knn_ind.is_empty() {
-            let t = Instant::now();
-            let s: u64 = self
-                .knn_ind
+        let knn_sweep = |queries: &[Point<T, D>]| -> u64 {
+            queries
                 .par_iter()
-                .map(|q| index.knn(q, self.k).len() as u64)
-                .sum();
+                .map_init(
+                    || KnnHeap::new(self.k),
+                    |heap, q| {
+                        index.knn_into(q, self.k, heap);
+                        heap.len() as u64
+                    },
+                )
+                .sum()
+        };
+
+        if self.k > 0 && !self.knn_ind.is_empty() {
+            let t = Instant::now();
+            let s = knn_sweep(&self.knn_ind);
             times.knn_ind = t.elapsed();
             checksum = checksum.wrapping_add(s);
         }
-        if !self.knn_ood.is_empty() {
+        if self.k > 0 && !self.knn_ood.is_empty() {
             let t = Instant::now();
-            let s: u64 = self
-                .knn_ood
-                .par_iter()
-                .map(|q| index.knn(q, self.k).len() as u64)
-                .sum();
+            let s = knn_sweep(&self.knn_ood);
             times.knn_ood = t.elapsed();
             checksum = checksum.wrapping_add(s);
         }
@@ -85,7 +107,11 @@ impl<const D: usize> QuerySet<D> {
             let s: u64 = self
                 .ranges
                 .par_iter()
-                .map(|r| index.range_list(r).len() as u64)
+                .map_init(Vec::new, |buf: &mut Vec<Point<T, D>>, r| {
+                    buf.clear();
+                    index.range_visit(r, &mut |p| buf.push(*p));
+                    buf.len() as u64
+                })
                 .sum();
             times.range_list = t.elapsed();
             checksum = checksum.wrapping_add(s);
@@ -114,11 +140,11 @@ pub struct IncrementalResult {
 /// update operations. If `queries` is provided, it is run once after half of
 /// the batches and its times are reported separately (not counted as update
 /// time). Returns the result together with the final index.
-pub fn incremental_insert<I: SpatialIndex<D>, const D: usize>(
-    points: &[PointI<D>],
+pub fn incremental_insert<I: SpatialIndex<T, D>, T: Coord, const D: usize>(
+    points: &[Point<T, D>],
     batch_size: usize,
-    universe: &RectI<D>,
-    queries: Option<&QuerySet<D>>,
+    universe: &Rect<T, D>,
+    queries: Option<&QuerySet<T, D>>,
 ) -> (IncrementalResult, I) {
     assert!(batch_size > 0, "batch size must be positive");
     let n = points.len();
@@ -158,11 +184,11 @@ pub fn incremental_insert<I: SpatialIndex<D>, const D: usize>(
 /// Tear an index down by deleting `points` in `ceil(n / batch_size)` batches,
 /// starting from an index containing all of `points`. Queries are sampled
 /// after half of the deletion batches.
-pub fn incremental_delete<I: SpatialIndex<D>, const D: usize>(
-    points: &[PointI<D>],
+pub fn incremental_delete<I: SpatialIndex<T, D>, T: Coord, const D: usize>(
+    points: &[Point<T, D>],
     batch_size: usize,
-    universe: &RectI<D>,
-    queries: Option<&QuerySet<D>>,
+    universe: &Rect<T, D>,
+    queries: Option<&QuerySet<T, D>>,
 ) -> (IncrementalResult, I) {
     assert!(batch_size > 0, "batch size must be positive");
     let n = points.len();
@@ -196,9 +222,9 @@ pub fn incremental_delete<I: SpatialIndex<D>, const D: usize>(
 }
 
 /// Time a one-shot build.
-pub fn timed_build<I: SpatialIndex<D>, const D: usize>(
-    points: &[PointI<D>],
-    universe: &RectI<D>,
+pub fn timed_build<I: SpatialIndex<T, D>, T: Coord, const D: usize>(
+    points: &[Point<T, D>],
+    universe: &Rect<T, D>,
 ) -> (Duration, I) {
     let t = Instant::now();
     let index = I::build(points, universe);
@@ -206,9 +232,9 @@ pub fn timed_build<I: SpatialIndex<D>, const D: usize>(
 }
 
 /// Time a single batch insertion into an existing index.
-pub fn timed_batch_insert<I: SpatialIndex<D>, const D: usize>(
+pub fn timed_batch_insert<I: SpatialIndex<T, D>, T: Coord, const D: usize>(
     index: &mut I,
-    batch: &[PointI<D>],
+    batch: &[Point<T, D>],
 ) -> Duration {
     let t = Instant::now();
     index.batch_insert(batch);
@@ -216,9 +242,9 @@ pub fn timed_batch_insert<I: SpatialIndex<D>, const D: usize>(
 }
 
 /// Time a single batch deletion from an existing index.
-pub fn timed_batch_delete<I: SpatialIndex<D>, const D: usize>(
+pub fn timed_batch_delete<I: SpatialIndex<T, D>, T: Coord, const D: usize>(
     index: &mut I,
-    batch: &[PointI<D>],
+    batch: &[Point<T, D>],
 ) -> Duration {
     let t = Instant::now();
     index.batch_delete(batch);
@@ -229,15 +255,14 @@ pub fn timed_batch_delete<I: SpatialIndex<D>, const D: usize>(
 mod tests {
     use super::*;
     use crate::{BruteForce, POrthTree2, SpacHTree, SpatialIndex};
-    use psi_geometry::{Point, Rect};
+    use psi_geometry::{Point, Rect, RectI};
     use psi_workloads as workloads;
 
     #[test]
     fn incremental_insert_builds_the_full_index() {
         let data = workloads::uniform::<2>(3_000, 100_000, 1);
         let uni = workloads::universe::<2>(100_000);
-        let (res, index) =
-            incremental_insert::<POrthTree2, 2>(&data, 500, &uni, None);
+        let (res, index) = incremental_insert::<POrthTree2, i64, 2>(&data, 500, &uni, None);
         assert_eq!(res.final_len, 3_000);
         assert_eq!(index.len(), 3_000);
         assert_eq!(res.batches, 6);
@@ -248,7 +273,7 @@ mod tests {
     fn incremental_delete_empties_the_index() {
         let data = workloads::uniform::<2>(2_000, 100_000, 2);
         let uni = workloads::universe::<2>(100_000);
-        let (res, index) = incremental_delete::<SpacHTree<2>, 2>(&data, 300, &uni, None);
+        let (res, index) = incremental_delete::<SpacHTree<2>, i64, 2>(&data, 300, &uni, None);
         assert_eq!(res.final_len, 0);
         assert!(index.is_empty());
         assert_eq!(res.batches, 7);
@@ -264,8 +289,9 @@ mod tests {
             k: 5,
             ranges: workloads::range_queries(&data, 50_000, 50, 20, 7),
         };
-        let (res_a, _) = incremental_insert::<POrthTree2, 2>(&data, 400, &uni, Some(&qs));
-        let (res_b, _) = incremental_insert::<BruteForce<2>, 2>(&data, 400, &uni, Some(&qs));
+        let (res_a, _) = incremental_insert::<POrthTree2, i64, 2>(&data, 400, &uni, Some(&qs));
+        let (res_b, _) =
+            incremental_insert::<BruteForce<i64, 2>, i64, 2>(&data, 400, &uni, Some(&qs));
         let qa = res_a.queries_at_half.expect("queries must run");
         let qb = res_b.queries_at_half.expect("queries must run");
         // Both indexes saw the same prefix of the data when queried, so the
@@ -277,7 +303,7 @@ mod tests {
     fn timed_single_batches() {
         let data = workloads::uniform::<2>(1_000, 10_000, 4);
         let uni = workloads::universe::<2>(10_000);
-        let (_, mut index) = timed_build::<SpacHTree<2>, 2>(&data, &uni);
+        let (_, mut index) = timed_build::<SpacHTree<2>, i64, 2>(&data, &uni);
         let extra = workloads::uniform::<2>(200, 10_000, 5);
         timed_batch_insert(&mut index, &extra);
         assert_eq!(index.len(), 1_200);
@@ -289,8 +315,8 @@ mod tests {
     fn query_set_checksum_detects_differences() {
         let data = workloads::uniform::<2>(1_000, 10_000, 6);
         let uni = workloads::universe::<2>(10_000);
-        let full = BruteForce::<2>::build(&data, &uni);
-        let partial = BruteForce::<2>::build(&data[..500], &uni);
+        let full = BruteForce::<i64, 2>::build(&data, &uni);
+        let partial = BruteForce::<i64, 2>::build(&data[..500], &uni);
         let qs = QuerySet {
             knn_ind: workloads::ind_queries(&data, 30, 8),
             knn_ood: vec![],
@@ -307,15 +333,47 @@ mod tests {
     fn zero_batch_size_panics() {
         let data = workloads::uniform::<2>(100, 1_000, 9);
         let uni = workloads::universe::<2>(1_000);
-        let _ = incremental_insert::<POrthTree2, 2>(&data, 0, &uni, None);
+        let _ = incremental_insert::<POrthTree2, i64, 2>(&data, 0, &uni, None);
     }
 
     #[test]
     fn empty_rect_universe_is_fine_for_non_porth() {
         let data = workloads::uniform::<2>(500, 1_000, 10);
-        let empty_universe = Rect::from_corners(Point::new([0, 0]), Point::new([0, 0]));
+        let empty_universe = RectI::<2>::from_corners(Point::new([0, 0]), Point::new([0, 0]));
         // Indexes that ignore the universe must still work when handed a bogus one.
-        let t = <SpacHTree<2> as SpatialIndex<2>>::build(&data, &empty_universe);
+        let t = <SpacHTree<2> as SpatialIndex<i64, 2>>::build(&data, &empty_universe);
         assert_eq!(t.len(), 500);
+    }
+
+    #[test]
+    fn driver_runs_float_workloads_through_the_generic_api() {
+        // An f64 index driven through the same incremental protocol.
+        let pts: Vec<Point<f64, 2>> = (0..800)
+            .map(|i| Point::new([(i % 29) as f64 * 0.1, (i % 31) as f64 * 0.1]))
+            .collect();
+        let uni = Rect::from_corners(Point::new([0.0, 0.0]), Point::new([4.0, 4.0]));
+        let qs = QuerySet {
+            knn_ind: pts.iter().step_by(40).copied().collect(),
+            knn_ood: vec![],
+            k: 4,
+            ranges: vec![Rect::from_corners(
+                Point::new([0.0, 0.0]),
+                Point::new([1.0, 1.0]),
+            )],
+        };
+        let (res, index) = incremental_insert::<crate::POrthTreeGeneric<f64, 2>, f64, 2>(
+            &pts,
+            100,
+            &uni,
+            Some(&qs),
+        );
+        assert_eq!(res.final_len, 800);
+        let (res_o, _) =
+            incremental_insert::<BruteForce<f64, 2>, f64, 2>(&pts, 100, &uni, Some(&qs));
+        assert_eq!(
+            res.queries_at_half.unwrap().checksum,
+            res_o.queries_at_half.unwrap().checksum
+        );
+        index.check_invariants();
     }
 }

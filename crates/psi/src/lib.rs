@@ -1,63 +1,111 @@
 //! **Ψ-Lib-rs** — Parallel Spatial Indexes: the unified public API.
 //!
 //! This crate ties the workspace together the way the paper's Ψ-Lib does for
-//! its C++ components: a single [`SpatialIndex`] trait implemented by every
-//! index under study, a brute-force [`BruteForce`] oracle used to validate
-//! query answers, and the [`driver`] module that reproduces the paper's
-//! *incremental* (highly dynamic) workloads — building an index through a long
-//! sequence of batch insertions or deletions and probing query quality along
-//! the way.
+//! its C++ components: one coordinate-generic [`SpatialIndex`] trait
+//! implemented by every index under study, a fluent [`PsiBuilder`], a runtime
+//! [`registry`] for selecting indexes by name, a brute-force [`BruteForce`]
+//! oracle used to validate query answers, and the [`driver`] module that
+//! reproduces the paper's *incremental* (highly dynamic) workloads.
 //!
 //! Indexes re-exported here:
 //!
-//! | type | paper name | family |
-//! |---|---|---|
-//! | [`POrthTree`] | P-Orth tree ★ | space-partitioning (Orth-tree) |
-//! | [`SpacHTree`], [`SpacZTree`] | SPaC-H / SPaC-Z ★ | object-partitioning (R-tree over SFC) |
-//! | [`CpamHTree`], [`CpamZTree`] | CPAM-H / CPAM-Z | baseline (total order) |
-//! | [`PkdTree`] | Pkd-tree | space-partitioning (kd-tree) |
-//! | [`ZdTree`] | Zd-tree | space-partitioning (Morton Orth-tree) |
-//! | [`RTree`] | Boost-R (stand-in) | object-partitioning, sequential |
+//! | type | registry name | paper name | family | coords |
+//! |---|---|---|---|---|
+//! | [`POrthTree`] | `p-orth` | P-Orth tree ★ | space-partitioning (Orth-tree) | `i64`, `f64` |
+//! | [`SpacHTree`], [`SpacZTree`] | `spac-h`, `spac-z` | SPaC-H / SPaC-Z ★ | object-partitioning (R-tree over SFC) | `i64` |
+//! | [`CpamHTree`], [`CpamZTree`] | `cpam-h`, `cpam-z` | CPAM-H / CPAM-Z | baseline (total order) | `i64` |
+//! | [`PkdTree`] | `pkd` | Pkd-tree | space-partitioning (kd-tree) | `i64`, `f64` |
+//! | [`ZdTree`] | `zd` | Zd-tree | space-partitioning (Morton Orth-tree) | `i64` |
+//! | [`RTree`] | `r-tree` | Boost-R (stand-in) | object-partitioning, sequential | `i64` |
 //!
 //! ★ = the paper's contributions.
 //!
 //! # Quick start
 //!
+//! Compile-time generics with the fluent builder:
+//!
 //! ```
-//! use psi::{SpatialIndex, SpacHTree, POrthTree2};
+//! use psi::{PsiBuilder, SpatialIndex, SpacHTree, POrthTree2};
 //! use psi::workloads;
 //! use psi_geometry::Point;
 //!
 //! let data = workloads::uniform::<2>(5_000, 1_000_000, 42);
 //! let universe = workloads::universe::<2>(1_000_000);
 //!
-//! // Build two different indexes through the same trait.
-//! let spac = <SpacHTree<2> as SpatialIndex<2>>::build(&data, &universe);
-//! let porth = <POrthTree2 as SpatialIndex<2>>::build(&data, &universe);
+//! // Build two different indexes through the same API; the paper's ablation
+//! // knobs hang off the same chain.
+//! let spac = PsiBuilder::<SpacHTree<2>>::new()
+//!     .universe(universe)
+//!     .leaf_size(40)
+//!     .build(&data);
+//! let porth = <POrthTree2 as SpatialIndex<i64, 2>>::build(&data, &universe);
 //!
 //! let q = Point::new([500_000, 500_000]);
-//! assert_eq!(
-//!     spac.knn(&q, 10).len(),
-//!     porth.knn(&q, 10).len(),
-//! );
+//! assert_eq!(spac.knn(&q, 10).len(), porth.knn(&q, 10).len());
 //! ```
+//!
+//! Runtime selection through the registry (the driver/CLI path):
+//!
+//! ```
+//! use psi::registry::{self, BuildOptions};
+//! use psi::workloads;
+//!
+//! let data = workloads::uniform::<2>(2_000, 100_000, 7);
+//! let mut index = registry::create::<2>("spac-h", &data, &BuildOptions::default()).unwrap();
+//! index.batch_insert(&workloads::uniform::<2>(100, 100_000, 8));
+//! assert_eq!(index.len(), 2_100);
+//! ```
+//!
+//! Float coordinates run through the identical generic API (P-Orth and Pkd):
+//!
+//! ```
+//! use psi::{SpatialIndex, POrthTreeGeneric};
+//! use psi_geometry::{Point, Rect};
+//!
+//! let pts: Vec<Point<f64, 2>> = (0..100)
+//!     .map(|i| Point::new([i as f64 * 0.01, (i % 10) as f64 * 0.1]))
+//!     .collect();
+//! let tree = POrthTreeGeneric::<f64, 2>::build_with(&pts, None, Default::default());
+//! assert_eq!(tree.knn(&Point::new([0.5, 0.5]), 3).len(), 3);
+//! ```
+//!
+//! # Allocation-free queries
+//!
+//! [`SpatialIndex::range_visit`] and [`SpatialIndex::knn_into`] are the
+//! primitive operations: the former walks matching points through a visitor,
+//! the latter fills a caller-owned, reusable [`KnnHeap`]. `knn`, `range_list`,
+//! `range_count` and the parallel batch runners are derived from them, so a
+//! hot loop can hold one heap (or scratch `Vec`) per worker and never touch
+//! the allocator between queries.
 
+pub mod builder;
 pub mod driver;
+pub mod index;
 pub mod oracle;
+pub mod registry;
 
+mod impls;
+
+pub use builder::{LeafSized, PsiBuilder};
+pub use index::SpatialIndex;
 pub use oracle::BruteForce;
+pub use registry::{BuildOptions, DynIndex, RegistryError};
 
-pub use psi_geometry::{brute_force_knn, Coord, KnnHeap, Point, PointI, Rect, RectI};
+pub use psi_geometry::{
+    brute_force_knn, Coord, KnnHeap, Point, PointF, PointI, Rect, RectF, RectI,
+};
 pub use psi_pkd::{PkdConfig, PkdTree as PkdTreeGeneric};
 pub use psi_porth::{POrthConfig, POrthTree as POrthTreeGeneric};
 pub use psi_rtree::RTree;
 pub use psi_sfc::{HilbertCurve, MortonCurve, SfcCurve};
-pub use psi_spac::{CpamHTree, CpamTree, CpamZTree, SpacConfig, SpacHTree, SpacTree, SpacZTree};
+pub use psi_spac::{
+    CpamConfig, CpamHTree, CpamTree, CpamZTree, SpacConfig, SpacHTree, SpacTree, SpacZTree,
+};
 pub use psi_workloads as workloads;
-pub use psi_zd::ZdTree;
+pub use psi_zd::{ZdConfig, ZdTree};
 
 /// The P-Orth tree over integer coordinates (the configuration used by every
-/// experiment in the paper); alias so trait impls don't clash with the generic.
+/// experiment in the paper); alias so call sites stay short.
 pub type POrthTree<const D: usize> = POrthTreeGeneric<i64, D>;
 /// 2-D integer P-Orth tree.
 pub type POrthTree2 = POrthTree<2>;
@@ -65,246 +113,11 @@ pub type POrthTree2 = POrthTree<2>;
 pub type POrthTree3 = POrthTree<3>;
 /// The Pkd-tree over integer coordinates.
 pub type PkdTree<const D: usize> = PkdTreeGeneric<i64, D>;
-
-/// The interface shared by every spatial index in Ψ-Lib-rs: parallel batch
-/// construction and updates plus the paper's three query types.
-///
-/// `universe` is the data domain; indexes that do not need it (everything
-/// except the P-Orth tree) are free to ignore it.
-pub trait SpatialIndex<const D: usize>: Sized + Send + Sync {
-    /// Short name used in benchmark tables ("P-Orth", "SPaC-H", ...).
-    const NAME: &'static str;
-
-    /// Build the index over `points`.
-    fn build(points: &[PointI<D>], universe: &RectI<D>) -> Self;
-
-    /// Insert a batch of points.
-    fn batch_insert(&mut self, points: &[PointI<D>]);
-
-    /// Delete a batch of points (each element removes at most one stored
-    /// match); returns the number removed.
-    fn batch_delete(&mut self, points: &[PointI<D>]) -> usize;
-
-    /// The `k` nearest neighbours of `q`, closest first.
-    fn knn(&self, q: &PointI<D>, k: usize) -> Vec<PointI<D>>;
-
-    /// Number of stored points in the closed axis-aligned box.
-    fn range_count(&self, rect: &RectI<D>) -> usize;
-
-    /// The stored points in the closed axis-aligned box.
-    fn range_list(&self, rect: &RectI<D>) -> Vec<PointI<D>>;
-
-    /// Number of stored points.
-    fn len(&self) -> usize;
-
-    /// `true` if no points are stored.
-    fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Check internal structural invariants (used by tests); default is a no-op
-    /// for indexes without a checker.
-    fn check_invariants(&self) {}
-
-    /// Apply a deletion batch and an insertion batch as one logical update
-    /// (the `BatchDiff` operation of the Ψ-Lib API): first the deletions, then
-    /// the insertions. Returns the number of points actually deleted.
-    fn batch_diff(&mut self, delete: &[PointI<D>], insert: &[PointI<D>]) -> usize {
-        let removed = self.batch_delete(delete);
-        self.batch_insert(insert);
-        removed
-    }
-
-    /// Answer many kNN queries, running them in parallel (the paper's query
-    /// benchmarks issue millions of concurrent queries this way).
-    fn knn_batch(&self, queries: &[PointI<D>], k: usize) -> Vec<Vec<PointI<D>>> {
-        use rayon::prelude::*;
-        queries.par_iter().map(|q| self.knn(q, k)).collect()
-    }
-
-    /// Answer many range-count queries in parallel.
-    fn range_count_batch(&self, rects: &[RectI<D>]) -> Vec<usize> {
-        use rayon::prelude::*;
-        rects.par_iter().map(|r| self.range_count(r)).collect()
-    }
-}
-
-impl<const D: usize> SpatialIndex<D> for POrthTree<D> {
-    const NAME: &'static str = "P-Orth";
-
-    fn build(points: &[PointI<D>], universe: &RectI<D>) -> Self {
-        POrthTreeGeneric::build_with_universe(points, *universe)
-    }
-    fn batch_insert(&mut self, points: &[PointI<D>]) {
-        POrthTreeGeneric::batch_insert(self, points)
-    }
-    fn batch_delete(&mut self, points: &[PointI<D>]) -> usize {
-        POrthTreeGeneric::batch_delete(self, points)
-    }
-    fn knn(&self, q: &PointI<D>, k: usize) -> Vec<PointI<D>> {
-        POrthTreeGeneric::knn(self, q, k)
-    }
-    fn range_count(&self, rect: &RectI<D>) -> usize {
-        POrthTreeGeneric::range_count(self, rect)
-    }
-    fn range_list(&self, rect: &RectI<D>) -> Vec<PointI<D>> {
-        POrthTreeGeneric::range_list(self, rect)
-    }
-    fn len(&self) -> usize {
-        POrthTreeGeneric::len(self)
-    }
-    fn check_invariants(&self) {
-        POrthTreeGeneric::check_invariants(self)
-    }
-}
-
-impl<C: SfcCurve<D>, const D: usize> SpatialIndex<D> for SpacTree<C, D> {
-    const NAME: &'static str = "SPaC";
-
-    fn build(points: &[PointI<D>], _universe: &RectI<D>) -> Self {
-        SpacTree::build(points)
-    }
-    fn batch_insert(&mut self, points: &[PointI<D>]) {
-        SpacTree::batch_insert(self, points)
-    }
-    fn batch_delete(&mut self, points: &[PointI<D>]) -> usize {
-        SpacTree::batch_delete(self, points)
-    }
-    fn knn(&self, q: &PointI<D>, k: usize) -> Vec<PointI<D>> {
-        SpacTree::knn(self, q, k)
-    }
-    fn range_count(&self, rect: &RectI<D>) -> usize {
-        SpacTree::range_count(self, rect)
-    }
-    fn range_list(&self, rect: &RectI<D>) -> Vec<PointI<D>> {
-        SpacTree::range_list(self, rect)
-    }
-    fn len(&self) -> usize {
-        SpacTree::len(self)
-    }
-    fn check_invariants(&self) {
-        SpacTree::check_invariants(self)
-    }
-}
-
-impl<C: SfcCurve<D>, const D: usize> SpatialIndex<D> for CpamTree<C, D> {
-    const NAME: &'static str = "CPAM";
-
-    fn build(points: &[PointI<D>], _universe: &RectI<D>) -> Self {
-        CpamTree::build(points)
-    }
-    fn batch_insert(&mut self, points: &[PointI<D>]) {
-        CpamTree::batch_insert(self, points)
-    }
-    fn batch_delete(&mut self, points: &[PointI<D>]) -> usize {
-        CpamTree::batch_delete(self, points)
-    }
-    fn knn(&self, q: &PointI<D>, k: usize) -> Vec<PointI<D>> {
-        CpamTree::knn(self, q, k)
-    }
-    fn range_count(&self, rect: &RectI<D>) -> usize {
-        CpamTree::range_count(self, rect)
-    }
-    fn range_list(&self, rect: &RectI<D>) -> Vec<PointI<D>> {
-        CpamTree::range_list(self, rect)
-    }
-    fn len(&self) -> usize {
-        CpamTree::len(self)
-    }
-    fn check_invariants(&self) {
-        CpamTree::check_invariants(self)
-    }
-}
-
-impl<const D: usize> SpatialIndex<D> for PkdTree<D> {
-    const NAME: &'static str = "Pkd";
-
-    fn build(points: &[PointI<D>], _universe: &RectI<D>) -> Self {
-        PkdTreeGeneric::build(points)
-    }
-    fn batch_insert(&mut self, points: &[PointI<D>]) {
-        PkdTreeGeneric::batch_insert(self, points)
-    }
-    fn batch_delete(&mut self, points: &[PointI<D>]) -> usize {
-        PkdTreeGeneric::batch_delete(self, points)
-    }
-    fn knn(&self, q: &PointI<D>, k: usize) -> Vec<PointI<D>> {
-        PkdTreeGeneric::knn(self, q, k)
-    }
-    fn range_count(&self, rect: &RectI<D>) -> usize {
-        PkdTreeGeneric::range_count(self, rect)
-    }
-    fn range_list(&self, rect: &RectI<D>) -> Vec<PointI<D>> {
-        PkdTreeGeneric::range_list(self, rect)
-    }
-    fn len(&self) -> usize {
-        PkdTreeGeneric::len(self)
-    }
-    fn check_invariants(&self) {
-        PkdTreeGeneric::check_invariants(self)
-    }
-}
-
-impl<const D: usize> SpatialIndex<D> for ZdTree<D>
-where
-    MortonCurve: SfcCurve<D>,
-{
-    const NAME: &'static str = "Zd-Tree";
-
-    fn build(points: &[PointI<D>], _universe: &RectI<D>) -> Self {
-        ZdTree::build(points)
-    }
-    fn batch_insert(&mut self, points: &[PointI<D>]) {
-        ZdTree::batch_insert(self, points)
-    }
-    fn batch_delete(&mut self, points: &[PointI<D>]) -> usize {
-        ZdTree::batch_delete(self, points)
-    }
-    fn knn(&self, q: &PointI<D>, k: usize) -> Vec<PointI<D>> {
-        ZdTree::knn(self, q, k)
-    }
-    fn range_count(&self, rect: &RectI<D>) -> usize {
-        ZdTree::range_count(self, rect)
-    }
-    fn range_list(&self, rect: &RectI<D>) -> Vec<PointI<D>> {
-        ZdTree::range_list(self, rect)
-    }
-    fn len(&self) -> usize {
-        ZdTree::len(self)
-    }
-    fn check_invariants(&self) {
-        ZdTree::check_invariants(self)
-    }
-}
-
-impl<const D: usize> SpatialIndex<D> for RTree<D> {
-    const NAME: &'static str = "Boost-R";
-
-    fn build(points: &[PointI<D>], _universe: &RectI<D>) -> Self {
-        RTree::build(points)
-    }
-    fn batch_insert(&mut self, points: &[PointI<D>]) {
-        RTree::batch_insert(self, points)
-    }
-    fn batch_delete(&mut self, points: &[PointI<D>]) -> usize {
-        RTree::batch_delete(self, points)
-    }
-    fn knn(&self, q: &PointI<D>, k: usize) -> Vec<PointI<D>> {
-        RTree::knn(self, q, k)
-    }
-    fn range_count(&self, rect: &RectI<D>) -> usize {
-        RTree::range_count(self, rect)
-    }
-    fn range_list(&self, rect: &RectI<D>) -> Vec<PointI<D>> {
-        RTree::range_list(self, rect)
-    }
-    fn len(&self) -> usize {
-        RTree::len(self)
-    }
-    fn check_invariants(&self) {
-        RTree::check_invariants(self)
-    }
-}
+/// The P-Orth tree over float coordinates (the only index family free of the
+/// integer-domain restriction, §3 "Applicability").
+pub type POrthTreeF<const D: usize> = POrthTreeGeneric<f64, D>;
+/// The Pkd-tree over float coordinates.
+pub type PkdTreeF<const D: usize> = PkdTreeGeneric<f64, D>;
 
 #[cfg(test)]
 mod tests {
@@ -321,14 +134,14 @@ mod tests {
 
     /// Exercise one index through the whole trait surface and compare every
     /// query answer against the brute-force oracle.
-    fn conformance<I: SpatialIndex<2>>(seed: u64) {
+    fn conformance<I: SpatialIndex<i64, 2>>(seed: u64) {
         let max = 200_000;
         let universe = Rect::from_corners(Point::new([0, 0]), Point::new([max, max]));
         let all = random_points(4_000, seed, max);
         let (base, extra) = all.split_at(2_500);
 
         let mut index = I::build(base, &universe);
-        let mut oracle = BruteForce::<2>::build(base, &universe);
+        let mut oracle = BruteForce::<i64, 2>::build(base, &universe);
         assert_eq!(index.len(), 2_500);
         index.check_invariants();
 
@@ -343,12 +156,25 @@ mod tests {
         index.check_invariants();
         assert_eq!(index.len(), oracle.len());
 
+        // The bounding boxes must agree (both tight over the same multiset).
+        assert_eq!(index.bounding_box(), oracle.bounding_box(), "{}", I::NAME);
+
         let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let mut heap = KnnHeap::new(10);
         for _ in 0..25 {
             let q = Point::new([rng.gen_range(0..max), rng.gen_range(0..max)]);
             let got: Vec<i128> = index.knn(&q, 10).iter().map(|p| q.dist_sq(p)).collect();
             let want: Vec<i128> = oracle.knn(&q, 10).iter().map(|p| q.dist_sq(p)).collect();
             assert_eq!(got, want, "{} kNN disagrees with oracle", I::NAME);
+
+            // The primitive agrees with the derived method.
+            index.knn_into(&q, 10, &mut heap);
+            let mut via_heap: Vec<i128> =
+                heap.drain_sorted().iter().map(|p| q.dist_sq(p)).collect();
+            via_heap.sort();
+            let mut sorted_want = want.clone();
+            sorted_want.sort();
+            assert_eq!(via_heap, sorted_want, "{} knn_into disagrees", I::NAME);
 
             let a = Point::new([rng.gen_range(0..max), rng.gen_range(0..max)]);
             let b = Point::new([rng.gen_range(0..max), rng.gen_range(0..max)]);
@@ -364,6 +190,12 @@ mod tests {
             got.sort();
             want.sort();
             assert_eq!(got, want, "{} range_list disagrees", I::NAME);
+
+            // range_visit is the primitive behind range_list; cross-check it.
+            let mut visited = Vec::new();
+            index.range_visit(&rect, &mut |p| visited.push(*p));
+            visited.sort();
+            assert_eq!(visited, want, "{} range_visit disagrees", I::NAME);
         }
     }
 
@@ -413,7 +245,7 @@ mod tests {
         let universe = Rect::from_corners(Point::new([0, 0]), Point::new([max, max]));
         let data = random_points(2_000, 21, max);
         let fresh = random_points(500, 22, max);
-        let mut index = <SpacHTree<2> as SpatialIndex<2>>::build(&data, &universe);
+        let mut index = <SpacHTree<2> as SpatialIndex<i64, 2>>::build(&data, &universe);
         let removed = index.batch_diff(&data[..500], &fresh);
         assert_eq!(removed, 500);
         assert_eq!(index.len(), 2_000);
@@ -425,19 +257,161 @@ mod tests {
         let max = 50_000;
         let universe = Rect::from_corners(Point::new([0, 0]), Point::new([max, max]));
         let data = random_points(3_000, 23, max);
-        let index = <POrthTree2 as SpatialIndex<2>>::build(&data, &universe);
+        let index = <POrthTree2 as SpatialIndex<i64, 2>>::build(&data, &universe);
         let queries = random_points(100, 24, max);
         let batched = index.knn_batch(&queries, 5);
         for (q, got) in queries.iter().zip(batched.iter()) {
             assert_eq!(got, &index.knn(q, 5));
         }
-        let rects: Vec<RectI<2>> = queries
-            .windows(2)
-            .map(|w| Rect::new(w[0], w[1]))
-            .collect();
+        assert!(index
+            .knn_batch(&queries, 0)
+            .iter()
+            .all(|result| result.is_empty()));
+        let rects: Vec<RectI<2>> = queries.windows(2).map(|w| Rect::new(w[0], w[1])).collect();
         let counts = index.range_count_batch(&rects);
         for (r, got) in rects.iter().zip(counts.iter()) {
             assert_eq!(*got, index.range_count(r));
+        }
+    }
+
+    #[test]
+    fn builder_reaches_ablation_knobs() {
+        let data = random_points(2_000, 31, 10_000);
+        let universe = Rect::from_corners(Point::new([0, 0]), Point::new([10_000, 10_000]));
+
+        let spac = PsiBuilder::<SpacHTree<2>>::new()
+            .universe(universe)
+            .leaf_size(16)
+            .build(&data);
+        assert_eq!(spac.config().leaf_cap, 16);
+        spac.check_invariants();
+
+        let porth = PsiBuilder::<POrthTree2>::new()
+            .universe(universe)
+            .configure(|cfg| {
+                cfg.leaf_cap = 8;
+                cfg.skeleton_levels = 2;
+            })
+            .build(&data);
+        assert_eq!(porth.config().leaf_cap, 8);
+        assert_eq!(porth.config().skeleton_levels, 2);
+        porth.check_invariants();
+
+        // Equivalent entry point hanging off the index type.
+        let zd = ZdTree::<2>::builder().leaf_size(64).build(&data);
+        assert_eq!(zd.len(), data.len());
+        zd.check_invariants();
+    }
+
+    #[test]
+    fn float_indexes_answer_through_the_generic_trait() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let pts: Vec<Point<f64, 2>> = (0..3_000)
+            .map(|_| Point::new([rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]))
+            .collect();
+        let universe = Rect::from_corners(Point::new([-1.0, -1.0]), Point::new([1.0, 1.0]));
+
+        let porth = <POrthTreeF<2> as SpatialIndex<f64, 2>>::build(&pts, &universe);
+        let pkd = PkdTreeF::<2>::build_with(&pts, None, PkdConfig::default());
+        let oracle = BruteForce::<f64, 2>::build(&pts, &universe);
+
+        for _ in 0..20 {
+            let q = Point::new([rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]);
+            let want: Vec<u64> = oracle
+                .knn(&q, 8)
+                .iter()
+                .map(|p| q.dist_sq(p).to_bits())
+                .collect();
+            for (name, got) in [("P-Orth", porth.knn(&q, 8)), ("Pkd", pkd.knn(&q, 8))] {
+                let got: Vec<u64> = got.iter().map(|p| q.dist_sq(p).to_bits()).collect();
+                assert_eq!(got, want, "{name} f64 kNN disagrees");
+            }
+            let rect = Rect::new(
+                Point::new([rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]),
+                Point::new([rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)]),
+            );
+            assert_eq!(porth.range_count(&rect), oracle.range_count(&rect));
+            assert_eq!(pkd.range_count(&rect), oracle.range_count(&rect));
+        }
+    }
+
+    #[test]
+    fn registry_creates_every_family() {
+        let data = random_points(1_500, 51, 100_000);
+        let universe = Rect::from_corners(Point::new([0, 0]), Point::new([100_000, 100_000]));
+        let opts = BuildOptions::with_universe(universe).leaf_size(32);
+        let oracle = BruteForce::<i64, 2>::build(&data, &universe);
+        let q = Point::new([40_000, 60_000]);
+        let want: Vec<i128> = oracle.knn(&q, 5).iter().map(|p| q.dist_sq(p)).collect();
+
+        for name in registry::names() {
+            let mut index =
+                registry::create::<2>(name, &data, &opts).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(index.len(), data.len(), "{name}");
+            index.check_invariants();
+            let got: Vec<i128> = index.knn(&q, 5).iter().map(|p| q.dist_sq(p)).collect();
+            assert_eq!(got, want, "{name} kNN through DynIndex");
+            index.batch_insert(&data[..10]);
+            assert_eq!(index.len(), data.len() + 10, "{name}");
+            assert_eq!(index.batch_delete(&data[..10]), 10, "{name}");
+        }
+
+        // Aliases and normalisation.
+        assert!(registry::create::<2>("SPaC-H", &data, &opts).is_ok());
+        assert!(registry::create::<2>("boost-r", &data, &opts).is_ok());
+        let err = registry::create::<2>("no-such-index", &data, &opts)
+            .err()
+            .expect("unknown name must fail");
+        assert!(matches!(err, RegistryError::UnknownIndex(_)));
+    }
+
+    #[test]
+    fn registry_float_entries() {
+        let pts: Vec<Point<f64, 2>> = (0..500)
+            .map(|i| Point::new([(i % 23) as f64, (i % 17) as f64]))
+            .collect();
+        let opts = BuildOptions::default();
+        for name in registry::float_names() {
+            let index = registry::create_f64::<2>(name, &pts, &opts)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(index.len(), pts.len(), "{name}");
+            assert_eq!(index.knn(&Point::new([0.0, 0.0]), 3).len(), 3, "{name}");
+        }
+        let err = registry::create_f64::<2>("spac-h", &pts, &opts)
+            .err()
+            .expect("sfc index must reject floats");
+        assert!(matches!(err, RegistryError::UnsupportedCoordinates(_)));
+        // Aliases of integer-only families report the same error kind.
+        let err = registry::create_f64::<2>("boost-r", &pts, &opts)
+            .err()
+            .expect("alias of an sfc/integer index must reject floats");
+        assert!(matches!(err, RegistryError::UnsupportedCoordinates(_)));
+        let err = registry::create_f64::<2>("no-such", &pts, &opts)
+            .err()
+            .expect("unknown name must fail");
+        assert!(matches!(err, RegistryError::UnknownIndex(_)));
+    }
+
+    #[test]
+    fn dyn_index_is_object_safe_and_swappable() {
+        let data = random_points(800, 61, 10_000);
+        let universe = Rect::from_corners(Point::new([0, 0]), Point::new([10_000, 10_000]));
+        // A heterogeneous collection behind one vtable.
+        let indexes: Vec<Box<dyn DynIndex<i64, 2>>> = vec![
+            registry::boxed(<POrthTree2 as SpatialIndex<i64, 2>>::build(
+                &data, &universe,
+            )),
+            registry::boxed(<SpacHTree<2> as SpatialIndex<i64, 2>>::build(
+                &data, &universe,
+            )),
+            registry::boxed(<RTree<2> as SpatialIndex<i64, 2>>::build(&data, &universe)),
+        ];
+        let q = Point::new([5_000, 5_000]);
+        let reference: Vec<i128> = indexes[0].knn(&q, 7).iter().map(|p| q.dist_sq(p)).collect();
+        for index in &indexes {
+            let got: Vec<i128> = index.knn(&q, 7).iter().map(|p| q.dist_sq(p)).collect();
+            assert_eq!(got, reference, "{}", index.name());
+            assert_eq!(index.bounding_box(), indexes[0].bounding_box());
         }
     }
 }

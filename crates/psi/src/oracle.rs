@@ -3,37 +3,40 @@
 //!
 //! Slow but obviously correct — every other index is validated against it in
 //! the conformance tests and the property suite, and it doubles as a reference
-//! when debugging new index implementations.
+//! when debugging new index implementations. Generic over the coordinate type
+//! like the trait itself, so it also oracles the `f64` configurations.
 
 use crate::SpatialIndex;
-use psi_geometry::{brute_force_knn, PointI, RectI};
+use psi_geometry::{Coord, KnnHeap, Point, Rect};
 
 /// Exhaustive-scan implementation of [`SpatialIndex`].
-pub struct BruteForce<const D: usize> {
-    points: Vec<PointI<D>>,
+pub struct BruteForce<T: Coord, const D: usize> {
+    points: Vec<Point<T, D>>,
 }
 
-impl<const D: usize> BruteForce<D> {
+impl<T: Coord, const D: usize> BruteForce<T, D> {
     /// All stored points (insertion order).
-    pub fn points(&self) -> &[PointI<D>] {
+    pub fn points(&self) -> &[Point<T, D>] {
         &self.points
     }
 }
 
-impl<const D: usize> SpatialIndex<D> for BruteForce<D> {
+impl<T: Coord, const D: usize> SpatialIndex<T, D> for BruteForce<T, D> {
     const NAME: &'static str = "BruteForce";
+    /// Nothing to tune in a linear scan.
+    type Config = ();
 
-    fn build(points: &[PointI<D>], _universe: &RectI<D>) -> Self {
+    fn build_with(points: &[Point<T, D>], _universe: Option<&Rect<T, D>>, _cfg: ()) -> Self {
         BruteForce {
             points: points.to_vec(),
         }
     }
 
-    fn batch_insert(&mut self, points: &[PointI<D>]) {
+    fn batch_insert(&mut self, points: &[Point<T, D>]) {
         self.points.extend_from_slice(points);
     }
 
-    fn batch_delete(&mut self, points: &[PointI<D>]) -> usize {
+    fn batch_delete(&mut self, points: &[Point<T, D>]) -> usize {
         // Multiset removal: each batch element removes at most one stored copy.
         let mut to_remove = points.to_vec();
         to_remove.sort();
@@ -57,27 +60,21 @@ impl<const D: usize> SpatialIndex<D> for BruteForce<D> {
         removed
     }
 
-    fn knn(&self, q: &PointI<D>, k: usize) -> Vec<PointI<D>> {
-        if k == 0 {
-            return Vec::new();
-        }
-        brute_force_knn(&self.points, q, k)
-    }
-
-    fn range_count(&self, rect: &RectI<D>) -> usize {
-        self.points.iter().filter(|p| rect.contains(p)).count()
-    }
-
-    fn range_list(&self, rect: &RectI<D>) -> Vec<PointI<D>> {
-        self.points
-            .iter()
-            .copied()
-            .filter(|p| rect.contains(p))
-            .collect()
-    }
-
     fn len(&self) -> usize {
         self.points.len()
+    }
+
+    fn range_visit(&self, rect: &Rect<T, D>, visitor: &mut dyn FnMut(&Point<T, D>)) {
+        for p in self.points.iter().filter(|p| rect.contains(p)) {
+            visitor(p);
+        }
+    }
+
+    fn knn_into(&self, q: &Point<T, D>, k: usize, heap: &mut KnnHeap<T, D>) {
+        heap.reset(k);
+        for p in &self.points {
+            heap.offer_point(q, *p);
+        }
     }
 }
 
@@ -95,14 +92,39 @@ mod tests {
             Point::new([2, 2]),
             Point::new([50, 50]),
         ];
-        let mut o = BruteForce::<2>::build(&pts, &uni);
+        let mut o = BruteForce::<i64, 2>::build(&pts, &uni);
         assert_eq!(o.len(), 4);
         assert_eq!(o.batch_delete(&[Point::new([2, 2])]), 1);
         assert_eq!(o.len(), 3);
-        assert_eq!(o.range_count(&Rect::from_corners(Point::new([0, 0]), Point::new([10, 10]))), 2);
+        assert_eq!(
+            o.range_count(&Rect::from_corners(
+                Point::new([0, 0]),
+                Point::new([10, 10])
+            )),
+            2
+        );
         assert_eq!(o.knn(&Point::new([0, 0]), 1), vec![Point::new([1, 1])]);
         assert_eq!(o.knn(&Point::new([0, 0]), 0), vec![]);
         o.batch_insert(&[Point::new([3, 3])]);
         assert_eq!(o.len(), 4);
+    }
+
+    #[test]
+    fn oracle_works_on_floats() {
+        let pts = vec![
+            Point::new([0.5f64, 0.5]),
+            Point::new([0.25, 0.25]),
+            Point::new([0.9, 0.9]),
+        ];
+        let o = BruteForce::<f64, 2>::build_with(&pts, None, ());
+        assert_eq!(
+            o.knn(&Point::new([0.0, 0.0]), 1),
+            vec![Point::new([0.25, 0.25])]
+        );
+        let r = Rect::from_corners(Point::new([0.0, 0.0]), Point::new([0.6, 0.6]));
+        assert_eq!(o.range_count(&r), 2);
+        let bb = o.bounding_box();
+        assert_eq!(bb.lo, Point::new([0.25, 0.25]));
+        assert_eq!(bb.hi, Point::new([0.9, 0.9]));
     }
 }

@@ -1,0 +1,341 @@
+//! Runtime index selection: the object-safe [`DynIndex`] façade plus a
+//! string-keyed registry covering every index family in the paper.
+//!
+//! Compile-time generics ([`SpatialIndex`]) are the fast path; drivers, CLI
+//! scenarios and benchmark sweeps instead want to pick an index *by name* at
+//! runtime. [`create`] instantiates any family behind a
+//! `Box<dyn DynIndex<i64, D>>`, and [`create_f64`] does the same for the
+//! float-capable families (the SFC-free P-Orth and Pkd trees).
+//!
+//! ```
+//! use psi::registry;
+//! use psi::workloads;
+//!
+//! let pts = workloads::uniform::<2>(500, 10_000, 7);
+//! let opts = registry::BuildOptions::default();
+//! for name in registry::names() {
+//!     let index = registry::create::<2>(name, &pts, &opts).unwrap();
+//!     assert_eq!(index.len(), 500, "{name}");
+//! }
+//! ```
+
+use crate::builder::LeafSized;
+use crate::index::SpatialIndex;
+use crate::oracle::BruteForce;
+use psi_geometry::{Coord, KnnHeap, Point, PointI, Rect};
+use psi_pkd::{PkdConfig, PkdTree};
+use psi_porth::{POrthConfig, POrthTree};
+use psi_rtree::RTree;
+use psi_sfc::{HilbertCurve, MortonCurve, SfcCurve};
+use psi_spac::{CpamConfig, CpamHTree, CpamZTree, SpacConfig, SpacHTree, SpacZTree};
+use psi_zd::ZdTree;
+
+/// Object-safe view of a [`SpatialIndex`]: everything the unified API offers
+/// except compile-time construction, so heterogeneous indexes can live behind
+/// one `Box<dyn DynIndex<T, D>>`.
+///
+/// Obtain one with [`boxed`] or the registry constructors; the adapter
+/// delegates the derived queries to the index's (possibly overridden,
+/// structurally smarter) trait methods.
+pub trait DynIndex<T: Coord, const D: usize>: Send + Sync {
+    /// The index family's display name ([`SpatialIndex::NAME`]).
+    fn name(&self) -> &'static str;
+
+    /// Number of stored points.
+    fn len(&self) -> usize;
+
+    /// `true` if no points are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert a batch of points.
+    fn batch_insert(&mut self, points: &[Point<T, D>]);
+
+    /// Delete a batch of points; returns the number removed.
+    fn batch_delete(&mut self, points: &[Point<T, D>]) -> usize;
+
+    /// Deletions then insertions as one logical update.
+    fn batch_diff(&mut self, delete: &[Point<T, D>], insert: &[Point<T, D>]) -> usize {
+        let removed = self.batch_delete(delete);
+        self.batch_insert(insert);
+        removed
+    }
+
+    /// kNN primitive (see [`SpatialIndex::knn_into`]). Requires `k >= 1`.
+    fn knn_into(&self, q: &Point<T, D>, k: usize, heap: &mut KnnHeap<T, D>);
+
+    /// Range primitive (see [`SpatialIndex::range_visit`]).
+    fn range_visit(&self, rect: &Rect<T, D>, visitor: &mut dyn FnMut(&Point<T, D>));
+
+    /// The `k` nearest neighbours of `q`, closest first.
+    fn knn(&self, q: &Point<T, D>, k: usize) -> Vec<Point<T, D>>;
+
+    /// Number of stored points in the closed box.
+    fn range_count(&self, rect: &Rect<T, D>) -> usize;
+
+    /// The stored points in the closed box.
+    fn range_list(&self, rect: &Rect<T, D>) -> Vec<Point<T, D>>;
+
+    /// Tight bounding box of the stored points.
+    fn bounding_box(&self) -> Rect<T, D>;
+
+    /// Check structural invariants; panics on violation.
+    fn check_invariants(&self);
+}
+
+/// Adapter giving any [`SpatialIndex`] the [`DynIndex`] vtable.
+///
+/// A deliberate indirection instead of a blanket `impl DynIndex for I`: a
+/// blanket impl would put a second copy of every query method on every
+/// concrete index, making plain `index.knn(..)` calls ambiguous wherever both
+/// traits are in scope. Box through [`boxed`] (or the registry) instead.
+struct DynAdapter<I>(I);
+
+impl<T: Coord, const D: usize, I: SpatialIndex<T, D>> DynIndex<T, D> for DynAdapter<I> {
+    fn name(&self) -> &'static str {
+        I::NAME
+    }
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn batch_insert(&mut self, points: &[Point<T, D>]) {
+        self.0.batch_insert(points)
+    }
+    fn batch_delete(&mut self, points: &[Point<T, D>]) -> usize {
+        self.0.batch_delete(points)
+    }
+    fn knn_into(&self, q: &Point<T, D>, k: usize, heap: &mut KnnHeap<T, D>) {
+        self.0.knn_into(q, k, heap)
+    }
+    fn range_visit(&self, rect: &Rect<T, D>, visitor: &mut dyn FnMut(&Point<T, D>)) {
+        self.0.range_visit(rect, visitor)
+    }
+    fn knn(&self, q: &Point<T, D>, k: usize) -> Vec<Point<T, D>> {
+        self.0.knn(q, k)
+    }
+    fn range_count(&self, rect: &Rect<T, D>) -> usize {
+        self.0.range_count(rect)
+    }
+    fn range_list(&self, rect: &Rect<T, D>) -> Vec<Point<T, D>> {
+        self.0.range_list(rect)
+    }
+    fn bounding_box(&self) -> Rect<T, D> {
+        self.0.bounding_box()
+    }
+    fn check_invariants(&self) {
+        self.0.check_invariants()
+    }
+}
+
+/// Erase a statically typed index into the runtime façade.
+pub fn boxed<T, const D: usize, I>(index: I) -> Box<dyn DynIndex<T, D>>
+where
+    T: Coord,
+    I: SpatialIndex<T, D> + 'static,
+{
+    Box::new(DynAdapter(index))
+}
+
+/// Construction options shared by every registry entry.
+#[derive(Clone, Debug)]
+pub struct BuildOptions<T: Coord, const D: usize> {
+    /// Fixed root region; indexes that don't consume one ignore it.
+    pub universe: Option<Rect<T, D>>,
+    /// Leaf wrap threshold `φ` override; `None` keeps each index's paper
+    /// default. Ignored by configless indexes (R-tree, brute force).
+    pub leaf_size: Option<usize>,
+}
+
+impl<T: Coord, const D: usize> Default for BuildOptions<T, D> {
+    fn default() -> Self {
+        BuildOptions {
+            universe: None,
+            leaf_size: None,
+        }
+    }
+}
+
+impl<T: Coord, const D: usize> BuildOptions<T, D> {
+    /// Options with a fixed universe.
+    pub fn with_universe(universe: Rect<T, D>) -> Self {
+        BuildOptions {
+            universe: Some(universe),
+            ..Self::default()
+        }
+    }
+
+    /// Set the leaf wrap threshold.
+    pub fn leaf_size(mut self, leaf_size: usize) -> Self {
+        self.leaf_size = Some(leaf_size);
+        self
+    }
+}
+
+/// Failure modes of [`create`] / [`create_f64`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The name matches no registered index; the payload echoes it back.
+    UnknownIndex(String),
+    /// The family exists but does not support the requested coordinate type
+    /// (the SFC-based indexes are integer-only).
+    UnsupportedCoordinates(String),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::UnknownIndex(name) => {
+                write!(f, "unknown index {name:?}; known: {}", names().join(", "))
+            }
+            RegistryError::UnsupportedCoordinates(name) => write!(
+                f,
+                "index {name:?} does not support float coordinates (SFC-based \
+                 indexes require the paper's integer domain); float-capable: {}",
+                FLOAT_NAMES.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+const ALL_NAMES: &[&str] = &[
+    "p-orth",
+    "spac-h",
+    "spac-z",
+    "cpam-h",
+    "cpam-z",
+    "pkd",
+    "zd",
+    "r-tree",
+    "brute-force",
+];
+
+const FLOAT_NAMES: &[&str] = &["p-orth", "pkd", "brute-force"];
+
+/// Canonical names of every registered index, in the paper's table order.
+pub fn names() -> &'static [&'static str] {
+    ALL_NAMES
+}
+
+/// Canonical names of the families supporting `f64` coordinates.
+pub fn float_names() -> &'static [&'static str] {
+    FLOAT_NAMES
+}
+
+/// Normalise a user-provided index name: case-insensitive, `_`/space treated
+/// as `-`, so "SPaC-H", "spac_h" and "spac h" all resolve.
+fn canonical(name: &str) -> String {
+    name.trim().to_ascii_lowercase().replace([' ', '_'], "-")
+}
+
+/// Resolve any accepted spelling (canonical names plus the obvious aliases)
+/// to the canonical registry name; shared by [`create`] and [`create_f64`] so
+/// both report the same errors for the same inputs.
+fn resolve(name: &str) -> Option<&'static str> {
+    Some(match canonical(name).as_str() {
+        "p-orth" | "porth" | "orth" => "p-orth",
+        "spac-h" | "spach" => "spac-h",
+        "spac-z" | "spacz" => "spac-z",
+        "cpam-h" | "cpamh" => "cpam-h",
+        "cpam-z" | "cpamz" => "cpam-z",
+        "pkd" | "pkd-tree" => "pkd",
+        "zd" | "zd-tree" => "zd",
+        "r-tree" | "rtree" | "boost-r" => "r-tree",
+        "brute-force" | "bruteforce" | "oracle" => "brute-force",
+        _ => return None,
+    })
+}
+
+fn config_with_leaf<C: Default + LeafSized, T: Coord, const D: usize>(
+    opts: &BuildOptions<T, D>,
+) -> C {
+    let mut cfg = C::default();
+    if let Some(leaf) = opts.leaf_size {
+        cfg.set_leaf_size(leaf);
+    }
+    cfg
+}
+
+/// Instantiate an integer-coordinate index by name.
+///
+/// Accepted names are [`names`] plus the obvious aliases ("porth", "boost-r",
+/// "spach", ...). `D` must be a dimension with SFC support (2 or 3).
+pub fn create<const D: usize>(
+    name: &str,
+    points: &[PointI<D>],
+    opts: &BuildOptions<i64, D>,
+) -> Result<Box<dyn DynIndex<i64, D>>, RegistryError>
+where
+    HilbertCurve: SfcCurve<D>,
+    MortonCurve: SfcCurve<D>,
+{
+    let universe = opts.universe.as_ref();
+    let resolved = resolve(name).ok_or_else(|| RegistryError::UnknownIndex(name.to_string()))?;
+    Ok(match resolved {
+        "p-orth" => boxed(POrthTree::<i64, D>::build_with(
+            points,
+            universe,
+            config_with_leaf::<POrthConfig, _, D>(opts),
+        )),
+        "spac-h" => boxed(SpacHTree::<D>::build_with(
+            points,
+            universe,
+            config_with_leaf::<SpacConfig, _, D>(opts),
+        )),
+        "spac-z" => boxed(SpacZTree::<D>::build_with(
+            points,
+            universe,
+            config_with_leaf::<SpacConfig, _, D>(opts),
+        )),
+        "cpam-h" => boxed(CpamHTree::<D>::build_with(
+            points,
+            universe,
+            config_with_leaf::<CpamConfig, _, D>(opts),
+        )),
+        "cpam-z" => boxed(CpamZTree::<D>::build_with(
+            points,
+            universe,
+            config_with_leaf::<CpamConfig, _, D>(opts),
+        )),
+        "pkd" => boxed(PkdTree::<i64, D>::build_with(
+            points,
+            universe,
+            config_with_leaf::<PkdConfig, _, D>(opts),
+        )),
+        "zd" => boxed(ZdTree::<D>::build_with(
+            points,
+            universe,
+            config_with_leaf::<psi_zd::ZdConfig, _, D>(opts),
+        )),
+        "r-tree" => boxed(RTree::<D>::build_with(points, universe, ())),
+        "brute-force" => boxed(BruteForce::<i64, D>::build_with(points, universe, ())),
+        _ => unreachable!("resolve() only returns canonical names"),
+    })
+}
+
+/// Instantiate a float-coordinate index by name ([`float_names`]); the
+/// SFC-based families return [`RegistryError::UnsupportedCoordinates`].
+pub fn create_f64<const D: usize>(
+    name: &str,
+    points: &[Point<f64, D>],
+    opts: &BuildOptions<f64, D>,
+) -> Result<Box<dyn DynIndex<f64, D>>, RegistryError> {
+    let universe = opts.universe.as_ref();
+    let resolved = resolve(name).ok_or_else(|| RegistryError::UnknownIndex(name.to_string()))?;
+    Ok(match resolved {
+        "p-orth" => boxed(POrthTree::<f64, D>::build_with(
+            points,
+            universe,
+            config_with_leaf::<POrthConfig, _, D>(opts),
+        )),
+        "pkd" => boxed(PkdTree::<f64, D>::build_with(
+            points,
+            universe,
+            config_with_leaf::<PkdConfig, _, D>(opts),
+        )),
+        "brute-force" => boxed(BruteForce::<f64, D>::build_with(points, universe, ())),
+        _ => return Err(RegistryError::UnsupportedCoordinates(name.to_string())),
+    })
+}

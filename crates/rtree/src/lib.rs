@@ -163,8 +163,7 @@ impl<const D: usize> RTree<D> {
         self.size += 1;
         if let Some((sibling_rect, sibling)) = insert_rec(&mut self.root, p) {
             // Root split: grow the tree by one level.
-            let old_root =
-                std::mem::replace(&mut self.root, Node::Leaf { points: Vec::new() });
+            let old_root = std::mem::replace(&mut self.root, Node::Leaf { points: Vec::new() });
             let old_rect = old_root.bbox();
             self.root = Node::Internal {
                 children: vec![(old_rect, Box::new(old_root)), (sibling_rect, sibling)],
@@ -230,8 +229,31 @@ impl<const D: usize> RTree<D> {
             return Vec::new();
         }
         let mut heap = KnnHeap::new(k);
-        knn_rec(&self.root, q, &mut heap);
+        self.knn_into(q, k, &mut heap);
         heap.into_sorted()
+    }
+
+    /// kNN primitive: reset `heap` to capacity `k` (reusing its allocation)
+    /// and fill it with the `k` nearest neighbours of `q`. Requires `k >= 1`.
+    pub fn knn_into(&self, q: &PointI<D>, k: usize, heap: &mut KnnHeap<i64, D>) {
+        heap.reset(k);
+        if !self.is_empty() {
+            knn_rec(&self.root, q, heap);
+        }
+    }
+
+    /// Range primitive: call `visitor` on every stored point inside the closed
+    /// box, allocating nothing.
+    pub fn range_visit(&self, rect: &RectI<D>, visitor: &mut dyn FnMut(&PointI<D>)) {
+        range_visit(&self.root, rect, visitor)
+    }
+
+    /// Tight bounding box of the stored points ([`Rect::empty`] when empty).
+    ///
+    /// The R-tree keeps child rectangles rather than a root rectangle, so this
+    /// merges the top-level entries on each call (O(fan-out)).
+    pub fn bounding_box(&self) -> RectI<D> {
+        self.root.bbox()
     }
 
     /// Number of stored points in the closed box.
@@ -394,10 +416,7 @@ fn quadratic_split_points<const D: usize>(
 #[allow(clippy::type_complexity)]
 fn quadratic_split_children<const D: usize>(
     children: Vec<(RectI<D>, Box<Node<D>>)>,
-) -> (
-    Vec<(RectI<D>, Box<Node<D>>)>,
-    Vec<(RectI<D>, Box<Node<D>>)>,
-) {
+) -> (Vec<(RectI<D>, Box<Node<D>>)>, Vec<(RectI<D>, Box<Node<D>>)>) {
     debug_assert!(children.len() > MAX_ENTRIES);
     let (mut s1, mut s2) = (0usize, 1usize);
     let mut worst = f64::MIN;
@@ -539,19 +558,46 @@ fn range_count<const D: usize>(node: &Node<D>, rect: &RectI<D>) -> usize {
 }
 
 fn range_list<const D: usize>(node: &Node<D>, rect: &RectI<D>, out: &mut Vec<PointI<D>>) {
+    range_visit(node, rect, &mut |p| out.push(*p));
+}
+
+fn range_visit<const D: usize>(
+    node: &Node<D>,
+    rect: &RectI<D>,
+    visitor: &mut dyn FnMut(&PointI<D>),
+) {
     counters::NODES_VISITED.bump();
     match node {
-        Node::Leaf { points } => out.extend(points.iter().filter(|p| rect.contains(p))),
+        Node::Leaf { points } => {
+            for p in points.iter().filter(|p| rect.contains(p)) {
+                visitor(p);
+            }
+        }
         Node::Internal { children } => {
             for (r, c) in children {
                 if !rect.intersects(r) {
                     continue;
                 }
                 if rect.contains_rect(r) {
-                    c.collect_into(out);
+                    visit_all(c, visitor);
                 } else {
-                    range_list(c, rect, out);
+                    range_visit(c, rect, visitor);
                 }
+            }
+        }
+    }
+}
+
+fn visit_all<const D: usize>(node: &Node<D>, visitor: &mut dyn FnMut(&PointI<D>)) {
+    match node {
+        Node::Leaf { points } => {
+            for p in points {
+                visitor(p);
+            }
+        }
+        Node::Internal { children } => {
+            for (_, c) in children {
+                visit_all(c, visitor);
             }
         }
     }
@@ -598,7 +644,10 @@ mod tests {
         for _ in 0..30 {
             let q = Point::new([rng.gen_range(0..100_000), rng.gen_range(0..100_000)]);
             assert_eq!(
-                t.knn(&q, 10).iter().map(|p| q.dist_sq(p)).collect::<Vec<_>>(),
+                t.knn(&q, 10)
+                    .iter()
+                    .map(|p| q.dist_sq(p))
+                    .collect::<Vec<_>>(),
                 brute_force_knn(&pts, &q, 10)
                     .iter()
                     .map(|p| q.dist_sq(p))
@@ -632,7 +681,10 @@ mod tests {
         let survivors = &pts[1_000..];
         let q = Point::new([25_000, 25_000]);
         assert_eq!(
-            t.knn(&q, 10).iter().map(|p| q.dist_sq(p)).collect::<Vec<_>>(),
+            t.knn(&q, 10)
+                .iter()
+                .map(|p| q.dist_sq(p))
+                .collect::<Vec<_>>(),
             brute_force_knn(survivors, &q, 10)
                 .iter()
                 .map(|p| q.dist_sq(p))
@@ -670,7 +722,10 @@ mod tests {
         t.check_invariants();
         let q = Point::new([5_000, 5_000, 5_000]);
         assert_eq!(
-            t.knn(&q, 5).iter().map(|p| q.dist_sq(p)).collect::<Vec<_>>(),
+            t.knn(&q, 5)
+                .iter()
+                .map(|p| q.dist_sq(p))
+                .collect::<Vec<_>>(),
             brute_force_knn(&pts, &q, 5)
                 .iter()
                 .map(|p| q.dist_sq(p))

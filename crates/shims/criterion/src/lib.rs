@@ -1,0 +1,307 @@
+//! Hermetic stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! crate (see `crates/shims/README.md`).
+//!
+//! Implements the API surface the workspace's benches use — benchmark groups,
+//! `bench_function` / `bench_with_input`, `iter` / `iter_batched`,
+//! `sample_size` / `measurement_time`, `criterion_group!` / `criterion_main!`
+//! — with a deliberately simple measurement model: each benchmark runs
+//! `sample_size` timed iterations (after one warm-up) and prints the mean
+//! wall-clock time per iteration. No statistics, plots or baselines; the
+//! numbers are for quick relative comparisons, and swapping the real
+//! criterion back in requires no source changes.
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+pub mod measurement {
+    /// Wall-clock measurement marker (the only one the shim provides).
+    pub struct WallTime;
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`]; ignored by the shim.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Throughput annotation; accepted and ignored.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted where an id is expected (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Times closures and reports a mean per iteration.
+pub struct Bencher {
+    sample_size: usize,
+    /// Filled by `iter*`: (total elapsed, iterations timed).
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            result: None,
+        }
+    }
+
+    /// Time `routine` over `sample_size` iterations (plus one warm-up).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            black_box(routine());
+        }
+        self.result = Some((start.elapsed(), self.sample_size as u64));
+    }
+
+    /// Time `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.result = Some((total, self.sample_size as u64));
+    }
+
+    /// Same as [`Bencher::iter_batched`] but hands the input by `&mut`.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.sample_size {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            total += start.elapsed();
+        }
+        self.result = Some((total, self.sample_size as u64));
+    }
+}
+
+fn report(group: &str, id: &str, result: Option<(Duration, u64)>) {
+    match result {
+        Some((total, iters)) if iters > 0 => {
+            let mean = total.as_secs_f64() / iters as f64;
+            println!("{group}/{id}: {:.3} ms/iter ({iters} iters)", mean * 1e3);
+        }
+        _ => println!("{group}/{id}: no measurement"),
+    }
+}
+
+/// Entry point handed to `criterion_group!` targets.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            _measurement: PhantomData,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        let mut bencher = Bencher::new(self.default_sample_size);
+        f(&mut bencher);
+        report("bench", &id, bencher.result);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a, M> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    _measurement: PhantomData<M>,
+}
+
+impl<'a, M> BenchmarkGroup<'a, M> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API parity; the shim always runs exactly `sample_size`
+    /// iterations regardless of the time budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity; the shim warms up with a single iteration.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        report(&self.name, &id, bencher.result);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        report(&self.name, &id.id, bencher.result);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_closures() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        {
+            let mut group = c.benchmark_group("g");
+            group.sample_size(3);
+            group.bench_function("f", |b| b.iter(|| runs += 1));
+            group.bench_with_input(BenchmarkId::new("with", 7), &7u32, |b, &x| {
+                b.iter(|| black_box(x * 2))
+            });
+            group.finish();
+        }
+        // one warm-up + three timed iterations
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn iter_batched_counts_samples() {
+        let mut c = Criterion::default();
+        let mut setups = 0usize;
+        let mut group = c.benchmark_group("g2");
+        group.sample_size(5);
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1, 2, 3]
+                },
+                |v| v.into_iter().sum::<i32>(),
+                BatchSize::LargeInput,
+            )
+        });
+        assert_eq!(setups, 5);
+    }
+}

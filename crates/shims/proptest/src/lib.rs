@@ -1,0 +1,161 @@
+//! Hermetic stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate (see `crates/shims/README.md`).
+//!
+//! Supports the subset the workspace's property tests use: the [`Strategy`]
+//! trait over ranges / tuples / `collection::vec` / `any`, `prop_map`,
+//! `prop_oneof!`, `prop_assume!`, the `prop_assert*` macros and the
+//! [`proptest!`] test-harness macro. Semantics differ from upstream in two
+//! deliberate ways:
+//!
+//! * cases are generated from a seed derived deterministically from the test's
+//!   module path and name, so every run and every machine explores the same
+//!   inputs (upstream records failing seeds instead);
+//! * there is **no shrinking** — a failing case panics with the assertion
+//!   message straight away. The deterministic seed makes failures
+//!   reproducible without it.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng as _;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+
+pub mod prelude {
+    //! One-stop import, mirroring `proptest::prelude`.
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig,
+    };
+}
+
+/// Per-test configuration; only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; the shim trims this to keep the tier-1
+        // suite fast while still exploring a meaningful sample.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The RNG handed to strategies; a thin veneer over the `rand` shim.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Deterministic generator for a named test: the seed is a stable hash of
+    /// the fully qualified test name.
+    pub fn for_test(name: &str) -> TestRng {
+        // FNV-1a: stable across runs, platforms and Rust versions (unlike
+        // `DefaultHasher`, whose output is explicitly unspecified).
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(hash))
+    }
+}
+
+impl rand::RngCore for TestRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Run the property cases. Drives [`proptest!`]-generated tests; public so
+/// the macro expansion can reach it.
+#[doc(hidden)]
+pub fn run_cases(name: &str, cases: u32, mut case: impl FnMut(&mut TestRng)) {
+    let mut rng = TestRng::for_test(name);
+    for _ in 0..cases {
+        case(&mut rng);
+    }
+}
+
+/// Generates `#[test]` functions that run a body over random strategy samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr); ) => {};
+    (config = ($cfg:expr);
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(
+                concat!(module_path!(), "::", stringify!($name)),
+                config.cases,
+                |__proptest_rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __proptest_rng);)+
+                    // A closure per case so `prop_assume!`'s early `return`
+                    // skips only the current case.
+                    let mut __proptest_case = || $body;
+                    __proptest_case();
+                },
+            );
+        }
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+}
+
+/// Assertion macros: no shrinking, so they lower straight onto `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Skip the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Uniform choice between strategies that share a `Value` type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}

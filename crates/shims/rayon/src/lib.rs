@@ -1,0 +1,247 @@
+//! Hermetic stand-in for the [`rayon`](https://crates.io/crates/rayon) crate.
+//!
+//! Ψ-Lib-rs is built and tested in environments without network access to a
+//! crate registry, so the workspace vendors minimal local implementations of
+//! its external dependencies under their upstream names (see
+//! `crates/shims/README.md`). This one covers the slice of rayon the
+//! workspace uses:
+//!
+//! * [`join`] — real bounded fork-join parallelism: a global token pool sized
+//!   to `available_parallelism() - 1` decides whether the first closure runs
+//!   on a freshly scoped OS thread or inline. Recursive `join` trees therefore
+//!   fan out to roughly one thread per core and degrade gracefully to
+//!   sequential execution under load, which preserves the binary fork-join
+//!   model the paper's algorithms are written against.
+//! * [`scope`] / [`Scope::spawn`] — thin wrappers over [`std::thread::scope`].
+//! * [`prelude`] — the `par_*` iterator entry points as *sequential* adapters
+//!   returning ordinary [`Iterator`]s, so call sites keep rayon's shape
+//!   (`.par_iter().zip(..).for_each(..)`, `.map_init(..)`, `par_sort_*`)
+//!   while the per-item work runs on the calling thread. Coarse-grained
+//!   parallelism in the indexes comes from `join`, which dominates their
+//!   speedup; swapping the real rayon back in requires no source changes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude;
+
+/// Number of worker threads the substrate may use (upstream: size of the
+/// global thread pool): the machine's available parallelism, unless a
+/// [`ThreadPool::install`] override is active.
+pub fn current_num_threads() -> usize {
+    match THREADS_OVERRIDE.load(Ordering::Acquire) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Tokens for helper threads spawned by [`join`]; at most
+/// `current_num_threads() - 1` helpers exist at any moment.
+static HELPERS_IN_USE: AtomicUsize = AtomicUsize::new(0);
+
+/// Thread-count override installed by [`ThreadPool::install`]; `0` = none.
+/// Process-global, like rayon's global pool — scalability sweeps install
+/// their pools one at a time.
+static THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+fn helper_limit() -> usize {
+    current_num_threads().saturating_sub(1)
+}
+
+struct HelperToken;
+
+impl HelperToken {
+    fn try_acquire() -> Option<HelperToken> {
+        let limit = helper_limit();
+        let mut cur = HELPERS_IN_USE.load(Ordering::Relaxed);
+        while cur < limit {
+            match HELPERS_IN_USE.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(HelperToken),
+                Err(now) => cur = now,
+            }
+        }
+        None
+    }
+}
+
+impl Drop for HelperToken {
+    fn drop(&mut self) {
+        HELPERS_IN_USE.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Execute the two closures, potentially in parallel, and return both results.
+///
+/// Matches `rayon::join`'s contract: `oper_a` may run on another thread while
+/// `oper_b` runs on the caller's; panics propagate to the caller.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if let Some(token) = HelperToken::try_acquire() {
+        let result = std::thread::scope(|s| {
+            let handle = s.spawn(oper_a);
+            let rb = oper_b();
+            (handle.join(), rb)
+        });
+        drop(token);
+        match result {
+            (Ok(ra), rb) => (ra, rb),
+            (Err(payload), _) => std::panic::resume_unwind(payload),
+        }
+    } else {
+        (oper_a(), oper_b())
+    }
+}
+
+/// A fork-join scope handed to [`scope`] closures; `spawn` runs tasks on
+/// scoped OS threads (upstream: on the thread pool).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a task that may borrow from the enclosing scope.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || body(&Scope { inner }));
+    }
+}
+
+/// Create a fork-join scope; blocks until every spawned task finished.
+pub fn scope<'env, F, R>(body: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| body(&Scope { inner: s }))
+}
+
+/// Stand-in for rayon's pool configuration. `build_global` is a no-op (the
+/// shim sizes its helper tokens from `available_parallelism`); `build` yields
+/// a [`ThreadPool`] whose `install` honours `num_threads`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        Ok(())
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// Stand-in pool handle: `install` runs the closure on the caller, with the
+/// pool's thread count installed as the global helper limit for the duration
+/// (so `num_threads(1)` really is sequential). Overrides don't nest.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                THREADS_OVERRIDE.store(self.0, Ordering::Release);
+            }
+        }
+        let previous = THREADS_OVERRIDE.swap(self.num_threads, Ordering::AcqRel);
+        let _restore = Restore(previous);
+        op()
+    }
+}
+
+/// Error type kept for signature compatibility; the shim never produces it.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "global thread pool already initialised")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn nested_joins_fan_out_and_come_back() {
+        fn sum(lo: u64, hi: u64) -> u64 {
+            if hi - lo < 1000 {
+                (lo..hi).sum()
+            } else {
+                let mid = lo + (hi - lo) / 2;
+                let (a, b) = join(|| sum(lo, mid), || sum(mid, hi));
+                a + b
+            }
+        }
+        assert_eq!(sum(0, 100_000), 100_000 * 99_999 / 2);
+    }
+
+    #[test]
+    fn join_propagates_panics() {
+        let result = std::panic::catch_unwind(|| {
+            join(|| panic!("boom"), || 0);
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn pool_install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        // Default (0) means automatic sizing, i.e. no override.
+        let auto = ThreadPoolBuilder::new().build().unwrap();
+        assert!(auto.install(current_num_threads) >= 1);
+    }
+
+    #[test]
+    fn scope_joins_all_spawned_tasks() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..16 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
+    }
+}

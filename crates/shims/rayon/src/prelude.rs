@@ -1,0 +1,231 @@
+//! The `par_*` entry points as sequential adapters.
+//!
+//! Each method mirrors the signature shape of its rayon counterpart but
+//! returns a plain [`Iterator`] (or sorts sequentially), so downstream
+//! combinator chains (`.zip`, `.enumerate`, `.map`, `.for_each`, `.sum`,
+//! `.collect`) come from [`std::iter::Iterator`] unchanged. `map_init` — a
+//! rayon-only combinator used for per-thread scratch state — is provided as an
+//! extension on every iterator and threads one state value through the whole
+//! (sequential) run, which is exactly the per-thread reuse semantics
+//! collapsed onto one thread.
+
+/// `into_par_iter()` for anything iterable (ranges, `Vec`s, collections).
+pub trait IntoParallelIterator {
+    type Item;
+    type Iter: Iterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I::IntoIter;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// `par_iter` / `par_chunks` on shared slices.
+pub trait ParallelSlice<T> {
+    fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    #[inline]
+    fn par_iter(&self) -> std::slice::Iter<'_, T> {
+        self.iter()
+    }
+    #[inline]
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` / `par_sort_*` on mutable slices.
+pub trait ParallelSliceMut<T> {
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    fn par_sort(&mut self)
+    where
+        T: Ord;
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    fn par_sort_by<F>(&mut self, compare: F)
+    where
+        F: FnMut(&T, &T) -> std::cmp::Ordering;
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: FnMut(&T, &T) -> std::cmp::Ordering;
+    fn par_sort_by_key<K: Ord, F>(&mut self, key: F)
+    where
+        F: FnMut(&T) -> K;
+    fn par_sort_unstable_by_key<K: Ord, F>(&mut self, key: F)
+    where
+        F: FnMut(&T) -> K;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    #[inline]
+    fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.iter_mut()
+    }
+    #[inline]
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort();
+    }
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+    fn par_sort_by<F>(&mut self, compare: F)
+    where
+        F: FnMut(&T, &T) -> std::cmp::Ordering,
+    {
+        self.sort_by(compare);
+    }
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: FnMut(&T, &T) -> std::cmp::Ordering,
+    {
+        self.sort_unstable_by(compare);
+    }
+    fn par_sort_by_key<K: Ord, F>(&mut self, key: F)
+    where
+        F: FnMut(&T) -> K,
+    {
+        self.sort_by_key(key);
+    }
+    fn par_sort_unstable_by_key<K: Ord, F>(&mut self, key: F)
+    where
+        F: FnMut(&T) -> K,
+    {
+        self.sort_unstable_by_key(key);
+    }
+}
+
+/// Rayon-only combinators as extensions over every iterator.
+pub trait ParallelIteratorExt: Iterator + Sized {
+    /// Like `map`, but threads a reusable state value (upstream: one per
+    /// worker thread) through the closure — the allocation-reuse hook the
+    /// batch query paths rely on.
+    fn map_init<INIT, S, F, R>(self, init: INIT, map_op: F) -> MapInit<Self, S, F>
+    where
+        INIT: FnOnce() -> S,
+        F: FnMut(&mut S, Self::Item) -> R,
+    {
+        MapInit {
+            iter: self,
+            state: init(),
+            map_op,
+        }
+    }
+
+    /// Grain-size hint; meaningless sequentially, kept for call-site parity.
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Rayon's `flat_map` variant taking a serial iterator per item; identical
+    /// to `flat_map` here.
+    fn flat_map_iter<U, F>(self, map_op: F) -> std::iter::FlatMap<Self, U, F>
+    where
+        U: IntoIterator,
+        F: FnMut(Self::Item) -> U,
+    {
+        self.flat_map(map_op)
+    }
+}
+
+impl<I: Iterator> ParallelIteratorExt for I {}
+
+/// Iterator returned by [`ParallelIteratorExt::map_init`].
+pub struct MapInit<I, S, F> {
+    iter: I,
+    state: S,
+    map_op: F,
+}
+
+impl<I, S, F, R> Iterator for MapInit<I, S, F>
+where
+    I: Iterator,
+    F: FnMut(&mut S, I::Item) -> R,
+{
+    type Item = R;
+
+    #[inline]
+    fn next(&mut self) -> Option<R> {
+        let item = self.iter.next()?;
+        Some((self.map_op)(&mut self.state, item))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.iter.size_hint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_iter_chains_compose() {
+        let v = vec![1u64, 2, 3, 4];
+        let s: u64 = v.par_iter().map(|x| x * 2).sum();
+        assert_eq!(s, 20);
+        let doubled: Vec<u64> = v.clone().into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn chunk_zip_for_each() {
+        let data = [1u32, 2, 3, 4, 5, 6];
+        let mut out = [0u32; 6];
+        data.par_chunks(2)
+            .zip(out.par_chunks_mut(2))
+            .for_each(|(src, dst)| {
+                for (s, d) in src.iter().zip(dst.iter_mut()) {
+                    *d = s * 10;
+                }
+            });
+        assert_eq!(out, [10, 20, 30, 40, 50, 60]);
+    }
+
+    #[test]
+    fn map_init_reuses_state() {
+        let mut allocations = 0usize;
+        let out: Vec<usize> = (0..5usize)
+            .into_par_iter()
+            .map_init(
+                || {
+                    allocations += 1;
+                    Vec::<usize>::new()
+                },
+                |buf, i| {
+                    buf.push(i);
+                    buf.len()
+                },
+            )
+            .collect();
+        // One shared state, never cleared by the combinator itself.
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn par_sorts_sort() {
+        let mut v = vec![3, 1, 2];
+        v.par_sort_unstable();
+        assert_eq!(v, vec![1, 2, 3]);
+        let mut v = vec![(1, 'b'), (0, 'a')];
+        v.par_sort_unstable_by_key(|e| e.0);
+        assert_eq!(v, vec![(0, 'a'), (1, 'b')]);
+    }
+}

@@ -39,7 +39,7 @@ mod update;
 
 pub use pac::{PNode, SpacConfig};
 
-use psi_geometry::{Point, PointI, RectI};
+use psi_geometry::{KnnHeap, Point, PointI, RectI};
 use psi_sfc::{HilbertCurve, MortonCurve, SfcCurve};
 use std::marker::PhantomData;
 
@@ -145,6 +145,18 @@ impl<C: SfcCurve<D>, const D: usize> SpacTree<C, D> {
         query::knn(&self.root, q, k)
     }
 
+    /// kNN primitive: reset `heap` to capacity `k` (reusing its allocation)
+    /// and fill it with the `k` nearest neighbours of `q`. Requires `k >= 1`.
+    pub fn knn_into(&self, q: &PointI<D>, k: usize, heap: &mut KnnHeap<i64, D>) {
+        query::knn_into(&self.root, q, k, heap)
+    }
+
+    /// Range primitive: call `visitor` on every stored point inside the closed
+    /// box, allocating nothing.
+    pub fn range_visit(&self, rect: &RectI<D>, visitor: &mut dyn FnMut(&PointI<D>)) {
+        query::range_visit(&self.root, rect, visitor)
+    }
+
     /// Number of stored points inside the closed box.
     pub fn range_count(&self, rect: &RectI<D>) -> usize {
         query::range_count(&self.root, rect)
@@ -169,10 +181,27 @@ impl<C: SfcCurve<D>, const D: usize> SpacTree<C, D> {
     }
 }
 
+/// Configuration newtype for the CPAM baselines: identical knobs to
+/// [`SpacConfig`], but `Default` resolves to [`SpacConfig::cpam`] so the
+/// unified trait's `Config: Default` bound picks the right preset per index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CpamConfig(pub SpacConfig);
+
+impl Default for CpamConfig {
+    fn default() -> Self {
+        CpamConfig(SpacConfig::cpam())
+    }
+}
+
 impl<C: SfcCurve<D>, const D: usize> CpamTree<C, D> {
     /// Build the CPAM baseline (total order, presorted construction).
     pub fn build(points: &[PointI<D>]) -> Self {
-        CpamTree(SpacTree::build_with_config(points, SpacConfig::cpam()))
+        Self::build_with_config(points, CpamConfig::default())
+    }
+
+    /// Build with an explicit configuration.
+    pub fn build_with_config(points: &[PointI<D>], cfg: CpamConfig) -> Self {
+        CpamTree(SpacTree::build_with_config(points, cfg.0))
     }
 
     /// Number of stored points.
@@ -198,6 +227,26 @@ impl<C: SfcCurve<D>, const D: usize> CpamTree<C, D> {
     /// The `k` nearest neighbours of `q`.
     pub fn knn(&self, q: &PointI<D>, k: usize) -> Vec<PointI<D>> {
         self.0.knn(q, k)
+    }
+
+    /// kNN primitive; see [`SpacTree::knn_into`].
+    pub fn knn_into(&self, q: &PointI<D>, k: usize, heap: &mut KnnHeap<i64, D>) {
+        self.0.knn_into(q, k, heap)
+    }
+
+    /// Range primitive; see [`SpacTree::range_visit`].
+    pub fn range_visit(&self, rect: &RectI<D>, visitor: &mut dyn FnMut(&PointI<D>)) {
+        self.0.range_visit(rect, visitor)
+    }
+
+    /// Tight bounding box of the stored points.
+    pub fn bounding_box(&self) -> RectI<D> {
+        self.0.bounding_box()
+    }
+
+    /// Height of the underlying PaC-tree (leaf = 1).
+    pub fn height(&self) -> usize {
+        self.0.height()
     }
 
     /// Number of stored points inside the closed box.

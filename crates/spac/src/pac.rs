@@ -40,6 +40,13 @@ pub struct SpacConfig {
     pub rebuild_mul: usize,
 }
 
+/// `Default` is the paper's SPaC-tree preset ([`SpacConfig::spac`]).
+impl Default for SpacConfig {
+    fn default() -> Self {
+        Self::spac()
+    }
+}
+
 impl SpacConfig {
     /// The paper's SPaC-tree configuration.
     pub fn spac() -> Self {
@@ -550,8 +557,16 @@ pub fn check_invariants<C: SfcCurve<D>, const D: usize>(root: &PNode<D>, cfg: &S
                         "interior node badly unbalanced: wl={wl} wr={wr}"
                     );
                 }
-                let min = if lsize > 0 { lmin.min(pivot.0) } else { pivot.0 };
-                let max = if rsize > 0 { rmax.max(pivot.0) } else { pivot.0 };
+                let min = if lsize > 0 {
+                    lmin.min(pivot.0)
+                } else {
+                    pivot.0
+                };
+                let max = if rsize > 0 {
+                    rmax.max(pivot.0)
+                } else {
+                    pivot.0
+                };
                 (min, max, *size, *bbox)
             }
         }

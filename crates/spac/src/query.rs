@@ -16,8 +16,22 @@ pub fn knn<const D: usize>(root: &PNode<D>, q: &PointI<D>, k: usize) -> Vec<Poin
         return Vec::new();
     }
     let mut heap = KnnHeap::new(k);
-    knn_rec(root, q, &mut heap);
+    knn_into(root, q, k, &mut heap);
     heap.into_sorted()
+}
+
+/// kNN primitive: reset `heap` to capacity `k` (keeping its allocation) and
+/// fill it with the `k` nearest neighbours of `q`. Requires `k >= 1`.
+pub fn knn_into<const D: usize>(
+    root: &PNode<D>,
+    q: &PointI<D>,
+    k: usize,
+    heap: &mut KnnHeap<i64, D>,
+) {
+    heap.reset(k);
+    if root.size() > 0 {
+        knn_rec(root, q, heap);
+    }
 }
 
 fn knn_rec<const D: usize>(node: &PNode<D>, q: &PointI<D>, heap: &mut KnnHeap<i64, D>) {
@@ -73,26 +87,57 @@ pub fn range_count<const D: usize>(node: &PNode<D>, rect: &RectI<D>) -> usize {
 
 /// Append every stored point inside the closed box `rect` to `out`.
 pub fn range_list<const D: usize>(node: &PNode<D>, rect: &RectI<D>, out: &mut Vec<PointI<D>>) {
+    range_visit(node, rect, &mut |p| out.push(*p));
+}
+
+/// Range primitive: invoke `visitor` on every stored point inside the closed
+/// box `rect`, allocating nothing. Subtrees fully covered by `rect` are walked
+/// without further box tests.
+pub fn range_visit<const D: usize>(
+    node: &PNode<D>,
+    rect: &RectI<D>,
+    visitor: &mut dyn FnMut(&PointI<D>),
+) {
     counters::NODES_VISITED.bump();
     if node.size() == 0 || !rect.intersects(node.bbox()) {
         return;
     }
     if rect.contains_rect(node.bbox()) {
-        node.collect_points(out);
+        visit_all(node, visitor);
         return;
     }
     match node {
         PNode::Leaf { entries, .. } => {
-            out.extend(entries.iter().filter(|(_, p)| rect.contains(p)).map(|e| e.1))
+            for (_, p) in entries.iter().filter(|(_, p)| rect.contains(p)) {
+                visitor(p);
+            }
         }
         PNode::Interior {
             left, right, pivot, ..
         } => {
-            range_list(left, rect, out);
+            range_visit(left, rect, visitor);
             if rect.contains(&pivot.1) {
-                out.push(pivot.1);
+                visitor(&pivot.1);
             }
-            range_list(right, rect, out);
+            range_visit(right, rect, visitor);
+        }
+    }
+}
+
+/// Visit every point of a subtree (the fully-covered fast path).
+fn visit_all<const D: usize>(node: &PNode<D>, visitor: &mut dyn FnMut(&PointI<D>)) {
+    match node {
+        PNode::Leaf { entries, .. } => {
+            for (_, p) in entries {
+                visitor(p);
+            }
+        }
+        PNode::Interior {
+            left, right, pivot, ..
+        } => {
+            visit_all(left, visitor);
+            visitor(&pivot.1);
+            visit_all(right, visitor);
         }
     }
 }

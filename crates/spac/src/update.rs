@@ -11,7 +11,7 @@
 //! and re-entering the batch insertion otherwise.
 
 use crate::pac::{
-    build_sorted_entries, bbox_of_entries, expose, join, join2, node_ctor, sort_leaf, PNode,
+    bbox_of_entries, build_sorted_entries, expose, join, join2, node_ctor, sort_leaf, PNode,
     SpacConfig,
 };
 use crate::Entry;
@@ -121,10 +121,7 @@ pub fn insert_sorted<const D: usize>(
             }
         }
         PNode::Interior {
-            left,
-            right,
-            pivot,
-            ..
+            left, right, pivot, ..
         } => {
             // Split the batch at the pivot code (Alg. 4 line 14) and recurse in
             // parallel (line 15).
@@ -171,10 +168,7 @@ pub fn delete_sorted<const D: usize>(
             }
         }
         PNode::Interior {
-            left,
-            right,
-            pivot,
-            ..
+            left, right, pivot, ..
         } => {
             // Three-way split of the batch around the pivot code. Entries with
             // a strictly smaller / larger code can only match in the left /
@@ -257,10 +251,7 @@ fn delete_matching<const D: usize>(
             )
         }
         PNode::Interior {
-            left,
-            right,
-            pivot,
-            ..
+            left, right, pivot, ..
         } => {
             let mut removed = 0;
             let new_left = if target.0 <= pivot.0 {
@@ -310,9 +301,7 @@ fn remove_multiset<const D: usize>(entries: &mut Vec<Entry<D>>, batch: &[Entry<D
         }
     }
     entries.retain(|e| {
-        match remaining.binary_search_by(|(b, _)| {
-            b.0.cmp(&e.0).then_with(|| b.1.lex_cmp(&e.1))
-        }) {
+        match remaining.binary_search_by(|(b, _)| b.0.cmp(&e.0).then_with(|| b.1.lex_cmp(&e.1))) {
             Ok(idx) => {
                 if remaining[idx].1 > 0 {
                     remaining[idx].1 -= 1;

@@ -237,7 +237,7 @@ pub fn ind_queries<const D: usize>(data: &[PointI<D>], n: usize, seed: u64) -> V
         .map(|_| {
             let mut p = data[rng.gen_range(0..data.len())];
             for c in p.coords.iter_mut() {
-                *c += rng.gen_range(-1..=1);
+                *c += rng.gen_range(-1i64..=1);
             }
             p
         })
@@ -375,7 +375,10 @@ mod tests {
             .windows(2)
             .filter(|w| w[0].dist_sq(&w[1]) < (DEFAULT_MAX_COORD_2D as i128 / 100).pow(2))
             .count();
-        assert!(close * 10 > pts.len() * 8, "most consecutive points lie on the same road");
+        assert!(
+            close * 10 > pts.len() * 8,
+            "most consecutive points lie on the same road"
+        );
     }
 
     #[test]
@@ -393,7 +396,10 @@ mod tests {
             .map(|r| data.iter().filter(|p| r.contains(p)).count() as f64)
             .sum::<f64>()
             / ranges.len() as f64;
-        assert!(avg > 10.0 && avg < 1_000.0, "average range output {avg} out of ballpark");
+        assert!(
+            avg > 10.0 && avg < 1_000.0,
+            "average range output {avg} out of ballpark"
+        );
     }
 
     #[test]

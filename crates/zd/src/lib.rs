@@ -189,7 +189,9 @@ fn insert_rec<const D: usize>(
                 .zip(0..fanout)
                 .collect::<Vec<_>>()
                 .into_par_iter()
-                .map(|(child, c)| insert_rec(child, &batch[bounds[c]..bounds[c + 1]], level + 1, cfg))
+                .map(|(child, c)| {
+                    insert_rec(child, &batch[bounds[c]..bounds[c + 1]], level + 1, cfg)
+                })
                 .collect();
             let mut bbox = Rect::empty();
             for c in &new_children {
@@ -232,7 +234,9 @@ fn delete_rec<const D: usize>(
                 .zip(0..fanout)
                 .collect::<Vec<_>>()
                 .into_par_iter()
-                .map(|(child, c)| delete_rec(child, &batch[bounds[c]..bounds[c + 1]], level + 1, cfg))
+                .map(|(child, c)| {
+                    delete_rec(child, &batch[bounds[c]..bounds[c + 1]], level + 1, cfg)
+                })
                 .collect();
             let size: usize = new_children.iter().map(|c| c.size()).sum();
             if size <= cfg.leaf_cap {
@@ -270,9 +274,7 @@ fn remove_multiset<const D: usize>(entries: &mut Vec<Entry<D>>, batch: &[Entry<D
         }
     }
     entries.retain(|e| {
-        match remaining
-            .binary_search_by(|(b, _)| b.0.cmp(&e.0).then_with(|| b.1.lex_cmp(&e.1)))
-        {
+        match remaining.binary_search_by(|(b, _)| b.0.cmp(&e.0).then_with(|| b.1.lex_cmp(&e.1))) {
             Ok(i) if remaining[i].1 > 0 => {
                 remaining[i].1 -= 1;
                 false
@@ -376,8 +378,28 @@ where
             return Vec::new();
         }
         let mut heap = KnnHeap::new(k);
-        knn_rec(&self.root, q, &mut heap);
+        self.knn_into(q, k, &mut heap);
         heap.into_sorted()
+    }
+
+    /// kNN primitive: reset `heap` to capacity `k` (reusing its allocation)
+    /// and fill it with the `k` nearest neighbours of `q`. Requires `k >= 1`.
+    pub fn knn_into(&self, q: &PointI<D>, k: usize, heap: &mut KnnHeap<i64, D>) {
+        heap.reset(k);
+        if !self.is_empty() {
+            knn_rec(&self.root, q, heap);
+        }
+    }
+
+    /// Range primitive: call `visitor` on every stored point inside the closed
+    /// box, allocating nothing.
+    pub fn range_visit(&self, rect: &RectI<D>, visitor: &mut dyn FnMut(&PointI<D>)) {
+        range_visit(&self.root, rect, visitor)
+    }
+
+    /// Tight bounding box of the stored points ([`Rect::empty`] when empty).
+    pub fn bounding_box(&self) -> RectI<D> {
+        *self.root.bbox()
     }
 
     /// Number of stored points in the closed box.
@@ -480,23 +502,46 @@ fn range_count<const D: usize>(node: &Node<D>, rect: &RectI<D>) -> usize {
 }
 
 fn range_list<const D: usize>(node: &Node<D>, rect: &RectI<D>, out: &mut Vec<PointI<D>>) {
+    range_visit(node, rect, &mut |p| out.push(*p));
+}
+
+fn range_visit<const D: usize>(
+    node: &Node<D>,
+    rect: &RectI<D>,
+    visitor: &mut dyn FnMut(&PointI<D>),
+) {
     counters::NODES_VISITED.bump();
     if node.size() == 0 || !rect.intersects(node.bbox()) {
         return;
     }
     if rect.contains_rect(node.bbox()) {
-        let mut entries = Vec::with_capacity(node.size());
-        node.collect_entries(&mut entries);
-        out.extend(entries.into_iter().map(|e| e.1));
+        visit_all(node, visitor);
         return;
     }
     match node {
         Node::Leaf { entries, .. } => {
-            out.extend(entries.iter().filter(|(_, p)| rect.contains(p)).map(|e| e.1))
+            for (_, p) in entries.iter().filter(|(_, p)| rect.contains(p)) {
+                visitor(p);
+            }
         }
         Node::Internal { children, .. } => {
             for c in children {
-                range_list(c, rect, out);
+                range_visit(c, rect, visitor);
+            }
+        }
+    }
+}
+
+fn visit_all<const D: usize>(node: &Node<D>, visitor: &mut dyn FnMut(&PointI<D>)) {
+    match node {
+        Node::Leaf { entries, .. } => {
+            for (_, p) in entries {
+                visitor(p);
+            }
+        }
+        Node::Internal { children, .. } => {
+            for c in children {
+                visit_all(c, visitor);
             }
         }
     }
@@ -539,7 +584,10 @@ mod tests {
         for _ in 0..40 {
             let q = Point::new([rng.gen_range(0..1_000_000), rng.gen_range(0..1_000_000)]);
             assert_eq!(
-                t.knn(&q, 10).iter().map(|p| q.dist_sq(p)).collect::<Vec<_>>(),
+                t.knn(&q, 10)
+                    .iter()
+                    .map(|p| q.dist_sq(p))
+                    .collect::<Vec<_>>(),
                 brute_force_knn(&pts, &q, 10)
                     .iter()
                     .map(|p| q.dist_sq(p))
@@ -585,7 +633,10 @@ mod tests {
         let q = Point::new([500_000, 500_000]);
         let survivors = &all[3_000..];
         assert_eq!(
-            t.knn(&q, 10).iter().map(|p| q.dist_sq(p)).collect::<Vec<_>>(),
+            t.knn(&q, 10)
+                .iter()
+                .map(|p| q.dist_sq(p))
+                .collect::<Vec<_>>(),
             brute_force_knn(survivors, &q, 10)
                 .iter()
                 .map(|p| q.dist_sq(p))
@@ -622,7 +673,10 @@ mod tests {
         t.check_invariants();
         let q = Point::new([400_000, 600_000, 500_000]);
         assert_eq!(
-            t.knn(&q, 5).iter().map(|p| q.dist_sq(p)).collect::<Vec<_>>(),
+            t.knn(&q, 5)
+                .iter()
+                .map(|p| q.dist_sq(p))
+                .collect::<Vec<_>>(),
             brute_force_knn(&pts, &q, 5)
                 .iter()
                 .map(|p| q.dist_sq(p))

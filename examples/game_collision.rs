@@ -22,7 +22,7 @@ fn main() {
 
     // Initial object positions: clustered, as game entities tend to be.
     let mut positions = workloads::cosmo_like(OBJECTS, WORLD, 3);
-    let mut index = <SpacHTree<3> as SpatialIndex<3>>::build(&positions, &universe);
+    let mut index = <SpacHTree<3> as SpatialIndex<i64, 3>>::build(&positions, &universe);
     println!(
         "world initialised: {} objects, index height-ish {} levels",
         index.len(),
@@ -42,7 +42,7 @@ fn main() {
             .map(|p| {
                 let mut c = p.coords;
                 for x in c.iter_mut() {
-                    *x = (*x + rng.gen_range(-500..=500)).clamp(0, WORLD);
+                    *x = (*x + rng.gen_range(-500i64..=500)).clamp(0, WORLD);
                 }
                 Point::new(c)
             })

@@ -23,9 +23,9 @@ fn main() {
     // The base map: road-network-like points.
     let base = workloads::osm_like(INITIAL, MAX_COORD, 11);
 
-    let mut porth = <POrthTree2 as SpatialIndex<2>>::build(&base, &universe);
-    let mut spac = <SpacHTree<2> as SpatialIndex<2>>::build(&base, &universe);
-    let mut oracle = <BruteForce<2> as SpatialIndex<2>>::build(&base, &universe);
+    let mut porth = <POrthTree2 as SpatialIndex<i64, 2>>::build(&base, &universe);
+    let mut spac = <SpacHTree<2> as SpatialIndex<i64, 2>>::build(&base, &universe);
+    let mut oracle = <BruteForce<i64, 2> as SpatialIndex<i64, 2>>::build(&base, &universe);
     println!("base map loaded: {} points", porth.len());
 
     // Analyst viewports: a handful of fixed windows queried after every batch.
@@ -80,5 +80,8 @@ fn main() {
         ingested / porth_ingest / 1e6,
         ingested / spac_ingest / 1e6
     );
-    println!("final index size: {} points (all three structures agree)", spac.len());
+    println!(
+        "final index size: {} points (all three structures agree)",
+        spac.len()
+    );
 }

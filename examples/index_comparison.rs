@@ -2,63 +2,113 @@
 //! workload — a miniature of the paper's Fig. 3 that runs in seconds and
 //! prints a compact table.
 //!
+//! Indexes are selected *at runtime* through `psi::registry`, so the set under
+//! test is just a list of names — the same mechanism a CLI driver or config
+//! file would use.
+//!
 //! Run with: `cargo run --release --example index_comparison`
-//! Change the distribution by passing `uniform`, `sweepline` or `varden`.
+//! Change the distribution by passing `uniform`, `sweepline` or `varden`;
+//! pass index names after the distribution to restrict the table
+//! (e.g. `varden p-orth spac-h`).
 
-use psi::driver::{incremental_insert, QuerySet};
-use psi::{
-    CpamHTree, CpamZTree, PkdTree, POrthTree2, PointI, RTree, SpacHTree, SpacZTree, SpatialIndex,
-    ZdTree,
-};
+use psi::registry::{self, BuildOptions};
+use psi::{KnnHeap, PointI, RectI};
 use psi_workloads::{self as workloads, Distribution};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const N: usize = 100_000;
 const MAX_COORD: i64 = 1_000_000_000;
 
-fn run<I: SpatialIndex<2>>(name: &str, data: &[PointI<2>], queries: &QuerySet<2>) {
-    let universe = workloads::universe::<2>(MAX_COORD);
+struct Row {
+    build: Duration,
+    inc_insert: Duration,
+    knn: Duration,
+    range: Duration,
+}
+
+fn run(
+    name: &str,
+    data: &[PointI<2>],
+    knn_queries: &[PointI<2>],
+    ranges: &[RectI<2>],
+) -> Result<Row, registry::RegistryError> {
+    let opts = BuildOptions::with_universe(workloads::universe::<2>(MAX_COORD));
 
     let t = Instant::now();
-    let index = I::build(data, &universe);
+    let index = registry::create::<2>(name, data, &opts)?;
     let build = t.elapsed();
     drop(index);
 
-    // Dynamic build: 1% batches.
-    let (res, index) = incremental_insert::<I, 2>(data, N / 100, &universe, None);
-    let q = queries.run(&index);
+    // Dynamic build: 1% batches through the object-safe façade.
+    let batch = N / 100;
+    let t = Instant::now();
+    let mut index = registry::create::<2>(name, &data[..batch], &opts)?;
+    let mut applied = batch;
+    while applied < data.len() {
+        let next = (applied + batch).min(data.len());
+        index.batch_insert(&data[applied..next]);
+        applied = next;
+    }
+    let inc_insert = t.elapsed();
 
-    println!(
-        "{:<10} build {:>8.3}s | inc-insert {:>8.3}s | 10NN {:>8.3}s | range {:>8.3}s",
-        name,
-        build.as_secs_f64(),
-        res.update_time.as_secs_f64(),
-        q.knn_ind.as_secs_f64(),
-        q.range_list.as_secs_f64(),
-    );
+    // Queries through the allocation-free primitives, one reused heap.
+    let mut heap = KnnHeap::new(10);
+    let t = Instant::now();
+    let mut sink = 0usize;
+    for q in knn_queries {
+        index.knn_into(q, 10, &mut heap);
+        sink += heap.len();
+    }
+    let knn = t.elapsed();
+
+    let t = Instant::now();
+    for r in ranges {
+        index.range_visit(r, &mut |_| sink += 1);
+    }
+    let range = t.elapsed();
+    std::hint::black_box(sink);
+
+    Ok(Row {
+        build,
+        inc_insert,
+        knn,
+        range,
+    })
 }
 
 fn main() {
-    let dist = match std::env::args().nth(1).as_deref() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dist = match args.first().map(String::as_str) {
         Some("sweepline") => Distribution::Sweepline,
         Some("varden") => Distribution::Varden,
         _ => Distribution::Uniform,
     };
-    println!("distribution: {} (n = {})", dist.name(), N);
-    let data = dist.generate::<2>(N, MAX_COORD, 42);
-    let queries = QuerySet {
-        knn_ind: workloads::ind_queries(&data, 2_000, 7),
-        knn_ood: vec![],
-        k: 10,
-        ranges: workloads::range_queries(&data, MAX_COORD, 1_000, 200, 7),
+    let selected: Vec<&str> = if args.len() > 1 {
+        args[1..].iter().map(String::as_str).collect()
+    } else {
+        registry::names()
+            .iter()
+            .copied()
+            .filter(|n| *n != "brute-force")
+            .collect()
     };
 
-    run::<POrthTree2>("P-Orth", &data, &queries);
-    run::<ZdTree<2>>("Zd-Tree", &data, &queries);
-    run::<SpacHTree<2>>("SPaC-H", &data, &queries);
-    run::<SpacZTree<2>>("SPaC-Z", &data, &queries);
-    run::<CpamHTree<2>>("CPAM-H", &data, &queries);
-    run::<CpamZTree<2>>("CPAM-Z", &data, &queries);
-    run::<PkdTree<2>>("Pkd-Tree", &data, &queries);
-    run::<RTree<2>>("Boost-R", &data, &queries);
+    println!("distribution: {} (n = {})", dist.name(), N);
+    let data = dist.generate::<2>(N, MAX_COORD, 42);
+    let knn_queries = workloads::ind_queries(&data, 2_000, 7);
+    let ranges = workloads::range_queries(&data, MAX_COORD, 1_000, 200, 7);
+
+    for name in selected {
+        match run(name, &data, &knn_queries, &ranges) {
+            Ok(row) => println!(
+                "{:<12} build {:>8.3}s | inc-insert {:>8.3}s | 10NN {:>8.3}s | range {:>8.3}s",
+                name,
+                row.build.as_secs_f64(),
+                row.inc_insert.as_secs_f64(),
+                row.knn.as_secs_f64(),
+                row.range.as_secs_f64(),
+            ),
+            Err(e) => println!("{name:<12} skipped: {e}"),
+        }
+    }
 }

@@ -1,9 +1,11 @@
-//! Quickstart: build a spatial index, query it, and keep it up to date with
-//! batch insertions and deletions.
+//! Quickstart: build spatial indexes through the unified v2 API — fluent
+//! builder, generic trait, runtime registry — query them, and keep them up to
+//! date with batch updates.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use psi::{POrthTree2, Point, Rect, SpacHTree, SpatialIndex};
+use psi::registry::{self, BuildOptions};
+use psi::{POrthTree2, Point, PsiBuilder, Rect, SpacHTree, SpatialIndex};
 use psi_workloads as workloads;
 
 fn main() {
@@ -14,12 +16,21 @@ fn main() {
     let data = workloads::uniform::<2>(n, max_coord, 1);
     let universe = workloads::universe::<2>(max_coord);
 
-    // 2. Build two of Ψ-Lib's indexes through the shared `SpatialIndex` trait:
-    //    the P-Orth tree (fastest queries on uniform data) and the SPaC-H tree
-    //    (fastest batch updates).
-    let mut porth = <POrthTree2 as SpatialIndex<2>>::build(&data, &universe);
-    let mut spac = <SpacHTree<2> as SpatialIndex<2>>::build(&data, &universe);
-    println!("built P-Orth ({} points) and SPaC-H ({} points)", porth.len(), spac.len());
+    // 2. Build two of Ψ-Lib's indexes through the same fluent builder: the
+    //    P-Orth tree (fastest queries on uniform data) and the SPaC-H tree
+    //    (fastest batch updates). Every paper knob hangs off the chain.
+    let mut porth = PsiBuilder::<POrthTree2>::new()
+        .universe(universe)
+        .build(&data);
+    let mut spac = PsiBuilder::<SpacHTree<2>>::new()
+        .universe(universe)
+        .leaf_size(40)
+        .build(&data);
+    println!(
+        "built P-Orth ({} points) and SPaC-H ({} points)",
+        porth.len(),
+        spac.len()
+    );
 
     // 3. k-nearest-neighbour query.
     let q = Point::new([500_000_000, 500_000_000]);
@@ -42,20 +53,48 @@ fn main() {
     );
 
     // 5. The data moves: apply a batch deletion of stale points and a batch
-    //    insertion of fresh ones. Batches are processed in parallel internally.
+    //    insertion of fresh ones as one logical diff.
     let stale = &data[..10_000];
     let fresh = workloads::uniform::<2>(10_000, max_coord, 2);
-    porth.batch_delete(stale);
-    porth.batch_insert(&fresh);
-    spac.batch_delete(stale);
-    spac.batch_insert(&fresh);
+    porth.batch_diff(stale, &fresh);
+    spac.batch_diff(stale, &fresh);
     println!(
         "after one update round both indexes hold {} points",
         porth.len()
     );
     assert_eq!(porth.len(), spac.len());
 
-    // 6. Queries keep working on the updated indexes.
-    let nn = spac.knn(&q, 3);
-    println!("3-NN after the update: {:?}", nn.iter().map(|p| p.coords).collect::<Vec<_>>());
+    // 6. Runtime selection: the registry builds any family from a string —
+    //    the path CLI drivers and config files use.
+    let opts = BuildOptions::with_universe(universe);
+    let chosen = std::env::args().nth(1).unwrap_or_else(|| "zd".to_string());
+    let dynamic = registry::create::<2>(&chosen, &data, &opts).unwrap_or_else(|e| panic!("{e}"));
+    println!(
+        "registry built {:?} -> {} with {} points; 3-NN = {:?}",
+        chosen,
+        dynamic.name(),
+        dynamic.len(),
+        dynamic
+            .knn(&q, 3)
+            .iter()
+            .map(|p| p.coords)
+            .collect::<Vec<_>>()
+    );
+
+    // 7. Float coordinates run through the identical trait (P-Orth and Pkd
+    //    have no integer-domain restriction).
+    let float_pts: Vec<Point<f64, 2>> = data[..1_000]
+        .iter()
+        .map(|p| Point::new([p.coords[0] as f64 * 1e-9, p.coords[1] as f64 * 1e-9]))
+        .collect();
+    let float_tree = psi::POrthTreeF::<2>::build_with(&float_pts, None, Default::default());
+    println!(
+        "f64 P-Orth over the unit square: {} points, 3-NN of the centre: {:?}",
+        float_tree.len(),
+        float_tree
+            .knn(&Point::new([0.5, 0.5]), 3)
+            .iter()
+            .map(|p| p.coords)
+            .collect::<Vec<_>>()
+    );
 }

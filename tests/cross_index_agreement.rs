@@ -3,21 +3,25 @@
 //! in 2-D and 3-D, across all three synthetic distributions.
 
 use psi::{
-    BruteForce, CpamHTree, CpamZTree, PkdTree, POrthTree, RTree, SpacHTree, SpacZTree,
+    BruteForce, CpamHTree, CpamZTree, POrthTree, PkdTree, RTree, SpacHTree, SpacZTree,
     SpatialIndex, ZdTree,
 };
 use psi_geometry::{Point, PointI};
 use psi_workloads::{self as workloads, Distribution};
 
 /// Run a build → insert → delete → query scenario and compare with the oracle.
-fn scenario<I: SpatialIndex<D>, const D: usize>(dist: Distribution, max_coord: i64, seed: u64) {
+fn scenario<I: SpatialIndex<i64, D>, const D: usize>(
+    dist: Distribution,
+    max_coord: i64,
+    seed: u64,
+) {
     let n = 3_000;
     let data = dist.generate::<D>(n, max_coord, seed);
     let extra = dist.generate::<D>(n / 2, max_coord, seed ^ 0xF00D);
     let universe = workloads::universe::<D>(max_coord);
 
     let mut index = I::build(&data, &universe);
-    let mut oracle = BruteForce::<D>::build(&data, &universe);
+    let mut oracle = BruteForce::<i64, D>::build(&data, &universe);
     assert_eq!(index.len(), oracle.len(), "{}: build size", I::NAME);
 
     index.batch_insert(&extra);
@@ -106,18 +110,25 @@ fn real_world_standins_agree() {
     let cosmo = workloads::cosmo_like(3_000, 1_000_000, 6);
     let uni3 = workloads::universe::<3>(1_000_000);
     let spac = SpacHTree::<3>::build(&cosmo);
-    let oracle = BruteForce::<3>::build(&cosmo, &uni3);
+    let oracle = BruteForce::<i64, 3>::build(&cosmo, &uni3);
     for q in workloads::ind_queries(&cosmo, 20, 7) {
         assert_eq!(
-            spac.knn(&q, 5).iter().map(|p| q.dist_sq(p)).collect::<Vec<_>>(),
-            oracle.knn(&q, 5).iter().map(|p| q.dist_sq(p)).collect::<Vec<_>>()
+            spac.knn(&q, 5)
+                .iter()
+                .map(|p| q.dist_sq(p))
+                .collect::<Vec<_>>(),
+            oracle
+                .knn(&q, 5)
+                .iter()
+                .map(|p| q.dist_sq(p))
+                .collect::<Vec<_>>()
         );
     }
 
     let osm = workloads::osm_like(4_000, 1_000_000_000, 8);
     let uni2 = workloads::universe::<2>(1_000_000_000);
-    let porth = <POrthTree<2> as SpatialIndex<2>>::build(&osm, &uni2);
-    let oracle = BruteForce::<2>::build(&osm, &uni2);
+    let porth = <POrthTree<2> as SpatialIndex<i64, 2>>::build(&osm, &uni2);
+    let oracle = BruteForce::<i64, 2>::build(&osm, &uni2);
     for rect in workloads::range_queries(&osm, 1_000_000_000, 100, 20, 9) {
         assert_eq!(porth.range_count(&rect), oracle.range_count(&rect));
     }
@@ -134,7 +145,7 @@ fn degenerate_inputs_all_indexes() {
     macro_rules! check {
         ($ty:ty) => {
             for data in [&dup, &collinear] {
-                let mut idx = <$ty as SpatialIndex<2>>::build(data, &universe);
+                let mut idx = <$ty as SpatialIndex<i64, 2>>::build(data, &universe);
                 idx.check_invariants();
                 assert_eq!(idx.len(), data.len());
                 assert_eq!(idx.batch_delete(&data[..100]), 100);

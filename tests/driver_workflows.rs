@@ -4,13 +4,13 @@
 
 use psi::driver::{incremental_delete, incremental_insert, timed_build, QuerySet};
 use psi::{
-    BruteForce, CpamHTree, PkdTree, POrthTree2, RTree, SpacHTree, SpacZTree, SpatialIndex, ZdTree,
+    BruteForce, CpamHTree, POrthTree2, PkdTree, RTree, SpacHTree, SpacZTree, SpatialIndex, ZdTree,
 };
 use psi_workloads::{self as workloads, Distribution};
 
 const MAX: i64 = 1_000_000_000;
 
-fn query_set(data: &[psi::PointI<2>]) -> QuerySet<2> {
+fn query_set(data: &[psi::PointI<2>]) -> QuerySet<i64, 2> {
     QuerySet {
         knn_ind: workloads::ind_queries(data, 40, 3),
         knn_ood: workloads::ood_queries::<2>(MAX, 40, 4),
@@ -21,33 +21,45 @@ fn query_set(data: &[psi::PointI<2>]) -> QuerySet<2> {
 
 /// The incremental protocols must end with exactly the same index content as
 /// a one-shot build, for every index and every batch ratio.
-fn protocol<I: SpatialIndex<2>>(dist: Distribution) {
+fn protocol<I: SpatialIndex<i64, 2>>(dist: Distribution) {
     let n = 4_000;
     let data = dist.generate::<2>(n, MAX, 11);
     let universe = workloads::universe::<2>(MAX);
     let qs = query_set(&data);
 
-    let (_t, reference) = timed_build::<BruteForce<2>, 2>(&data, &universe);
+    let (_t, reference) = timed_build::<BruteForce<i64, 2>, i64, 2>(&data, &universe);
 
     for ratio in [0.1, 0.01] {
         let batch = ((n as f64 * ratio) as usize).max(1);
-        let (res, index) = incremental_insert::<I, 2>(&data, batch, &universe, Some(&qs));
+        let (res, index) = incremental_insert::<I, i64, 2>(&data, batch, &universe, Some(&qs));
         assert_eq!(res.final_len, n, "{}: final size", I::NAME);
-        assert!(res.batches >= (1.0 / ratio) as usize, "{}: batch count", I::NAME);
+        assert!(
+            res.batches >= (1.0 / ratio) as usize,
+            "{}: batch count",
+            I::NAME
+        );
         assert!(res.queries_at_half.is_some());
         index.check_invariants();
 
         // The fully built index answers exactly like the oracle.
         for q in &qs.knn_ind {
             assert_eq!(
-                index.knn(q, 10).iter().map(|p| q.dist_sq(p)).collect::<Vec<_>>(),
-                reference.knn(q, 10).iter().map(|p| q.dist_sq(p)).collect::<Vec<_>>(),
+                index
+                    .knn(q, 10)
+                    .iter()
+                    .map(|p| q.dist_sq(p))
+                    .collect::<Vec<_>>(),
+                reference
+                    .knn(q, 10)
+                    .iter()
+                    .map(|p| q.dist_sq(p))
+                    .collect::<Vec<_>>(),
                 "{}: post-insert kNN",
                 I::NAME
             );
         }
 
-        let (res, index) = incremental_delete::<I, 2>(&data, batch, &universe, Some(&qs));
+        let (res, index) = incremental_delete::<I, i64, 2>(&data, batch, &universe, Some(&qs));
         assert_eq!(res.final_len, 0, "{}: delete must empty the index", I::NAME);
         assert!(index.is_empty());
     }
@@ -83,10 +95,11 @@ fn mid_workload_probes_are_consistent_across_indexes() {
     let qs = query_set(&data);
     let batch = n / 10;
 
-    let (a, _) = incremental_insert::<POrthTree2, 2>(&data, batch, &universe, Some(&qs));
-    let (b, _) = incremental_insert::<SpacHTree<2>, 2>(&data, batch, &universe, Some(&qs));
-    let (c, _) = incremental_insert::<PkdTree<2>, 2>(&data, batch, &universe, Some(&qs));
-    let (d, _) = incremental_insert::<BruteForce<2>, 2>(&data, batch, &universe, Some(&qs));
+    let (a, _) = incremental_insert::<POrthTree2, i64, 2>(&data, batch, &universe, Some(&qs));
+    let (b, _) = incremental_insert::<SpacHTree<2>, i64, 2>(&data, batch, &universe, Some(&qs));
+    let (c, _) = incremental_insert::<PkdTree<2>, i64, 2>(&data, batch, &universe, Some(&qs));
+    let (d, _) =
+        incremental_insert::<BruteForce<i64, 2>, i64, 2>(&data, batch, &universe, Some(&qs));
 
     let ca = a.queries_at_half.unwrap().checksum;
     let cb = b.queries_at_half.unwrap().checksum;
@@ -102,10 +115,10 @@ fn mid_workload_probes_are_consistent_across_indexes() {
 fn single_batch_degenerate_case() {
     let data = Distribution::Uniform.generate::<2>(500, MAX, 17);
     let universe = workloads::universe::<2>(MAX);
-    let (res, index) = incremental_insert::<SpacHTree<2>, 2>(&data, 10_000, &universe, None);
+    let (res, index) = incremental_insert::<SpacHTree<2>, i64, 2>(&data, 10_000, &universe, None);
     assert_eq!(res.batches, 1);
     assert_eq!(index.len(), 500);
-    let (res, index) = incremental_delete::<SpacHTree<2>, 2>(&data, 10_000, &universe, None);
+    let (res, index) = incremental_delete::<SpacHTree<2>, i64, 2>(&data, 10_000, &universe, None);
     assert_eq!(res.batches, 1);
     assert!(index.is_empty());
 }

@@ -39,10 +39,10 @@ fn to_points(v: &[(i64, i64)]) -> Vec<PointI<2>> {
 
 /// Apply the op sequence to an index and the oracle simultaneously, verifying
 /// sizes, delete counts, invariants and query agreement at every step.
-fn run_sequence<I: SpatialIndex<2>>(initial: &[PointI<2>], ops: &[Op]) {
+fn run_sequence<I: SpatialIndex<i64, 2>>(initial: &[PointI<2>], ops: &[Op]) {
     let universe = workloads::universe::<2>(MAX);
     let mut index = I::build(initial, &universe);
-    let mut oracle = BruteForce::<2>::build(initial, &universe);
+    let mut oracle = BruteForce::<i64, 2>::build(initial, &universe);
     let mut contents: Vec<PointI<2>> = initial.to_vec();
 
     for op in ops {
@@ -85,12 +85,23 @@ fn run_sequence<I: SpatialIndex<2>>(initial: &[PointI<2>], ops: &[Op]) {
     // Final query agreement.
     let q = Point::new([MAX / 2, MAX / 2]);
     assert_eq!(
-        index.knn(&q, 10).iter().map(|p| q.dist_sq(p)).collect::<Vec<_>>(),
-        oracle.knn(&q, 10).iter().map(|p| q.dist_sq(p)).collect::<Vec<_>>(),
+        index
+            .knn(&q, 10)
+            .iter()
+            .map(|p| q.dist_sq(p))
+            .collect::<Vec<_>>(),
+        oracle
+            .knn(&q, 10)
+            .iter()
+            .map(|p| q.dist_sq(p))
+            .collect::<Vec<_>>(),
         "{}: final kNN disagreement",
         I::NAME
     );
-    let rect = Rect::from_corners(Point::new([MAX / 4, MAX / 4]), Point::new([MAX / 2, MAX / 2]));
+    let rect = Rect::from_corners(
+        Point::new([MAX / 4, MAX / 4]),
+        Point::new([MAX / 2, MAX / 2]),
+    );
     assert_eq!(index.range_count(&rect), oracle.range_count(&rect));
 }
 
@@ -123,13 +134,13 @@ proptest! {
         let base = to_points(&base);
         let batch = to_points(&batch);
 
-        let mut spac = <SpacHTree<2> as SpatialIndex<2>>::build(&base, &universe);
+        let mut spac = <SpacHTree<2> as SpatialIndex<i64, 2>>::build(&base, &universe);
         spac.batch_insert(&batch);
         prop_assert_eq!(spac.batch_delete(&batch), batch.len());
         prop_assert_eq!(spac.len(), base.len());
         spac.check_invariants();
 
-        let mut porth = <POrthTree<2> as SpatialIndex<2>>::build(&base, &universe);
+        let mut porth = <POrthTree<2> as SpatialIndex<i64, 2>>::build(&base, &universe);
         porth.batch_insert(&batch);
         prop_assert_eq!(porth.batch_delete(&batch), batch.len());
         prop_assert_eq!(porth.len(), base.len());
@@ -148,8 +159,8 @@ proptest! {
         let all = to_points(&pts);
         let split = ((all.len() as f64) * split_frac) as usize;
 
-        let direct = <POrthTree<2> as SpatialIndex<2>>::build(&all, &universe);
-        let mut incremental = <POrthTree<2> as SpatialIndex<2>>::build(&all[..split], &universe);
+        let direct = <POrthTree<2> as SpatialIndex<i64, 2>>::build(&all, &universe);
+        let mut incremental = <POrthTree<2> as SpatialIndex<i64, 2>>::build(&all[..split], &universe);
         incremental.batch_insert(&all[split..]);
 
         prop_assert_eq!(direct.len(), incremental.len());

@@ -1,0 +1,201 @@
+//! Macro-generated trait-conformance suite: one shared battery, run against
+//! **every registry entry**, in both `i64` and (where the family supports it)
+//! `f64` coordinates.
+//!
+//! The battery exercises the v2 `SpatialIndex` surface through the
+//! object-safe `DynIndex` façade — exactly what a runtime driver sees — and
+//! covers the edge cases the unified API guarantees:
+//!
+//! * empty builds answer every query without panicking,
+//! * duplicate points are kept as a multiset,
+//! * `batch_diff` applies deletions strictly before insertions,
+//! * kNN and range queries agree with the brute-force oracle,
+//! * degenerate rectangles (empty, inverted, singleton, all-covering).
+
+use psi::registry::{self, BuildOptions, DynIndex};
+use psi::{BruteForce, Coord, Point, Rect, SpatialIndex};
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+
+type Make<T> = dyn Fn(&[Point<T, 2>]) -> Box<dyn DynIndex<T, 2>>;
+type Mk<T> = dyn Fn(i64, i64) -> Point<T, 2>;
+
+const MAX: i64 = 100_000;
+
+/// The shared battery. `make` constructs the index under test from a point
+/// set; `mk` maps integer grid coordinates into the coordinate type.
+fn battery<T: Coord>(make: &Make<T>, mk: &Mk<T>) {
+    let everything = Rect::from_corners(mk(-MAX, -MAX), mk(MAX, MAX));
+
+    // --- Empty build -----------------------------------------------------
+    let empty = make(&[]);
+    assert_eq!(empty.len(), 0, "{}: empty build size", empty.name());
+    assert!(empty.is_empty());
+    empty.check_invariants();
+    assert!(empty.knn(&mk(0, 0), 3).is_empty());
+    assert_eq!(empty.range_count(&everything), 0);
+    assert!(empty.range_list(&everything).is_empty());
+    assert!(empty.bounding_box().is_empty());
+
+    // --- Duplicate points are a multiset ---------------------------------
+    let p = mk(7, 7);
+    let mut dup = make(&[p; 100]);
+    assert_eq!(dup.len(), 100, "{}: duplicates kept", dup.name());
+    dup.check_invariants();
+    let five = dup.knn(&mk(0, 0), 5);
+    assert_eq!(five.len(), 5);
+    assert!(five.iter().all(|x| *x == p));
+    assert_eq!(dup.batch_delete(&[p; 30]), 30);
+    assert_eq!(dup.len(), 70);
+    dup.check_invariants();
+    assert_eq!(dup.range_count(&Rect::singleton(p)), 70);
+
+    // --- batch_diff: deletions strictly before insertions ----------------
+    let base: Vec<Point<T, 2>> = (0..400)
+        .map(|i| mk((i * 17) % 101, (i * 31) % 103))
+        .collect();
+    let mut idx = make(&base);
+    let absent = mk(9_999, 9_999);
+    assert_eq!(
+        idx.batch_diff(&[absent], &[absent]),
+        0,
+        "{}: batch_diff must delete before inserting (the deletion of a \
+         point only present in the insert batch must not count)",
+        idx.name()
+    );
+    assert_eq!(idx.len(), base.len() + 1);
+    let existing = base[0];
+    assert_eq!(idx.batch_diff(&[existing], &[existing]), 1);
+    assert_eq!(idx.len(), base.len() + 1);
+    idx.check_invariants();
+
+    // --- kNN / range agreement with the oracle under churn ---------------
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    let mut pts: Vec<Point<T, 2>> = (0..2_000)
+        .map(|_| mk(rng.gen_range(0..MAX), rng.gen_range(0..MAX)))
+        .collect();
+    let mut index = make(&pts);
+    let mut oracle = BruteForce::<T, 2>::build_with(&pts, None, ());
+
+    let extra: Vec<Point<T, 2>> = (0..500)
+        .map(|_| mk(rng.gen_range(0..MAX), rng.gen_range(0..MAX)))
+        .collect();
+    index.batch_insert(&extra);
+    oracle.batch_insert(&extra);
+    pts.extend_from_slice(&extra);
+    let victims: Vec<Point<T, 2>> = pts.iter().step_by(4).copied().collect();
+    assert_eq!(
+        index.batch_delete(&victims),
+        oracle.batch_delete(&victims),
+        "{}: delete count",
+        index.name()
+    );
+    index.check_invariants();
+    assert_eq!(index.len(), oracle.len());
+    assert_eq!(index.bounding_box(), oracle.bounding_box());
+
+    for _ in 0..15 {
+        let q = mk(rng.gen_range(0..MAX), rng.gen_range(0..MAX));
+        let got: Vec<f64> = index
+            .knn(&q, 10)
+            .iter()
+            .map(|x| T::dist_to_f64(q.dist_sq(x)))
+            .collect();
+        let want: Vec<f64> = oracle
+            .knn(&q, 10)
+            .iter()
+            .map(|x| T::dist_to_f64(q.dist_sq(x)))
+            .collect();
+        assert_eq!(got, want, "{}: kNN distances", index.name());
+
+        let rect = Rect::new(
+            mk(rng.gen_range(0..MAX), rng.gen_range(0..MAX)),
+            mk(rng.gen_range(0..MAX), rng.gen_range(0..MAX)),
+        );
+        assert_eq!(
+            index.range_count(&rect),
+            oracle.range_count(&rect),
+            "{}: range_count",
+            index.name()
+        );
+        let mut got = index.range_list(&rect);
+        let mut want = oracle.range_list(&rect);
+        got.sort();
+        want.sort();
+        assert_eq!(got, want, "{}: range_list", index.name());
+    }
+
+    // --- Degenerate rectangles -------------------------------------------
+    let stored = oracle.points()[0];
+    assert!(
+        index.range_count(&Rect::singleton(stored)) >= 1,
+        "{}: singleton rect on a stored point",
+        index.name()
+    );
+    assert_eq!(index.range_count(&Rect::empty()), 0, "{}", index.name());
+    // Inverted corners (lo > hi) form an empty box when not normalised.
+    let inverted = Rect::from_corners(mk(10, 10), mk(-10, -10));
+    assert!(inverted.is_empty());
+    assert_eq!(index.range_count(&inverted), 0, "{}", index.name());
+    assert_eq!(
+        index.range_count(&everything),
+        index.len(),
+        "{}: all-covering rect",
+        index.name()
+    );
+}
+
+fn battery_i64(name: &'static str) {
+    let opts = BuildOptions::<i64, 2>::default();
+    let make = move |pts: &[Point<i64, 2>]| {
+        registry::create::<2>(name, pts, &opts).unwrap_or_else(|e| panic!("{e}"))
+    };
+    battery::<i64>(&make, &|x, y| Point::new([x, y]));
+}
+
+fn battery_f64(name: &'static str) {
+    let opts = BuildOptions::<f64, 2>::default();
+    let make = move |pts: &[Point<f64, 2>]| {
+        registry::create_f64::<2>(name, pts, &opts).unwrap_or_else(|e| panic!("{e}"))
+    };
+    // Quarter-integer coordinates stay exact in f64, so distance comparisons
+    // against the oracle are bit-precise.
+    battery::<f64>(&make, &|x, y| {
+        Point::new([x as f64 * 0.25, y as f64 * 0.25])
+    });
+}
+
+/// One test per registry entry; float-capable families run the battery twice.
+macro_rules! registry_conformance {
+    ($($test:ident: $name:literal),+ $(,)?) => {
+        $(
+            #[test]
+            fn $test() {
+                battery_i64($name);
+                if registry::float_names().contains(&$name) {
+                    battery_f64($name);
+                }
+            }
+        )+
+
+        /// A registry entry added without extending this suite is a test bug:
+        /// the macro's name list must stay in sync with `registry::names()`.
+        #[test]
+        fn conformance_covers_every_registry_entry() {
+            let covered = [$($name),+];
+            assert_eq!(registry::names(), covered);
+        }
+    };
+}
+
+registry_conformance! {
+    p_orth_conforms: "p-orth",
+    spac_h_conforms: "spac-h",
+    spac_z_conforms: "spac-z",
+    cpam_h_conforms: "cpam-h",
+    cpam_z_conforms: "cpam-z",
+    pkd_conforms: "pkd",
+    zd_conforms: "zd",
+    r_tree_conforms: "r-tree",
+    brute_force_conforms: "brute-force",
+}
