@@ -1,8 +1,10 @@
 //! Parallel primitives substrate for Ψ-Lib-rs.
 //!
 //! The C++ Ψ-Lib builds on ParlayLib for fork-join parallelism and a handful of
-//! parallel building blocks. This crate is the Rust equivalent, built on
-//! `rayon::join` (the same binary fork-join model the paper analyses in §2.1):
+//! parallel building blocks. This crate is the Rust equivalent, built on the
+//! rayon substrate's worker pool (`par_*` iterators with chunked
+//! work-distribution and steal-on-idle) plus `rayon::join` for the binary
+//! fork-join recursions the paper analyses in §2.1:
 //!
 //! * [`scan`] — parallel prefix sums (exclusive scan), used to turn per-block
 //!   histograms into scatter offsets,
@@ -19,6 +21,8 @@
 //! All primitives fall back to the sequential path below a grain-size
 //! threshold, following the Rayon guidance of keeping per-task work large
 //! enough to amortise scheduling.
+
+use rayon::prelude::*;
 
 pub mod scan;
 pub mod sieve;
@@ -47,25 +51,25 @@ where
     rayon::join(a, b)
 }
 
-/// Parallel for over `0..n` in index chunks, calling `f(range)` for each chunk.
-/// Chunks are split recursively via `rayon::join` (binary forking, as in the
-/// paper's computational model).
+/// Parallel for over `0..n` in index chunks of at most `grain`, calling
+/// `f(range)` for each chunk. Chunks are distributed over the rayon worker
+/// pool (grain-sized claiming with steal-on-idle), so uneven per-chunk costs
+/// rebalance across threads; consecutive chunks claimed by one worker run
+/// back-to-back, preserving locality.
 pub fn par_chunks<F>(n: usize, grain: usize, f: F)
 where
     F: Fn(std::ops::Range<usize>) + Sync,
 {
-    fn rec<F: Fn(std::ops::Range<usize>) + Sync>(lo: usize, hi: usize, grain: usize, f: &F) {
-        if hi - lo <= grain {
-            f(lo..hi);
-        } else {
-            let mid = lo + (hi - lo) / 2;
-            rayon::join(|| rec(lo, mid, grain, f), || rec(mid, hi, grain, f));
-        }
-    }
     if n == 0 {
         return;
     }
-    rec(0, n, grain.max(1), &f);
+    let grain = grain.max(1);
+    let nchunks = n.div_ceil(grain);
+    (0..nchunks).into_par_iter().for_each(|c| {
+        let lo = c * grain;
+        let hi = (lo + grain).min(n);
+        f(lo..hi)
+    });
 }
 
 #[cfg(test)]

@@ -10,10 +10,13 @@
 //! parallel query runners (the paper runs its 10⁷ kNN queries concurrently).
 //!
 //! Since the v2 API the driver is generic over the coordinate type and runs
-//! its query probes through the allocation-free primitives: each worker
-//! reuses one [`KnnHeap`] (respectively one scratch `Vec`) across all of its
-//! queries via `map_init`, so the measured numbers are query work, not
-//! allocator traffic.
+//! its query probes through the allocation-free primitives; queries fan out
+//! over the rayon worker pool. Each participating worker creates one
+//! [`KnnHeap`] (respectively one scratch arena for `range_list_into`) via
+//! `map_init`'s per-worker-state contract and reuses it across all of that
+//! worker's queries, so the measured numbers are query work, not allocator
+//! traffic — and every query resets its scratch, so checksums are identical
+//! whatever the thread count.
 
 use crate::SpatialIndex;
 use psi_geometry::{Coord, KnnHeap, Point, Rect};
@@ -107,10 +110,9 @@ impl<T: Coord, const D: usize> QuerySet<T, D> {
             let s: u64 = self
                 .ranges
                 .par_iter()
-                .map_init(Vec::new, |buf: &mut Vec<Point<T, D>>, r| {
-                    buf.clear();
-                    index.range_visit(r, &mut |p| buf.push(*p));
-                    buf.len() as u64
+                .map_init(Vec::new, |arena: &mut Vec<Point<T, D>>, r| {
+                    index.range_list_into(r, arena);
+                    arena.len() as u64
                 })
                 .sum();
             times.range_list = t.elapsed();

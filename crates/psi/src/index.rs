@@ -17,10 +17,12 @@
 //!    caller-provided, reusable [`KnnHeap`]) are the hot-path operations and
 //!    allocate nothing.
 //! 3. **Derived queries** — `knn`, `range_count`, `range_list`, `batch_diff`
-//!    and the parallel `knn_batch` / `range_count_batch` are default methods
-//!    re-derived from the primitives; indexes override them only where a
-//!    structurally better implementation exists (e.g. subtree-count shortcuts
-//!    for `range_count`).
+//!    and the parallel `knn_batch` / `range_count_batch` / `range_list_batch`
+//!    are default methods re-derived from the primitives; indexes override
+//!    them only where a structurally better implementation exists (e.g.
+//!    subtree-count shortcuts for `range_count`). The batch variants fan out
+//!    over the rayon worker pool with per-worker scratch state (`KnnHeap`s,
+//!    result arenas) reused across each worker's queries.
 
 use crate::builder::PsiBuilder;
 use psi_geometry::{Coord, KnnHeap, Point, Rect};
@@ -114,8 +116,18 @@ pub trait SpatialIndex<T: Coord, const D: usize>: Sized + Send + Sync {
     /// The stored points in the closed axis-aligned box.
     fn range_list(&self, rect: &Rect<T, D>) -> Vec<Point<T, D>> {
         let mut out = Vec::new();
-        self.range_visit(rect, &mut |p| out.push(*p));
+        self.range_list_into(rect, &mut out);
         out
+    }
+
+    /// As [`SpatialIndex::range_list`], but filling a caller-owned arena:
+    /// `out` is cleared and refilled, reusing its allocation. This is the
+    /// allocation-free companion of `range_list` — a worker answering many
+    /// range queries keeps one arena and amortises the growth cost across
+    /// all of them (the same contract [`KnnHeap`] gives `knn_into`).
+    fn range_list_into(&self, rect: &Rect<T, D>, out: &mut Vec<Point<T, D>>) {
+        out.clear();
+        self.range_visit(rect, &mut |p| out.push(*p));
     }
 
     /// Tight bounding box of the stored points ([`Rect::empty`] when empty).
@@ -148,8 +160,14 @@ pub trait SpatialIndex<T: Coord, const D: usize>: Sized + Send + Sync {
     // ------------------------------------------------------------------
 
     /// Answer many kNN queries in parallel (the paper's query benchmarks
-    /// issue millions of concurrent queries this way). One [`KnnHeap`] is
-    /// created per worker thread and reused across that worker's queries.
+    /// issue millions of concurrent queries this way), distributing queries
+    /// over the rayon worker pool. One [`KnnHeap`] is created per
+    /// participating worker — `map_init`'s per-worker state contract — and
+    /// reused across all of that worker's queries, so the batch allocates
+    /// one heap per thread rather than one per query. Each query fully
+    /// resets the heap (`knn_into` does), so results are independent of how
+    /// queries are distributed across workers: the output is bit-identical
+    /// to a sequential run.
     fn knn_batch(&self, queries: &[Point<T, D>], k: usize) -> Vec<Vec<Point<T, D>>> {
         if k == 0 {
             return vec![Vec::new(); queries.len()];
@@ -169,5 +187,21 @@ pub trait SpatialIndex<T: Coord, const D: usize>: Sized + Send + Sync {
     /// Answer many range-count queries in parallel.
     fn range_count_batch(&self, rects: &[Rect<T, D>]) -> Vec<usize> {
         rects.par_iter().map(|r| self.range_count(r)).collect()
+    }
+
+    /// Answer many range-list queries in parallel. Each worker keeps one
+    /// scratch arena ([`SpatialIndex::range_list_into`] reuse via
+    /// `map_init`), so per-query results are materialised with a single
+    /// exact-size allocation instead of repeated growth reallocations; the
+    /// arena's capacity is amortised across the worker's whole share of the
+    /// batch. Output order matches `rects`.
+    fn range_list_batch(&self, rects: &[Rect<T, D>]) -> Vec<Vec<Point<T, D>>> {
+        rects
+            .par_iter()
+            .map_init(Vec::new, |arena: &mut Vec<Point<T, D>>, r| {
+                self.range_list_into(r, arena);
+                arena.as_slice().to_vec()
+            })
+            .collect()
     }
 }

@@ -77,6 +77,22 @@ pub trait DynIndex<T: Coord, const D: usize>: Send + Sync {
     /// The stored points in the closed box.
     fn range_list(&self, rect: &Rect<T, D>) -> Vec<Point<T, D>>;
 
+    /// As `range_list`, but clearing and refilling a caller-owned arena
+    /// (see [`SpatialIndex::range_list_into`]).
+    fn range_list_into(&self, rect: &Rect<T, D>, out: &mut Vec<Point<T, D>>);
+
+    /// Answer many kNN queries in parallel with per-worker heap reuse (see
+    /// [`SpatialIndex::knn_batch`]).
+    fn knn_batch(&self, queries: &[Point<T, D>], k: usize) -> Vec<Vec<Point<T, D>>>;
+
+    /// Answer many range-count queries in parallel (see
+    /// [`SpatialIndex::range_count_batch`]).
+    fn range_count_batch(&self, rects: &[Rect<T, D>]) -> Vec<usize>;
+
+    /// Answer many range-list queries in parallel with per-worker arena
+    /// reuse (see [`SpatialIndex::range_list_batch`]).
+    fn range_list_batch(&self, rects: &[Rect<T, D>]) -> Vec<Vec<Point<T, D>>>;
+
     /// Tight bounding box of the stored points.
     fn bounding_box(&self) -> Rect<T, D>;
 
@@ -119,6 +135,18 @@ impl<T: Coord, const D: usize, I: SpatialIndex<T, D>> DynIndex<T, D> for DynAdap
     }
     fn range_list(&self, rect: &Rect<T, D>) -> Vec<Point<T, D>> {
         self.0.range_list(rect)
+    }
+    fn range_list_into(&self, rect: &Rect<T, D>, out: &mut Vec<Point<T, D>>) {
+        self.0.range_list_into(rect, out)
+    }
+    fn knn_batch(&self, queries: &[Point<T, D>], k: usize) -> Vec<Vec<Point<T, D>>> {
+        self.0.knn_batch(queries, k)
+    }
+    fn range_count_batch(&self, rects: &[Rect<T, D>]) -> Vec<usize> {
+        self.0.range_count_batch(rects)
+    }
+    fn range_list_batch(&self, rects: &[Rect<T, D>]) -> Vec<Vec<Point<T, D>>> {
+        self.0.range_list_batch(rects)
     }
     fn bounding_box(&self) -> Rect<T, D> {
         self.0.bounding_box()

@@ -4,36 +4,63 @@
 //! crate registry, so the workspace vendors minimal local implementations of
 //! its external dependencies under their upstream names (see
 //! `crates/shims/README.md`). This one covers the slice of rayon the
-//! workspace uses:
+//! workspace uses, with **real parallel execution** throughout:
 //!
-//! * [`join`] — real bounded fork-join parallelism: a global token pool sized
-//!   to `available_parallelism() - 1` decides whether the first closure runs
-//!   on a freshly scoped OS thread or inline. Recursive `join` trees therefore
-//!   fan out to roughly one thread per core and degrade gracefully to
-//!   sequential execution under load, which preserves the binary fork-join
-//!   model the paper's algorithms are written against.
+//! * [`prelude`] — the `par_*` iterator entry points (`par_iter`,
+//!   `par_iter_mut`, `par_chunks(_mut)`, `into_par_iter`, `zip`,
+//!   `enumerate`, `map`, `map_init`, `flat_map_iter`, `for_each`, `sum`,
+//!   `collect`, `par_sort_*`) execute on a lazily-initialised global worker
+//!   pool ([`mod@pool`]): the index space is split into per-participant
+//!   queues, claimed in grain-sized chunks, with steal-on-idle rebalancing.
+//!   `collect` preserves input order and `map_init` keeps genuinely
+//!   per-worker state, so results are bit-identical to a sequential run.
+//! * [`join`] — bounded fork-join parallelism on scoped OS threads: a global
+//!   token budget of `current_num_threads() - 1` helpers decides whether the
+//!   first closure gets its own thread or runs inline. `join` composes with
+//!   the worker pool from any thread (including from inside pool workers —
+//!   the token budget simply saturates and execution degrades to
+//!   sequential), preserving the binary fork-join model the paper's
+//!   algorithms are written against.
 //! * [`scope`] / [`Scope::spawn`] — thin wrappers over [`std::thread::scope`].
-//! * [`prelude`] — the `par_*` iterator entry points as *sequential* adapters
-//!   returning ordinary [`Iterator`]s, so call sites keep rayon's shape
-//!   (`.par_iter().zip(..).for_each(..)`, `.map_init(..)`, `par_sort_*`)
-//!   while the per-item work runs on the calling thread. Coarse-grained
-//!   parallelism in the indexes comes from `join`, which dominates their
-//!   speedup; swapping the real rayon back in requires no source changes.
+//! * Thread-count control — `current_num_threads()` defaults to the
+//!   `RAYON_NUM_THREADS` environment variable (as upstream) or the machine's
+//!   available parallelism, and [`ThreadPool::install`] overrides it for a
+//!   closure's duration, including `num_threads(1)` forcing fully sequential
+//!   execution and oversubscription beyond the core count.
+//!
+//! Swapping the real rayon back in requires no source changes.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
+mod pool;
 pub mod prelude;
+mod sort;
 
 /// Number of worker threads the substrate may use (upstream: size of the
-/// global thread pool): the machine's available parallelism, unless a
-/// [`ThreadPool::install`] override is active.
+/// global thread pool): a [`ThreadPool::install`] override if one is active,
+/// else the `RAYON_NUM_THREADS` environment variable (upstream honours it
+/// too), else the machine's available parallelism.
 pub fn current_num_threads() -> usize {
     match THREADS_OVERRIDE.load(Ordering::Acquire) {
-        0 => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
+        0 => default_num_threads(),
         n => n,
     }
+}
+
+fn default_num_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
 }
 
 /// Tokens for helper threads spawned by [`join`]; at most
@@ -129,8 +156,8 @@ where
 }
 
 /// Stand-in for rayon's pool configuration. `build_global` is a no-op (the
-/// shim sizes its helper tokens from `available_parallelism`); `build` yields
-/// a [`ThreadPool`] whose `install` honours `num_threads`.
+/// shim sizes itself from `RAYON_NUM_THREADS` / `available_parallelism`);
+/// `build` yields a [`ThreadPool`] whose `install` honours `num_threads`.
 #[derive(Debug, Default)]
 pub struct ThreadPoolBuilder {
     num_threads: usize,
@@ -158,8 +185,11 @@ impl ThreadPoolBuilder {
 }
 
 /// Stand-in pool handle: `install` runs the closure on the caller, with the
-/// pool's thread count installed as the global helper limit for the duration
-/// (so `num_threads(1)` really is sequential). Overrides don't nest.
+/// pool's thread count installed as the process-global limit for the
+/// duration — it bounds both the worker-pool participants of every `par_*`
+/// operation and `join`'s helper-thread tokens, so `num_threads(1)` really
+/// is sequential and `num_threads(k)` on a smaller machine oversubscribes,
+/// as upstream. Overrides don't nest.
 pub struct ThreadPool {
     num_threads: usize,
 }
@@ -225,6 +255,7 @@ mod tests {
 
     #[test]
     fn pool_install_overrides_thread_count() {
+        let _g = crate::pool::override_lock();
         let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
         assert_eq!(pool.install(current_num_threads), 3);
         // Default (0) means automatic sizing, i.e. no override.

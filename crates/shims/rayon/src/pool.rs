@@ -1,0 +1,533 @@
+//! The global worker pool and chunked work-distribution core behind the
+//! `par_*` substrate.
+//!
+//! # Execution model
+//!
+//! A parallel operation over `n` items is a **job**: the index space `0..n`
+//! is partitioned into one contiguous range per participant slot, each slot
+//! backed by an atomic `(lo, hi)` pair — the slot's *work queue*. Every
+//! participating thread (the submitting caller plus lazily-spawned pool
+//! workers) owns one slot and repeatedly claims a grain-sized chunk from the
+//! front of its own queue; when the queue runs dry it **steals** the back
+//! half of the fullest other queue into its own and continues. All state
+//! transitions are single CAS operations on the packed pair, so claiming is
+//! lock-free and every index is delivered exactly once.
+//!
+//! The submitting thread always participates (slot 0) and, crucially, the
+//! claim/steal loop lets *any single participant drain the entire job*. A
+//! job therefore completes even if every pool worker is busy elsewhere —
+//! which is exactly what happens with nested parallelism: a worker that hits
+//! a nested `par_*` call submits a child job, drains whatever share of it
+//! the rest of the pool doesn't take, and only then waits. No participant
+//! ever waits for work it could do itself, so nesting cannot deadlock.
+//!
+//! # Pool sizing
+//!
+//! Workers are spawned on demand, up to `current_num_threads() - 1` for the
+//! job being submitted (so [`crate::ThreadPool::install`] and the
+//! `RAYON_NUM_THREADS` environment variable genuinely control parallelism,
+//! including oversubscription beyond the core count, as upstream rayon
+//! allows). Idle workers park on a condition variable; they are never torn
+//! down.
+//!
+//! # Panics
+//!
+//! A panic in worker-executed code is caught at the job boundary, the first
+//! payload is stored, and once every participant has finished the payload is
+//! re-raised on the submitting thread — the same contract as upstream rayon.
+
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// Hard cap on pool threads, a guard against runaway
+/// `ThreadPool::install(huge)` requests.
+const MAX_WORKERS: usize = 192;
+
+/// Each participant splits its fair share into roughly this many grains, so
+/// late-starting participants and uneven item costs still balance via steals.
+pub(crate) const CHUNKS_PER_WORKER: usize = 8;
+
+/// Default grain size for `n` items across `threads` participants, floored by
+/// the caller's `with_min_len`-style hint.
+pub(crate) fn grain_for(n: usize, threads: usize, min_len: usize) -> usize {
+    (n / (threads.max(1) * CHUNKS_PER_WORKER))
+        .max(min_len)
+        .max(1)
+}
+
+// ---------------------------------------------------------------------------
+// Per-slot range queues with steal-on-idle.
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn pack(lo: usize, hi: usize) -> u64 {
+    ((lo as u64) << 32) | hi as u64
+}
+
+#[inline]
+fn unpack(v: u64) -> (usize, usize) {
+    ((v >> 32) as usize, (v & 0xFFFF_FFFF) as usize)
+}
+
+/// The shared work-distribution state of one job: one packed `(lo, hi)`
+/// index range per participant slot.
+pub(crate) struct RangeQueues {
+    slots: Box<[AtomicU64]>,
+    grain: usize,
+}
+
+impl RangeQueues {
+    /// Partition `0..n` evenly across `nslots` queues. Requires
+    /// `n < u32::MAX` (enforced by [`run`]'s sequential fallback).
+    fn new(n: usize, nslots: usize, grain: usize) -> Self {
+        let slots: Vec<AtomicU64> = (0..nslots)
+            .map(|s| AtomicU64::new(pack(n * s / nslots, n * (s + 1) / nslots)))
+            .collect();
+        RangeQueues {
+            slots: slots.into_boxed_slice(),
+            grain: grain.max(1),
+        }
+    }
+
+    /// Claim up to one grain from the front of `slot`'s own queue.
+    fn claim_own(&self, slot: usize) -> Option<Range<usize>> {
+        let cell = &self.slots[slot];
+        let mut cur = cell.load(Ordering::Acquire);
+        loop {
+            let (lo, hi) = unpack(cur);
+            if lo >= hi {
+                return None;
+            }
+            let next = (lo + self.grain).min(hi);
+            match cell.compare_exchange_weak(
+                cur,
+                pack(next, hi),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(lo..next),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Steal the back half of the fullest other queue into `slot`'s (empty)
+    /// own queue. Returns `false` only when every queue was observed empty.
+    fn steal_into(&self, slot: usize) -> bool {
+        loop {
+            let mut best: Option<(usize, usize, usize)> = None; // (victim, lo, hi)
+            for (i, cell) in self.slots.iter().enumerate() {
+                if i == slot {
+                    continue;
+                }
+                let (lo, hi) = unpack(cell.load(Ordering::Acquire));
+                if hi > lo && best.is_none_or(|(_, blo, bhi)| hi - lo > bhi - blo) {
+                    best = Some((i, lo, hi));
+                }
+            }
+            let Some((victim, lo, hi)) = best else {
+                return false;
+            };
+            let rem = hi - lo;
+            let take = (rem - rem / 2).min(rem); // ceil(rem / 2)
+            let split = hi - take;
+            if self.slots[victim]
+                .compare_exchange(
+                    pack(lo, hi),
+                    pack(lo, split),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                // Deposit the stolen tail into our own (currently empty)
+                // queue, where other thieves may in turn steal from it.
+                self.slots[slot].store(pack(split, hi), Ordering::Release);
+                return true;
+            }
+            // Lost the race; rescan.
+        }
+    }
+
+    fn next(&self, slot: usize) -> Option<Range<usize>> {
+        loop {
+            if let Some(r) = self.claim_own(slot) {
+                return Some(r);
+            }
+            if !self.steal_into(slot) {
+                return None;
+            }
+        }
+    }
+}
+
+/// One participant's view of a job's work distribution: an iterator-like
+/// source of disjoint index ranges. Handed to the per-worker body exactly
+/// once per participant, which is what makes per-worker state (`map_init`)
+/// genuinely per-worker.
+pub(crate) struct WorkerRanges<'a> {
+    inner: RangesInner<'a>,
+}
+
+enum RangesInner<'a> {
+    /// Sequential fallback: the whole index space, delivered once.
+    Seq(Option<Range<usize>>),
+    /// A slot of a pooled job.
+    Pool {
+        queues: &'a RangeQueues,
+        slot: usize,
+    },
+}
+
+impl WorkerRanges<'_> {
+    /// The next range of indices this participant should process, or `None`
+    /// when the whole job's index space has been claimed.
+    pub(crate) fn next(&mut self) -> Option<Range<usize>> {
+        match &mut self.inner {
+            RangesInner::Seq(r) => r.take(),
+            RangesInner::Pool { queues, slot } => queues.next(*slot),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The pool proper.
+// ---------------------------------------------------------------------------
+
+/// A submitted job, allocated on the submitting thread's stack. Workers hold
+/// the pointer only between registration (under the pool lock, while the job
+/// is still queued) and their final `remaining` decrement; the submitter does
+/// not return before `remaining` reaches zero, so the reference never
+/// dangles.
+struct Job<'a> {
+    body: &'a (dyn Fn(usize) + Sync),
+    /// Next participant slot to hand out; slot 0 is the submitter's.
+    next_slot: AtomicUsize,
+    max_slots: usize,
+    /// Workers that have registered but not yet finished.
+    remaining: AtomicUsize,
+    done: Mutex<()>,
+    done_cv: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+#[derive(Clone, Copy)]
+struct JobRef(*const Job<'static>);
+// SAFETY: the job outlives every queue entry and every registered worker (see
+// the protocol on `Job` and `run_pooled`).
+unsafe impl Send for JobRef {}
+
+struct PoolShared {
+    queue: Vec<JobRef>,
+    spawned: usize,
+}
+
+struct Pool {
+    shared: Mutex<PoolShared>,
+    work_cv: Condvar,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        shared: Mutex::new(PoolShared {
+            queue: Vec::new(),
+            spawned: 0,
+        }),
+        work_cv: Condvar::new(),
+    })
+}
+
+fn worker_main() {
+    let pool = pool();
+    let mut guard = pool.shared.lock().unwrap();
+    loop {
+        if let Some(&job_ref) = guard.queue.last() {
+            // SAFETY: the job is still queued, so the submitter is still
+            // blocked in `run_pooled` and the allocation is live.
+            let job = unsafe { &*job_ref.0 };
+            let slot = job.next_slot.fetch_add(1, Ordering::Relaxed);
+            if slot >= job.max_slots {
+                // Fully subscribed: retire it from the queue.
+                guard.queue.retain(|j| !std::ptr::eq(j.0, job_ref.0));
+                continue;
+            }
+            // Register while holding the pool lock: the submitter removes the
+            // job under the same lock before checking `remaining`, so it
+            // cannot miss this participant.
+            job.remaining.fetch_add(1, Ordering::SeqCst);
+            drop(guard);
+
+            let result = catch_unwind(AssertUnwindSafe(|| (job.body)(slot)));
+            if let Err(payload) = result {
+                let mut p = job.panic.lock().unwrap();
+                if p.is_none() {
+                    *p = Some(payload);
+                }
+            }
+            {
+                let _d = job.done.lock().unwrap();
+                if job.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    job.done_cv.notify_all();
+                }
+            }
+            // The job pointer must not be touched past this point.
+            guard = pool.shared.lock().unwrap();
+        } else {
+            guard = pool.work_cv.wait(guard).unwrap();
+        }
+    }
+}
+
+/// Spawn pool workers until at least `wanted` exist (capped). Failure to
+/// spawn degrades to fewer helpers, never to an error.
+fn ensure_workers(shared: &mut PoolShared, wanted: usize) {
+    let target = wanted.min(MAX_WORKERS);
+    while shared.spawned < target {
+        let name = format!("psi-par-{}", shared.spawned);
+        if std::thread::Builder::new()
+            .name(name)
+            .spawn(worker_main)
+            .is_err()
+        {
+            break;
+        }
+        shared.spawned += 1;
+    }
+}
+
+/// Execute `body` once per participant over the shared index space `0..n`.
+///
+/// `body` receives a [`WorkerRanges`] yielding the index ranges that
+/// participant claims; collectively the ranges partition `0..n` exactly.
+/// Falls back to running `body` once on the caller (single range `0..n`)
+/// when only one participant is warranted.
+pub(crate) fn run(n: usize, grain: usize, body: &(dyn Fn(WorkerRanges<'_>) + Sync)) {
+    if n == 0 {
+        return;
+    }
+    let threads = crate::current_num_threads().max(1);
+    let grain = grain.max(1);
+    let nslots = threads.min(n.div_ceil(grain));
+    if nslots <= 1 || n >= u32::MAX as usize {
+        body(WorkerRanges {
+            inner: RangesInner::Seq(Some(0..n)),
+        });
+        return;
+    }
+    run_pooled(n, grain, nslots, body);
+}
+
+fn run_pooled(n: usize, grain: usize, nslots: usize, body: &(dyn Fn(WorkerRanges<'_>) + Sync)) {
+    let queues = RangeQueues::new(n, nslots, grain);
+    let run_slot = |slot: usize| {
+        body(WorkerRanges {
+            inner: RangesInner::Pool {
+                queues: &queues,
+                slot,
+            },
+        })
+    };
+    let job = Job {
+        body: &run_slot,
+        next_slot: AtomicUsize::new(1),
+        max_slots: nslots,
+        remaining: AtomicUsize::new(0),
+        done: Mutex::new(()),
+        done_cv: Condvar::new(),
+        panic: Mutex::new(None),
+    };
+    // Erase the job's stack lifetime for the queue; `run_pooled` does not
+    // return before every registered worker is done with the pointer.
+    let job_ref = JobRef(std::ptr::from_ref(&job).cast::<Job<'static>>());
+
+    let pool = pool();
+    {
+        let mut shared = pool.shared.lock().unwrap();
+        ensure_workers(&mut shared, nslots - 1);
+        shared.queue.push(job_ref);
+    }
+    pool.work_cv.notify_all();
+
+    // Participate as slot 0. The claim/steal loop drains every queue, so
+    // this returns only once all of `0..n` has been claimed — even if no
+    // worker ever joins.
+    let own = catch_unwind(AssertUnwindSafe(|| (job.body)(0)));
+    if let Err(payload) = own {
+        let mut p = job.panic.lock().unwrap();
+        if p.is_none() {
+            *p = Some(payload);
+        }
+    }
+
+    // Retire the job so no further workers can register, then wait for the
+    // ones that did.
+    {
+        let mut shared = pool.shared.lock().unwrap();
+        shared.queue.retain(|j| !std::ptr::eq(j.0, job_ref.0));
+    }
+    {
+        let mut d = job.done.lock().unwrap();
+        while job.remaining.load(Ordering::SeqCst) > 0 {
+            d = job.done_cv.wait(d).unwrap();
+        }
+    }
+
+    let payload = job.panic.lock().unwrap().take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
+
+/// Serialises tests that install a thread-count override (the override is
+/// process-global, as in upstream rayon).
+#[cfg(test)]
+pub(crate) fn override_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+
+    fn with_threads<R>(t: usize, f: impl FnOnce() -> R) -> R {
+        crate::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build()
+            .unwrap()
+            .install(f)
+    }
+
+    #[test]
+    fn every_index_delivered_exactly_once() {
+        let _g = super::override_lock();
+        with_threads(4, || {
+            let n = 100_000;
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            run(n, 64, &|mut ranges| {
+                while let Some(r) = ranges.next() {
+                    for i in r {
+                        hits[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        });
+    }
+
+    #[test]
+    fn work_lands_on_multiple_threads() {
+        let _g = super::override_lock();
+        with_threads(4, || {
+            // Items are slow enough that parked workers comfortably wake and
+            // claim ranges before the caller drains the job.
+            for _attempt in 0..5 {
+                let ids = Mutex::new(HashSet::new());
+                run(64, 1, &|mut ranges| {
+                    while let Some(r) = ranges.next() {
+                        for _ in r {
+                            std::thread::sleep(std::time::Duration::from_millis(1));
+                        }
+                        ids.lock().unwrap().insert(std::thread::current().id());
+                    }
+                });
+                if ids.lock().unwrap().len() > 1 {
+                    return;
+                }
+            }
+            panic!("no pool worker ever participated in 5 attempts");
+        });
+    }
+
+    #[test]
+    fn single_thread_override_runs_on_caller_only() {
+        let _g = super::override_lock();
+        with_threads(1, || {
+            let caller = std::thread::current().id();
+            let ids = Mutex::new(HashSet::new());
+            run(10_000, 1, &|mut ranges| {
+                while let Some(r) = ranges.next() {
+                    for _ in r {}
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                }
+            });
+            let ids = ids.into_inner().unwrap();
+            assert_eq!(ids.len(), 1);
+            assert!(ids.contains(&caller));
+        });
+    }
+
+    #[test]
+    fn panics_propagate_to_the_submitter() {
+        let _g = super::override_lock();
+        with_threads(4, || {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                run(1000, 8, &|mut ranges| {
+                    while let Some(r) = ranges.next() {
+                        if r.contains(&437) {
+                            panic!("boom in worker");
+                        }
+                    }
+                });
+            }));
+            assert!(result.is_err());
+            // The pool must stay usable afterwards.
+            let count = AtomicUsize::new(0);
+            run(1000, 8, &|mut ranges| {
+                while let Some(r) = ranges.next() {
+                    count.fetch_add(r.len(), Ordering::Relaxed);
+                }
+            });
+            assert_eq!(count.load(Ordering::Relaxed), 1000);
+        });
+    }
+
+    #[test]
+    fn nested_jobs_complete() {
+        let _g = super::override_lock();
+        with_threads(4, || {
+            let total = AtomicUsize::new(0);
+            run(8, 1, &|mut ranges| {
+                while let Some(r) = ranges.next() {
+                    for _ in r {
+                        // Nested job from inside a participant.
+                        run(100, 4, &|mut inner| {
+                            while let Some(ir) = inner.next() {
+                                total.fetch_add(ir.len(), Ordering::Relaxed);
+                            }
+                        });
+                    }
+                }
+            });
+            assert_eq!(total.load(Ordering::Relaxed), 800);
+        });
+    }
+
+    #[test]
+    fn steals_rebalance_uneven_work() {
+        let _g = super::override_lock();
+        with_threads(4, || {
+            // One slot's initial share is far more expensive than the rest;
+            // completion in bounded time with all indices covered exercises
+            // the steal path (timing is not asserted, coverage is).
+            let n = 4096;
+            let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+            run(n, 8, &|mut ranges| {
+                while let Some(r) = ranges.next() {
+                    for i in r {
+                        if i < 64 {
+                            std::thread::sleep(std::time::Duration::from_micros(200));
+                        }
+                        hits[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        });
+    }
+}

@@ -1,0 +1,229 @@
+//! Parallel merge sort backing the `par_sort_*` slice methods.
+//!
+//! Strategy: partition the slice into a power-of-two number of runs (≈ the
+//! participant count), sort each run on the pool, then merge runs pairwise in
+//! `log₂(runs)` rounds. Each round merges every pair in parallel on the pool,
+//! and a pair merge itself fans out via [`crate::join`], splitting at the
+//! larger run's median (the classic parallel merge), so the final round is
+//! not a sequential bottleneck.
+//!
+//! # Panic safety
+//!
+//! The comparator is arbitrary user code and may panic. Merges therefore
+//! *read* from the caller's slice and *write* only into a `MaybeUninit`
+//! scratch buffer that is never dropped; the slice stays fully initialised
+//! whenever user code runs. Each round ends with a plain `memcpy` of the
+//! scratch back into the slice, which executes no user code. On unwind the
+//! slice thus drops every element exactly once and the scratch leaks nothing
+//! but raw capacity.
+
+use crate::pool;
+use std::cmp::Ordering as CmpOrdering;
+use std::mem::MaybeUninit;
+
+/// Below this length a sequential `slice::sort*` call wins outright.
+const SEQ_SORT: usize = 4096;
+/// Pair merges recurse in parallel down to segments of this combined length.
+const MERGE_GRAIN: usize = 8192;
+
+/// Raw pointer that may be shared/sent across the pool: every user is handed
+/// a disjoint region by construction.
+struct SharedPtr<T>(*mut T);
+impl<T> Clone for SharedPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SharedPtr<T> {}
+// SAFETY: accesses go to caller-partitioned disjoint regions.
+unsafe impl<T: Send> Send for SharedPtr<T> {}
+unsafe impl<T: Send> Sync for SharedPtr<T> {}
+
+impl<T> SharedPtr<T> {
+    /// Accessor keeping closure captures on the `Sync` wrapper rather than
+    /// the raw field (edition-2021 closures capture disjoint fields).
+    #[inline]
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Sort `data` by `cmp` in parallel; `stable` selects the run-sort flavour
+/// (the merge itself is always stable).
+pub(crate) fn par_sort_impl<T, F>(data: &mut [T], cmp: &F, stable: bool)
+where
+    T: Send,
+    F: Fn(&T, &T) -> CmpOrdering + Sync,
+{
+    let n = data.len();
+    let threads = crate::current_num_threads().max(1);
+    if threads <= 1 || n <= SEQ_SORT {
+        if stable {
+            data.sort_by(cmp);
+        } else {
+            data.sort_unstable_by(cmp);
+        }
+        return;
+    }
+
+    // Power-of-two run count near the participant count, but with runs no
+    // smaller than a quarter of the sequential threshold.
+    let mut nruns = threads.next_power_of_two().max(2);
+    while nruns > 2 && n / nruns < SEQ_SORT / 4 {
+        nruns /= 2;
+    }
+    let bound = |i: usize| n * i / nruns;
+
+    // Phase 1: sort each run on the pool.
+    let base = SharedPtr(data.as_mut_ptr());
+    pool::run(nruns, 1, &|mut ranges| {
+        while let Some(r) = ranges.next() {
+            for i in r {
+                // SAFETY: run boundaries partition the slice; each run index
+                // is delivered to exactly one participant.
+                let run = unsafe {
+                    std::slice::from_raw_parts_mut(
+                        base.get().add(bound(i)),
+                        bound(i + 1) - bound(i),
+                    )
+                };
+                if stable {
+                    run.sort_by(cmp);
+                } else {
+                    run.sort_unstable_by(cmp);
+                }
+            }
+        }
+    });
+
+    // Phase 2: pairwise merge rounds through the scratch buffer.
+    let mut scratch: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
+    // SAFETY: MaybeUninit contents are allowed to be uninitialised.
+    unsafe { scratch.set_len(n) };
+    let scratch_base = SharedPtr(scratch.as_mut_ptr() as *mut T);
+
+    let mut width = 1;
+    while width < nruns {
+        let npairs = nruns / (2 * width);
+        pool::run(npairs, 1, &|mut ranges| {
+            while let Some(r) = ranges.next() {
+                for p in r {
+                    let lo = bound(2 * width * p);
+                    let mid = bound(2 * width * p + width);
+                    let hi = bound(2 * width * (p + 1));
+                    // SAFETY: pairs partition the slice; reads are confined
+                    // to [lo, hi) of `data`, writes to [lo, hi) of scratch.
+                    unsafe {
+                        par_merge(
+                            (SharedPtr(base.get().add(lo)), mid - lo),
+                            (SharedPtr(base.get().add(mid)), hi - mid),
+                            SharedPtr(scratch_base.get().add(lo)),
+                            cmp,
+                        );
+                    }
+                }
+            }
+        });
+        // Copy the merged round back (no user code; cannot unwind mid-copy).
+        let copy_grain = pool::grain_for(n, threads, SEQ_SORT);
+        pool::run(n, copy_grain, &|mut ranges| {
+            while let Some(r) = ranges.next() {
+                // SAFETY: ranges are disjoint; scratch[lo..hi) was fully
+                // initialised by this round's merges.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        scratch_base.get().add(r.start),
+                        base.get().add(r.start),
+                        r.len(),
+                    );
+                }
+            }
+        });
+        width *= 2;
+    }
+}
+
+/// Merge the sorted runs `a` and `b` (given as base-pointer + length pairs)
+/// into `dst`, recursing in parallel via `join`. Stable: ties take from `a`.
+///
+/// # Safety
+///
+/// `a` and `b` must be valid, disjoint, sorted regions; `dst` must be valid
+/// for `a.1 + b.1` writes and disjoint from both sources.
+unsafe fn par_merge<T, F>(
+    a: (SharedPtr<T>, usize),
+    b: (SharedPtr<T>, usize),
+    dst: SharedPtr<T>,
+    cmp: &F,
+) where
+    T: Send,
+    F: Fn(&T, &T) -> CmpOrdering + Sync,
+{
+    let (pa, la) = a;
+    let (pb, lb) = b;
+    if la + lb <= MERGE_GRAIN {
+        unsafe { seq_merge(pa.0, la, pb.0, lb, dst.0, cmp) };
+        return;
+    }
+    let sa = unsafe { std::slice::from_raw_parts(pa.0, la) };
+    let sb = unsafe { std::slice::from_raw_parts(pb.0, lb) };
+    // Split the larger run at its midpoint; binary-search the partner for the
+    // stability-preserving partition point.
+    let (ma, mb) = if la >= lb {
+        let ma = la / 2;
+        let pivot = &sa[ma];
+        // b-elements strictly smaller than the pivot sort before it; equal
+        // ones stay to the right so a-side equals keep precedence.
+        (
+            ma,
+            sb.partition_point(|x| cmp(x, pivot) == CmpOrdering::Less),
+        )
+    } else {
+        let mb = lb / 2;
+        let pivot = &sb[mb];
+        // a-elements less than *or equal to* the pivot precede it (a wins
+        // ties), so the partition keeps the merge stable.
+        (
+            sa.partition_point(|x| cmp(x, pivot) != CmpOrdering::Greater),
+            mb,
+        )
+    };
+    let left_a = (pa, ma);
+    let left_b = (pb, mb);
+    let right_a = (SharedPtr(unsafe { pa.0.add(ma) }), la - ma);
+    let right_b = (SharedPtr(unsafe { pb.0.add(mb) }), lb - mb);
+    let dst_right = SharedPtr(unsafe { dst.0.add(ma + mb) });
+    crate::join(
+        || unsafe { par_merge(left_a, left_b, dst, cmp) },
+        || unsafe { par_merge(right_a, right_b, dst_right, cmp) },
+    );
+}
+
+/// Sequential two-finger merge via bitwise copies (sources stay initialised;
+/// `dst` is scratch that is never dropped).
+///
+/// # Safety
+///
+/// Same contract as [`par_merge`].
+unsafe fn seq_merge<T, F>(pa: *const T, la: usize, pb: *const T, lb: usize, dst: *mut T, cmp: &F)
+where
+    F: Fn(&T, &T) -> CmpOrdering,
+{
+    let mut i = 0;
+    let mut j = 0;
+    let mut out = dst;
+    unsafe {
+        while i < la && j < lb {
+            if cmp(&*pb.add(j), &*pa.add(i)) == CmpOrdering::Less {
+                std::ptr::copy_nonoverlapping(pb.add(j), out, 1);
+                j += 1;
+            } else {
+                std::ptr::copy_nonoverlapping(pa.add(i), out, 1);
+                i += 1;
+            }
+            out = out.add(1);
+        }
+        std::ptr::copy_nonoverlapping(pa.add(i), out, la - i);
+        std::ptr::copy_nonoverlapping(pb.add(j), out.add(la - i), lb - j);
+    }
+}

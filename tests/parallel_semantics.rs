@@ -1,0 +1,359 @@
+//! Semantics battery for the real parallel executor behind the rayon shim
+//! (PR 2): for every prelude combinator the workspace uses, parallel
+//! execution must (a) produce results identical to sequential execution,
+//! (b) actually place work on more than one thread when more than one is
+//! allowed, (c) propagate worker panics to the caller, and (d) degrade to
+//! pure sequential execution under `ThreadPool::install(1)`.
+//!
+//! The thread-count override is process-global (as upstream rayon's global
+//! pool is), so every test that installs one serialises on [`override_lock`].
+
+use psi::registry::{self, BuildOptions};
+use psi::{PointI, SpatialIndex, ZdTree};
+use psi_parutils::{exclusive_scan, hybrid_sort_keys, par_chunks, par_sort_by_key, sieve_by};
+use psi_workloads as workloads;
+use rayon::prelude::*;
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+fn override_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn with_threads<R>(t: usize, f: impl FnOnce() -> R + Send) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(t)
+        .build()
+        .unwrap()
+        .install(f)
+}
+
+// ---------------------------------------------------------------------------
+// (a) Parallel results are identical to sequential results.
+// ---------------------------------------------------------------------------
+
+/// Run the same combinator workload under 1 and 4 threads and require equal
+/// outputs; returns the sequential output for further checks.
+fn assert_thread_invariant<R: PartialEq + std::fmt::Debug + Send>(
+    workload: impl Fn() -> R + Send + Sync,
+) -> R {
+    let _g = override_lock();
+    let seq = with_threads(1, &workload);
+    let par = with_threads(4, &workload);
+    assert_eq!(seq, par, "parallel result differs from sequential");
+    seq
+}
+
+#[test]
+fn map_collect_matches_sequential() {
+    let v: Vec<u64> = (0..100_000).map(|i| i * 37 % 1_000).collect();
+    let out = assert_thread_invariant(|| v.par_iter().map(|x| x * 3 + 1).collect::<Vec<u64>>());
+    assert_eq!(out.len(), v.len());
+    assert_eq!(out[17], v[17] * 3 + 1);
+}
+
+#[test]
+fn sum_matches_sequential() {
+    let v: Vec<u64> = (0..123_457).collect();
+    let s = assert_thread_invariant(|| v.par_iter().map(|&x| x).sum::<u64>());
+    assert_eq!(s, 123_456 * 123_457 / 2);
+}
+
+#[test]
+fn zip_enumerate_for_each_matches_sequential() {
+    let n = 54_321;
+    let a: Vec<u32> = (0..n as u32).collect();
+    let out = assert_thread_invariant(|| {
+        let mut b = vec![0u64; n];
+        a.par_chunks(1000)
+            .zip(b.par_chunks_mut(1000))
+            .enumerate()
+            .for_each(|(ci, (src, dst))| {
+                for (s, d) in src.iter().zip(dst.iter_mut()) {
+                    *d = *s as u64 + ci as u64;
+                }
+            });
+        b
+    });
+    assert_eq!(out[1000], 1001); // chunk 1, value 1000 + 1
+}
+
+#[test]
+fn map_init_results_do_not_depend_on_worker_assignment() {
+    let out = assert_thread_invariant(|| {
+        (0..40_000usize)
+            .into_par_iter()
+            .map_init(Vec::<usize>::new, |scratch, i| {
+                // A correct map_init user resets its scratch per item;
+                // the result must not observe other items' history.
+                scratch.clear();
+                scratch.extend([i, i + 1]);
+                scratch.iter().sum::<usize>()
+            })
+            .collect::<Vec<usize>>()
+    });
+    assert!(out.iter().enumerate().all(|(i, &x)| x == 2 * i + 1));
+}
+
+#[test]
+fn flat_map_iter_matches_sequential() {
+    let out = assert_thread_invariant(|| {
+        (0..5_000usize)
+            .into_par_iter()
+            .flat_map_iter(|i| (0..i % 4).map(move |j| i * 10 + j))
+            .collect::<Vec<usize>>()
+    });
+    let expect: Vec<usize> = (0..5_000)
+        .flat_map(|i| (0..i % 4).map(move |j| i * 10 + j))
+        .collect();
+    assert_eq!(out, expect);
+}
+
+#[test]
+fn par_sort_matches_sequential_and_is_stable() {
+    let v: Vec<(u32, u32)> = (0..150_000u32).map(|i| (i % 97, i)).collect();
+    let sorted = assert_thread_invariant(|| {
+        let mut w = v.clone();
+        w.par_sort_by_key(|e| e.0);
+        w
+    });
+    let mut expect = v.clone();
+    expect.sort_by_key(|e| e.0);
+    // Stable: ties keep input order, so the full tuples match.
+    assert_eq!(sorted, expect);
+}
+
+#[test]
+fn parutils_primitives_match_sequential() {
+    let v: Vec<u64> = (0..80_000).map(|i| (i * 2654435761u64) % 10_007).collect();
+    // par_sort_by_key (sample sort over pool + join).
+    let sorted = assert_thread_invariant(|| {
+        let mut w = v.clone();
+        par_sort_by_key(&mut w, |&x| x);
+        w
+    });
+    assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+    // hybrid_sort_keys.
+    let hybrid = assert_thread_invariant(|| hybrid_sort_keys(&v, |&p| p.rotate_left(9)));
+    assert_eq!(hybrid.len(), v.len());
+    // exclusive_scan.
+    let counts: Vec<usize> = (0..30_000).map(|i| i % 7).collect();
+    let scanned = assert_thread_invariant(|| exclusive_scan(&counts));
+    assert_eq!(scanned.0[1], counts[0]);
+    // sieve_by (stable bucket distribution).
+    let sieved = assert_thread_invariant(|| {
+        let mut w = v.clone();
+        let offsets = sieve_by(&mut w, 13, |x| (*x % 13) as usize);
+        (w, offsets)
+    });
+    assert_eq!(sieved.1.len(), 14);
+    // par_chunks covers every index exactly once.
+    let _g = override_lock();
+    with_threads(4, || {
+        let n = 100_000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        par_chunks(n, 1024, |r| {
+            for i in r {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    });
+}
+
+#[test]
+fn batch_queries_identical_across_thread_counts_for_registry_families() {
+    let data = workloads::uniform::<2>(20_000, 100_000, 11);
+    let queries = workloads::ind_queries(&data, 500, 12);
+    let ranges = workloads::range_queries(&data, 100_000, 200, 100, 13);
+    let opts = BuildOptions::<i64, 2>::with_universe(workloads::universe::<2>(100_000));
+    for name in registry::names() {
+        let index = registry::create::<2>(name, &data, &opts).unwrap();
+        let workload = || {
+            (
+                index.knn_batch(&queries, 7),
+                index.range_count_batch(&ranges),
+                index.range_list_batch(&ranges),
+            )
+        };
+        let (knn, counts, lists) = assert_thread_invariant(workload);
+        assert_eq!(knn.len(), queries.len(), "{name}");
+        assert_eq!(counts.len(), ranges.len(), "{name}");
+        // range_list and range_count must agree with each other.
+        for (c, l) in counts.iter().zip(lists.iter()) {
+            assert_eq!(*c, l.len(), "{name}");
+        }
+    }
+}
+
+#[test]
+fn index_construction_identical_across_thread_counts() {
+    // Builds exercise par_sort / sieve / nested par_iter recursions; the
+    // resulting structures must answer queries identically.
+    let data = workloads::uniform::<2>(30_000, 50_000, 21);
+    let queries = workloads::ind_queries(&data, 200, 22);
+    let build_and_probe = || {
+        let universe = workloads::universe::<2>(50_000);
+        let index = ZdTree::<2>::build_with(&data, Some(&universe), Default::default());
+        index.check_invariants();
+        index.knn_batch(&queries, 5)
+    };
+    assert_thread_invariant(build_and_probe);
+}
+
+// ---------------------------------------------------------------------------
+// (b) Work really lands on more than one thread.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn work_spreads_across_threads_when_allowed() {
+    let _g = override_lock();
+    with_threads(4, || {
+        for _attempt in 0..5 {
+            let ids = Mutex::new(HashSet::new());
+            (0..128usize).into_par_iter().with_min_len(1).for_each(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                ids.lock().unwrap().insert(std::thread::current().id());
+            });
+            if ids.into_inner().unwrap().len() > 1 {
+                return;
+            }
+        }
+        panic!("no pool worker ever participated across 5 attempts");
+    });
+}
+
+#[test]
+fn map_init_creates_at_most_one_state_per_worker() {
+    let _g = override_lock();
+    with_threads(4, || {
+        let inits = AtomicUsize::new(0);
+        let out: Vec<usize> = (0..20_000usize)
+            .into_par_iter()
+            .map_init(|| inits.fetch_add(1, Ordering::Relaxed), |_, i| i)
+            .collect();
+        assert_eq!(out.len(), 20_000);
+        let done = inits.load(Ordering::Relaxed);
+        assert!(
+            (1..=4).contains(&done),
+            "expected 1..=4 init calls (one per participating worker), got {done}"
+        );
+    });
+}
+
+// ---------------------------------------------------------------------------
+// (c) Panics in worker closures propagate to the caller.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn for_each_panic_propagates() {
+    let _g = override_lock();
+    for threads in [1, 4] {
+        with_threads(threads, || {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                (0..10_000usize).into_par_iter().for_each(|i| {
+                    if i == 7_431 {
+                        panic!("deliberate worker panic");
+                    }
+                });
+            }));
+            assert!(result.is_err(), "panic swallowed at {threads} threads");
+        });
+    }
+}
+
+#[test]
+fn map_init_and_collect_panics_propagate_and_pool_survives() {
+    let _g = override_lock();
+    with_threads(4, || {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            (0..10_000usize)
+                .into_par_iter()
+                .map_init(
+                    || (),
+                    |_, i| {
+                        if i == 2_222 {
+                            panic!("map_init body panic");
+                        }
+                        i
+                    },
+                )
+                .collect::<Vec<usize>>()
+        }));
+        assert!(result.is_err());
+        // The executor must remain usable after an unwound job.
+        let s: usize = (0..1_000usize).into_par_iter().sum();
+        assert_eq!(s, 999 * 1_000 / 2);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// (d) install(1) forces sequential execution on the calling thread.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn install_one_forces_sequential() {
+    let _g = override_lock();
+    with_threads(1, || {
+        assert_eq!(rayon::current_num_threads(), 1);
+        let caller = std::thread::current().id();
+        let ids = Mutex::new(HashSet::new());
+        (0..10_000usize).into_par_iter().for_each(|_| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+        });
+        let ids = ids.into_inner().unwrap();
+        assert_eq!(ids.len(), 1, "install(1) must not fan out");
+        assert!(ids.contains(&caller), "work must stay on the caller");
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Nested join under the pool (parutils recursions run inside pool workers).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn nested_join_under_pool_completes_correctly() {
+    fn join_sum(lo: u64, hi: u64) -> u64 {
+        if hi - lo < 1_000 {
+            (lo..hi).sum()
+        } else {
+            let mid = lo + (hi - lo) / 2;
+            let (a, b) = rayon::join(|| join_sum(lo, mid), || join_sum(mid, hi));
+            a + b
+        }
+    }
+    let _g = override_lock();
+    with_threads(4, || {
+        let sums: Vec<u64> = (0..16usize)
+            .into_par_iter()
+            .map(|_| join_sum(0, 50_000))
+            .collect();
+        assert!(sums.iter().all(|&s| s == 49_999 * 50_000 / 2));
+    });
+}
+
+// ---------------------------------------------------------------------------
+// The caller-owned range_list arena (PR 2 satellite).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn range_list_into_reuses_the_arena_and_matches_range_list() {
+    let data = workloads::uniform::<2>(10_000, 10_000, 31);
+    let universe = workloads::universe::<2>(10_000);
+    let index = <psi::POrthTree2 as SpatialIndex<i64, 2>>::build(&data, &universe);
+    let ranges = workloads::range_queries(&data, 10_000, 500, 50, 32);
+
+    let mut arena: Vec<PointI<2>> = Vec::new();
+    let mut max_cap = 0;
+    for r in &ranges {
+        index.range_list_into(r, &mut arena);
+        assert_eq!(arena, index.range_list(r));
+        assert_eq!(arena.len(), index.range_count(r));
+        // The arena only ever grows: allocations are amortised across queries.
+        assert!(arena.capacity() >= max_cap);
+        max_cap = max_cap.max(arena.capacity());
+    }
+}
