@@ -18,7 +18,7 @@ fn bench_construction(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2));
     let universe = workloads::universe::<2>(workloads::DEFAULT_MAX_COORD_2D);
 
-    for dist in Distribution::ALL {
+    for dist in Distribution::SYNTHETIC {
         let data = dist.generate::<2>(N, workloads::DEFAULT_MAX_COORD_2D, 42);
         group.bench_with_input(BenchmarkId::new("P-Orth", dist.name()), &data, |b, d| {
             b.iter(|| <POrthTree2 as SpatialIndex<i64, 2>>::build(d, &universe))

@@ -47,7 +47,7 @@ fn main() {
         "# Figure 10: single-batch update time vs batch size (base tree n = {})",
         cfg.n
     );
-    for dist in Distribution::ALL {
+    for dist in Distribution::SYNTHETIC {
         println!("\n== {} ==", dist.name());
         let data = dist.generate::<2>(cfg.n, cfg.max_coord, cfg.seed);
         run::<SpacHTree<2>>("SPaC-H", &data, dist, &cfg);

@@ -21,7 +21,7 @@ fn main() {
     );
     println!("# times in seconds; paper reference: Fig. 3 of arXiv:2601.05347");
 
-    for dist in Distribution::ALL {
+    for dist in Distribution::SYNTHETIC {
         let data = dist.generate::<2>(cfg.n, cfg.max_coord, cfg.seed);
         println!("\n== {} ==", dist.name());
         println!("{}", master_header(&cfg.batch_ratios));

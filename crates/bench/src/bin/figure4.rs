@@ -40,7 +40,7 @@ fn main() {
         "# Figure 4: kNN time vs k (n = {}, {} queries per point set)",
         cfg.n, cfg.knn_queries
     );
-    for dist in Distribution::ALL {
+    for dist in Distribution::SYNTHETIC {
         println!("\n== {} ==", dist.name());
         let data = dist.generate::<2>(cfg.n, cfg.max_coord, cfg.seed);
         run::<POrthTree2>("P-Orth", &data, &cfg);

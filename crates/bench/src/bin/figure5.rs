@@ -48,7 +48,7 @@ fn main() {
         "# Figure 5: range-report time vs output size (n = {}, {} range queries)",
         cfg.n, cfg.range_queries
     );
-    for dist in Distribution::ALL {
+    for dist in Distribution::SYNTHETIC {
         println!("\n== {} ==", dist.name());
         let data = dist.generate::<2>(cfg.n, cfg.max_coord, cfg.seed);
         run::<POrthTree2>("P-Orth", &data, &cfg);

@@ -107,7 +107,7 @@ fn main() {
         cfg.n,
         rayon::current_num_threads()
     );
-    for dist in Distribution::ALL {
+    for dist in Distribution::SYNTHETIC {
         println!("\n== {} ==", dist.name());
         let data = dist.generate::<2>(cfg.n, cfg.max_coord, cfg.seed);
         let batch = workloads::uniform::<2>(cfg.n / 100, cfg.max_coord, cfg.seed ^ 0x91);

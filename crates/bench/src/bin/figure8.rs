@@ -40,7 +40,7 @@ fn main() {
         "distribution", "index", "update_gm", "query_gm"
     );
 
-    for dist in Distribution::ALL {
+    for dist in Distribution::SYNTHETIC {
         let data = dist.generate::<2>(cfg.n, cfg.max_coord, cfg.seed);
         let rows = vec![
             (

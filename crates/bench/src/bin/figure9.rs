@@ -15,7 +15,7 @@ fn main() {
         cfg.n, cfg.max_coord
     );
 
-    for dist in Distribution::ALL {
+    for dist in Distribution::SYNTHETIC {
         let data = dist.generate::<3>(cfg.n, cfg.max_coord, cfg.seed);
         println!("\n== {} ==", dist.name());
         println!("{}", master_header(&cfg.batch_ratios));

@@ -1,0 +1,642 @@
+//! Scenario execution: replay a [`Scenario`]'s schedule against every
+//! requested index family through [`psi::registry`], recording wall-clock
+//! timings and — the part the golden-file test suite pins down —
+//! deterministic result checksums.
+//!
+//! Checksums are FNV-1a folds over query *answers*, designed to be invariant
+//! across index families and thread counts:
+//!
+//! * kNN folds the per-rank squared distances (families may break distance
+//!   ties differently, but the distance sequence is unique),
+//! * range-count folds the counts,
+//! * range-list sorts each answer lexicographically before folding (the batch
+//!   paths return per-query answers in query order, but the points within one
+//!   answer arrive in index-specific order),
+//! * the final state checksum folds the sorted full contents of the index.
+//!
+//! Because every family answering the same scenario must produce the same
+//! answers, all families share the same probe checksums — a run in which two
+//! families disagree is a correctness bug, which [`run`] reports as an error
+//! rather than writing a plausible-looking report.
+
+use crate::scenario::{CoordKind, Scenario, Step};
+use psi::registry::{self, BuildOptions, DynIndex, RegistryError};
+use psi::{HilbertCurve, MortonCurve, SfcCurve};
+use psi_geometry::{Coord, Point, PointI, Rect};
+use psi_workloads as workloads;
+use std::time::Instant;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fold(h: u64, word: u64) -> u64 {
+    (h ^ word).wrapping_mul(FNV_PRIME)
+}
+
+/// Coordinate types the executor can checksum exactly.
+pub trait ScenarioCoord: Coord {
+    /// The coordinate as a deterministic 64-bit word.
+    fn coord_bits(self) -> u64;
+    /// A squared distance as deterministic words (low, high).
+    fn dist_bits(d: Self::Dist) -> (u64, u64);
+}
+
+impl ScenarioCoord for i64 {
+    fn coord_bits(self) -> u64 {
+        self as u64
+    }
+    fn dist_bits(d: i128) -> (u64, u64) {
+        (d as u64, (d >> 64) as u64)
+    }
+}
+
+impl ScenarioCoord for f64 {
+    fn coord_bits(self) -> u64 {
+        self.to_bits()
+    }
+    fn dist_bits(d: f64) -> (u64, u64) {
+        (d.to_bits(), 0)
+    }
+}
+
+/// The concrete query mix a scenario's probes run.
+struct ProbeSet<T: Coord, const D: usize> {
+    knn_ind: Vec<Point<T, D>>,
+    knn_ood: Vec<Point<T, D>>,
+    k: usize,
+    ranges: Vec<Rect<T, D>>,
+}
+
+/// Checksums (and timing) of one `probe` step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProbeOutcome {
+    /// Index size when the probe ran.
+    pub live: usize,
+    /// Checksum over the in-distribution kNN answers.
+    pub knn_ind: u64,
+    /// Checksum over the out-of-distribution kNN answers.
+    pub knn_ood: u64,
+    /// Checksum over the range-count answers.
+    pub range_count: u64,
+    /// Checksum over the (sorted) range-list answers.
+    pub range_list: u64,
+}
+
+/// One family's trip through the schedule.
+#[derive(Clone, Debug)]
+pub struct FamilyRun {
+    /// Canonical registry name.
+    pub family: String,
+    /// One entry per `probe` step, in schedule order.
+    pub probes: Vec<ProbeOutcome>,
+    /// Per-probe wall-clock seconds (same order; not part of the golden data).
+    pub probe_secs: Vec<f64>,
+    /// Final index size after the whole schedule.
+    pub final_len: usize,
+    /// Checksum of the final index contents.
+    pub final_state: u64,
+    /// Total wall-clock seconds spent in build/insert/delete steps.
+    pub update_secs: f64,
+}
+
+/// A full scenario execution: every family's probes and timings.
+#[derive(Clone, Debug)]
+pub struct ScenarioRun {
+    /// Scenario name.
+    pub name: String,
+    /// Distribution name.
+    pub distribution: String,
+    /// Coordinate-type name (`i64`/`f64`).
+    pub coords: String,
+    /// Dimensionality.
+    pub dims: usize,
+    /// Dataset size.
+    pub n: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Worker threads the run observed (`rayon::current_num_threads`).
+    pub threads: usize,
+    /// Per-family results, in scenario order.
+    pub families: Vec<FamilyRun>,
+}
+
+/// Execute a scenario. `threads = Some(t)` pins the run to a `t`-worker pool
+/// (the in-process equivalent of `RAYON_NUM_THREADS=t`); `None` uses the
+/// global pool. Fails if two families disagree on any probe checksum.
+pub fn run(sc: &Scenario, threads: Option<usize>) -> Result<ScenarioRun, String> {
+    match threads {
+        None => run_inner(sc),
+        Some(0) => Err("--threads must be positive".to_string()),
+        Some(t) => rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build()
+            .map_err(|_| "failed to build worker pool".to_string())?
+            .install(|| run_inner(sc)),
+    }
+}
+
+fn run_inner(sc: &Scenario) -> Result<ScenarioRun, String> {
+    let families = match (sc.coords, sc.dims) {
+        (CoordKind::I64, 2) => run_i64::<2>(sc),
+        (CoordKind::I64, 3) => run_i64::<3>(sc),
+        (CoordKind::F64, 2) => run_f64::<2>(sc),
+        (CoordKind::F64, 3) => run_f64::<3>(sc),
+        (_, d) => Err(format!("unsupported dims {d}")),
+    }?;
+
+    // Cross-family agreement: every family answered the same queries over the
+    // same data, so the probe checksums must be identical.
+    if let Some((first, rest)) = families.split_first() {
+        for fam in rest {
+            if fam.probes != first.probes || fam.final_state != first.final_state {
+                return Err(format!(
+                    "scenario {:?}: {} disagrees with {} (probe or final-state \
+                     checksum mismatch — an index family is answering queries \
+                     incorrectly)",
+                    sc.name, fam.family, first.family
+                ));
+            }
+        }
+    }
+
+    Ok(ScenarioRun {
+        name: sc.name.clone(),
+        distribution: sc.distribution.name().to_string(),
+        coords: sc.coords.name().to_string(),
+        dims: sc.dims,
+        n: sc.n,
+        seed: sc.seed,
+        threads: rayon::current_num_threads(),
+        families,
+    })
+}
+
+fn probe_set_i64<const D: usize>(sc: &Scenario, data: &[PointI<D>]) -> ProbeSet<i64, D> {
+    ProbeSet {
+        knn_ind: workloads::ind_queries(data, sc.queries.knn_ind, sc.seed ^ 0x51),
+        knn_ood: workloads::ood_queries::<D>(sc.max_coord, sc.queries.knn_ood, sc.seed ^ 0x52),
+        k: sc.queries.k,
+        ranges: workloads::range_queries(
+            data,
+            sc.max_coord,
+            sc.queries.range_target,
+            sc.queries.ranges,
+            sc.seed ^ 0x53,
+        ),
+    }
+}
+
+/// Everything the executor and the differential replay share per scenario:
+/// generated data, the probe query mix, the universe and the build options —
+/// factored so both paths can never drift onto different inputs.
+struct Setup<T: Coord, const D: usize> {
+    data: Vec<Point<T, D>>,
+    ps: ProbeSet<T, D>,
+    universe: Rect<T, D>,
+    opts: BuildOptions<T, D>,
+}
+
+fn build_opts<T: Coord, const D: usize>(sc: &Scenario, universe: Rect<T, D>) -> BuildOptions<T, D> {
+    let mut opts = BuildOptions::with_universe(universe);
+    if let Some(leaf) = sc.leaf_size {
+        opts = opts.leaf_size(leaf);
+    }
+    opts
+}
+
+fn setup_i64<const D: usize>(sc: &Scenario) -> Setup<i64, D> {
+    let data = sc.distribution.generate::<D>(sc.n, sc.max_coord, sc.seed);
+    let ps = probe_set_i64(sc, &data);
+    let universe = workloads::universe::<D>(sc.max_coord);
+    Setup {
+        data,
+        ps,
+        universe,
+        opts: build_opts(sc, universe),
+    }
+}
+
+fn to_f64_point<const D: usize>(p: &PointI<D>) -> Point<f64, D> {
+    Point::new(p.coords.map(|c| c as f64))
+}
+
+fn setup_f64<const D: usize>(sc: &Scenario) -> Setup<f64, D> {
+    // Float scenarios reuse the integer generators (exact in f64 for the
+    // supported domains), so i64 and f64 runs of the same scenario shape see
+    // geometrically identical data.
+    let is = setup_i64::<D>(sc);
+    let universe = Rect::from_corners(Point::new([0.0; D]), Point::new([sc.max_coord as f64; D]));
+    Setup {
+        data: is.data.iter().map(to_f64_point).collect(),
+        ps: ProbeSet {
+            knn_ind: is.ps.knn_ind.iter().map(to_f64_point).collect(),
+            knn_ood: is.ps.knn_ood.iter().map(to_f64_point).collect(),
+            k: is.ps.k,
+            ranges: is
+                .ps
+                .ranges
+                .iter()
+                .map(|r| Rect::from_corners(to_f64_point(&r.lo), to_f64_point(&r.hi)))
+                .collect(),
+        },
+        universe,
+        opts: build_opts(sc, universe),
+    }
+}
+
+fn run_i64<const D: usize>(sc: &Scenario) -> Result<Vec<FamilyRun>, String>
+where
+    HilbertCurve: SfcCurve<D>,
+    MortonCurve: SfcCurve<D>,
+{
+    let s = setup_i64::<D>(sc);
+    run_typed(sc, &s.data, &s.ps, &s.universe, &|family, pts| {
+        registry::create::<D>(family, pts, &s.opts)
+    })
+}
+
+fn run_f64<const D: usize>(sc: &Scenario) -> Result<Vec<FamilyRun>, String> {
+    let s = setup_f64::<D>(sc);
+    run_typed(sc, &s.data, &s.ps, &s.universe, &|family, pts| {
+        registry::create_f64::<D>(family, pts, &s.opts)
+    })
+}
+
+type Create<'a, T, const D: usize> =
+    dyn Fn(&str, &[Point<T, D>]) -> Result<Box<dyn DynIndex<T, D>>, RegistryError> + 'a;
+
+/// A family index and its lockstep brute-force oracle.
+type DiffPair<T, const D: usize> = (Box<dyn DynIndex<T, D>>, Box<dyn DynIndex<T, D>>);
+
+fn run_typed<T: ScenarioCoord, const D: usize>(
+    sc: &Scenario,
+    data: &[Point<T, D>],
+    ps: &ProbeSet<T, D>,
+    universe: &Rect<T, D>,
+    create: &Create<'_, T, D>,
+) -> Result<Vec<FamilyRun>, String> {
+    let mut out = Vec::with_capacity(sc.families.len());
+    for &family in &sc.families {
+        let mut inserted = 0usize;
+        let mut deleted = 0usize;
+        let mut index: Option<Box<dyn DynIndex<T, D>>> = None;
+        let mut probes = Vec::new();
+        let mut probe_secs = Vec::new();
+        let mut update_secs = 0.0f64;
+        for step in &sc.schedule {
+            match step {
+                Step::Build(amount) => {
+                    let take = amount.resolve(sc.n).min(sc.n);
+                    let t = Instant::now();
+                    index = Some(create(family, &data[..take]).map_err(|e| e.to_string())?);
+                    update_secs += t.elapsed().as_secs_f64();
+                    inserted = take;
+                }
+                Step::Insert(amount) => {
+                    let idx = index.as_mut().expect("schedule starts with build");
+                    let take = amount.resolve(sc.n).min(sc.n - inserted);
+                    let t = Instant::now();
+                    idx.batch_insert(&data[inserted..inserted + take]);
+                    update_secs += t.elapsed().as_secs_f64();
+                    inserted += take;
+                }
+                Step::Delete(amount) => {
+                    let idx = index.as_mut().expect("schedule starts with build");
+                    let take = amount.resolve(sc.n).min(inserted - deleted);
+                    let t = Instant::now();
+                    idx.batch_delete(&data[deleted..deleted + take]);
+                    update_secs += t.elapsed().as_secs_f64();
+                    deleted += take;
+                }
+                Step::Probe => {
+                    let idx = index.as_ref().expect("schedule starts with build");
+                    let t = Instant::now();
+                    probes.push(run_probe(&**idx, ps));
+                    probe_secs.push(t.elapsed().as_secs_f64());
+                }
+            }
+        }
+        let idx = index.expect("schedule starts with build");
+        idx.check_invariants();
+        out.push(FamilyRun {
+            family: family.to_string(),
+            probes,
+            probe_secs,
+            final_len: idx.len(),
+            final_state: state_checksum(&*idx, universe),
+            update_secs,
+        });
+    }
+    Ok(out)
+}
+
+fn knn_checksum<T: ScenarioCoord, const D: usize>(
+    index: &dyn DynIndex<T, D>,
+    queries: &[Point<T, D>],
+    k: usize,
+) -> u64 {
+    if queries.is_empty() || k == 0 {
+        return 0;
+    }
+    let answers = index.knn_batch(queries, k);
+    let mut h = FNV_OFFSET;
+    for (q, nbrs) in queries.iter().zip(&answers) {
+        h = fold(h, nbrs.len() as u64);
+        for p in nbrs {
+            let (lo, hi) = T::dist_bits(q.dist_sq(p));
+            h = fold(fold(h, lo), hi);
+        }
+    }
+    h
+}
+
+fn points_checksum<T: ScenarioCoord, const D: usize>(h: u64, sorted: &[Point<T, D>]) -> u64 {
+    let mut h = fold(h, sorted.len() as u64);
+    for p in sorted {
+        for c in p.coords {
+            h = fold(h, c.coord_bits());
+        }
+    }
+    h
+}
+
+fn run_probe<T: ScenarioCoord, const D: usize>(
+    index: &dyn DynIndex<T, D>,
+    ps: &ProbeSet<T, D>,
+) -> ProbeOutcome {
+    let knn_ind = knn_checksum(index, &ps.knn_ind, ps.k);
+    let knn_ood = knn_checksum(index, &ps.knn_ood, ps.k);
+    let (range_count, range_list) = if ps.ranges.is_empty() {
+        (0, 0)
+    } else {
+        let counts = index.range_count_batch(&ps.ranges);
+        let mut hc = FNV_OFFSET;
+        for c in counts {
+            hc = fold(hc, c as u64);
+        }
+        let mut hl = FNV_OFFSET;
+        for mut answer in index.range_list_batch(&ps.ranges) {
+            answer.sort_unstable();
+            hl = points_checksum(hl, &answer);
+        }
+        (hc, hl)
+    };
+    ProbeOutcome {
+        live: index.len(),
+        knn_ind,
+        knn_ood,
+        range_count,
+        range_list,
+    }
+}
+
+fn state_checksum<T: ScenarioCoord, const D: usize>(
+    index: &dyn DynIndex<T, D>,
+    universe: &Rect<T, D>,
+) -> u64 {
+    let mut contents = index.range_list(universe);
+    contents.sort_unstable();
+    points_checksum(FNV_OFFSET, &contents)
+}
+
+/// Result of a differential replay: how much was compared.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DiffReport {
+    /// Probe steps compared.
+    pub probes: usize,
+    /// Individual query answers compared exactly.
+    pub answers: usize,
+}
+
+/// Replay a scenario's schedule with `family` and the brute-force oracle in
+/// lockstep, asserting **exact** agreement of every kNN distance list, every
+/// range count and every (sorted) range list at every probe, plus the final
+/// index contents. Returns what was compared, or a description of the first
+/// disagreement.
+pub fn run_differential(sc: &Scenario, family: &str) -> Result<DiffReport, String> {
+    match (sc.coords, sc.dims) {
+        (CoordKind::I64, 2) => diff_i64::<2>(sc, family),
+        (CoordKind::I64, 3) => diff_i64::<3>(sc, family),
+        (CoordKind::F64, 2) => diff_f64::<2>(sc, family),
+        (CoordKind::F64, 3) => diff_f64::<3>(sc, family),
+        (_, d) => Err(format!("unsupported dims {d}")),
+    }
+}
+
+fn diff_i64<const D: usize>(sc: &Scenario, family: &str) -> Result<DiffReport, String>
+where
+    HilbertCurve: SfcCurve<D>,
+    MortonCurve: SfcCurve<D>,
+{
+    let s = setup_i64::<D>(sc);
+    diff_typed(sc, family, &s.data, &s.ps, &s.universe, &|name, pts| {
+        registry::create::<D>(name, pts, &s.opts)
+    })
+}
+
+fn diff_f64<const D: usize>(sc: &Scenario, family: &str) -> Result<DiffReport, String> {
+    let s = setup_f64::<D>(sc);
+    diff_typed(sc, family, &s.data, &s.ps, &s.universe, &|name, pts| {
+        registry::create_f64::<D>(name, pts, &s.opts)
+    })
+}
+
+fn dists_equal<T: Coord>(a: &[T::Dist], b: &[T::Dist]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| T::dist_cmp(*x, *y) == std::cmp::Ordering::Equal)
+}
+
+fn diff_typed<T: ScenarioCoord, const D: usize>(
+    sc: &Scenario,
+    family: &str,
+    data: &[Point<T, D>],
+    ps: &ProbeSet<T, D>,
+    universe: &Rect<T, D>,
+    create: &Create<'_, T, D>,
+) -> Result<DiffReport, String> {
+    let family =
+        registry::resolve_name(family).ok_or_else(|| format!("unknown family {family:?}"))?;
+    let mut report = DiffReport::default();
+    let mut index: Option<DiffPair<T, D>> = None;
+    let mut inserted = 0usize;
+    let mut deleted = 0usize;
+
+    let compare = |probe_no: usize,
+                   idx: &dyn DynIndex<T, D>,
+                   oracle: &dyn DynIndex<T, D>|
+     -> Result<usize, String> {
+        let mut answers = 0usize;
+        for (label, queries) in [("knn-ind", &ps.knn_ind), ("knn-ood", &ps.knn_ood)] {
+            if ps.k == 0 || queries.is_empty() {
+                continue;
+            }
+            let got = idx.knn_batch(queries, ps.k);
+            let want = oracle.knn_batch(queries, ps.k);
+            for (i, q) in queries.iter().enumerate() {
+                let gd: Vec<T::Dist> = got[i].iter().map(|p| q.dist_sq(p)).collect();
+                let wd: Vec<T::Dist> = want[i].iter().map(|p| q.dist_sq(p)).collect();
+                if !dists_equal::<T>(&gd, &wd) {
+                    return Err(format!(
+                        "{family}: probe {probe_no} {label} query {i}: {gd:?} != oracle {wd:?}"
+                    ));
+                }
+                answers += 1;
+            }
+        }
+        if !ps.ranges.is_empty() {
+            let got_counts = idx.range_count_batch(&ps.ranges);
+            let want_counts = oracle.range_count_batch(&ps.ranges);
+            if got_counts != want_counts {
+                return Err(format!(
+                    "{family}: probe {probe_no} range_count {got_counts:?} != oracle {want_counts:?}"
+                ));
+            }
+            answers += ps.ranges.len();
+            let mut got_lists = idx.range_list_batch(&ps.ranges);
+            let mut want_lists = oracle.range_list_batch(&ps.ranges);
+            for (i, (g, w)) in got_lists.iter_mut().zip(want_lists.iter_mut()).enumerate() {
+                g.sort_unstable();
+                w.sort_unstable();
+                if g != w {
+                    return Err(format!(
+                        "{family}: probe {probe_no} range_list {i} disagrees with oracle \
+                         ({} vs {} points)",
+                        g.len(),
+                        w.len()
+                    ));
+                }
+                answers += 1;
+            }
+        }
+        Ok(answers)
+    };
+
+    for step in &sc.schedule {
+        match step {
+            Step::Build(amount) => {
+                let take = amount.resolve(sc.n).min(sc.n);
+                index = Some((
+                    create(family, &data[..take]).map_err(|e| e.to_string())?,
+                    create("brute-force", &data[..take]).map_err(|e| e.to_string())?,
+                ));
+                inserted = take;
+            }
+            Step::Insert(amount) => {
+                let (idx, oracle) = index.as_mut().expect("schedule starts with build");
+                let take = amount.resolve(sc.n).min(sc.n - inserted);
+                idx.batch_insert(&data[inserted..inserted + take]);
+                oracle.batch_insert(&data[inserted..inserted + take]);
+                inserted += take;
+            }
+            Step::Delete(amount) => {
+                let (idx, oracle) = index.as_mut().expect("schedule starts with build");
+                let take = amount.resolve(sc.n).min(inserted - deleted);
+                let removed = idx.batch_delete(&data[deleted..deleted + take]);
+                let removed_oracle = oracle.batch_delete(&data[deleted..deleted + take]);
+                if removed != removed_oracle {
+                    return Err(format!(
+                        "{family}: batch_delete removed {removed}, oracle removed {removed_oracle}"
+                    ));
+                }
+                deleted += take;
+            }
+            Step::Probe => {
+                let (idx, oracle) = index.as_ref().expect("schedule starts with build");
+                report.answers += compare(report.probes, &**idx, &**oracle)?;
+                report.probes += 1;
+            }
+        }
+    }
+
+    let (idx, oracle) = index.expect("schedule starts with build");
+    if idx.len() != oracle.len() {
+        return Err(format!(
+            "{family}: final len {} != oracle {}",
+            idx.len(),
+            oracle.len()
+        ));
+    }
+    let mut got = idx.range_list(universe);
+    let mut want = oracle.range_list(universe);
+    got.sort_unstable();
+    want.sort_unstable();
+    if got != want {
+        return Err(format!("{family}: final contents disagree with oracle"));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario;
+
+    const SMALL: &str = "\
+[scenario]
+name = exec-small
+seed = 5
+[data]
+distribution = varden
+n = 600
+max-coord = 100000
+[indexes]
+families = p-orth, brute-force
+[queries]
+k = 4
+knn-ind = 10
+knn-ood = 10
+ranges = 6
+range-target = 30
+[schedule]
+step = build 50%
+step = probe
+step = insert 50%
+step = delete 25%
+step = probe
+";
+
+    #[test]
+    fn run_is_deterministic_and_cross_family_consistent() {
+        let sc = scenario::parse(SMALL).unwrap();
+        let a = run(&sc, None).unwrap();
+        let b = run(&sc, None).unwrap();
+        assert_eq!(a.families.len(), 2);
+        for (fa, fb) in a.families.iter().zip(&b.families) {
+            assert_eq!(fa.probes, fb.probes);
+            assert_eq!(fa.final_state, fb.final_state);
+        }
+        // Pinned to one worker the checksums must not move either.
+        let c = run(&sc, Some(1)).unwrap();
+        for (fa, fc) in a.families.iter().zip(&c.families) {
+            assert_eq!(fa.probes, fc.probes);
+            assert_eq!(fa.final_state, fc.final_state);
+        }
+        // 600 built+inserted, 150 deleted.
+        assert_eq!(a.families[0].final_len, 450);
+        assert_eq!(a.families[0].probes.len(), 2);
+        assert_eq!(a.families[0].probes[0].live, 300);
+    }
+
+    #[test]
+    fn differential_replay_agrees() {
+        let sc = scenario::parse(SMALL).unwrap();
+        let report = run_differential(&sc, "spac-h").unwrap();
+        assert_eq!(report.probes, 2);
+        assert!(report.answers > 0);
+    }
+
+    #[test]
+    fn probe_on_fresh_oracle_matches_itself() {
+        // f64 path smoke: same scenario shape, float coordinates.
+        let text = SMALL
+            .replace("families = p-orth, brute-force", "families = all")
+            .replace("max-coord = 100000", "max-coord = 100000\ncoords = f64");
+        let sc = scenario::parse(&text).unwrap();
+        assert_eq!(sc.families, registry::float_names());
+        let r = run(&sc, None).unwrap();
+        assert_eq!(r.families.len(), registry::float_names().len());
+    }
+}

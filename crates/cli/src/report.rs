@@ -1,0 +1,135 @@
+//! Report writers for a [`ScenarioRun`].
+//!
+//! Two formats:
+//!
+//! * [`golden_string`] — the deterministic subset (checksums, sizes, config)
+//!   that the golden-file test suite commits and compares byte-for-byte. No
+//!   timings, no thread counts: the text must be bit-identical across
+//!   machines and `RAYON_NUM_THREADS` settings.
+//! * [`json_string`] — the full report including wall-clock timings, for
+//!   benchmarking sweeps and dashboards (`psi-scenario run --out`).
+
+use crate::exec::{FamilyRun, ScenarioRun};
+
+/// Escape a string for embedding in a JSON literal (the scenario name is
+/// free text; the other interpolated strings are registry-controlled).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The deterministic golden-file text for a run.
+pub fn golden_string(run: &ScenarioRun) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("scenario {}\n", run.name));
+    out.push_str(&format!(
+        "config dist={} coords={} dims={} n={} seed={}\n",
+        run.distribution, run.coords, run.dims, run.n, run.seed
+    ));
+    for fam in &run.families {
+        out.push_str(&format!("family {}\n", fam.family));
+        for (i, p) in fam.probes.iter().enumerate() {
+            out.push_str(&format!(
+                "probe {i} live={} knn_ind={:016x} knn_ood={:016x} range_count={:016x} range_list={:016x}\n",
+                p.live, p.knn_ind, p.knn_ood, p.range_count, p.range_list
+            ));
+        }
+        out.push_str(&format!(
+            "final len={} state={:016x}\n",
+            fam.final_len, fam.final_state
+        ));
+    }
+    out
+}
+
+fn json_family(fam: &FamilyRun) -> String {
+    let probes: Vec<String> = fam
+        .probes
+        .iter()
+        .zip(&fam.probe_secs)
+        .map(|(p, secs)| {
+            format!(
+                "{{\"live\": {}, \"knn_ind\": \"{:016x}\", \"knn_ood\": \"{:016x}\", \
+                 \"range_count\": \"{:016x}\", \"range_list\": \"{:016x}\", \"secs\": {:.6}}}",
+                p.live, p.knn_ind, p.knn_ood, p.range_count, p.range_list, secs
+            )
+        })
+        .collect();
+    format!(
+        "    {{\n      \"family\": \"{}\",\n      \"update_secs\": {:.6},\n      \
+         \"final_len\": {},\n      \"final_state\": \"{:016x}\",\n      \
+         \"probes\": [{}]\n    }}",
+        json_escape(&fam.family),
+        fam.update_secs,
+        fam.final_len,
+        fam.final_state,
+        probes.join(", ")
+    )
+}
+
+/// The full JSON report (checksums *and* timings) for a run.
+pub fn json_string(run: &ScenarioRun) -> String {
+    let families: Vec<String> = run.families.iter().map(json_family).collect();
+    format!(
+        "{{\n  \"scenario\": \"{}\",\n  \"distribution\": \"{}\",\n  \"coords\": \"{}\",\n  \
+         \"dims\": {},\n  \"n\": {},\n  \"seed\": {},\n  \"threads\": {},\n  \
+         \"note\": \"checksums are deterministic; secs are wall clock and vary\",\n  \
+         \"families\": [\n{}\n  ]\n}}\n",
+        json_escape(&run.name),
+        json_escape(&run.distribution),
+        run.coords,
+        run.dims,
+        run.n,
+        run.seed,
+        run.threads,
+        families.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{exec, scenario};
+
+    #[test]
+    fn golden_and_json_render() {
+        let sc = scenario::parse(
+            "[scenario]\nname = render\n[data]\ndistribution = uniform\nn = 200\n\
+             max-coord = 10000\n[indexes]\nfamilies = pkd\n[queries]\nk = 3\n\
+             knn-ind = 5\nknn-ood = 5\nranges = 3\nrange-target = 10\n",
+        )
+        .unwrap();
+        let run = exec::run(&sc, None).unwrap();
+        let golden = golden_string(&run);
+        assert!(golden.starts_with("scenario render\n"));
+        assert!(golden.contains("family pkd\n"));
+        assert!(golden.contains("probe 0 live=200 "));
+        assert!(golden.contains("final len=200 "));
+        // Golden text never contains timing data.
+        assert!(!golden.contains("secs"));
+        let json = json_string(&run);
+        assert!(json.contains("\"family\": \"pkd\""));
+        assert!(json.contains("\"secs\""));
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(super::json_escape("plain"), "plain");
+        assert_eq!(
+            super::json_escape("my \"fast\" run\\1\n"),
+            "my \\\"fast\\\" run\\\\1\\n"
+        );
+        assert_eq!(super::json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -1,0 +1,548 @@
+//! The declarative scenario-file format (`scenarios/*.psi`) and its
+//! hand-rolled parser.
+//!
+//! A scenario file is a sequence of INI-style sections holding `key = value`
+//! pairs; `#` starts a comment. The full grammar is documented in
+//! `scenarios/README.md`; in short:
+//!
+//! ```text
+//! [scenario]
+//! name = churn-sweepline-2d
+//! seed = 42
+//!
+//! [data]
+//! distribution = sweepline      # any workloads::Distribution name
+//! dims = 2                      # 2 or 3
+//! coords = i64                  # i64 or f64
+//! n = 2400
+//! max-coord = 1000000           # optional; defaults to the paper's domain
+//!
+//! [indexes]
+//! families = all                # or a comma list of registry names
+//! leaf-size = 32                # optional leaf-wrap override
+//!
+//! [queries]
+//! k = 10
+//! knn-ind = 30
+//! knn-ood = 30
+//! ranges = 15
+//! range-target = 64
+//!
+//! [schedule]
+//! step = build 50%              # must come first; builds the index
+//! step = probe                  # run the query mix, record checksums
+//! step = insert 25%             # batch-insert the next unseen points
+//! step = delete 25%             # batch-delete the oldest live points
+//! step = probe
+//! ```
+//!
+//! Amounts are either absolute point counts (`500`) or percentages of `n`
+//! (`25%`). Unknown sections or keys — and duplicate scalar keys (only
+//! `step` repeats) — are hard errors: a scenario harness that silently
+//! ignores a typo would quietly test nothing.
+
+use psi::registry;
+use psi_workloads::{Distribution, DEFAULT_MAX_COORD_2D, DEFAULT_MAX_COORD_3D};
+
+/// Coordinate type a scenario runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoordKind {
+    /// The paper's 64-bit integer domain (every index family).
+    I64,
+    /// Float coordinates (the SFC-free families only).
+    F64,
+}
+
+impl CoordKind {
+    /// The name used in scenario files and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CoordKind::I64 => "i64",
+            CoordKind::F64 => "f64",
+        }
+    }
+}
+
+/// A point count, absolute or relative to the scenario's `n`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Amount {
+    /// Fraction of `n` (parsed from a `%` suffix).
+    Fraction(f64),
+    /// Absolute number of points.
+    Count(usize),
+}
+
+impl Amount {
+    /// Resolve against the dataset size; at least 1 point.
+    pub fn resolve(&self, n: usize) -> usize {
+        match *self {
+            Amount::Count(c) => c,
+            Amount::Fraction(f) => (((n as f64) * f).round() as usize).max(1),
+        }
+    }
+
+    fn parse(s: &str) -> Result<Amount, String> {
+        let s = s.trim();
+        if let Some(pct) = s.strip_suffix('%') {
+            let v: f64 = pct
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad percentage {s:?}"))?;
+            if !(0.0..=100.0).contains(&v) {
+                return Err(format!("percentage {s:?} out of [0, 100]"));
+            }
+            Ok(Amount::Fraction(v / 100.0))
+        } else {
+            let v: usize = s.parse().map_err(|_| format!("bad point count {s:?}"))?;
+            Ok(Amount::Count(v))
+        }
+    }
+}
+
+/// One step of a scenario's update/query schedule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Step {
+    /// Initial build over the first `Amount` points of the dataset. Must be
+    /// the first step and appear exactly once.
+    Build(Amount),
+    /// Batch-insert the next `Amount` not-yet-inserted points.
+    Insert(Amount),
+    /// Batch-delete the `Amount` oldest still-live points.
+    Delete(Amount),
+    /// Run the query mix and record per-category checksums.
+    Probe,
+}
+
+impl Step {
+    fn parse(s: &str) -> Result<Step, String> {
+        let mut parts = s.split_whitespace();
+        let verb = parts.next().ok_or_else(|| "empty step".to_string())?;
+        let arg = parts.next();
+        if parts.next().is_some() {
+            return Err(format!("trailing tokens in step {s:?}"));
+        }
+        let need = |a: Option<&str>| {
+            a.map(Amount::parse)
+                .transpose()?
+                .ok_or_else(|| format!("step {verb:?} needs an amount"))
+        };
+        match verb {
+            "build" => Ok(Step::Build(need(arg)?)),
+            "insert" => Ok(Step::Insert(need(arg)?)),
+            "delete" => Ok(Step::Delete(need(arg)?)),
+            "probe" => {
+                if arg.is_some() {
+                    return Err("step \"probe\" takes no argument".to_string());
+                }
+                Ok(Step::Probe)
+            }
+            other => Err(format!(
+                "unknown step {other:?} (expected build/insert/delete/probe)"
+            )),
+        }
+    }
+}
+
+/// Size of the query mix a `probe` step runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuerySpec {
+    /// Neighbours per kNN query.
+    pub k: usize,
+    /// Number of in-distribution kNN query points.
+    pub knn_ind: usize,
+    /// Number of out-of-distribution kNN query points.
+    pub knn_ood: usize,
+    /// Number of range rectangles (used for both count and list).
+    pub ranges: usize,
+    /// Expected points per range rectangle.
+    pub range_target: usize,
+}
+
+impl Default for QuerySpec {
+    fn default() -> Self {
+        QuerySpec {
+            k: 10,
+            knn_ind: 32,
+            knn_ood: 32,
+            ranges: 16,
+            range_target: 50,
+        }
+    }
+}
+
+/// A fully parsed and validated scenario.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Scenario name (reports and golden files echo it).
+    pub name: String,
+    /// RNG seed for data and query generation.
+    pub seed: u64,
+    /// Point distribution.
+    pub distribution: Distribution,
+    /// Dimensionality (2 or 3 — the SFC families' limit).
+    pub dims: usize,
+    /// Coordinate type.
+    pub coords: CoordKind,
+    /// Dataset size.
+    pub n: usize,
+    /// Coordinate domain upper bound.
+    pub max_coord: i64,
+    /// Canonical registry names of the index families to run.
+    pub families: Vec<&'static str>,
+    /// Optional leaf-wrap override passed to every family.
+    pub leaf_size: Option<usize>,
+    /// Query-mix sizes.
+    pub queries: QuerySpec,
+    /// The update/probe schedule; starts with `Step::Build`.
+    pub schedule: Vec<Step>,
+}
+
+/// Parse failure, with the 1-based line it occurred on (0 for file-level
+/// validation errors).
+#[derive(Clone, Debug)]
+pub struct ParseError {
+    /// 1-based source line, or 0 for whole-file validation errors.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parse a scenario from its textual form.
+pub fn parse(text: &str) -> Result<Scenario, ParseError> {
+    let mut name: Option<String> = None;
+    let mut seed: u64 = 42;
+    let mut distribution: Option<Distribution> = None;
+    let mut dims: usize = 2;
+    let mut coords = CoordKind::I64;
+    let mut n: Option<usize> = None;
+    let mut max_coord: Option<i64> = None;
+    let mut families_raw: Option<(usize, String)> = None;
+    let mut leaf_size: Option<usize> = None;
+    let mut queries = QuerySpec::default();
+    let mut schedule: Vec<Step> = Vec::new();
+
+    let mut section = String::new();
+    let mut seen: std::collections::HashSet<(String, String)> = std::collections::HashSet::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(inner) = line.strip_prefix('[') {
+            let sect = inner
+                .strip_suffix(']')
+                .ok_or_else(|| err(lineno, format!("malformed section header {line:?}")))?
+                .trim();
+            match sect {
+                "scenario" | "data" | "indexes" | "queries" | "schedule" => {
+                    section = sect.to_string()
+                }
+                other => return Err(err(lineno, format!("unknown section [{other}]"))),
+            }
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| err(lineno, format!("expected `key = value`, got {line:?}")))?;
+        let (key, value) = (key.trim(), value.trim());
+        if value.is_empty() {
+            return Err(err(lineno, format!("empty value for {key:?}")));
+        }
+        // Scalar keys may be assigned once; only `step` accumulates. A
+        // duplicate would silently last-win — the same class of quiet
+        // misconfiguration the unknown-key errors exist to prevent.
+        if key != "step" && !seen.insert((section.clone(), key.to_string())) {
+            return Err(err(lineno, format!("duplicate key {key:?} in [{section}]")));
+        }
+        let parse_usize = |v: &str, what: &str| {
+            v.parse::<usize>()
+                .map_err(|_| err(lineno, format!("{what} expects an integer, got {v:?}")))
+        };
+        match (section.as_str(), key) {
+            ("scenario", "name") => name = Some(value.to_string()),
+            ("scenario", "seed") => {
+                seed = value
+                    .parse()
+                    .map_err(|_| err(lineno, format!("seed expects an integer, got {value:?}")))?
+            }
+            ("data", "distribution") => {
+                distribution = Some(
+                    Distribution::from_name(value)
+                        .ok_or_else(|| err(lineno, format!("unknown distribution {value:?}")))?,
+                )
+            }
+            ("data", "dims") => dims = parse_usize(value, "dims")?,
+            ("data", "coords") => {
+                coords = match value {
+                    "i64" => CoordKind::I64,
+                    "f64" => CoordKind::F64,
+                    other => {
+                        return Err(err(
+                            lineno,
+                            format!("coords must be i64 or f64, got {other:?}"),
+                        ))
+                    }
+                }
+            }
+            ("data", "n") => n = Some(parse_usize(value, "n")?),
+            ("data", "max-coord") => {
+                max_coord = Some(value.parse().map_err(|_| {
+                    err(
+                        lineno,
+                        format!("max-coord expects an integer, got {value:?}"),
+                    )
+                })?)
+            }
+            ("indexes", "families") => families_raw = Some((lineno, value.to_string())),
+            ("indexes", "leaf-size") => leaf_size = Some(parse_usize(value, "leaf-size")?),
+            ("queries", "k") => queries.k = parse_usize(value, "k")?,
+            ("queries", "knn-ind") => queries.knn_ind = parse_usize(value, "knn-ind")?,
+            ("queries", "knn-ood") => queries.knn_ood = parse_usize(value, "knn-ood")?,
+            ("queries", "ranges") => queries.ranges = parse_usize(value, "ranges")?,
+            ("queries", "range-target") => {
+                queries.range_target = parse_usize(value, "range-target")?
+            }
+            ("schedule", "step") => schedule.push(Step::parse(value).map_err(|m| err(lineno, m))?),
+            ("", _) => return Err(err(lineno, "key/value pair before any [section]")),
+            (sect, key) => return Err(err(lineno, format!("unknown key {key:?} in [{sect}]"))),
+        }
+    }
+
+    // Whole-file validation.
+    let name = name.ok_or_else(|| err(0, "[scenario] name is required"))?;
+    let distribution = distribution.ok_or_else(|| err(0, "[data] distribution is required"))?;
+    let n = n.ok_or_else(|| err(0, "[data] n is required"))?;
+    if n == 0 {
+        return Err(err(0, "[data] n must be positive"));
+    }
+    if !(dims == 2 || dims == 3) {
+        return Err(err(0, format!("dims must be 2 or 3, got {dims}")));
+    }
+    let max_coord = max_coord.unwrap_or(match dims {
+        3 => DEFAULT_MAX_COORD_3D,
+        _ => DEFAULT_MAX_COORD_2D,
+    });
+    if max_coord <= 0 {
+        return Err(err(0, "max-coord must be positive"));
+    }
+
+    let available: &[&'static str] = match coords {
+        CoordKind::I64 => registry::names(),
+        CoordKind::F64 => registry::float_names(),
+    };
+    let families: Vec<&'static str> = match families_raw {
+        None => available.to_vec(),
+        Some((lineno, raw)) => {
+            if raw.trim() == "all" {
+                available.to_vec()
+            } else {
+                let mut out = Vec::new();
+                for part in raw.split(',') {
+                    let canon = registry::resolve_name(part).ok_or_else(|| {
+                        err(lineno, format!("unknown index family {:?}", part.trim()))
+                    })?;
+                    if coords == CoordKind::F64 && !registry::float_names().contains(&canon) {
+                        return Err(err(
+                            lineno,
+                            format!("family {canon:?} does not support f64 coordinates"),
+                        ));
+                    }
+                    if !out.contains(&canon) {
+                        out.push(canon);
+                    }
+                }
+                out
+            }
+        }
+    };
+    if families.is_empty() {
+        return Err(err(0, "[indexes] families resolved to an empty list"));
+    }
+
+    if schedule.is_empty() {
+        schedule = vec![Step::Build(Amount::Fraction(1.0)), Step::Probe];
+    }
+    match schedule.first() {
+        Some(Step::Build(_)) => {}
+        _ => return Err(err(0, "the first schedule step must be `build`")),
+    }
+    if schedule[1..].iter().any(|s| matches!(s, Step::Build(_))) {
+        return Err(err(0, "`build` may appear only as the first step"));
+    }
+
+    Ok(Scenario {
+        name,
+        seed,
+        distribution,
+        dims,
+        coords,
+        n,
+        max_coord,
+        families,
+        leaf_size,
+        queries,
+        schedule,
+    })
+}
+
+/// Read and parse a scenario file.
+pub fn parse_file(path: &std::path::Path) -> Result<Scenario, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = "\
+[scenario]
+name = demo
+[data]
+distribution = uniform
+n = 100
+";
+
+    #[test]
+    fn minimal_scenario_gets_defaults() {
+        let sc = parse(MINIMAL).unwrap();
+        assert_eq!(sc.name, "demo");
+        assert_eq!(sc.seed, 42);
+        assert_eq!(sc.dims, 2);
+        assert_eq!(sc.coords, CoordKind::I64);
+        assert_eq!(sc.max_coord, DEFAULT_MAX_COORD_2D);
+        assert_eq!(sc.families, registry::names());
+        assert_eq!(
+            sc.schedule,
+            vec![Step::Build(Amount::Fraction(1.0)), Step::Probe]
+        );
+    }
+
+    #[test]
+    fn full_scenario_round_trips() {
+        let text = "\
+# A comment
+[scenario]
+name = churn            # trailing comment
+seed = 7
+[data]
+distribution = cosmo-like
+dims = 3
+coords = i64
+n = 500
+max-coord = 4096
+[indexes]
+families = p-orth, spac_h, ZD
+leaf-size = 16
+[queries]
+k = 5
+knn-ind = 10
+knn-ood = 0
+ranges = 4
+range-target = 20
+[schedule]
+step = build 40%
+step = probe
+step = insert 100
+step = delete 25%
+step = probe
+";
+        let sc = parse(text).unwrap();
+        assert_eq!(sc.seed, 7);
+        assert_eq!(sc.distribution, Distribution::CosmoLike);
+        assert_eq!(sc.dims, 3);
+        assert_eq!(sc.max_coord, 4096);
+        assert_eq!(sc.families, vec!["p-orth", "spac-h", "zd"]);
+        assert_eq!(sc.leaf_size, Some(16));
+        assert_eq!(sc.queries.k, 5);
+        assert_eq!(sc.schedule.len(), 5);
+        assert_eq!(sc.schedule[2], Step::Insert(Amount::Count(100)));
+        assert_eq!(sc.schedule[3], Step::Delete(Amount::Fraction(0.25)));
+    }
+
+    #[test]
+    fn amounts_resolve() {
+        assert_eq!(Amount::Fraction(0.25).resolve(1000), 250);
+        assert_eq!(Amount::Fraction(0.0001).resolve(100), 1);
+        assert_eq!(Amount::Count(7).resolve(1000), 7);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let bad = "[data]\nn = 10\ndistribution = nope\n";
+        let e = parse(bad).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("nope"));
+    }
+
+    #[test]
+    fn rejects_unknown_keys_sections_and_schedules() {
+        assert!(parse("[bogus]\n").is_err());
+        assert!(parse(&format!("{MINIMAL}typo = 3\n")).is_err());
+        assert!(parse(&format!("{MINIMAL}[schedule]\nstep = probe\n")).is_err());
+        assert!(parse(&format!(
+            "{MINIMAL}[schedule]\nstep = build 50%\nstep = build 50%\n"
+        ))
+        .is_err());
+        assert!(parse(&format!("{MINIMAL}[indexes]\nfamilies = warp-drive\n")).is_err());
+        // Duplicate scalar keys must not silently last-win.
+        let e = parse(&format!("{MINIMAL}n = 999\n")).unwrap_err();
+        assert!(e.message.contains("duplicate"), "{e}");
+        assert!(parse(&format!(
+            "{MINIMAL}[indexes]\nfamilies = pkd\nfamilies = zd\n"
+        ))
+        .is_err());
+        // ...but repeated `step` lines are the schedule.
+        assert!(parse(&format!(
+            "{MINIMAL}[schedule]\nstep = build 50%\nstep = insert 50%\nstep = probe\n"
+        ))
+        .is_ok());
+    }
+
+    #[test]
+    fn f64_rejects_sfc_families() {
+        let text = "\
+[scenario]
+name = f
+[data]
+distribution = uniform
+n = 10
+coords = f64
+[indexes]
+families = spac-h
+";
+        let e = parse(text).unwrap_err();
+        assert!(e.message.contains("f64"));
+        // `all` under f64 resolves to the float-capable subset.
+        let text_all = "\
+[scenario]
+name = f
+[data]
+distribution = uniform
+n = 10
+coords = f64
+";
+        let sc = parse(text_all).unwrap();
+        assert_eq!(sc.families, registry::float_names());
+    }
+}

@@ -276,6 +276,13 @@ fn resolve(name: &str) -> Option<&'static str> {
     })
 }
 
+/// Resolve any accepted spelling to the canonical registry name without
+/// building anything — the validation entry point for scenario files and CLI
+/// flags that need to reject unknown families before generating data.
+pub fn resolve_name(name: &str) -> Option<&'static str> {
+    resolve(name)
+}
+
 fn config_with_leaf<C: Default + LeafSized, T: Coord, const D: usize>(
     opts: &BuildOptions<T, D>,
 ) -> C {

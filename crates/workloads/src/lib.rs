@@ -42,23 +42,61 @@ pub enum Distribution {
     Sweepline,
     /// Clustered random-walk points (skewed *spatial distribution*).
     Varden,
+    /// Halo-clustered N-body stand-in (see [`cosmo_like`]).
+    CosmoLike,
+    /// Road-network stand-in: points strung along polylines (see [`osm_like`]).
+    OsmLike,
 }
 
 impl Distribution {
     /// All distributions, in the order the paper's tables list them.
-    pub const ALL: [Distribution; 3] = [
+    pub const ALL: [Distribution; 5] = [
+        Distribution::Uniform,
+        Distribution::Sweepline,
+        Distribution::Varden,
+        Distribution::CosmoLike,
+        Distribution::OsmLike,
+    ];
+
+    /// The paper's synthetic sweep (Uniform, Sweepline, Varden) — what the
+    /// figure binaries iterate. [`Distribution::ALL`] additionally includes
+    /// the real-dataset stand-ins, which the paper reports separately.
+    pub const SYNTHETIC: [Distribution; 3] = [
         Distribution::Uniform,
         Distribution::Sweepline,
         Distribution::Varden,
     ];
 
-    /// Human-readable name used in benchmark output.
+    /// Human-readable name used in benchmark output and scenario files.
     pub fn name(&self) -> &'static str {
         match self {
             Distribution::Uniform => "Uniform",
             Distribution::Sweepline => "Sweepline",
             Distribution::Varden => "Varden",
+            Distribution::CosmoLike => "Cosmo-like",
+            Distribution::OsmLike => "OSM-like",
         }
+    }
+
+    /// Resolve a user-provided name (scenario files, CLI flags) to a
+    /// distribution. Case-insensitive; `-`, `_` and spaces are ignored, and
+    /// the `-like` suffix of the dataset stand-ins is optional, so
+    /// "Cosmo-like", "cosmo_like" and "cosmo" all resolve.
+    pub fn from_name(name: &str) -> Option<Distribution> {
+        let canon: String = name
+            .trim()
+            .chars()
+            .filter(|c| !matches!(c, '-' | '_' | ' '))
+            .collect::<String>()
+            .to_ascii_lowercase();
+        Some(match canon.as_str() {
+            "uniform" => Distribution::Uniform,
+            "sweepline" => Distribution::Sweepline,
+            "varden" => Distribution::Varden,
+            "cosmo" | "cosmolike" => Distribution::CosmoLike,
+            "osm" | "osmlike" => Distribution::OsmLike,
+            _ => return None,
+        })
     }
 
     /// Generate `n` points of this distribution in `[0, max_coord]^D`.
@@ -67,6 +105,8 @@ impl Distribution {
             Distribution::Uniform => uniform(n, max_coord, seed),
             Distribution::Sweepline => sweepline(n, max_coord, seed),
             Distribution::Varden => varden(n, max_coord, seed),
+            Distribution::CosmoLike => cosmo_like_d(n, max_coord, seed),
+            Distribution::OsmLike => osm_like_d(n, max_coord, seed),
         }
     }
 }
@@ -140,11 +180,10 @@ pub fn varden<const D: usize>(n: usize, max_coord: i64, seed: u64) -> Vec<PointI
     pts
 }
 
-/// 3-D stand-in for the COSMO N-body dataset: points concentrated in "halos"
-/// whose populations follow a heavy-tailed distribution, plus a thin uniform
-/// background. Substitutes the real 317M-particle snapshot while preserving
-/// the property the paper exploits it for: extreme clustering.
-pub fn cosmo_like(n: usize, max_coord: i64, seed: u64) -> Vec<PointI<3>> {
+/// Dimension-generic COSMO stand-in ([`cosmo_like`] for any `D`): points
+/// concentrated in "halos" whose populations follow a heavy-tailed
+/// distribution, plus a thin uniform background.
+pub fn cosmo_like_d<const D: usize>(n: usize, max_coord: i64, seed: u64) -> Vec<PointI<D>> {
     let mut rng = rng_for(seed);
     let mut pts = Vec::with_capacity(n);
     let n_background = n / 20;
@@ -152,13 +191,12 @@ pub fn cosmo_like(n: usize, max_coord: i64, seed: u64) -> Vec<PointI<3>> {
 
     // Halo centres and scale radii.
     let n_halos = (n / 2_000).clamp(8, 4_000);
-    let halos: Vec<([i64; 3], i64)> = (0..n_halos)
+    let halos: Vec<([i64; D], i64)> = (0..n_halos)
         .map(|_| {
-            let centre = [
-                rng.gen_range(0..=max_coord),
-                rng.gen_range(0..=max_coord),
-                rng.gen_range(0..=max_coord),
-            ];
+            let mut centre = [0i64; D];
+            for c in centre.iter_mut() {
+                *c = rng.gen_range(0..=max_coord);
+            }
             // Heavy-tailed halo radius.
             let u: f64 = rng.gen_range(0.0..1.0f64);
             let radius = ((max_coord as f64) * 0.002 * (1.0 / (1.0 - u)).powf(0.5))
@@ -167,34 +205,39 @@ pub fn cosmo_like(n: usize, max_coord: i64, seed: u64) -> Vec<PointI<3>> {
         })
         .collect();
 
-    for i in 0..n_clustered {
+    for _ in 0..n_clustered {
         // Zipf-ish halo choice: earlier halos get more points.
         let h = (rng.gen_range(0.0f64..1.0).powi(2) * n_halos as f64) as usize % n_halos;
         let (centre, radius) = halos[h];
-        let mut coords = [0i64; 3];
+        let mut coords = [0i64; D];
         for (d, c) in coords.iter_mut().enumerate() {
             // A crude radially concentrated profile: sum of two uniforms.
             let offset = rng.gen_range(-radius..=radius) / 2 + rng.gen_range(-radius..=radius) / 2;
             *c = (centre[d] + offset).clamp(0, max_coord);
         }
         pts.push(Point::new(coords));
-        let _ = i;
     }
     for _ in 0..n_background {
-        pts.push(Point::new([
-            rng.gen_range(0..=max_coord),
-            rng.gen_range(0..=max_coord),
-            rng.gen_range(0..=max_coord),
-        ]));
+        let mut coords = [0i64; D];
+        for c in coords.iter_mut() {
+            *c = rng.gen_range(0..=max_coord);
+        }
+        pts.push(Point::new(coords));
     }
     pts
 }
 
-/// 2-D stand-in for the OSM North-America dataset: points sampled densely
-/// along polylines ("roads") between random waypoints, so the data is locally
-/// one-dimensional and globally patchy — the structure that makes real road
-/// networks hard for spatial-median splits.
-pub fn osm_like(n: usize, max_coord: i64, seed: u64) -> Vec<PointI<2>> {
+/// 3-D stand-in for the COSMO N-body dataset — the dimension the paper uses
+/// it in. Substitutes the real 317M-particle snapshot while preserving the
+/// property the paper exploits it for: extreme clustering.
+pub fn cosmo_like(n: usize, max_coord: i64, seed: u64) -> Vec<PointI<3>> {
+    cosmo_like_d::<3>(n, max_coord, seed)
+}
+
+/// Dimension-generic OSM stand-in ([`osm_like`] for any `D`): points sampled
+/// densely along polylines ("roads") between random waypoints, so the data is
+/// locally one-dimensional and globally patchy.
+pub fn osm_like_d<const D: usize>(n: usize, max_coord: i64, seed: u64) -> Vec<PointI<D>> {
     let mut rng = rng_for(seed);
     let mut pts = Vec::with_capacity(n);
     let n_roads = (n / 5_000).clamp(4, 2_000);
@@ -206,25 +249,37 @@ pub fn osm_like(n: usize, max_coord: i64, seed: u64) -> Vec<PointI<2>> {
         }
         let take = (n / n_roads).min(remaining);
         remaining -= take;
-        let a = [rng.gen_range(0..=max_coord), rng.gen_range(0..=max_coord)];
-        let b = [rng.gen_range(0..=max_coord), rng.gen_range(0..=max_coord)];
+        let mut a = [0i64; D];
+        let mut b = [0i64; D];
+        for c in a.iter_mut().chain(b.iter_mut()) {
+            *c = rng.gen_range(0..=max_coord);
+        }
         for i in 0..take {
             let t = i as f64 / take.max(1) as f64;
-            let x = a[0] as f64 + t * (b[0] - a[0]) as f64 + rng.gen_range(-jitter..=jitter) as f64;
-            let y = a[1] as f64 + t * (b[1] - a[1]) as f64 + rng.gen_range(-jitter..=jitter) as f64;
-            pts.push(Point::new([
-                (x as i64).clamp(0, max_coord),
-                (y as i64).clamp(0, max_coord),
-            ]));
+            let mut coords = [0i64; D];
+            for (d, c) in coords.iter_mut().enumerate() {
+                let x =
+                    a[d] as f64 + t * (b[d] - a[d]) as f64 + rng.gen_range(-jitter..=jitter) as f64;
+                *c = (x as i64).clamp(0, max_coord);
+            }
+            pts.push(Point::new(coords));
         }
     }
     while pts.len() < n {
-        pts.push(Point::new([
-            rng.gen_range(0..=max_coord),
-            rng.gen_range(0..=max_coord),
-        ]));
+        let mut coords = [0i64; D];
+        for c in coords.iter_mut() {
+            *c = rng.gen_range(0..=max_coord);
+        }
+        pts.push(Point::new(coords));
     }
     pts
+}
+
+/// 2-D stand-in for the OSM North-America dataset — the dimension the paper
+/// uses it in; the structure that makes real road networks hard for
+/// spatial-median splits.
+pub fn osm_like(n: usize, max_coord: i64, seed: u64) -> Vec<PointI<2>> {
+    osm_like_d::<2>(n, max_coord, seed)
 }
 
 /// In-distribution query points: sampled (with replacement) from the dataset
@@ -312,6 +367,47 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn distribution_names_round_trip() {
+        for dist in Distribution::ALL {
+            assert_eq!(
+                Distribution::from_name(dist.name()),
+                Some(dist),
+                "{} must round-trip through from_name",
+                dist.name()
+            );
+        }
+        // Accepted spellings.
+        assert_eq!(
+            Distribution::from_name("cosmo_like"),
+            Some(Distribution::CosmoLike)
+        );
+        assert_eq!(Distribution::from_name("osm"), Some(Distribution::OsmLike));
+        assert_eq!(
+            Distribution::from_name(" UNIFORM "),
+            Some(Distribution::Uniform)
+        );
+        assert_eq!(Distribution::from_name("no-such"), None);
+        // The synthetic sweep is a strict subset of ALL.
+        assert!(Distribution::SYNTHETIC
+            .iter()
+            .all(|d| Distribution::ALL.contains(d)));
+    }
+
+    #[test]
+    fn enum_matches_free_functions() {
+        // The folded-in variants must produce exactly the free functions'
+        // output in their native dimensions.
+        assert_eq!(
+            Distribution::CosmoLike.generate::<3>(3_000, DEFAULT_MAX_COORD_3D, 9),
+            cosmo_like(3_000, DEFAULT_MAX_COORD_3D, 9)
+        );
+        assert_eq!(
+            Distribution::OsmLike.generate::<2>(3_000, DEFAULT_MAX_COORD_2D, 9),
+            osm_like(3_000, DEFAULT_MAX_COORD_2D, 9)
+        );
     }
 
     #[test]

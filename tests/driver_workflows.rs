@@ -3,6 +3,7 @@
 //! instead of timings.
 
 use psi::driver::{incremental_delete, incremental_insert, timed_build, QuerySet};
+use psi::registry::{self, BuildOptions};
 use psi::{
     BruteForce, CpamHTree, POrthTree2, PkdTree, RTree, SpacHTree, SpacZTree, SpatialIndex, ZdTree,
 };
@@ -108,6 +109,92 @@ fn mid_workload_probes_are_consistent_across_indexes() {
     assert_eq!(ca, cd);
     assert_eq!(cb, cd);
     assert_eq!(cc, cd);
+}
+
+/// The batch-*deletion* teardown path, for every registry family: tear the
+/// index down batch by batch in lockstep with the oracle, checking sizes and
+/// a query probe at every intermediate state, down to empty.
+#[test]
+fn batch_deletion_teardown_every_family() {
+    let n = 2_100;
+    let data = Distribution::Varden.generate::<2>(n, MAX, 19);
+    let universe = workloads::universe::<2>(MAX);
+    let opts = BuildOptions::with_universe(universe);
+    let probes = workloads::ind_queries(&data, 10, 23);
+    let batch = 500;
+
+    for name in registry::names() {
+        let mut index = registry::create::<2>(name, &data, &opts).unwrap();
+        let mut oracle = registry::create::<2>("brute-force", &data, &opts).unwrap();
+        let mut removed_total = 0;
+        while removed_total < n {
+            let next = (removed_total + batch).min(n);
+            let removed = index.batch_delete(&data[removed_total..next]);
+            let removed_oracle = oracle.batch_delete(&data[removed_total..next]);
+            assert_eq!(removed, removed_oracle, "{name}: deletion count");
+            assert_eq!(index.len(), oracle.len(), "{name}: size after deletion");
+            index.check_invariants();
+            for q in &probes {
+                let got: Vec<i128> = index.knn(q, 5).iter().map(|p| q.dist_sq(p)).collect();
+                let want: Vec<i128> = oracle.knn(q, 5).iter().map(|p| q.dist_sq(p)).collect();
+                assert_eq!(got, want, "{name}: kNN mid-teardown");
+            }
+            removed_total = next;
+        }
+        assert!(index.is_empty(), "{name}: teardown must empty the index");
+    }
+}
+
+/// A mixed insert/delete schedule for every registry family, in lockstep
+/// with the oracle: build a third, then alternate inserting fresh batches
+/// and deleting the oldest live batch, probing queries at every step.
+#[test]
+fn mixed_insert_delete_schedule_every_family() {
+    let n = 2_400;
+    let data = Distribution::Sweepline.generate::<2>(n, MAX, 29);
+    let universe = workloads::universe::<2>(MAX);
+    let opts = BuildOptions::with_universe(universe);
+    let ranges = workloads::range_queries(&data, MAX, 80, 8, 31);
+    let batch = n / 8;
+
+    for name in registry::names() {
+        let first = n / 3;
+        let mut index = registry::create::<2>(name, &data[..first], &opts).unwrap();
+        let mut oracle = registry::create::<2>("brute-force", &data[..first], &opts).unwrap();
+        let mut inserted = first;
+        let mut deleted = 0;
+        while inserted < n {
+            let next = (inserted + batch).min(n);
+            index.batch_insert(&data[inserted..next]);
+            oracle.batch_insert(&data[inserted..next]);
+            inserted = next;
+
+            let gone = (deleted + batch).min(inserted);
+            let removed = index.batch_delete(&data[deleted..gone]);
+            assert_eq!(
+                removed,
+                oracle.batch_delete(&data[deleted..gone]),
+                "{name}: mixed-schedule deletion count"
+            );
+            deleted = gone;
+
+            index.check_invariants();
+            assert_eq!(index.len(), oracle.len(), "{name}: size under churn");
+            for r in &ranges {
+                assert_eq!(
+                    index.range_count(r),
+                    oracle.range_count(r),
+                    "{name}: range_count under churn"
+                );
+                let mut got = index.range_list(r);
+                let mut want = oracle.range_list(r);
+                got.sort();
+                want.sort();
+                assert_eq!(got, want, "{name}: range_list under churn");
+            }
+        }
+        assert_eq!(index.len(), n - deleted, "{name}: final live count");
+    }
 }
 
 /// The driver handles a batch size larger than the dataset (a single batch).
