@@ -1,16 +1,25 @@
-//! Parallel batch-query throughput sweep — the benchmark trajectory for the
-//! real `par_*` executor (PR 2).
+//! Parallel throughput sweep — batch queries (PR 2) **and** index
+//! construction (PR 4, the pool-native fork-join executor).
 //!
-//! For every index family in the runtime registry, this binary runs
-//! `knn_batch` and `range_count_batch` under rayon pools of 1, 2, 4 and
-//! `current_num_threads()` workers, verifies that every thread count
-//! produces **bit-identical** results to the single-thread run, and writes
-//! the per-family throughput table to `BENCH_parallel.json` (see `--out`).
-//! Thread counts above the machine's core count still run (the shim pool
-//! oversubscribes, as upstream rayon does) but cannot show real speedup.
+//! For every index family in the runtime registry, this binary
+//!
+//! 1. runs `knn_batch` and `range_count_batch` under rayon pools of 1, 2, 4
+//!    and `current_num_threads()` workers and writes the per-family
+//!    throughput table to `BENCH_parallel.json` (see `--out`), and
+//! 2. runs the family's full **construction** (`registry::create`, i.e.
+//!    `build_with` under the hood — the deep fork-join recursions the
+//!    task-deque executor exists for) under the same thread counts and
+//!    writes `BENCH_build.json` (see `--build-out`).
+//!
+//! Every thread count must produce **bit-identical** query answers to the
+//! single-thread run — for the construction sweep the built index is probed
+//! and its answers compared, so a scheduling-dependent build would fail the
+//! binary, not just skew a number. Thread counts above the machine's core
+//! count still run (the shim pool oversubscribes, as upstream rayon does)
+//! but cannot show real speedup.
 //!
 //! Usage:
-//! `cargo run --release -p psi-bench --bin bench_parallel [-- --n 200000 --queries 20000 --ranges 2000 --reps 3 --out BENCH_parallel.json]`
+//! `cargo run --release -p psi-bench --bin bench_parallel [-- --n 200000 --queries 20000 --ranges 2000 --reps 3 --out BENCH_parallel.json --build-out BENCH_build.json]`
 
 use psi::registry::{self, BuildOptions, DynIndex};
 use psi_bench::BenchConfig;
@@ -77,15 +86,17 @@ fn speedup(samples: &[Sample]) -> f64 {
     }
 }
 
-fn parse_extra_args() -> (usize, String) {
+fn parse_extra_args() -> (usize, String, String) {
     let args: Vec<String> = std::env::args().collect();
     let mut reps = 3usize;
     let mut out = "BENCH_parallel.json".to_string();
+    let mut build_out = "BENCH_build.json".to_string();
     let mut i = 1;
     while i + 1 < args.len() {
         match args[i].as_str() {
             "--reps" => reps = args[i + 1].parse().expect("--reps expects an integer"),
             "--out" => out = args[i + 1].clone(),
+            "--build-out" => build_out = args[i + 1].clone(),
             _ => {
                 i += 1;
                 continue;
@@ -93,7 +104,7 @@ fn parse_extra_args() -> (usize, String) {
         }
         i += 2;
     }
-    (reps, out)
+    (reps, out, build_out)
 }
 
 fn main() {
@@ -103,7 +114,7 @@ fn main() {
         ..BenchConfig::default_2d()
     }
     .from_args();
-    let (reps, out_path) = parse_extra_args();
+    let (reps, out_path, build_out_path) = parse_extra_args();
 
     let data = workloads::uniform::<2>(cfg.n, cfg.max_coord, cfg.seed);
     let qs = cfg.query_set(&data);
@@ -192,4 +203,62 @@ fn main() {
     );
     std::fs::write(&out_path, json).expect("failed to write benchmark output");
     println!("# wrote {out_path}");
+
+    // ---------------------------------------------------------------------
+    // Construction sweep: full `build_with` per family per thread count —
+    // the deep fork-join recursions the task-deque executor accelerates.
+    // ---------------------------------------------------------------------
+    let probe_queries = &qs.knn_ind[..qs.knn_ind.len().min(1_000)];
+    let mut build_blocks: Vec<String> = Vec::new();
+    for &name in registry::names() {
+        let mut samples: Vec<Sample> = Vec::new();
+        let mut reference = None;
+        let mut identical = true;
+        for &t in &counts {
+            let (secs, index) = with_pool(t, || {
+                time_best(reps, || {
+                    registry::create::<2>(name, &data, &opts).expect("registry families all build")
+                })
+            });
+            // A build must be deterministic across thread counts: probe the
+            // built structure and require identical answers.
+            let probe = index.knn_batch(probe_queries, cfg.k);
+            match &reference {
+                None => reference = Some(probe),
+                Some(r) => identical &= *r == probe,
+            }
+            samples.push(Sample {
+                threads: t,
+                secs,
+                qps: cfg.n as f64 / secs,
+            });
+            println!(
+                "{:<12} threads={:<3} build={:>9.4}s ({:>12.0} points/s)",
+                name,
+                t,
+                secs,
+                cfg.n as f64 / secs,
+            );
+        }
+        assert!(
+            identical,
+            "{name}: builds must answer identically across thread counts"
+        );
+        build_blocks.push(format!(
+            "    {{\n      \"name\": \"{}\",\n      \"build\": {},\n      \"speedup_build_best_vs_1\": {:.2},\n      \"identical_across_threads\": true\n    }}",
+            name,
+            json_samples(&samples),
+            speedup(&samples),
+        ));
+    }
+
+    let build_json = format!(
+        "{{\n  \"bench\": \"parallel_construction\",\n  \"machine_threads\": {},\n  \"n\": {},\n  \"reps\": {},\n  \"note\": \"best-of-reps wall clock of registry::create (full build_with); qps = points indexed per second; thread counts above machine_threads oversubscribe and cannot speed up\",\n  \"indexes\": [\n{}\n  ]\n}}\n",
+        rayon::current_num_threads(),
+        cfg.n,
+        reps,
+        build_blocks.join(",\n")
+    );
+    std::fs::write(&build_out_path, build_json).expect("failed to write build benchmark output");
+    println!("# wrote {build_out_path}");
 }

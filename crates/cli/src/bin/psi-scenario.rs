@@ -4,6 +4,7 @@
 //! ```text
 //! psi-scenario run <scenario.psi>... [--threads N] [--out report.json]
 //!                                    [--check golden.txt] [--quiet]
+//! psi-scenario compare <a.json> <b.json> [--tolerance <pct>]
 //! psi-scenario golden <scenario.psi> [--threads N]
 //! psi-scenario print <scenario.psi>
 //! psi-scenario list [dir]
@@ -13,12 +14,17 @@
 //!   `--out` writes the full JSON report (single scenario), `--check`
 //!   compares the deterministic golden text against a committed file and
 //!   exits non-zero on mismatch (single scenario).
+//! * `compare` diffs two `run --out` JSON reports of the same scenario
+//!   (possibly from different machines/thread counts): checksum
+//!   disagreements and timings in `<b.json>` more than `--tolerance`
+//!   percent slower than `<a.json>` (default 20, with a 1 ms noise floor)
+//!   exit non-zero — the CI timing-regression gate.
 //! * `golden` prints the deterministic golden text to stdout — redirect it
 //!   into `tests/golden/<name>.golden` to (re)pin a scenario.
 //! * `print` parses a scenario and dumps the resolved configuration.
 //! * `list` lists `.psi` files in a directory (default `scenarios/`).
 
-use psi_cli::{exec, report, scenario};
+use psi_cli::{compare, exec, report, scenario};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -27,6 +33,7 @@ usage: psi-scenario <command> [args]
 
 commands:
   run <scenario.psi>... [--threads N] [--out report.json] [--check golden.txt] [--quiet]
+  compare <a.json> <b.json> [--tolerance <pct>]
   golden <scenario.psi> [--threads N]
   print <scenario.psi>
   list [dir]
@@ -45,6 +52,7 @@ fn main() -> ExitCode {
     };
     match command.as_str() {
         "run" => cmd_run(rest),
+        "compare" => cmd_compare(rest),
         "golden" => cmd_golden(rest),
         "print" => cmd_print(rest),
         "list" => cmd_list(rest),
@@ -184,6 +192,71 @@ fn cmd_run(args: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_compare(args: &[String]) -> ExitCode {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut tolerance = compare::DEFAULT_TOLERANCE_PCT;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                let Some(value) = args.get(i + 1) else {
+                    return fail("--tolerance needs a value (percent)");
+                };
+                match value.parse::<f64>() {
+                    Ok(t) if t >= 0.0 => tolerance = t,
+                    _ => {
+                        return fail(&format!(
+                            "--tolerance expects a non-negative percentage, got {value:?}"
+                        ))
+                    }
+                }
+                i += 2;
+            }
+            flag if flag.starts_with("--") => return fail(&format!("unknown flag {flag:?}")),
+            path => {
+                files.push(PathBuf::from(path));
+                i += 1;
+            }
+        }
+    }
+    let [a_path, b_path] = files.as_slice() else {
+        return fail("compare takes exactly two report files (from `run --out`)");
+    };
+    let load = |path: &Path| -> Result<compare::Json, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        compare::parse_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+    };
+    let (a, b) = match (load(a_path), load(b_path)) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => return fail(&e),
+    };
+    let cmp = match compare::compare_reports(&a, &b, tolerance) {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
+    println!(
+        "comparing {} -> {} (tolerance {tolerance}%)",
+        a_path.display(),
+        b_path.display()
+    );
+    for line in &cmp.lines {
+        println!("  {line}");
+    }
+    for m in &cmp.mismatches {
+        eprintln!("psi-scenario: CHECKSUM MISMATCH: {m}");
+    }
+    for r in &cmp.regressions {
+        eprintln!("psi-scenario: TIMING REGRESSION: {r}");
+    }
+    if cmp.passed() {
+        println!("ok: no checksum mismatches, no timing regressions beyond {tolerance}%");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn cmd_golden(args: &[String]) -> ExitCode {

@@ -1,0 +1,555 @@
+//! Timing-regression comparison of two `psi-scenario run --out` JSON
+//! reports (`psi-scenario compare a.json b.json [--tolerance <pct>]`).
+//!
+//! The two reports must describe the **same scenario** (name, distribution,
+//! coordinate type, dimensionality, `n`, seed); thread counts may differ —
+//! comparing a 1-thread report against an 8-thread report of the same
+//! scenario is exactly the regression-sweep use case. The comparison then
+//! checks two things, in order of severity:
+//!
+//! 1. **Checksums** (`final_state`, `final_len`, every probe's `live` /
+//!    `knn_ind` / `knn_ood` / `range_count` / `range_list`) must match
+//!    byte-for-byte: a difference means the two runs computed different
+//!    *answers*, which is a correctness bug, not a slowdown.
+//! 2. **Timings** (`update_secs` and the summed per-probe `secs`, per
+//!    family): the second report regresses a metric when it is more than
+//!    `tolerance` percent slower than the first **and** the absolute delta
+//!    exceeds [`NOISE_FLOOR_SECS`] (trivial scenarios finish in
+//!    microseconds, where relative noise is meaningless).
+//!
+//! The JSON reader below is a minimal recursive-descent parser — the
+//! workspace builds without a crates registry, so no serde — that accepts
+//! the general JSON grammar, not just the shape `report::json_string`
+//! emits, making the comparer robust to report-format evolution.
+
+use std::fmt::Write as _;
+
+/// Absolute slowdown below which a relative regression is ignored as noise.
+pub const NOISE_FLOOR_SECS: f64 = 0.001;
+
+/// Default `--tolerance` (percent) when the flag is omitted.
+pub const DEFAULT_TOLERANCE_PCT: f64 = 20.0;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + parser.
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers are `f64` (the reports' integers are well
+/// within exact range); object key order is preserved but irrelevant here.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn str_value(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document (must consume the whole input bar whitespace).
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == ch {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!(
+            "expected {:?} at byte {} of JSON input",
+            ch as char, *pos
+        ))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of JSON input".to_string()),
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_keyword(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_keyword(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_keyword(b, pos, "null", Json::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_keyword(b: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid JSON keyword at byte {}", *pos))
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        fields.push((key, value));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {}", *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .ok_or("truncated \\u escape")?
+                            .iter()
+                            .map(|&c| c as char)
+                            .collect::<String>();
+                        *pos += 4;
+                        let code =
+                            u32::from_str_radix(&hex, 16).map_err(|_| "bad \\u escape digits")?;
+                        // Reports only ever escape control characters; a
+                        // surrogate here is malformed input.
+                        out.push(char::from_u32(code).ok_or("\\u escape is not a scalar value")?);
+                    }
+                    other => return Err(format!("unknown escape \\{}", other as char)),
+                }
+            }
+            _ => {
+                // Copy the raw byte run up to the next quote/backslash so
+                // multi-byte UTF-8 passes through untouched.
+                let start = *pos - 1;
+                while *pos < b.len() && b[*pos] != b'"' && b[*pos] != b'\\' {
+                    *pos += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&b[start..*pos]).map_err(|_| "invalid UTF-8 in string")?,
+                );
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "non-UTF-8 number")?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+}
+
+// ---------------------------------------------------------------------------
+// Report comparison.
+// ---------------------------------------------------------------------------
+
+/// The outcome of comparing two timing reports: a printable account plus
+/// the regression/mismatch tallies that decide the exit code.
+pub struct Comparison {
+    /// Human-readable per-metric lines (one per timing comparison).
+    pub lines: Vec<String>,
+    /// Timing regressions beyond tolerance ("family metric: a → b (+x%)").
+    pub regressions: Vec<String>,
+    /// Checksum/config disagreements (correctness, not speed).
+    pub mismatches: Vec<String>,
+}
+
+impl Comparison {
+    /// `true` when the second report is acceptable: same answers, no timing
+    /// regression beyond tolerance.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty() && self.mismatches.is_empty()
+    }
+}
+
+/// Scenario-config fields that must agree for a comparison to be
+/// meaningful. `threads` is deliberately absent.
+const CONFIG_KEYS: [&str; 6] = ["scenario", "distribution", "coords", "dims", "n", "seed"];
+
+/// Probe fields that are deterministic checksums (any difference is a
+/// correctness mismatch).
+const PROBE_CHECKSUM_KEYS: [&str; 5] = ["live", "knn_ind", "knn_ood", "range_count", "range_list"];
+
+fn render(v: Option<&Json>) -> String {
+    match v {
+        None => "<missing>".to_string(),
+        Some(Json::Str(s)) => s.clone(),
+        Some(Json::Num(n)) => format!("{n}"),
+        Some(other) => format!("{other:?}"),
+    }
+}
+
+/// Compare two parsed reports. `Err` means the inputs are not comparable at
+/// all (different scenario config or malformed shape); `Ok` carries the
+/// per-metric verdicts.
+pub fn compare_reports(a: &Json, b: &Json, tolerance_pct: f64) -> Result<Comparison, String> {
+    for key in CONFIG_KEYS {
+        let (va, vb) = (a.get(key), b.get(key));
+        if va != vb {
+            return Err(format!(
+                "reports describe different runs: {key} is {} vs {}",
+                render(va),
+                render(vb)
+            ));
+        }
+    }
+    let fams_a = a
+        .get("families")
+        .and_then(Json::arr)
+        .ok_or("first report has no families array")?;
+    let fams_b = b
+        .get("families")
+        .and_then(Json::arr)
+        .ok_or("second report has no families array")?;
+
+    let mut cmp = Comparison {
+        lines: Vec::new(),
+        regressions: Vec::new(),
+        mismatches: Vec::new(),
+    };
+
+    let family_name = |f: &Json| {
+        f.get("family")
+            .and_then(Json::str_value)
+            .unwrap_or("<unnamed>")
+            .to_string()
+    };
+    for fb in fams_b {
+        let name = family_name(fb);
+        if !fams_a.iter().any(|fa| family_name(fa) == name) {
+            cmp.mismatches
+                .push(format!("family {name}: present only in the second report"));
+        }
+    }
+    for fa in fams_a {
+        let name = family_name(fa);
+        let Some(fb) = fams_b.iter().find(|fb| family_name(fb) == name) else {
+            cmp.mismatches
+                .push(format!("family {name}: missing from the second report"));
+            continue;
+        };
+
+        // Correctness: final state and every probe checksum.
+        for key in ["final_len", "final_state"] {
+            if fa.get(key) != fb.get(key) {
+                cmp.mismatches.push(format!(
+                    "family {name}: {key} differs ({} vs {})",
+                    render(fa.get(key)),
+                    render(fb.get(key))
+                ));
+            }
+        }
+        let probes_a = fa.get("probes").and_then(Json::arr).unwrap_or(&[]);
+        let probes_b = fb.get("probes").and_then(Json::arr).unwrap_or(&[]);
+        if probes_a.len() != probes_b.len() {
+            cmp.mismatches.push(format!(
+                "family {name}: probe count differs ({} vs {})",
+                probes_a.len(),
+                probes_b.len()
+            ));
+        }
+        for (i, (pa, pb)) in probes_a.iter().zip(probes_b).enumerate() {
+            for key in PROBE_CHECKSUM_KEYS {
+                if pa.get(key) != pb.get(key) {
+                    cmp.mismatches.push(format!(
+                        "family {name} probe {i}: {key} differs ({} vs {})",
+                        render(pa.get(key)),
+                        render(pb.get(key))
+                    ));
+                }
+            }
+        }
+
+        // Timing: update_secs and the summed probe secs.
+        let sum_probe_secs = |probes: &[Json]| {
+            probes
+                .iter()
+                .filter_map(|p| p.get("secs").and_then(Json::num))
+                .sum::<f64>()
+        };
+        let metrics = [
+            (
+                "update_secs",
+                fa.get("update_secs").and_then(Json::num),
+                fb.get("update_secs").and_then(Json::num),
+            ),
+            (
+                "probe_secs",
+                Some(sum_probe_secs(probes_a)),
+                Some(sum_probe_secs(probes_b)),
+            ),
+        ];
+        for (metric, ta, tb) in metrics {
+            let (Some(ta), Some(tb)) = (ta, tb) else {
+                cmp.mismatches
+                    .push(format!("family {name}: {metric} missing from a report"));
+                continue;
+            };
+            // A zero baseline (sub-microsecond phases round to 0.000000 in
+            // the report) makes the relative delta meaningless; treat any
+            // above-floor slowdown from zero as an unconditional regression
+            // rather than silently passing it.
+            let delta_pct = if ta > 0.0 {
+                (tb - ta) / ta * 100.0
+            } else if tb > ta {
+                f64::INFINITY
+            } else {
+                0.0
+            };
+            let mut line = format!("{name:<14} {metric:<12} {ta:>10.6}s -> {tb:>10.6}s");
+            let _ = write!(line, "  ({delta_pct:+7.1}%)");
+            let regressed = delta_pct > tolerance_pct && tb - ta > NOISE_FLOOR_SECS;
+            if regressed {
+                line.push_str("  REGRESSION");
+                cmp.regressions.push(format!(
+                    "family {name}: {metric} {ta:.6}s -> {tb:.6}s ({delta_pct:+.1}%, tolerance {tolerance_pct}%)"
+                ));
+            }
+            cmp.lines.push(line);
+        }
+    }
+    Ok(cmp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{exec, report, scenario};
+
+    fn tiny_report() -> String {
+        let sc = scenario::parse(
+            "[scenario]\nname = cmp\n[data]\ndistribution = uniform\nn = 300\n\
+             max-coord = 10000\n[indexes]\nfamilies = pkd, zd\n[queries]\nk = 3\n\
+             knn-ind = 5\nknn-ood = 5\nranges = 3\nrange-target = 10\n",
+        )
+        .unwrap();
+        let run = exec::run(&sc, None).unwrap();
+        report::json_string(&run)
+    }
+
+    #[test]
+    fn json_parser_roundtrips_values() {
+        let v = parse_json(r#"{"a": [1, 2.5, -3e2], "b": "x\nyA", "c": true, "d": null}"#).unwrap();
+        assert_eq!(v.get("c"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("d"), Some(&Json::Null));
+        assert_eq!(v.get("b").unwrap().str_value(), Some("x\nyA"));
+        let arr = v.get("a").unwrap().arr().unwrap();
+        assert_eq!(arr[2], Json::Num(-300.0));
+        assert!(parse_json("{\"a\": }").is_err());
+        assert!(parse_json("[1, 2] trailing").is_err());
+    }
+
+    #[test]
+    fn identical_reports_compare_clean() {
+        let text = tiny_report();
+        let a = parse_json(&text).unwrap();
+        let cmp = compare_reports(&a, &a, 10.0).unwrap();
+        assert!(
+            cmp.passed(),
+            "self-comparison flagged: {:?}",
+            cmp.regressions
+        );
+        // Two metrics (update + probes) per family, two families.
+        assert_eq!(cmp.lines.len(), 4);
+    }
+
+    #[test]
+    fn real_reruns_compare_within_generous_tolerance() {
+        let a = parse_json(&tiny_report()).unwrap();
+        let b = parse_json(&tiny_report()).unwrap();
+        // Deterministic checksums must always agree between reruns; a tiny
+        // scenario's timings sit under the noise floor, so no regression
+        // can fire regardless of scheduling.
+        let cmp = compare_reports(&a, &b, 1.0).unwrap();
+        assert!(cmp.mismatches.is_empty(), "{:?}", cmp.mismatches);
+        assert!(cmp.passed());
+    }
+
+    #[test]
+    fn slowdown_beyond_tolerance_regresses() {
+        let text = tiny_report();
+        let a = parse_json(&text).unwrap();
+        let mut b = a.clone();
+        // Inflate every update_secs in the second report well past both the
+        // relative tolerance and the absolute noise floor.
+        fn inflate(v: &mut Json) {
+            match v {
+                Json::Obj(fields) => {
+                    for (k, v) in fields {
+                        if k == "update_secs" {
+                            *v = Json::Num(v.num().unwrap_or(0.0) + 1.0);
+                        } else {
+                            inflate(v);
+                        }
+                    }
+                }
+                Json::Arr(items) => items.iter_mut().for_each(inflate),
+                _ => {}
+            }
+        }
+        inflate(&mut b);
+        let cmp = compare_reports(&a, &b, 20.0).unwrap();
+        assert_eq!(cmp.regressions.len(), 2, "{:?}", cmp.regressions);
+        assert!(!cmp.passed());
+        // The reverse direction is an improvement, not a regression.
+        let cmp = compare_reports(&b, &a, 20.0).unwrap();
+        assert!(cmp.passed());
+    }
+
+    #[test]
+    fn zero_baseline_still_flags_real_slowdowns() {
+        let text = tiny_report();
+        let a = parse_json(&text).unwrap();
+        let (mut za, mut zb) = (a.clone(), a.clone());
+        // Baseline metric rounds to exactly zero; the rerun is seconds slow.
+        fn set_update_secs(v: &mut Json, secs: f64) {
+            match v {
+                Json::Obj(fields) => {
+                    for (k, v) in fields {
+                        if k == "update_secs" {
+                            *v = Json::Num(secs);
+                        } else {
+                            set_update_secs(v, secs);
+                        }
+                    }
+                }
+                Json::Arr(items) => items.iter_mut().for_each(|i| set_update_secs(i, secs)),
+                _ => {}
+            }
+        }
+        set_update_secs(&mut za, 0.0);
+        set_update_secs(&mut zb, 5.0);
+        let cmp = compare_reports(&za, &zb, 1_000_000.0).unwrap();
+        assert_eq!(cmp.regressions.len(), 2, "{:?}", cmp.regressions);
+        // Zero to zero is not a regression.
+        let cmp = compare_reports(&za, &za, 20.0).unwrap();
+        assert!(cmp.passed());
+    }
+
+    #[test]
+    fn checksum_differences_are_mismatches() {
+        let text = tiny_report();
+        let a = parse_json(&text).unwrap();
+        let tampered = text.replacen("\"final_len\": 300", "\"final_len\": 299", 1);
+        assert_ne!(tampered, text, "tamper target not found in report");
+        let b = parse_json(&tampered).unwrap();
+        let cmp = compare_reports(&a, &b, 1_000.0).unwrap();
+        assert!(!cmp.mismatches.is_empty());
+        assert!(!cmp.passed());
+    }
+
+    #[test]
+    fn different_scenarios_refuse_to_compare() {
+        let text = tiny_report();
+        let a = parse_json(&text).unwrap();
+        let other = text.replacen("\"scenario\": \"cmp\"", "\"scenario\": \"other\"", 1);
+        let b = parse_json(&other).unwrap();
+        assert!(compare_reports(&a, &b, 10.0).is_err());
+    }
+}

@@ -10,17 +10,21 @@
 //! * deterministic per-probe **result checksums** (the golden-file contract
 //!   `tests/cli_scenarios.rs` pins down — identical across index families,
 //!   thread counts and machines), and
-//! * wall-clock **timings** (JSON report, `psi-scenario run --out`).
+//! * wall-clock **timings** (JSON report, `psi-scenario run --out`), which
+//!   `psi-scenario compare` diffs across runs with a regression tolerance
+//!   ([`compare`]).
 //!
 //! The `psi-scenario` binary is the command-line entry point; the library
 //! exposes the same pieces ([`scenario::parse`], [`exec::run`],
 //! [`exec::run_differential`], [`report::golden_string`]) so integration
 //! tests run scenarios in-process.
 
+pub mod compare;
 pub mod exec;
 pub mod report;
 pub mod scenario;
 
+pub use compare::{compare_reports, parse_json, Comparison, Json};
 pub use exec::{run, run_differential, DiffReport, FamilyRun, ProbeOutcome, ScenarioRun};
 pub use report::{golden_string, json_string};
 pub use scenario::{parse, parse_file, Amount, CoordKind, ParseError, QuerySpec, Scenario, Step};

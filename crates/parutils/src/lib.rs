@@ -2,9 +2,12 @@
 //!
 //! The C++ Ψ-Lib builds on ParlayLib for fork-join parallelism and a handful of
 //! parallel building blocks. This crate is the Rust equivalent, built on the
-//! rayon substrate's worker pool (`par_*` iterators with chunked
-//! work-distribution and steal-on-idle) plus `rayon::join` for the binary
-//! fork-join recursions the paper analyses in §2.1:
+//! rayon substrate's worker pool: `par_*` iterators with chunked
+//! work-distribution and steal-on-idle, plus `rayon::join` for the binary
+//! fork-join recursions the paper analyses in §2.1. `join` is pool-native
+//! (work-stealing task deques — a fork is an amortised task push, not a
+//! thread spawn), so the deep binary recursions in the index builds and the
+//! kernels below run at full parallelism however they nest:
 //!
 //! * [`scan`] — parallel prefix sums (exclusive scan), used to turn per-block
 //!   histograms into scatter offsets,
@@ -35,11 +38,16 @@ pub use sort::{hybrid_sort_keys, par_sort_by_key, par_sort_unstable};
 
 /// Grain size below which parallel primitives switch to their sequential
 /// implementation. Chosen so per-task work comfortably exceeds the cost of a
-/// rayon fork (~1 µs); the exact value is not performance-critical.
+/// rayon fork (a deque push/pop pair); the exact value is not
+/// performance-critical.
 pub const SEQ_THRESHOLD: usize = 2048;
 
 /// Execute two closures, potentially in parallel (thin wrapper over
-/// `rayon::join` so that index crates depend only on this substrate).
+/// `rayon::join` so that index crates depend only on this substrate). The
+/// fork rides the worker pool's task deques: unstolen forks run inline on
+/// the caller after a push/pop pair, stolen ones keep the caller stealing
+/// other tasks instead of blocking, so `par2` recursions of any depth never
+/// spawn OS threads or idle a core.
 #[inline]
 pub fn par2<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where

@@ -13,7 +13,7 @@
 //! pairs.
 
 use crate::sieve::sieve_by;
-use crate::SEQ_THRESHOLD;
+use crate::{par2, SEQ_THRESHOLD};
 use rayon::prelude::*;
 
 /// Oversampling factor of the sample sort: the number of samples taken per
@@ -61,7 +61,10 @@ where
         pivots.partition_point(|p| *p <= k)
     });
 
-    // Recurse on buckets in parallel.
+    // Recurse on buckets in parallel: a binary fork-join over the bucket
+    // list, so every level of the recursion is a task on the worker pool's
+    // deques (rather than a flat nested job per level) and uneven bucket
+    // sizes rebalance through work stealing.
     let mut slices: Vec<&mut [T]> = Vec::with_capacity(nbuckets);
     let mut rest = data;
     for w in offsets.windows(2) {
@@ -70,13 +73,31 @@ where
         slices.push(head);
         rest = tail;
     }
-    slices.into_par_iter().for_each(|s| {
-        if s.len() > SEQ_THRESHOLD {
-            par_sort_by_key(s, key);
-        } else {
-            s.sort_unstable_by_key(key);
+    sort_buckets(&mut slices, key);
+}
+
+/// Sort each bucket, forking the bucket list in halves via [`par2`].
+fn sort_buckets<T, K, F>(slices: &mut [&mut [T]], key: F)
+where
+    T: Copy + Send + Sync,
+    K: Ord + Copy + Send + Sync,
+    F: Fn(&T) -> K + Sync + Copy,
+{
+    match slices {
+        [] => {}
+        [s] => {
+            if s.len() > SEQ_THRESHOLD {
+                par_sort_by_key(s, key);
+            } else {
+                s.sort_unstable_by_key(key);
+            }
         }
-    });
+        _ => {
+            let mid = slices.len() / 2;
+            let (left, right) = slices.split_at_mut(mid);
+            par2(|| sort_buckets(left, key), || sort_buckets(right, key));
+        }
+    }
 }
 
 /// Parallel unstable sort of an `Ord` slice (convenience wrapper).

@@ -4,32 +4,42 @@
 //! crate registry, so the workspace vendors minimal local implementations of
 //! its external dependencies under their upstream names (see
 //! `crates/shims/README.md`). This one covers the slice of rayon the
-//! workspace uses, with **real parallel execution** throughout:
+//! workspace uses, with **real parallel execution** throughout, all on one
+//! global worker pool ([`mod@pool`]):
 //!
 //! * [`prelude`] — the `par_*` iterator entry points (`par_iter`,
 //!   `par_iter_mut`, `par_chunks(_mut)`, `into_par_iter`, `zip`,
 //!   `enumerate`, `map`, `map_init`, `flat_map_iter`, `for_each`, `sum`,
-//!   `collect`, `par_sort_*`) execute on a lazily-initialised global worker
-//!   pool ([`mod@pool`]): the index space is split into per-participant
-//!   queues, claimed in grain-sized chunks, with steal-on-idle rebalancing.
-//!   `collect` preserves input order and `map_init` keeps genuinely
-//!   per-worker state, so results are bit-identical to a sequential run.
-//! * [`join`] — bounded fork-join parallelism on scoped OS threads: a global
-//!   token budget of `current_num_threads() - 1` helpers decides whether the
-//!   first closure gets its own thread or runs inline. `join` composes with
-//!   the worker pool from any thread (including from inside pool workers —
-//!   the token budget simply saturates and execution degrades to
-//!   sequential), preserving the binary fork-join model the paper's
-//!   algorithms are written against.
-//! * [`scope`] / [`Scope::spawn`] — thin wrappers over [`std::thread::scope`].
+//!   `collect`, `par_sort_*`) execute as pool **jobs**: the index space is
+//!   split into per-participant queues, claimed in grain-sized chunks, with
+//!   steal-on-idle rebalancing. `collect` preserves input order and
+//!   `map_init` keeps genuinely per-worker state, so results are
+//!   bit-identical to a sequential run.
+//! * [`join`] — pool-native fork-join on per-worker **task deques** (LIFO
+//!   local pop, FIFO steal, plus a global injector for non-worker callers):
+//!   the first closure is pushed as a stealable task, the second runs
+//!   inline, and the caller then pops the fork back (the common case — no
+//!   OS interaction at all) or, if a thief took it, executes *other* tasks
+//!   until the thief's latch fires. Forks never spawn threads and waits
+//!   never block a thread that could be working, so deep `join` recursions
+//!   nested inside `par_*` jobs (and vice versa) compose deadlock-free at
+//!   full parallelism — the binary fork-join model the paper's algorithms
+//!   are written against, at amortised task-push cost.
+//! * [`scope`] / [`Scope::spawn`] — spawned closures ride the same task
+//!   deques as `join` forks; the scope's closing brace executes pending
+//!   tasks while it waits, and panics from any task re-raise on the caller.
 //! * Thread-count control — `current_num_threads()` defaults to the
 //!   `RAYON_NUM_THREADS` environment variable (as upstream) or the machine's
 //!   available parallelism, and [`ThreadPool::install`] overrides it for a
-//!   closure's duration, including `num_threads(1)` forcing fully sequential
-//!   execution and oversubscription beyond the core count.
+//!   closure's duration: `num_threads(1)` forces fully sequential inline
+//!   execution (no tasks are even published), larger counts bound how many
+//!   pool workers may participate, including oversubscription beyond the
+//!   core count.
 //!
 //! Swapping the real rayon back in requires no source changes.
 
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
@@ -63,50 +73,24 @@ fn default_num_threads() -> usize {
     })
 }
 
-/// Tokens for helper threads spawned by [`join`]; at most
-/// `current_num_threads() - 1` helpers exist at any moment.
-static HELPERS_IN_USE: AtomicUsize = AtomicUsize::new(0);
-
 /// Thread-count override installed by [`ThreadPool::install`]; `0` = none.
 /// Process-global, like rayon's global pool — scalability sweeps install
 /// their pools one at a time.
 static THREADS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
-fn helper_limit() -> usize {
-    current_num_threads().saturating_sub(1)
-}
-
-struct HelperToken;
-
-impl HelperToken {
-    fn try_acquire() -> Option<HelperToken> {
-        let limit = helper_limit();
-        let mut cur = HELPERS_IN_USE.load(Ordering::Relaxed);
-        while cur < limit {
-            match HELPERS_IN_USE.compare_exchange_weak(
-                cur,
-                cur + 1,
-                Ordering::AcqRel,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => return Some(HelperToken),
-                Err(now) => cur = now,
-            }
-        }
-        None
-    }
-}
-
-impl Drop for HelperToken {
-    fn drop(&mut self) {
-        HELPERS_IN_USE.fetch_sub(1, Ordering::Release);
-    }
-}
-
 /// Execute the two closures, potentially in parallel, and return both results.
 ///
 /// Matches `rayon::join`'s contract: `oper_a` may run on another thread while
 /// `oper_b` runs on the caller's; panics propagate to the caller.
+///
+/// Since the task-deque executor landed, a `join` is a pool-native fork:
+/// `oper_a` goes onto the calling worker's deque (or the global injector)
+/// as a stealable task, `oper_b` runs inline, and the caller reclaims the
+/// un-stolen fork or work-steals until the thief finishes. **No OS thread
+/// is spawned per call**, so an n-leaf fork-join recursion costs n task
+/// pushes — not n thread spawn/teardown round-trips — and arbitrarily deep
+/// nesting (join inside `par_iter` inside join) keeps every allowed thread
+/// busy instead of degrading to sequential under a helper budget.
 pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -114,45 +98,110 @@ where
     RA: Send,
     RB: Send,
 {
-    if let Some(token) = HelperToken::try_acquire() {
-        let result = std::thread::scope(|s| {
-            let handle = s.spawn(oper_a);
-            let rb = oper_b();
-            (handle.join(), rb)
-        });
-        drop(token);
-        match result {
-            (Ok(ra), rb) => (ra, rb),
-            (Err(payload), _) => std::panic::resume_unwind(payload),
-        }
-    } else {
+    if current_num_threads() <= 1 {
+        // Sequential mode: run in fork order without touching the pool.
         (oper_a(), oper_b())
+    } else {
+        pool::join_impl(oper_a, oper_b)
     }
 }
 
-/// A fork-join scope handed to [`scope`] closures; `spawn` runs tasks on
-/// scoped OS threads (upstream: on the thread pool).
-pub struct Scope<'scope, 'env: 'scope> {
-    inner: &'scope std::thread::Scope<'scope, 'env>,
+/// A fork-join scope handed to [`scope`] closures; `spawn` queues tasks on
+/// the worker pool's task deques (upstream shape: `Scope<'scope>`).
+pub struct Scope<'scope> {
+    data: *const pool::ScopeData,
+    /// Invariant over `'scope`, as upstream (spawned closures may borrow
+    /// and mutate state that must outlive the scope).
+    _marker: PhantomData<fn(&'scope ()) -> &'scope ()>,
 }
 
-impl<'scope, 'env> Scope<'scope, 'env> {
-    /// Spawn a task that may borrow from the enclosing scope.
+// SAFETY: the scope only exposes `&self` operations on `Sync` shared state
+// (`ScopeData`), and `scope` keeps that state alive until every spawned
+// task finished.
+unsafe impl Send for Scope<'_> {}
+unsafe impl Sync for Scope<'_> {}
+
+/// `*const ScopeData` that may travel inside a `Send` task closure.
+struct ScopePtr(*const pool::ScopeData);
+// SAFETY: `ScopeData` is `Sync` and outlives every task (see `scope`).
+unsafe impl Send for ScopePtr {}
+
+impl ScopePtr {
+    /// Accessor keeping closure captures on the `Send` wrapper rather than
+    /// the raw field (edition-2021 closures capture disjoint fields).
+    #[inline]
+    fn get(&self) -> *const pool::ScopeData {
+        self.0
+    }
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawn a task that may borrow from the enclosing scope. The task is
+    /// pushed on the current worker's deque (or the injector) and runs on
+    /// whichever pool thread gets to it first; under a single-thread
+    /// budget it runs inline immediately.
     pub fn spawn<F>(&self, body: F)
     where
-        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
     {
-        let inner = self.inner;
-        inner.spawn(move || body(&Scope { inner }));
+        // SAFETY: `scope` does not return before `pending` drains to zero,
+        // so the data outlives this call and the spawned task.
+        let data = unsafe { &*self.data };
+        data.add_pending();
+        let ptr = ScopePtr(self.data);
+        let run = move || {
+            let scope = Scope {
+                data: ptr.get(),
+                _marker: PhantomData,
+            };
+            let result = catch_unwind(AssertUnwindSafe(|| body(&scope)));
+            // SAFETY: as above — the scope's wait keeps the data alive.
+            let data = unsafe { &*ptr.get() };
+            if let Err(payload) = result {
+                data.record_panic(payload);
+            }
+            data.complete();
+        };
+        if current_num_threads() <= 1 {
+            // Sequential mode: run inline, but keep the panic contract (the
+            // payload surfaces at the scope's closing brace, as upstream).
+            run();
+            return;
+        }
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(run);
+        // SAFETY: lifetime erasure only — `scope` blocks until the task has
+        // executed, so every `'scope` borrow inside stays valid.
+        let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+        pool::spawn_task(task);
     }
 }
 
-/// Create a fork-join scope; blocks until every spawned task finished.
-pub fn scope<'env, F, R>(body: F) -> R
+/// Create a fork-join scope; blocks until every spawned task finished,
+/// executing queued tasks itself while it waits. The first panic out of the
+/// scope body or any spawned task is re-raised here once the scope is quiet.
+pub fn scope<'scope, OP, R>(op: OP) -> R
 where
-    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
 {
-    std::thread::scope(|s| body(&Scope { inner: s }))
+    let data = pool::ScopeData::new();
+    let scope = Scope {
+        data: &data,
+        _marker: PhantomData,
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| op(&scope)));
+    // Even (especially) on a panicking body: never unwind past tasks that
+    // borrow this frame.
+    pool::scope_wait(&data);
+    match result {
+        Err(payload) => resume_unwind(payload),
+        Ok(r) => {
+            if let Some(payload) = data.take_panic() {
+                resume_unwind(payload);
+            }
+            r
+        }
+    }
 }
 
 /// Stand-in for rayon's pool configuration. `build_global` is a no-op (the
@@ -186,10 +235,10 @@ impl ThreadPoolBuilder {
 
 /// Stand-in pool handle: `install` runs the closure on the caller, with the
 /// pool's thread count installed as the process-global limit for the
-/// duration — it bounds both the worker-pool participants of every `par_*`
-/// operation and `join`'s helper-thread tokens, so `num_threads(1)` really
-/// is sequential and `num_threads(k)` on a smaller machine oversubscribes,
-/// as upstream. Overrides don't nest.
+/// duration — it bounds the worker-pool participants of every `par_*`
+/// operation and the workers eligible to steal fork-join tasks, so
+/// `num_threads(1)` really is sequential and `num_threads(k)` on a smaller
+/// machine oversubscribes, as upstream. Overrides don't nest.
 pub struct ThreadPool {
     num_threads: usize,
 }
@@ -200,9 +249,13 @@ impl ThreadPool {
         impl Drop for Restore {
             fn drop(&mut self) {
                 THREADS_OVERRIDE.store(self.0, Ordering::Release);
+                // The budget may have grown back: budget-parked workers
+                // re-evaluate (they are deaf to work publications).
+                pool::budget_changed();
             }
         }
         let previous = THREADS_OVERRIDE.swap(self.num_threads, Ordering::AcqRel);
+        pool::budget_changed();
         let _restore = Restore(previous);
         op()
     }
@@ -254,6 +307,21 @@ mod tests {
     }
 
     #[test]
+    fn join_propagates_inline_half_panics() {
+        let _g = crate::pool::override_lock();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                join(|| 1, || panic!("inline boom"));
+            }));
+            assert!(result.is_err());
+            // The executor stays usable.
+            let (a, b) = join(|| 2, || 3);
+            assert_eq!(a + b, 5);
+        });
+    }
+
+    #[test]
     fn pool_install_overrides_thread_count() {
         let _g = crate::pool::override_lock();
         let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
@@ -274,5 +342,54 @@ mod tests {
             }
         });
         assert_eq!(counter.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn scope_tasks_can_spawn_more_tasks() {
+        let _g = crate::pool::override_lock();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            let counter = AtomicUsize::new(0);
+            scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|s| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        for _ in 0..3 {
+                            s.spawn(|_| {
+                                counter.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                }
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), 16);
+        });
+    }
+
+    #[test]
+    fn scope_propagates_task_panics_after_quiescing() {
+        let _g = crate::pool::override_lock();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            let ran = AtomicUsize::new(0);
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                scope(|s| {
+                    for i in 0..8 {
+                        s.spawn(move |_| {
+                            if i == 3 {
+                                panic!("task boom");
+                            }
+                        });
+                    }
+                    ran.fetch_add(1, Ordering::Relaxed);
+                });
+            }));
+            assert!(result.is_err());
+            assert_eq!(
+                ran.load(Ordering::Relaxed),
+                1,
+                "scope body ran to completion"
+            );
+        });
     }
 }

@@ -1,49 +1,84 @@
-//! The global worker pool and chunked work-distribution core behind the
-//! `par_*` substrate.
+//! The global worker pool behind the whole parallel substrate: chunked
+//! work-distribution for `par_*` jobs **and** per-worker task deques for
+//! pool-native fork-join (`join` / `scope` / `Scope::spawn`).
 //!
 //! # Execution model
 //!
-//! A parallel operation over `n` items is a **job**: the index space `0..n`
-//! is partitioned into one contiguous range per participant slot, each slot
-//! backed by an atomic `(lo, hi)` pair — the slot's *work queue*. Every
-//! participating thread (the submitting caller plus lazily-spawned pool
-//! workers) owns one slot and repeatedly claims a grain-sized chunk from the
-//! front of its own queue; when the queue runs dry it **steals** the back
-//! half of the fullest other queue into its own and continues. All state
-//! transitions are single CAS operations on the packed pair, so claiming is
-//! lock-free and every index is delivered exactly once.
+//! The pool schedules two kinds of work:
 //!
-//! The submitting thread always participates (slot 0) and, crucially, the
-//! claim/steal loop lets *any single participant drain the entire job*. A
-//! job therefore completes even if every pool worker is busy elsewhere —
-//! which is exactly what happens with nested parallelism: a worker that hits
-//! a nested `par_*` call submits a child job, drains whatever share of it
-//! the rest of the pool doesn't take, and only then waits. No participant
-//! ever waits for work it could do itself, so nesting cannot deadlock.
+//! 1. **Jobs** — a parallel operation over `n` items (`par_iter`,
+//!    `for_each`, `collect`, …). The index space `0..n` is partitioned into
+//!    one contiguous range per participant slot, each slot backed by an
+//!    atomic `(lo, hi)` pair — the slot's *range queue*. Every participating
+//!    thread (the submitting caller plus pool workers) owns one slot and
+//!    repeatedly claims a grain-sized chunk from the front of its own queue;
+//!    when the queue runs dry it steals the back half of the fullest other
+//!    queue and continues. The claim/steal loop lets *any single participant
+//!    drain the entire job*, so a job completes even if every pool worker is
+//!    busy elsewhere — which is exactly what happens with nested
+//!    parallelism. No participant ever waits for work it could do itself,
+//!    so nesting cannot deadlock.
+//!
+//! 2. **Tasks** — the forked halves of `join` calls and `scope`-spawned
+//!    closures. Every pool worker owns a *task deque*: it pushes forked
+//!    tasks onto the back, pops its own work LIFO from the back (preserving
+//!    the sequential depth-first order and its cache footprint), and thieves
+//!    steal FIFO from the front (taking the oldest, biggest subtrees).
+//!    Non-worker callers push into a shared FIFO **injector** instead.
+//!    Crucially, `join` never blocks while its forked half is outstanding:
+//!    if the task was not stolen the caller pops it back and runs it inline
+//!    (the overwhelmingly common case — one mutex push/pop, no OS
+//!    interaction); if it *was* stolen, the caller executes other tasks from
+//!    the deques until the thief's completion latch fires. A blocked state
+//!    exists only when there is provably nothing to steal, and every such
+//!    wait is bounded by a running thread making progress, so deeply nested
+//!    `join`-inside-`par_iter`-inside-`join` compositions stay
+//!    deadlock-free. **No OS thread is ever spawned on the fork-join path**;
+//!    an n-leaf fork tree costs n task pushes, not n thread spawns.
 //!
 //! # Pool sizing
 //!
-//! Workers are spawned on demand, up to `current_num_threads() - 1` for the
-//! job being submitted (so [`crate::ThreadPool::install`] and the
-//! `RAYON_NUM_THREADS` environment variable genuinely control parallelism,
-//! including oversubscription beyond the core count, as upstream rayon
-//! allows). Idle workers park on a condition variable; they are never torn
-//! down.
+//! Workers are spawned on first use, up to `current_num_threads() - 1`
+//! (so [`crate::ThreadPool::install`] and the `RAYON_NUM_THREADS`
+//! environment variable genuinely control parallelism, including
+//! oversubscription beyond the core count, as upstream rayon allows). Idle
+//! workers park on a condition variable; they are never torn down. A worker
+//! whose index is outside the currently-installed thread budget parks until
+//! the budget grows back, so `install(k)` bounds active parallelism even
+//! after a larger pool has warmed up, and `install(1)` (or
+//! `RAYON_NUM_THREADS=1`) runs everything inline on the caller with no
+//! tasks published at all.
+//!
+//! # Waking
+//!
+//! All sleeping — idle workers, `join`/`scope` waiters with nothing to
+//! steal, job submitters waiting for stragglers — goes through one
+//! versioned park: publishing work (task push, job push, latch set, scope
+//! completion) bumps a version counter and wakes the parked set only when
+//! someone is actually parked, so the fork fast path stays a couple of
+//! atomic operations.
 //!
 //! # Panics
 //!
-//! A panic in worker-executed code is caught at the job boundary, the first
-//! payload is stored, and once every participant has finished the payload is
-//! re-raised on the submitting thread — the same contract as upstream rayon.
+//! A panic in worker-executed code is caught at the task or job boundary,
+//! carried through the latch or job state, and re-raised on the thread that
+//! forked the work — the same contract as upstream rayon.
 
+use std::any::Any;
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
 
 /// Hard cap on pool threads, a guard against runaway
 /// `ThreadPool::install(huge)` requests.
 const MAX_WORKERS: usize = 192;
+
+/// Worker stack size: deep fork-join recursions (tree builds over millions
+/// of points) plus steal-driven nesting run on these stacks.
+const WORKER_STACK: usize = 8 * 1024 * 1024;
 
 /// Each participant splits its fair share into roughly this many grains, so
 /// late-starting participants and uneven item costs still balance via steals.
@@ -58,7 +93,7 @@ pub(crate) fn grain_for(n: usize, threads: usize, min_len: usize) -> usize {
 }
 
 // ---------------------------------------------------------------------------
-// Per-slot range queues with steal-on-idle.
+// Per-slot range queues with steal-on-idle (the job work-distribution core).
 // ---------------------------------------------------------------------------
 
 #[inline]
@@ -193,6 +228,137 @@ impl WorkerRanges<'_> {
 }
 
 // ---------------------------------------------------------------------------
+// Tasks: the unit of stealable fork-join work.
+// ---------------------------------------------------------------------------
+
+/// A type-erased unit of work sitting in a deque: an `execute` thunk plus a
+/// pointer to its state — either a [`StackJob`] on a `join` caller's stack
+/// or a boxed `scope`-spawned closure.
+struct Task {
+    execute: unsafe fn(*mut ()),
+    data: *mut (),
+}
+
+// SAFETY: the pointed-to state is `Sync`-shared between exactly the forking
+// thread and the (at most one) thief that removed the task from a deque;
+// deque removal under its mutex is the ownership hand-off.
+unsafe impl Send for Task {}
+
+/// One worker's task deque (also the shape of the global injector). A plain
+/// mutex-guarded ring: push and pop are a handful of instructions under an
+/// uncontended lock, and sharding one deque per worker keeps it uncontended
+/// except when a thief actually strikes.
+struct TaskDeque {
+    tasks: Mutex<VecDeque<Task>>,
+}
+
+impl TaskDeque {
+    const fn new() -> Self {
+        TaskDeque {
+            tasks: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Owner push: newest work on the back.
+    fn push(&self, task: Task) {
+        self.tasks.lock().unwrap().push_back(task);
+    }
+
+    /// Owner pop: LIFO from the back (depth-first, cache-warm order).
+    fn pop(&self) -> Option<Task> {
+        self.tasks.lock().unwrap().pop_back()
+    }
+
+    /// Thief pop: FIFO from the front (oldest fork = biggest subtree).
+    fn steal(&self) -> Option<Task> {
+        self.tasks.lock().unwrap().pop_front()
+    }
+
+    /// Remove the exact task whose state pointer is `data`, if it is still
+    /// queued. Used by `join` to reclaim its un-stolen fork; searching from
+    /// the back finds it in O(1) in the LIFO case.
+    fn pop_exact(&self, data: *mut ()) -> bool {
+        let mut q = self.tasks.lock().unwrap();
+        if let Some(pos) = q.iter().rposition(|t| std::ptr::eq(t.data, data)) {
+            q.remove(pos);
+            return true;
+        }
+        false
+    }
+}
+
+/// Completion flag of a forked task, observed by the forking thread. All
+/// waking goes through the pool's versioned park, so the latch itself is
+/// just the flag.
+pub(crate) struct Latch {
+    done: AtomicBool,
+}
+
+impl Latch {
+    fn new() -> Latch {
+        Latch {
+            done: AtomicBool::new(false),
+        }
+    }
+
+    fn probe(&self) -> bool {
+        self.done.load(Ordering::SeqCst)
+    }
+
+    fn set(&self) {
+        self.done.store(true, Ordering::SeqCst);
+        pool().publish();
+    }
+}
+
+/// The stack-allocated state of a `join` fork: the not-yet-run closure going
+/// in, the result (or panic payload) coming out. Lives in `join_impl`'s
+/// frame; the deque hand-off protocol guarantees the pointer never outlives
+/// it (the caller does not return before reclaiming the task or observing
+/// its latch).
+struct StackJob<F, R> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+    latch: Latch,
+}
+
+// SAFETY: shared between the forking thread and at most one thief, with the
+// deque mutex ordering the hand-off and the latch ordering the hand-back.
+unsafe impl<F: Send, R: Send> Sync for StackJob<F, R> {}
+
+/// Execute a [`StackJob`] on a thief: take the closure, run it under
+/// `catch_unwind`, store the outcome, fire the latch.
+///
+/// # Safety
+///
+/// `data` must point to a live `StackJob<F, R>` whose task was removed from
+/// a deque by the caller (sole execution right).
+unsafe fn execute_stack_job<F, R>(data: *mut ())
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    let job = unsafe { &*data.cast::<StackJob<F, R>>() };
+    // SAFETY: sole execution right ⇒ exclusive access to the cells.
+    let func = unsafe { (*job.func.get()).take() }.expect("stack task executed twice");
+    let outcome = catch_unwind(AssertUnwindSafe(func));
+    unsafe { *job.result.get() = Some(outcome) };
+    job.latch.set();
+}
+
+/// Execute a boxed `scope`-spawned closure (panic handling lives inside the
+/// closure itself — see `Scope::spawn`).
+///
+/// # Safety
+///
+/// `data` must come from `Box::into_raw(Box::new(Box<dyn FnOnce() + Send>))`
+/// and be executed exactly once.
+unsafe fn execute_heap_task(data: *mut ()) {
+    let func = unsafe { Box::from_raw(data.cast::<Box<dyn FnOnce() + Send>>()) };
+    func();
+}
+
+// ---------------------------------------------------------------------------
 // The pool proper.
 // ---------------------------------------------------------------------------
 
@@ -208,9 +374,7 @@ struct Job<'a> {
     max_slots: usize,
     /// Workers that have registered but not yet finished.
     remaining: AtomicUsize,
-    done: Mutex<()>,
-    done_cv: Condvar,
-    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
 }
 
 #[derive(Clone, Copy)]
@@ -225,40 +389,192 @@ struct PoolShared {
 }
 
 struct Pool {
+    /// Job queue + spawn bookkeeping.
     shared: Mutex<PoolShared>,
-    work_cv: Condvar,
+    /// One task deque per (potential) worker; deque `i` is owned by worker
+    /// `i`. Allocated eagerly — an empty `VecDeque` owns no heap memory.
+    deques: Box<[TaskDeque]>,
+    /// Task queue for non-worker forkers (and their reclaim target).
+    injector: TaskDeque,
+    /// Mirror of `PoolShared::spawned` readable without the lock (bounds the
+    /// thieves' scan).
+    spawned: AtomicUsize,
+    /// Bumped on every work publication; the parking protocol re-checks it
+    /// under the park lock, so no publication can be slept through.
+    version: AtomicUsize,
+    /// Number of threads inside `park_cv.wait` (workers and waiters alike);
+    /// publishers skip the lock + notify entirely while it is zero.
+    sleepers: AtomicUsize,
+    park: Mutex<()>,
+    park_cv: Condvar,
+    /// Where workers outside the installed thread budget sleep. Kept apart
+    /// from `park_cv` so the (possibly thousands per second of) work
+    /// publications never wake threads that are not allowed to take work;
+    /// only a budget change ([`crate::ThreadPool::install`] entering or
+    /// restoring) notifies here.
+    budget_cv: Condvar,
 }
 
+static POOL: OnceLock<Pool> = OnceLock::new();
+
 fn pool() -> &'static Pool {
-    static POOL: OnceLock<Pool> = OnceLock::new();
     POOL.get_or_init(|| Pool {
         shared: Mutex::new(PoolShared {
             queue: Vec::new(),
             spawned: 0,
         }),
-        work_cv: Condvar::new(),
+        deques: (0..MAX_WORKERS).map(|_| TaskDeque::new()).collect(),
+        injector: TaskDeque::new(),
+        spawned: AtomicUsize::new(0),
+        version: AtomicUsize::new(0),
+        sleepers: AtomicUsize::new(0),
+        park: Mutex::new(()),
+        park_cv: Condvar::new(),
+        budget_cv: Condvar::new(),
     })
 }
 
-fn worker_main() {
-    let pool = pool();
-    let mut guard = pool.shared.lock().unwrap();
-    loop {
-        if let Some(&job_ref) = guard.queue.last() {
+/// Wake budget-parked workers after a thread-count override change (called
+/// by `ThreadPool::install` on entry and restore). A no-op until the pool
+/// exists; takes the park lock so a worker's budget re-check under that
+/// lock cannot miss the change.
+pub(crate) fn budget_changed() {
+    if let Some(pool) = POOL.get() {
+        let _guard = pool.park.lock().unwrap();
+        pool.budget_cv.notify_all();
+    }
+}
+
+thread_local! {
+    /// The pool worker index of the current thread, if it is one.
+    static WORKER_ID: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn worker_id() -> Option<usize> {
+    WORKER_ID.with(Cell::get)
+}
+
+/// Helpers the installed thread count allows besides the caller.
+fn allowed_helpers() -> usize {
+    crate::current_num_threads().saturating_sub(1)
+}
+
+impl Pool {
+    /// Announce new work (or a completion someone may be waiting on).
+    fn publish(&self) {
+        self.version.fetch_add(1, Ordering::SeqCst);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.park.lock().unwrap();
+            self.park_cv.notify_all();
+        }
+    }
+
+    /// Park until the version moves past `seen`. Callers take `seen` BEFORE
+    /// scanning for work: any publication after the snapshot aborts the park
+    /// (under the lock), so scan-then-park cannot lose a wakeup.
+    ///
+    /// Ordering matters: the sleeper registers itself in `sleepers` *before*
+    /// re-checking the version. In the SeqCst total order either the parker's
+    /// version check sees the publisher's bump (no wait), or the check
+    /// precedes the bump — and then the earlier `sleepers` increment precedes
+    /// the publisher's `sleepers` load, which therefore observes a sleeper
+    /// and takes the lock to notify. The lock is held from registration to
+    /// `wait`, so that notify cannot fire in between.
+    fn park(&self, seen: usize) {
+        let guard = self.park.lock().unwrap();
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        if self.version.load(Ordering::SeqCst) == seen {
+            let _guard = self.park_cv.wait(guard).unwrap();
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Queue a forked task on the caller's deque (workers) or the injector
+    /// (everyone else).
+    fn push_task(&self, me: Option<usize>, task: Task) {
+        match me {
+            Some(id) => self.deques[id].push(task),
+            None => self.injector.push(task),
+        }
+        self.publish();
+    }
+
+    /// Take back a queued-but-unstolen task (identified by its state
+    /// pointer) from wherever `push_task` put it.
+    fn reclaim_task(&self, me: Option<usize>, data: *mut ()) -> bool {
+        match me {
+            Some(id) => self.deques[id].pop_exact(data),
+            None => self.injector.pop_exact(data),
+        }
+    }
+
+    /// Find one task to run: own deque first (LIFO), then steal a round over
+    /// the other workers' deques (FIFO), then the injector.
+    fn find_task(&self, me: Option<usize>) -> Option<Task> {
+        if let Some(id) = me {
+            if let Some(t) = self.deques[id].pop() {
+                return Some(t);
+            }
+        }
+        let n = self.spawned.load(Ordering::SeqCst);
+        if n > 0 {
+            let start = me.map_or(0, |id| id + 1);
+            for k in 0..n {
+                let i = (start + k) % n;
+                if Some(i) == me {
+                    continue;
+                }
+                if let Some(t) = self.deques[i].steal() {
+                    return Some(t);
+                }
+            }
+        }
+        self.injector.steal()
+    }
+
+    /// Execute tasks (own, stolen, injected) until `done()` holds, parking
+    /// only when there is nothing to run. This is the wait used by `join`
+    /// (latch) and `scope` (pending counter): the waiter keeps the fork-join
+    /// tree moving instead of blocking a thread on it.
+    fn steal_until(&self, me: Option<usize>, done: impl Fn() -> bool) {
+        loop {
+            if done() {
+                return;
+            }
+            let seen = self.version.load(Ordering::SeqCst);
+            if let Some(task) = self.find_task(me) {
+                // SAFETY: removed from a deque ⇒ sole execution right.
+                unsafe { (task.execute)(task.data) };
+                continue;
+            }
+            if done() {
+                return;
+            }
+            self.park(seen);
+        }
+    }
+
+    /// Claim and run one slot of the top queued job, if any.
+    fn try_job_slot(&self) -> bool {
+        let mut shared = self.shared.lock().unwrap();
+        loop {
+            let Some(&job_ref) = shared.queue.last() else {
+                return false;
+            };
             // SAFETY: the job is still queued, so the submitter is still
             // blocked in `run_pooled` and the allocation is live.
             let job = unsafe { &*job_ref.0 };
             let slot = job.next_slot.fetch_add(1, Ordering::Relaxed);
             if slot >= job.max_slots {
                 // Fully subscribed: retire it from the queue.
-                guard.queue.retain(|j| !std::ptr::eq(j.0, job_ref.0));
+                shared.queue.retain(|j| !std::ptr::eq(j.0, job_ref.0));
                 continue;
             }
             // Register while holding the pool lock: the submitter removes the
             // job under the same lock before checking `remaining`, so it
             // cannot miss this participant.
             job.remaining.fetch_add(1, Ordering::SeqCst);
-            drop(guard);
+            drop(shared);
 
             let result = catch_unwind(AssertUnwindSafe(|| (job.body)(slot)));
             if let Err(payload) = result {
@@ -267,36 +583,205 @@ fn worker_main() {
                     *p = Some(payload);
                 }
             }
-            {
-                let _d = job.done.lock().unwrap();
-                if job.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
-                    job.done_cv.notify_all();
-                }
+            // The job pointer must not be touched past the final decrement.
+            if job.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+                self.publish();
             }
-            // The job pointer must not be touched past this point.
-            guard = pool.shared.lock().unwrap();
-        } else {
-            guard = pool.work_cv.wait(guard).unwrap();
+            return true;
         }
+    }
+
+    /// Spawn workers until `wanted` exist (capped), with a lock-free fast
+    /// path once the pool is warm. Failure to spawn degrades to fewer
+    /// helpers, never to an error.
+    fn ensure_spawned(&self, wanted: usize) {
+        let target = wanted.min(MAX_WORKERS);
+        if self.spawned.load(Ordering::SeqCst) >= target {
+            return;
+        }
+        let mut shared = self.shared.lock().unwrap();
+        ensure_workers(&mut shared, target);
     }
 }
 
-/// Spawn pool workers until at least `wanted` exist (capped). Failure to
-/// spawn degrades to fewer helpers, never to an error.
-fn ensure_workers(shared: &mut PoolShared, wanted: usize) {
-    let target = wanted.min(MAX_WORKERS);
+fn worker_main(id: usize) {
+    WORKER_ID.with(|c| c.set(Some(id)));
+    let pool = pool();
+    loop {
+        // A worker outside the installed thread budget parks on the budget
+        // condvar — deaf to work publications — so `install(k)` keeps
+        // governing parallelism after a larger warm-up without every fork
+        // push wake/re-park-cycling the excluded workers.
+        if id >= allowed_helpers() {
+            let guard = pool.park.lock().unwrap();
+            if id >= allowed_helpers() {
+                let _guard = pool.budget_cv.wait(guard).unwrap();
+            }
+            continue;
+        }
+        let seen = pool.version.load(Ordering::SeqCst);
+        if let Some(task) = pool.find_task(Some(id)) {
+            // SAFETY: removed from a deque ⇒ sole execution right.
+            unsafe { (task.execute)(task.data) };
+            continue;
+        }
+        if pool.try_job_slot() {
+            continue;
+        }
+        pool.park(seen);
+    }
+}
+
+/// Spawn pool workers until at least `target` exist (already capped by the
+/// caller).
+fn ensure_workers(shared: &mut PoolShared, target: usize) {
     while shared.spawned < target {
-        let name = format!("psi-par-{}", shared.spawned);
+        let id = shared.spawned;
         if std::thread::Builder::new()
-            .name(name)
-            .spawn(worker_main)
+            .name(format!("psi-par-{id}"))
+            .stack_size(WORKER_STACK)
+            .spawn(move || worker_main(id))
             .is_err()
         {
             break;
         }
         shared.spawned += 1;
+        pool().spawned.store(shared.spawned, Ordering::SeqCst);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Fork-join entry points (called from `crate::join` / `crate::scope`).
+// ---------------------------------------------------------------------------
+
+/// Pool-native `join`: fork `oper_a` as a stealable task, run `oper_b`
+/// inline, then reclaim-or-steal until `oper_a` is done. Only called with
+/// `current_num_threads() > 1` (the sequential case short-circuits in
+/// `crate::join`).
+pub(crate) fn join_impl<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let pool = pool();
+    pool.ensure_spawned(allowed_helpers());
+
+    let job: StackJob<A, RA> = StackJob {
+        func: UnsafeCell::new(Some(oper_a)),
+        result: UnsafeCell::new(None),
+        latch: Latch::new(),
+    };
+    let data = std::ptr::from_ref(&job).cast_mut().cast::<()>();
+    let me = worker_id();
+    pool.push_task(
+        me,
+        Task {
+            execute: execute_stack_job::<A, RA>,
+            data,
+        },
+    );
+
+    let rb = catch_unwind(AssertUnwindSafe(oper_b));
+
+    if pool.reclaim_task(me, data) {
+        // Nobody stole the fork: run it inline on this thread — the common
+        // case, and the whole point of the deque (no thread spawn, no
+        // blocking, just a push/pop pair). If `oper_b` already panicked the
+        // reclaimed closure is dropped unrun, exactly as upstream rayon
+        // drops a popped-back sibling during unwinding.
+        // SAFETY: reclaimed from the deque ⇒ sole access to the cells.
+        let func = unsafe { (*job.func.get()).take() }.expect("reclaimed task already executed");
+        match rb {
+            Ok(b) => match catch_unwind(AssertUnwindSafe(func)) {
+                Ok(a) => (a, b),
+                Err(payload) => resume_unwind(payload),
+            },
+            Err(payload) => {
+                drop(func);
+                resume_unwind(payload)
+            }
+        }
+    } else {
+        // A thief has it: keep the rest of the fork tree moving until its
+        // latch fires. Never returns before the thief is done with the
+        // stack frame this job lives in.
+        pool.steal_until(me, || job.latch.probe());
+        // SAFETY: latch fired ⇒ the thief stored the result and is done.
+        let ra =
+            unsafe { (*job.result.get()).take() }.expect("stolen task completed without result");
+        match (ra, rb) {
+            (Ok(a), Ok(b)) => (a, b),
+            (Err(payload), _) => resume_unwind(payload),
+            (_, Err(payload)) => resume_unwind(payload),
+        }
+    }
+}
+
+/// Shared state of one `scope`: the number of not-yet-finished spawned
+/// tasks plus the first panic payload any of them raised. Lives in
+/// `crate::scope`'s frame; `scope_wait` keeps it alive past every task.
+pub(crate) struct ScopeData {
+    pending: AtomicUsize,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl ScopeData {
+    pub(crate) fn new() -> ScopeData {
+        ScopeData {
+            pending: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+        }
+    }
+
+    pub(crate) fn add_pending(&self) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut p = self.panic.lock().unwrap();
+        if p.is_none() {
+            *p = Some(payload);
+        }
+    }
+
+    pub(crate) fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.panic.lock().unwrap().take()
+    }
+
+    /// Mark one spawned task finished (runs after its panic, if any, was
+    /// recorded).
+    pub(crate) fn complete(&self) {
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            pool().publish();
+        }
+    }
+}
+
+/// Queue a `scope`-spawned closure as a stealable task.
+pub(crate) fn spawn_task(task: Box<dyn FnOnce() + Send>) {
+    let pool = pool();
+    pool.ensure_spawned(allowed_helpers());
+    let data = Box::into_raw(Box::new(task)).cast::<()>();
+    pool.push_task(
+        worker_id(),
+        Task {
+            execute: execute_heap_task,
+            data,
+        },
+    );
+}
+
+/// Block a `scope` on the completion of all its spawned tasks, executing
+/// other tasks while waiting.
+pub(crate) fn scope_wait(data: &ScopeData) {
+    pool().steal_until(worker_id(), || data.pending.load(Ordering::SeqCst) == 0);
+}
+
+// ---------------------------------------------------------------------------
+// Job execution (the `par_*` entry point).
+// ---------------------------------------------------------------------------
 
 /// Execute `body` once per participant over the shared index space `0..n`.
 ///
@@ -335,8 +820,6 @@ fn run_pooled(n: usize, grain: usize, nslots: usize, body: &(dyn Fn(WorkerRanges
         next_slot: AtomicUsize::new(1),
         max_slots: nslots,
         remaining: AtomicUsize::new(0),
-        done: Mutex::new(()),
-        done_cv: Condvar::new(),
         panic: Mutex::new(None),
     };
     // Erase the job's stack lifetime for the queue; `run_pooled` does not
@@ -346,10 +829,10 @@ fn run_pooled(n: usize, grain: usize, nslots: usize, body: &(dyn Fn(WorkerRanges
     let pool = pool();
     {
         let mut shared = pool.shared.lock().unwrap();
-        ensure_workers(&mut shared, nslots - 1);
+        ensure_workers(&mut shared, (nslots - 1).min(MAX_WORKERS));
         shared.queue.push(job_ref);
     }
-    pool.work_cv.notify_all();
+    pool.publish();
 
     // Participate as slot 0. The claim/steal loop drains every queue, so
     // this returns only once all of `0..n` has been claimed — even if no
@@ -363,16 +846,20 @@ fn run_pooled(n: usize, grain: usize, nslots: usize, body: &(dyn Fn(WorkerRanges
     }
 
     // Retire the job so no further workers can register, then wait for the
-    // ones that did.
+    // ones that did (they are finishing their last claimed grain).
     {
         let mut shared = pool.shared.lock().unwrap();
         shared.queue.retain(|j| !std::ptr::eq(j.0, job_ref.0));
     }
-    {
-        let mut d = job.done.lock().unwrap();
-        while job.remaining.load(Ordering::SeqCst) > 0 {
-            d = job.done_cv.wait(d).unwrap();
+    loop {
+        if job.remaining.load(Ordering::SeqCst) == 0 {
+            break;
         }
+        let seen = pool.version.load(Ordering::SeqCst);
+        if job.remaining.load(Ordering::SeqCst) == 0 {
+            break;
+        }
+        pool.park(seen);
     }
 
     let payload = job.panic.lock().unwrap().take();
@@ -528,6 +1015,40 @@ mod tests {
                 }
             });
             assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        });
+    }
+
+    #[test]
+    fn join_task_is_reclaimed_when_not_stolen() {
+        let _g = super::override_lock();
+        with_threads(4, || {
+            // Trivially fast joins: the fork is virtually always popped back
+            // before any worker wakes. Either way, both closures run exactly
+            // once and the results come back in position.
+            for i in 0..1000u64 {
+                let (a, b) = crate::join(|| i * 2, || i * 3);
+                assert_eq!((a, b), (i * 2, i * 3));
+            }
+        });
+    }
+
+    #[test]
+    fn stolen_join_task_sets_latch_and_returns_result() {
+        let _g = super::override_lock();
+        with_threads(4, || {
+            // A slow inline half gives workers ample time to steal the fork;
+            // on any scheduling the result must be identical.
+            for _ in 0..20 {
+                let (a, b) = crate::join(
+                    || (0..1000u64).sum::<u64>(),
+                    || {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                        1u64
+                    },
+                );
+                assert_eq!(a, 499_500);
+                assert_eq!(b, 1);
+            }
         });
     }
 }

@@ -6,7 +6,9 @@
 //! terminal operations (`for_each`, `sum`, `collect`, `par_sort_*`) hand the
 //! producer's index space to the pool in [`crate::pool`], which distributes
 //! it across per-participant queues with grain-sized chunk claiming and
-//! steal-on-idle.
+//! steal-on-idle. The same pool runs [`crate::join`]'s fork-join tasks on
+//! per-worker deques, so `par_*` bodies that fork (and forks that `par_*`)
+//! share one set of threads without deadlock or oversubscription.
 //!
 //! Guarantees relied on across the workspace:
 //!

@@ -5,7 +5,11 @@
 //! `log₂(runs)` rounds. Each round merges every pair in parallel on the pool,
 //! and a pair merge itself fans out via [`crate::join`], splitting at the
 //! larger run's median (the classic parallel merge), so the final round is
-//! not a sequential bottleneck.
+//! not a sequential bottleneck. Since the task-deque executor landed, each
+//! of those `join` forks is an amortised task push onto the calling worker's
+//! deque — the merge recursion produces `O(n / MERGE_GRAIN)` forks per
+//! round, which previously meant that many scoped OS thread spawns and now
+//! means none.
 //!
 //! # Panic safety
 //!
@@ -24,6 +28,8 @@ use std::mem::MaybeUninit;
 /// Below this length a sequential `slice::sort*` call wins outright.
 const SEQ_SORT: usize = 4096;
 /// Pair merges recurse in parallel down to segments of this combined length.
+/// A fork now costs one deque push/pop, so the grain only has to amortise
+/// the binary search at the split point, not a thread spawn.
 const MERGE_GRAIN: usize = 8192;
 
 /// Raw pointer that may be shared/sent across the pool: every user is handed

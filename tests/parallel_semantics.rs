@@ -5,6 +5,12 @@
 //! allowed, (c) propagate worker panics to the caller, and (d) degrade to
 //! pure sequential execution under `ThreadPool::install(1)`.
 //!
+//! The fork-join section at the bottom stresses the task-deque executor
+//! behind `join`/`scope` (PR 4): recursion depth far beyond the thread
+//! count, join-inside-`par_iter`-inside-join nesting, panics in stolen
+//! tasks, strict sequentiality under `install(1)`, and — the headline
+//! contract — zero OS threads spawned per `join` once the pool is warm.
+//!
 //! The thread-count override is process-global (as upstream rayon's global
 //! pool is), so every test that installs one serialises on [`override_lock`].
 
@@ -332,6 +338,183 @@ fn nested_join_under_pool_completes_correctly() {
             .map(|_| join_sum(0, 50_000))
             .collect();
         assert!(sums.iter().all(|&s| s == 49_999 * 50_000 / 2));
+    });
+}
+
+// ---------------------------------------------------------------------------
+// The task-deque fork-join executor (PR 4): join/scope as pool citizens.
+// ---------------------------------------------------------------------------
+
+/// Binary fork-join sum over `lo..hi`, splitting down to `grain`-sized
+/// leaves — the shape of every tree-build recursion in the workspace.
+fn join_tree_sum(lo: u64, hi: u64, grain: u64) -> u64 {
+    if hi - lo <= grain {
+        (lo..hi).sum()
+    } else {
+        let mid = lo + (hi - lo) / 2;
+        let (a, b) = rayon::join(
+            || join_tree_sum(lo, mid, grain),
+            || join_tree_sum(mid, hi, grain),
+        );
+        a + b
+    }
+}
+
+#[test]
+fn deep_join_recursion_far_exceeds_thread_count() {
+    let _g = override_lock();
+    with_threads(4, || {
+        // A linear chain 1 500 forks deep: every level queues a task while
+        // only 4 threads exist. The old scoped-thread join either spawned a
+        // thread per level or degraded to sequential once its helper budget
+        // saturated; the deques must simply absorb the tasks.
+        fn chain(depth: usize) -> u64 {
+            if depth == 0 {
+                return 0;
+            }
+            let (a, b) = rayon::join(|| chain(depth - 1), || 1u64);
+            a + b
+        }
+        assert_eq!(chain(1_500), 1_500);
+        // A wide tree: ~12k forks over a 4-thread budget.
+        assert_eq!(join_tree_sum(0, 100_000, 8), 100_000 * 99_999 / 2);
+    });
+}
+
+#[test]
+fn join_inside_par_iter_inside_join_composes() {
+    // Three alternating layers of fork-join and data parallelism; the
+    // result must be bit-identical across thread counts.
+    let expect: u64 = (0..32u64)
+        .map(|i| {
+            let f = |n: u64| n * (n - 1) / 2;
+            f(1_000 + i) + f(2_000 + i)
+        })
+        .sum();
+    let got = assert_thread_invariant(|| {
+        let (a, b) = rayon::join(
+            || {
+                (0..32usize)
+                    .into_par_iter()
+                    .map(|i| join_tree_sum(0, 1_000 + i as u64, 64))
+                    .sum::<u64>()
+            },
+            || {
+                (0..32usize)
+                    .into_par_iter()
+                    .map(|i| join_tree_sum(0, 2_000 + i as u64, 64))
+                    .sum::<u64>()
+            },
+        );
+        a + b
+    });
+    assert_eq!(got, expect);
+}
+
+#[test]
+fn panic_in_stolen_join_task_propagates() {
+    let _g = override_lock();
+    with_threads(4, || {
+        // The forked half panics; the slow inline half gives workers every
+        // chance to steal it first. Whichever thread ends up running the
+        // fork, the payload must re-raise on the caller and the executor
+        // must stay usable.
+        for _ in 0..10 {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                rayon::join(
+                    || panic!("boom in forked task"),
+                    || std::thread::sleep(std::time::Duration::from_millis(2)),
+                );
+            }));
+            assert!(result.is_err(), "panic in forked half was swallowed");
+        }
+        assert_eq!(join_tree_sum(0, 10_000, 64), 10_000 * 9_999 / 2);
+    });
+}
+
+#[test]
+fn install_one_forces_sequential_join() {
+    let _g = override_lock();
+    with_threads(1, || {
+        fn rec(lo: u64, hi: u64, ids: &Mutex<HashSet<std::thread::ThreadId>>) -> u64 {
+            ids.lock().unwrap().insert(std::thread::current().id());
+            if hi - lo <= 32 {
+                (lo..hi).sum()
+            } else {
+                let mid = lo + (hi - lo) / 2;
+                let (a, b) = rayon::join(|| rec(lo, mid, ids), || rec(mid, hi, ids));
+                a + b
+            }
+        }
+        let caller = std::thread::current().id();
+        let ids = Mutex::new(HashSet::new());
+        assert_eq!(rec(0, 10_000, &ids), 10_000 * 9_999 / 2);
+        let ids = ids.into_inner().unwrap();
+        assert_eq!(ids.len(), 1, "install(1) joins must not leave the caller");
+        assert!(ids.contains(&caller));
+    });
+}
+
+/// Count this process's live pool worker threads by name (the pool names
+/// them `psi-par-<id>`). Returns `None` where /proc is unavailable.
+fn pool_worker_threads() -> Option<usize> {
+    let tasks = std::fs::read_dir("/proc/self/task").ok()?;
+    let mut count = 0;
+    for entry in tasks.flatten() {
+        if let Ok(comm) = std::fs::read_to_string(entry.path().join("comm")) {
+            if comm.trim_start().starts_with("psi-par") {
+                count += 1;
+            }
+        }
+    }
+    Some(count)
+}
+
+#[test]
+fn join_spawns_no_os_threads_after_warmup() {
+    let _g = override_lock();
+    // Warm the pool to the largest thread budget this test binary ever
+    // installs (other tests use at most 4; the ambient default covers CI
+    // matrix runs), so no concurrent test can grow it between our samples.
+    let warm = rayon::current_num_threads().max(4);
+    with_threads(warm, || {
+        (0..1_024usize).into_par_iter().for_each(|_| {});
+        let _ = rayon::join(|| 1, || 2);
+    });
+    let Some(before) = pool_worker_threads() else {
+        return; // no /proc: the zero-spawn contract is covered by shim tests
+    };
+    assert!(before >= 1, "warm-up must have spawned pool workers");
+    with_threads(4, || {
+        // ~12k joins; under the old executor each fork that won a helper
+        // token was one scoped OS thread spawn + teardown.
+        assert_eq!(join_tree_sum(0, 100_000, 8), 100_000 * 99_999 / 2);
+    });
+    let after = pool_worker_threads().expect("/proc disappeared mid-test");
+    assert_eq!(
+        before, after,
+        "join must not spawn or tear down OS threads after pool warm-up"
+    );
+}
+
+#[test]
+fn scope_spawn_rides_the_pool() {
+    let _g = override_lock();
+    with_threads(4, || {
+        let total = AtomicUsize::new(0);
+        let tally = &total;
+        rayon::scope(|s| {
+            for i in 0..64usize {
+                s.spawn(move |s| {
+                    // Nested spawn from inside a task.
+                    s.spawn(move |_| {
+                        tally.fetch_add(i, Ordering::Relaxed);
+                    });
+                    tally.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 64 + (0..64).sum::<usize>());
     });
 }
 
