@@ -24,7 +24,7 @@
 //! * `print` parses a scenario and dumps the resolved configuration.
 //! * `list` lists `.psi` files in a directory (default `scenarios/`).
 
-use psi_cli::{compare, exec, report, scenario};
+use psi_cli::{compare, exec, report, scenario, serve};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -164,14 +164,9 @@ fn cmd_run(args: &[String]) -> ExitCode {
         if !flags.quiet {
             summarise(&run);
         }
-        if let Some(out) = &flags.out {
-            if let Err(e) = std::fs::write(out, report::json_string(&run)) {
-                return fail(&format!("writing {}: {e}", out.display()));
-            }
-            if !flags.quiet {
-                println!("wrote {}", out.display());
-            }
-        }
+        // Golden comparison first: a deterministic-checksum regression must
+        // be reported as such, never masked by (or queued behind) the
+        // concurrent, timing-only serve phase.
         if let Some(golden_path) = &flags.check {
             let want = match std::fs::read_to_string(golden_path) {
                 Ok(w) => w,
@@ -188,6 +183,42 @@ fn cmd_run(args: &[String]) -> ExitCode {
             }
             if !flags.quiet {
                 println!("golden match: {}", golden_path.display());
+            }
+        }
+        // The optional concurrent serving phase ([serve] section):
+        // timing-only, reported alongside the schedule results.
+        let serve_report = if sc.serve.is_some() {
+            match serve::run_serve(&sc, flags.threads) {
+                Ok(r) => {
+                    if !flags.quiet {
+                        println!(
+                            "  serve {:<12} shards={} clients={} ops={} batches={} \
+                             {:>9.0} q/s p50={:.3}ms p99={:.3}ms coalesce={:.1}x",
+                            r.family,
+                            r.shards,
+                            r.clients,
+                            r.ops,
+                            r.batches,
+                            r.throughput_qps,
+                            r.p50_ms,
+                            r.p99_ms,
+                            r.coalesce_factor
+                        );
+                    }
+                    Some(r)
+                }
+                Err(e) => return fail(&format!("{}: serve phase: {e}", file.display())),
+            }
+        } else {
+            None
+        };
+        if let Some(out) = &flags.out {
+            let json = report::json_string_with_serve(&run, serve_report.as_ref());
+            if let Err(e) = std::fs::write(out, json) {
+                return fail(&format!("writing {}: {e}", out.display()));
+            }
+            if !flags.quiet {
+                println!("wrote {}", out.display());
             }
         }
     }

@@ -64,7 +64,8 @@ impl ScenarioCoord for f64 {
 struct ProbeSet<T: Coord, const D: usize> {
     knn_ind: Vec<Point<T, D>>,
     knn_ood: Vec<Point<T, D>>,
-    k: usize,
+    /// Neighbour counts swept per kNN query point (usually one entry).
+    ks: Vec<usize>,
     ranges: Vec<Rect<T, D>>,
 }
 
@@ -176,7 +177,7 @@ fn probe_set_i64<const D: usize>(sc: &Scenario, data: &[PointI<D>]) -> ProbeSet<
     ProbeSet {
         knn_ind: workloads::ind_queries(data, sc.queries.knn_ind, sc.seed ^ 0x51),
         knn_ood: workloads::ood_queries::<D>(sc.max_coord, sc.queries.knn_ood, sc.seed ^ 0x52),
-        k: sc.queries.k,
+        ks: sc.queries.ks.clone(),
         ranges: workloads::range_queries(
             data,
             sc.max_coord,
@@ -197,12 +198,10 @@ struct Setup<T: Coord, const D: usize> {
     opts: BuildOptions<T, D>,
 }
 
-fn build_opts<T: Coord, const D: usize>(sc: &Scenario, universe: Rect<T, D>) -> BuildOptions<T, D> {
-    let mut opts = BuildOptions::with_universe(universe);
-    if let Some(leaf) = sc.leaf_size {
-        opts = opts.leaf_size(leaf);
-    }
-    opts
+fn build_opts<T: Coord, const D: usize>(universe: Rect<T, D>) -> BuildOptions<T, D> {
+    // Leaf sizes are per family *instance* (sweepable), so they are applied
+    // at create time, not here.
+    BuildOptions::with_universe(universe)
 }
 
 fn setup_i64<const D: usize>(sc: &Scenario) -> Setup<i64, D> {
@@ -213,7 +212,7 @@ fn setup_i64<const D: usize>(sc: &Scenario) -> Setup<i64, D> {
         data,
         ps,
         universe,
-        opts: build_opts(sc, universe),
+        opts: build_opts(universe),
     }
 }
 
@@ -232,7 +231,7 @@ fn setup_f64<const D: usize>(sc: &Scenario) -> Setup<f64, D> {
         ps: ProbeSet {
             knn_ind: is.ps.knn_ind.iter().map(to_f64_point).collect(),
             knn_ood: is.ps.knn_ood.iter().map(to_f64_point).collect(),
-            k: is.ps.k,
+            ks: is.ps.ks,
             ranges: is
                 .ps
                 .ranges
@@ -241,7 +240,7 @@ fn setup_f64<const D: usize>(sc: &Scenario) -> Setup<f64, D> {
                 .collect(),
         },
         universe,
-        opts: build_opts(sc, universe),
+        opts: build_opts(universe),
     }
 }
 
@@ -251,20 +250,30 @@ where
     MortonCurve: SfcCurve<D>,
 {
     let s = setup_i64::<D>(sc);
-    run_typed(sc, &s.data, &s.ps, &s.universe, &|family, pts| {
-        registry::create::<D>(family, pts, &s.opts)
+    run_typed(sc, &s.data, &s.ps, &s.universe, &|family, pts, leaf| {
+        let mut opts = s.opts.clone();
+        opts.leaf_size = leaf;
+        registry::create::<D>(family, pts, &opts)
     })
 }
 
-fn run_f64<const D: usize>(sc: &Scenario) -> Result<Vec<FamilyRun>, String> {
+fn run_f64<const D: usize>(sc: &Scenario) -> Result<Vec<FamilyRun>, String>
+where
+    HilbertCurve: SfcCurve<D>,
+    MortonCurve: SfcCurve<D>,
+{
     let s = setup_f64::<D>(sc);
-    run_typed(sc, &s.data, &s.ps, &s.universe, &|family, pts| {
-        registry::create_f64::<D>(family, pts, &s.opts)
+    run_typed(sc, &s.data, &s.ps, &s.universe, &|family, pts, leaf| {
+        let mut opts = s.opts.clone();
+        opts.leaf_size = leaf;
+        registry::create_f64::<D>(family, pts, &opts)
     })
 }
 
-type Create<'a, T, const D: usize> =
-    dyn Fn(&str, &[Point<T, D>]) -> Result<Box<dyn DynIndex<T, D>>, RegistryError> + 'a;
+/// Index constructor used by the executor: family name, build points, and
+/// the instance's leaf-size override.
+type Create<'a, T, const D: usize> = dyn Fn(&str, &[Point<T, D>], Option<usize>) -> Result<Box<dyn DynIndex<T, D>>, RegistryError>
+    + 'a;
 
 /// A family index and its lockstep brute-force oracle.
 type DiffPair<T, const D: usize> = (Box<dyn DynIndex<T, D>>, Box<dyn DynIndex<T, D>>);
@@ -277,7 +286,8 @@ fn run_typed<T: ScenarioCoord, const D: usize>(
     create: &Create<'_, T, D>,
 ) -> Result<Vec<FamilyRun>, String> {
     let mut out = Vec::with_capacity(sc.families.len());
-    for &family in &sc.families {
+    for spec in &sc.families {
+        let family = spec.family;
         let mut inserted = 0usize;
         let mut deleted = 0usize;
         let mut index: Option<Box<dyn DynIndex<T, D>>> = None;
@@ -289,7 +299,8 @@ fn run_typed<T: ScenarioCoord, const D: usize>(
                 Step::Build(amount) => {
                     let take = amount.resolve(sc.n).min(sc.n);
                     let t = Instant::now();
-                    index = Some(create(family, &data[..take]).map_err(|e| e.to_string())?);
+                    index =
+                        Some(create(family, &data[..take], spec.leaf).map_err(|e| e.to_string())?);
                     update_secs += t.elapsed().as_secs_f64();
                     inserted = take;
                 }
@@ -320,7 +331,7 @@ fn run_typed<T: ScenarioCoord, const D: usize>(
         let idx = index.expect("schedule starts with build");
         idx.check_invariants();
         out.push(FamilyRun {
-            family: family.to_string(),
+            family: spec.label.clone(),
             probes,
             probe_secs,
             final_len: idx.len(),
@@ -334,18 +345,25 @@ fn run_typed<T: ScenarioCoord, const D: usize>(
 fn knn_checksum<T: ScenarioCoord, const D: usize>(
     index: &dyn DynIndex<T, D>,
     queries: &[Point<T, D>],
-    k: usize,
+    ks: &[usize],
 ) -> u64 {
-    if queries.is_empty() || k == 0 {
+    // Sweeping several `k` values chains their folds; a single-entry sweep
+    // produces exactly the pre-sweep checksum, keeping old goldens valid.
+    if queries.is_empty() || ks.iter().all(|&k| k == 0) {
         return 0;
     }
-    let answers = index.knn_batch(queries, k);
     let mut h = FNV_OFFSET;
-    for (q, nbrs) in queries.iter().zip(&answers) {
-        h = fold(h, nbrs.len() as u64);
-        for p in nbrs {
-            let (lo, hi) = T::dist_bits(q.dist_sq(p));
-            h = fold(fold(h, lo), hi);
+    for &k in ks {
+        if k == 0 {
+            continue;
+        }
+        let answers = index.knn_batch(queries, k);
+        for (q, nbrs) in queries.iter().zip(&answers) {
+            h = fold(h, nbrs.len() as u64);
+            for p in nbrs {
+                let (lo, hi) = T::dist_bits(q.dist_sq(p));
+                h = fold(fold(h, lo), hi);
+            }
         }
     }
     h
@@ -365,8 +383,8 @@ fn run_probe<T: ScenarioCoord, const D: usize>(
     index: &dyn DynIndex<T, D>,
     ps: &ProbeSet<T, D>,
 ) -> ProbeOutcome {
-    let knn_ind = knn_checksum(index, &ps.knn_ind, ps.k);
-    let knn_ood = knn_checksum(index, &ps.knn_ood, ps.k);
+    let knn_ind = knn_checksum(index, &ps.knn_ind, &ps.ks);
+    let knn_ood = knn_checksum(index, &ps.knn_ood, &ps.ks);
     let (range_count, range_list) = if ps.ranges.is_empty() {
         (0, 0)
     } else {
@@ -430,16 +448,38 @@ where
     MortonCurve: SfcCurve<D>,
 {
     let s = setup_i64::<D>(sc);
-    diff_typed(sc, family, &s.data, &s.ps, &s.universe, &|name, pts| {
-        registry::create::<D>(name, pts, &s.opts)
-    })
+    diff_typed(
+        sc,
+        family,
+        &s.data,
+        &s.ps,
+        &s.universe,
+        &|name, pts, leaf| {
+            let mut opts = s.opts.clone();
+            opts.leaf_size = leaf;
+            registry::create::<D>(name, pts, &opts)
+        },
+    )
 }
 
-fn diff_f64<const D: usize>(sc: &Scenario, family: &str) -> Result<DiffReport, String> {
+fn diff_f64<const D: usize>(sc: &Scenario, family: &str) -> Result<DiffReport, String>
+where
+    HilbertCurve: SfcCurve<D>,
+    MortonCurve: SfcCurve<D>,
+{
     let s = setup_f64::<D>(sc);
-    diff_typed(sc, family, &s.data, &s.ps, &s.universe, &|name, pts| {
-        registry::create_f64::<D>(name, pts, &s.opts)
-    })
+    diff_typed(
+        sc,
+        family,
+        &s.data,
+        &s.ps,
+        &s.universe,
+        &|name, pts, leaf| {
+            let mut opts = s.opts.clone();
+            opts.leaf_size = leaf;
+            registry::create_f64::<D>(name, pts, &opts)
+        },
+    )
 }
 
 fn dists_equal<T: Coord>(a: &[T::Dist], b: &[T::Dist]) -> bool {
@@ -459,6 +499,13 @@ fn diff_typed<T: ScenarioCoord, const D: usize>(
 ) -> Result<DiffReport, String> {
     let family =
         registry::resolve_name(family).ok_or_else(|| format!("unknown family {family:?}"))?;
+    // Replay with the leaf size of the scenario's first instance of this
+    // family (the paper default when the family isn't listed).
+    let leaf = sc
+        .families
+        .iter()
+        .find(|f| f.family == family)
+        .and_then(|f| f.leaf);
     let mut report = DiffReport::default();
     let mut index: Option<DiffPair<T, D>> = None;
     let mut inserted = 0usize;
@@ -469,21 +516,24 @@ fn diff_typed<T: ScenarioCoord, const D: usize>(
                    oracle: &dyn DynIndex<T, D>|
      -> Result<usize, String> {
         let mut answers = 0usize;
-        for (label, queries) in [("knn-ind", &ps.knn_ind), ("knn-ood", &ps.knn_ood)] {
-            if ps.k == 0 || queries.is_empty() {
-                continue;
-            }
-            let got = idx.knn_batch(queries, ps.k);
-            let want = oracle.knn_batch(queries, ps.k);
-            for (i, q) in queries.iter().enumerate() {
-                let gd: Vec<T::Dist> = got[i].iter().map(|p| q.dist_sq(p)).collect();
-                let wd: Vec<T::Dist> = want[i].iter().map(|p| q.dist_sq(p)).collect();
-                if !dists_equal::<T>(&gd, &wd) {
-                    return Err(format!(
-                        "{family}: probe {probe_no} {label} query {i}: {gd:?} != oracle {wd:?}"
-                    ));
+        for &k in &ps.ks {
+            for (label, queries) in [("knn-ind", &ps.knn_ind), ("knn-ood", &ps.knn_ood)] {
+                if k == 0 || queries.is_empty() {
+                    continue;
                 }
-                answers += 1;
+                let got = idx.knn_batch(queries, k);
+                let want = oracle.knn_batch(queries, k);
+                for (i, q) in queries.iter().enumerate() {
+                    let gd: Vec<T::Dist> = got[i].iter().map(|p| q.dist_sq(p)).collect();
+                    let wd: Vec<T::Dist> = want[i].iter().map(|p| q.dist_sq(p)).collect();
+                    if !dists_equal::<T>(&gd, &wd) {
+                        return Err(format!(
+                            "{family}: probe {probe_no} {label} k={k} query {i}: \
+                             {gd:?} != oracle {wd:?}"
+                        ));
+                    }
+                    answers += 1;
+                }
             }
         }
         if !ps.ranges.is_empty() {
@@ -519,8 +569,8 @@ fn diff_typed<T: ScenarioCoord, const D: usize>(
             Step::Build(amount) => {
                 let take = amount.resolve(sc.n).min(sc.n);
                 index = Some((
-                    create(family, &data[..take]).map_err(|e| e.to_string())?,
-                    create("brute-force", &data[..take]).map_err(|e| e.to_string())?,
+                    create(family, &data[..take], leaf).map_err(|e| e.to_string())?,
+                    create("brute-force", &data[..take], None).map_err(|e| e.to_string())?,
                 ));
                 inserted = take;
             }
@@ -635,7 +685,8 @@ step = probe
             .replace("families = p-orth, brute-force", "families = all")
             .replace("max-coord = 100000", "max-coord = 100000\ncoords = f64");
         let sc = scenario::parse(&text).unwrap();
-        assert_eq!(sc.families, registry::float_names());
+        let names: Vec<&str> = sc.families.iter().map(|f| f.family).collect();
+        assert_eq!(names, registry::float_names());
         let r = run(&sc, None).unwrap();
         assert_eq!(r.families.len(), registry::float_names().len());
     }

@@ -14,6 +14,11 @@
 //!   `psi-scenario compare` diffs across runs with a regression tolerance
 //!   ([`compare`]).
 //!
+//! Scenarios may also declare a **concurrent serving phase** (`[serve]`
+//! section): a closed-loop client/writer mix replayed through the
+//! `psi-server` subsystem after the schedule, reporting throughput and
+//! latency percentiles ([`serve`]); timing-only, never part of golden text.
+//!
 //! The `psi-scenario` binary is the command-line entry point; the library
 //! exposes the same pieces ([`scenario::parse`], [`exec::run`],
 //! [`exec::run_differential`], [`report::golden_string`]) so integration
@@ -23,8 +28,13 @@ pub mod compare;
 pub mod exec;
 pub mod report;
 pub mod scenario;
+pub mod serve;
 
 pub use compare::{compare_reports, parse_json, Comparison, Json};
 pub use exec::{run, run_differential, DiffReport, FamilyRun, ProbeOutcome, ScenarioRun};
 pub use report::{golden_string, json_string};
-pub use scenario::{parse, parse_file, Amount, CoordKind, ParseError, QuerySpec, Scenario, Step};
+pub use scenario::{
+    parse, parse_file, Amount, CoordKind, FamilySpec, ParseError, QuerySpec, Scenario, ServeSpec,
+    Step,
+};
+pub use serve::{run_serve, ServeReport};

@@ -10,6 +10,7 @@
 //!   benchmarking sweeps and dashboards (`psi-scenario run --out`).
 
 use crate::exec::{FamilyRun, ScenarioRun};
+use crate::serve::ServeReport;
 
 /// Escape a string for embedding in a JSON literal (the scenario name is
 /// free text; the other interpolated strings are registry-controlled).
@@ -80,12 +81,39 @@ fn json_family(fam: &FamilyRun) -> String {
 
 /// The full JSON report (checksums *and* timings) for a run.
 pub fn json_string(run: &ScenarioRun) -> String {
+    json_string_with_serve(run, None)
+}
+
+/// As [`json_string`], with the serving-phase measurements appended when the
+/// scenario declared a `[serve]` section. (`psi-scenario compare` reads only
+/// the config and family keys, so the extra block never affects the
+/// regression gate.)
+pub fn json_string_with_serve(run: &ScenarioRun, serve: Option<&ServeReport>) -> String {
     let families: Vec<String> = run.families.iter().map(json_family).collect();
+    let serve_block = serve.map_or(String::new(), |s| {
+        format!(
+            ",\n  \"serve\": {{\n    \"family\": \"{}\",\n    \"shards\": {},\n    \
+             \"clients\": {},\n    \"ops\": {},\n    \"batches\": {},\n    \
+             \"elapsed_secs\": {:.6},\n    \"throughput_qps\": {:.1},\n    \
+             \"p50_ms\": {:.4},\n    \"p99_ms\": {:.4},\n    \
+             \"coalesce_factor\": {:.2}\n  }}",
+            json_escape(&s.family),
+            s.shards,
+            s.clients,
+            s.ops,
+            s.batches,
+            s.elapsed_secs,
+            s.throughput_qps,
+            s.p50_ms,
+            s.p99_ms,
+            s.coalesce_factor
+        )
+    });
     format!(
         "{{\n  \"scenario\": \"{}\",\n  \"distribution\": \"{}\",\n  \"coords\": \"{}\",\n  \
          \"dims\": {},\n  \"n\": {},\n  \"seed\": {},\n  \"threads\": {},\n  \
          \"note\": \"checksums are deterministic; secs are wall clock and vary\",\n  \
-         \"families\": [\n{}\n  ]\n}}\n",
+         \"families\": [\n{}\n  ]{}\n}}\n",
         json_escape(&run.name),
         json_escape(&run.distribution),
         run.coords,
@@ -93,7 +121,8 @@ pub fn json_string(run: &ScenarioRun) -> String {
         run.n,
         run.seed,
         run.threads,
-        families.join(",\n")
+        families.join(",\n"),
+        serve_block
     )
 }
 

@@ -18,11 +18,14 @@
 //! max-coord = 1000000           # optional; defaults to the paper's domain
 //!
 //! [indexes]
-//! families = all                # or a comma list of registry names
-//! leaf-size = 32                # optional leaf-wrap override
+//! families = all                # or a comma list of registry names;
+//!                               # `name@16` pins a per-family leaf size φ
+//! leaf-size = 32                # optional leaf-wrap override; a comma
+//!                               # list (`16, 32, 64`) sweeps every family
+//!                               # over each φ as separate instances
 //!
 //! [queries]
-//! k = 10
+//! k = 10                        # a comma list (`5, 10, 20`) sweeps k
 //! knn-ind = 30
 //! knn-ood = 30
 //! ranges = 15
@@ -34,6 +37,14 @@
 //! step = insert 25%             # batch-insert the next unseen points
 //! step = delete 25%             # batch-delete the oldest live points
 //! step = probe
+//!
+//! [serve]                       # optional: concurrent serving phase
+//! clients = 4                   # closed-loop reader threads
+//! ops = 500                     # queries per client
+//! shards = 2                    # spatial shards (stripes along dim 0)
+//! write-batch = 64              # points per published update batch
+//! write-every-ms = 2            # writer pacing (0 = as fast as possible)
+//! coalesce = 32                 # max queries folded into one flush
 //! ```
 //!
 //! Amounts are either absolute point counts (`500`) or percentages of `n`
@@ -144,10 +155,12 @@ impl Step {
 }
 
 /// Size of the query mix a `probe` step runs.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct QuerySpec {
-    /// Neighbours per kNN query.
-    pub k: usize,
+    /// Neighbour counts to sweep: each kNN query point is asked once per
+    /// `k` in this list, and all answers fold into the probe checksum. A
+    /// single entry reproduces the pre-sweep behaviour bit-for-bit.
+    pub ks: Vec<usize>,
     /// Number of in-distribution kNN query points.
     pub knn_ind: usize,
     /// Number of out-of-distribution kNN query points.
@@ -161,11 +174,62 @@ pub struct QuerySpec {
 impl Default for QuerySpec {
     fn default() -> Self {
         QuerySpec {
-            k: 10,
+            ks: vec![10],
             knn_ind: 32,
             knn_ood: 32,
             ranges: 16,
             range_target: 50,
+        }
+    }
+}
+
+/// One index instance a scenario runs: a registry family plus an optional
+/// leaf-size override `φ`. Sweeps (`leaf-size = 16, 32` or `fam@16`) expand
+/// into one instance per (family, φ) pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FamilySpec {
+    /// Canonical registry name.
+    pub family: &'static str,
+    /// Leaf wrap threshold for this instance; `None` keeps the paper
+    /// default.
+    pub leaf: Option<usize>,
+    /// Display label used in reports and golden files: the bare family name
+    /// for a single-φ run (pre-sweep compatible), `family@φ` in sweeps.
+    pub label: String,
+}
+
+/// The concurrent serving phase of a scenario (`[serve]` section): a
+/// closed-loop client/writer mix replayed by `psi-scenario run` through the
+/// `psi-server` subsystem after the schedule completes. Timing-only — never
+/// part of the golden text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServeSpec {
+    /// Closed-loop reader client threads.
+    pub clients: usize,
+    /// Queries each client issues.
+    pub ops: usize,
+    /// Spatial shards (stripes along dimension 0).
+    pub shards: usize,
+    /// Points per published update batch (0 disables the writer).
+    pub write_batch: usize,
+    /// Milliseconds between writer publishes (0 = back-to-back).
+    pub write_every_ms: u64,
+    /// Maximum queries the coalescer folds into one batched flush.
+    pub coalesce: usize,
+    /// Family serving the phase; `None` uses the scenario's first instance.
+    pub family: Option<&'static str>,
+}
+
+impl Default for ServeSpec {
+    fn default() -> Self {
+        ServeSpec {
+            clients: 4,
+            ops: 500,
+            shards: 2,
+            write_batch: 64,
+            write_every_ms: 2,
+            coalesce: 32,
+            family: None,
         }
     }
 }
@@ -187,14 +251,14 @@ pub struct Scenario {
     pub n: usize,
     /// Coordinate domain upper bound.
     pub max_coord: i64,
-    /// Canonical registry names of the index families to run.
-    pub families: Vec<&'static str>,
-    /// Optional leaf-wrap override passed to every family.
-    pub leaf_size: Option<usize>,
+    /// The index instances to run (family × leaf-size sweep, expanded).
+    pub families: Vec<FamilySpec>,
     /// Query-mix sizes.
     pub queries: QuerySpec,
     /// The update/probe schedule; starts with `Step::Build`.
     pub schedule: Vec<Step>,
+    /// Optional concurrent serving phase (`[serve]` section).
+    pub serve: Option<ServeSpec>,
 }
 
 /// Parse failure, with the 1-based line it occurred on (0 for file-level
@@ -226,6 +290,23 @@ fn err(line: usize, message: impl Into<String>) -> ParseError {
     }
 }
 
+/// Parse a comma-separated list of distinct unsigned integers (`k` and
+/// `leaf-size` sweep values).
+fn parse_usize_list(value: &str, what: &str) -> Result<Vec<usize>, String> {
+    let mut out: Vec<usize> = Vec::new();
+    for part in value.split(',') {
+        let v: usize = part
+            .trim()
+            .parse()
+            .map_err(|_| format!("{what} expects integers, got {:?}", part.trim()))?;
+        if out.contains(&v) {
+            return Err(format!("duplicate {what} value {v}"));
+        }
+        out.push(v);
+    }
+    Ok(out)
+}
+
 /// Parse a scenario from its textual form.
 pub fn parse(text: &str) -> Result<Scenario, ParseError> {
     let mut name: Option<String> = None;
@@ -236,9 +317,11 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
     let mut n: Option<usize> = None;
     let mut max_coord: Option<i64> = None;
     let mut families_raw: Option<(usize, String)> = None;
-    let mut leaf_size: Option<usize> = None;
+    let mut leaf_sizes: Option<(usize, Vec<usize>)> = None;
     let mut queries = QuerySpec::default();
     let mut schedule: Vec<Step> = Vec::new();
+    let mut serve: Option<ServeSpec> = None;
+    let mut serve_family_raw: Option<(usize, String)> = None;
 
     let mut section = String::new();
     let mut seen: std::collections::HashSet<(String, String)> = std::collections::HashSet::new();
@@ -255,6 +338,10 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
                 .trim();
             match sect {
                 "scenario" | "data" | "indexes" | "queries" | "schedule" => {
+                    section = sect.to_string()
+                }
+                "serve" => {
+                    serve.get_or_insert_with(ServeSpec::default);
                     section = sect.to_string()
                 }
                 other => return Err(err(lineno, format!("unknown section [{other}]"))),
@@ -314,8 +401,15 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
                 })?)
             }
             ("indexes", "families") => families_raw = Some((lineno, value.to_string())),
-            ("indexes", "leaf-size") => leaf_size = Some(parse_usize(value, "leaf-size")?),
-            ("queries", "k") => queries.k = parse_usize(value, "k")?,
+            ("indexes", "leaf-size") => {
+                leaf_sizes = Some((
+                    lineno,
+                    parse_usize_list(value, "leaf-size").map_err(|m| err(lineno, m))?,
+                ))
+            }
+            ("queries", "k") => {
+                queries.ks = parse_usize_list(value, "k").map_err(|m| err(lineno, m))?
+            }
             ("queries", "knn-ind") => queries.knn_ind = parse_usize(value, "knn-ind")?,
             ("queries", "knn-ood") => queries.knn_ood = parse_usize(value, "knn-ood")?,
             ("queries", "ranges") => queries.ranges = parse_usize(value, "ranges")?,
@@ -323,6 +417,26 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
                 queries.range_target = parse_usize(value, "range-target")?
             }
             ("schedule", "step") => schedule.push(Step::parse(value).map_err(|m| err(lineno, m))?),
+            ("serve", key) => {
+                let sv = serve.as_mut().expect("serve section sets the default");
+                match key {
+                    "clients" => sv.clients = parse_usize(value, "clients")?,
+                    "ops" => sv.ops = parse_usize(value, "ops")?,
+                    "shards" => sv.shards = parse_usize(value, "shards")?,
+                    "write-batch" => sv.write_batch = parse_usize(value, "write-batch")?,
+                    "write-every-ms" => {
+                        sv.write_every_ms = value.parse().map_err(|_| {
+                            err(
+                                lineno,
+                                format!("write-every-ms expects an integer, got {value:?}"),
+                            )
+                        })?
+                    }
+                    "coalesce" => sv.coalesce = parse_usize(value, "coalesce")?,
+                    "family" => serve_family_raw = Some((lineno, value.to_string())),
+                    other => return Err(err(lineno, format!("unknown key {other:?} in [serve]"))),
+                }
+            }
             ("", _) => return Err(err(lineno, "key/value pair before any [section]")),
             (sect, key) => return Err(err(lineno, format!("unknown key {key:?} in [{sect}]"))),
         }
@@ -350,33 +464,113 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
         CoordKind::I64 => registry::names(),
         CoordKind::F64 => registry::float_names(),
     };
-    let families: Vec<&'static str> = match families_raw {
-        None => available.to_vec(),
+    // Each listed family entry is a name with an optional `@φ` leaf pin;
+    // entries without a pin expand over the global `leaf-size` sweep list.
+    let mut listed: Vec<(&'static str, Option<usize>)> = Vec::new();
+    match families_raw {
+        None => listed.extend(available.iter().map(|&f| (f, None))),
         Some((lineno, raw)) => {
-            if raw.trim() == "all" {
-                available.to_vec()
-            } else {
-                let mut out = Vec::new();
-                for part in raw.split(',') {
-                    let canon = registry::resolve_name(part).ok_or_else(|| {
-                        err(lineno, format!("unknown index family {:?}", part.trim()))
-                    })?;
-                    if coords == CoordKind::F64 && !registry::float_names().contains(&canon) {
-                        return Err(err(
-                            lineno,
-                            format!("family {canon:?} does not support f64 coordinates"),
-                        ));
+            for part in raw.split(',') {
+                let part = part.trim();
+                let (name_part, leaf) = match part.split_once('@') {
+                    Some((n, l)) => {
+                        let leaf: usize = l.trim().parse().map_err(|_| {
+                            err(lineno, format!("bad leaf size in family entry {part:?}"))
+                        })?;
+                        (n.trim(), Some(leaf))
                     }
-                    if !out.contains(&canon) {
-                        out.push(canon);
+                    None => (part, None),
+                };
+                if name_part == "all" {
+                    if leaf.is_some() {
+                        return Err(err(lineno, "`all` cannot take an @leaf pin"));
                     }
+                    listed.extend(available.iter().map(|&f| (f, None)));
+                    continue;
                 }
-                out
+                let canon = registry::resolve_name(name_part)
+                    .ok_or_else(|| err(lineno, format!("unknown index family {name_part:?}")))?;
+                if coords == CoordKind::F64 && !registry::float_names().contains(&canon) {
+                    return Err(err(
+                        lineno,
+                        format!("family {canon:?} does not support f64 coordinates"),
+                    ));
+                }
+                listed.push((canon, leaf));
             }
         }
+    }
+    // Expand over the global leaf-size sweep. A single global value keeps
+    // the bare family name as the label, so pre-sweep scenarios (and their
+    // golden files) are untouched; multi-value sweeps and explicit `@φ`
+    // pins label instances as `family@φ`.
+    let global_leaves: Vec<Option<usize>> = match &leaf_sizes {
+        None => vec![None],
+        Some((_, list)) => list.iter().map(|&l| Some(l)).collect(),
     };
+    let sweeping = global_leaves.len() > 1;
+    let mut families: Vec<FamilySpec> = Vec::new();
+    for (family, pinned) in listed {
+        let leaves: Vec<(Option<usize>, bool)> = match pinned {
+            Some(l) => vec![(Some(l), true)],
+            None => global_leaves.iter().map(|&l| (l, sweeping)).collect(),
+        };
+        for (leaf, labelled) in leaves {
+            let label = match (leaf, labelled) {
+                (Some(l), true) => format!("{family}@{l}"),
+                _ => family.to_string(),
+            };
+            let spec = FamilySpec {
+                family,
+                leaf,
+                label,
+            };
+            if !families.contains(&spec) {
+                families.push(spec);
+            }
+        }
+    }
     if families.is_empty() {
         return Err(err(0, "[indexes] families resolved to an empty list"));
+    }
+    {
+        let mut labels: Vec<&str> = families.iter().map(|f| f.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        if labels.len() != families.len() {
+            return Err(err(
+                0,
+                "family instances must have distinct labels (mixing `fam@φ` pins \
+                 with a sweep that produces the same φ, or repeating a family \
+                 with different spellings, collides)",
+            ));
+        }
+    }
+    if queries.ks.is_empty() {
+        return Err(err(0, "[queries] k resolved to an empty list"));
+    }
+
+    // Serve-phase validation.
+    if let Some(sv) = &mut serve {
+        if sv.clients == 0 || sv.ops == 0 || sv.shards == 0 || sv.coalesce == 0 {
+            return Err(err(
+                0,
+                "[serve] clients, ops, shards and coalesce must be positive",
+            ));
+        }
+        if let Some((lineno, raw)) = serve_family_raw {
+            let canon = registry::resolve_name(&raw)
+                .ok_or_else(|| err(lineno, format!("unknown serve family {raw:?}")))?;
+            if !families.iter().any(|f| f.family == canon) {
+                return Err(err(
+                    lineno,
+                    format!("serve family {canon:?} is not in [indexes] families"),
+                ));
+            }
+            sv.family = Some(canon);
+        }
+    } else if serve_family_raw.is_some() {
+        unreachable!("serve keys only parse inside [serve]");
     }
 
     if schedule.is_empty() {
@@ -399,9 +593,9 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
         n,
         max_coord,
         families,
-        leaf_size,
         queries,
         schedule,
+        serve,
     })
 }
 
@@ -423,6 +617,10 @@ distribution = uniform
 n = 100
 ";
 
+    fn family_names(sc: &Scenario) -> Vec<&'static str> {
+        sc.families.iter().map(|f| f.family).collect()
+    }
+
     #[test]
     fn minimal_scenario_gets_defaults() {
         let sc = parse(MINIMAL).unwrap();
@@ -431,11 +629,20 @@ n = 100
         assert_eq!(sc.dims, 2);
         assert_eq!(sc.coords, CoordKind::I64);
         assert_eq!(sc.max_coord, DEFAULT_MAX_COORD_2D);
-        assert_eq!(sc.families, registry::names());
+        assert_eq!(family_names(&sc), registry::names());
+        assert!(sc.families.iter().all(|f| f.leaf.is_none()));
+        // Single-φ instances keep the bare family name as their label, so
+        // pre-sweep golden files stay valid.
+        assert!(sc
+            .families
+            .iter()
+            .all(|f| f.label == f.family && !f.label.contains('@')));
+        assert_eq!(sc.queries.ks, vec![10]);
         assert_eq!(
             sc.schedule,
             vec![Step::Build(Amount::Fraction(1.0)), Step::Probe]
         );
+        assert_eq!(sc.serve, None);
     }
 
     #[test]
@@ -472,12 +679,97 @@ step = probe
         assert_eq!(sc.distribution, Distribution::CosmoLike);
         assert_eq!(sc.dims, 3);
         assert_eq!(sc.max_coord, 4096);
-        assert_eq!(sc.families, vec!["p-orth", "spac-h", "zd"]);
-        assert_eq!(sc.leaf_size, Some(16));
-        assert_eq!(sc.queries.k, 5);
+        assert_eq!(family_names(&sc), vec!["p-orth", "spac-h", "zd"]);
+        assert!(sc.families.iter().all(|f| f.leaf == Some(16)));
+        assert!(sc.families.iter().all(|f| f.label == f.family));
+        assert_eq!(sc.queries.ks, vec![5]);
         assert_eq!(sc.schedule.len(), 5);
         assert_eq!(sc.schedule[2], Step::Insert(Amount::Count(100)));
         assert_eq!(sc.schedule[3], Step::Delete(Amount::Fraction(0.25)));
+    }
+
+    #[test]
+    fn sweep_knobs_round_trip() {
+        // Per-family φ pins, a global φ sweep, and a k sweep, all at once.
+        let text = "\
+[scenario]
+name = sweep
+[data]
+distribution = uniform
+n = 400
+[indexes]
+families = p-orth@8, pkd, zd
+leaf-size = 16, 32
+[queries]
+k = 4, 8, 16
+";
+        let sc = parse(text).unwrap();
+        assert_eq!(sc.queries.ks, vec![4, 8, 16]);
+        let got: Vec<(String, Option<usize>)> = sc
+            .families
+            .iter()
+            .map(|f| (f.label.clone(), f.leaf))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("p-orth@8".to_string(), Some(8)),
+                ("pkd@16".to_string(), Some(16)),
+                ("pkd@32".to_string(), Some(32)),
+                ("zd@16".to_string(), Some(16)),
+                ("zd@32".to_string(), Some(32)),
+            ]
+        );
+        // Sweep values must be well-formed.
+        assert!(parse(&format!("{MINIMAL}[queries]\nk = 4, 4\n")).is_err());
+        assert!(parse(&format!("{MINIMAL}[queries]\nk = 4, nope\n")).is_err());
+        assert!(parse(&format!("{MINIMAL}[indexes]\nfamilies = pkd@x\n")).is_err());
+        assert!(parse(&format!("{MINIMAL}[indexes]\nfamilies = all@16\n")).is_err());
+        // A single global φ keeps bare labels (golden compatibility).
+        let single = parse(&format!("{MINIMAL}[indexes]\nleaf-size = 32\n")).unwrap();
+        assert!(single.families.iter().all(|f| f.leaf == Some(32)));
+        assert!(single.families.iter().all(|f| !f.label.contains('@')));
+    }
+
+    #[test]
+    fn serve_section_round_trips() {
+        let text = "\
+[scenario]
+name = serve-demo
+[data]
+distribution = uniform
+n = 500
+[indexes]
+families = spac-h, pkd
+[serve]
+clients = 3
+ops = 250
+shards = 4
+write-batch = 32
+write-every-ms = 5
+coalesce = 16
+family = pkd
+";
+        let sc = parse(text).unwrap();
+        let sv = sc.serve.expect("serve section parsed");
+        assert_eq!(sv.clients, 3);
+        assert_eq!(sv.ops, 250);
+        assert_eq!(sv.shards, 4);
+        assert_eq!(sv.write_batch, 32);
+        assert_eq!(sv.write_every_ms, 5);
+        assert_eq!(sv.coalesce, 16);
+        assert_eq!(sv.family, Some("pkd"));
+        // Bare [serve] gets the defaults; absent section stays None.
+        let bare = parse(&format!("{MINIMAL}[serve]\n")).unwrap();
+        assert_eq!(bare.serve, Some(ServeSpec::default()));
+        assert_eq!(parse(MINIMAL).unwrap().serve, None);
+        // Unknown keys, zero knobs and unlisted serve families are errors.
+        assert!(parse(&format!("{MINIMAL}[serve]\nbogus = 1\n")).is_err());
+        assert!(parse(&format!("{MINIMAL}[serve]\nclients = 0\n")).is_err());
+        assert!(parse(&format!(
+            "{MINIMAL}[indexes]\nfamilies = pkd\n[serve]\nfamily = zd\n"
+        ))
+        .is_err());
     }
 
     #[test]
@@ -520,7 +812,9 @@ step = probe
     }
 
     #[test]
-    fn f64_rejects_sfc_families() {
+    fn f64_rejects_integer_only_families() {
+        // The SFC families serve f64 through the quantising adapter now;
+        // only the R-tree stand-in remains integer-only.
         let text = "\
 [scenario]
 name = f
@@ -529,11 +823,13 @@ distribution = uniform
 n = 10
 coords = f64
 [indexes]
-families = spac-h
+families = r-tree
 ";
         let e = parse(text).unwrap_err();
         assert!(e.message.contains("f64"));
-        // `all` under f64 resolves to the float-capable subset.
+        let quantised = parse(&text.replace("families = r-tree", "families = spac-h")).unwrap();
+        assert_eq!(family_names(&quantised), vec!["spac-h"]);
+        // `all` under f64 resolves to the float-capable set.
         let text_all = "\
 [scenario]
 name = f
@@ -543,6 +839,6 @@ n = 10
 coords = f64
 ";
         let sc = parse(text_all).unwrap();
-        assert_eq!(sc.families, registry::float_names());
+        assert_eq!(family_names(&sc), registry::float_names());
     }
 }

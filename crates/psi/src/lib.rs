@@ -12,13 +12,15 @@
 //! | type | registry name | paper name | family | coords |
 //! |---|---|---|---|---|
 //! | [`POrthTree`] | `p-orth` | P-Orth tree ★ | space-partitioning (Orth-tree) | `i64`, `f64` |
-//! | [`SpacHTree`], [`SpacZTree`] | `spac-h`, `spac-z` | SPaC-H / SPaC-Z ★ | object-partitioning (R-tree over SFC) | `i64` |
-//! | [`CpamHTree`], [`CpamZTree`] | `cpam-h`, `cpam-z` | CPAM-H / CPAM-Z | baseline (total order) | `i64` |
+//! | [`SpacHTree`], [`SpacZTree`] | `spac-h`, `spac-z` | SPaC-H / SPaC-Z ★ | object-partitioning (R-tree over SFC) | `i64`, `f64`† |
+//! | [`CpamHTree`], [`CpamZTree`] | `cpam-h`, `cpam-z` | CPAM-H / CPAM-Z | baseline (total order) | `i64`, `f64`† |
 //! | [`PkdTree`] | `pkd` | Pkd-tree | space-partitioning (kd-tree) | `i64`, `f64` |
-//! | [`ZdTree`] | `zd` | Zd-tree | space-partitioning (Morton Orth-tree) | `i64` |
+//! | [`ZdTree`] | `zd` | Zd-tree | space-partitioning (Morton Orth-tree) | `i64`, `f64`† |
 //! | [`RTree`] | `r-tree` | Boost-R (stand-in) | object-partitioning, sequential | `i64` |
 //!
-//! ★ = the paper's contributions.
+//! ★ = the paper's contributions. † = `f64` through the fixed-point
+//! [`Quantized`] adapter ([`quantize`] module; exact for grid-representable
+//! data, snapping otherwise).
 //!
 //! # Quick start
 //!
@@ -82,6 +84,7 @@ pub mod builder;
 pub mod driver;
 pub mod index;
 pub mod oracle;
+pub mod quantize;
 pub mod registry;
 
 mod impls;
@@ -89,6 +92,7 @@ mod impls;
 pub use builder::{LeafSized, PsiBuilder};
 pub use index::SpatialIndex;
 pub use oracle::BruteForce;
+pub use quantize::{QuantizeConfig, Quantized};
 pub use registry::{BuildOptions, DynIndex, RegistryError};
 
 pub use psi_geometry::{
@@ -377,14 +381,15 @@ mod tests {
             assert_eq!(index.len(), pts.len(), "{name}");
             assert_eq!(index.knn(&Point::new([0.0, 0.0]), 3).len(), 3, "{name}");
         }
-        let err = registry::create_f64::<2>("spac-h", &pts, &opts)
+        // The R-tree stand-in is the one family left without an f64 path;
+        // its alias reports the same error kind.
+        let err = registry::create_f64::<2>("r-tree", &pts, &opts)
             .err()
-            .expect("sfc index must reject floats");
+            .expect("the r-tree stand-in must reject floats");
         assert!(matches!(err, RegistryError::UnsupportedCoordinates(_)));
-        // Aliases of integer-only families report the same error kind.
         let err = registry::create_f64::<2>("boost-r", &pts, &opts)
             .err()
-            .expect("alias of an sfc/integer index must reject floats");
+            .expect("alias of an integer-only index must reject floats");
         assert!(matches!(err, RegistryError::UnsupportedCoordinates(_)));
         let err = registry::create_f64::<2>("no-such", &pts, &opts)
             .err()

@@ -22,6 +22,7 @@
 use crate::builder::LeafSized;
 use crate::index::SpatialIndex;
 use crate::oracle::BruteForce;
+use crate::quantize::{QuantizeConfig, Quantized};
 use psi_geometry::{Coord, KnnHeap, Point, PointI, Rect};
 use psi_pkd::{PkdConfig, PkdTree};
 use psi_porth::{POrthConfig, POrthTree};
@@ -173,6 +174,12 @@ pub struct BuildOptions<T: Coord, const D: usize> {
     /// Leaf wrap threshold `φ` override; `None` keeps each index's paper
     /// default. Ignored by configless indexes (R-tree, brute force).
     pub leaf_size: Option<usize>,
+    /// Fixed-point grid scale used when an integer-only family is built over
+    /// `f64` coordinates through the [`Quantized`] adapter (`create_f64`):
+    /// float coordinate `c` is stored as `round(c * scale)`. `None` means
+    /// `1.0` (snap to integers). Ignored by natively float-capable families
+    /// and by [`create`].
+    pub quantize_scale: Option<f64>,
 }
 
 impl<T: Coord, const D: usize> Default for BuildOptions<T, D> {
@@ -180,6 +187,7 @@ impl<T: Coord, const D: usize> Default for BuildOptions<T, D> {
         BuildOptions {
             universe: None,
             leaf_size: None,
+            quantize_scale: None,
         }
     }
 }
@@ -196,6 +204,13 @@ impl<T: Coord, const D: usize> BuildOptions<T, D> {
     /// Set the leaf wrap threshold.
     pub fn leaf_size(mut self, leaf_size: usize) -> Self {
         self.leaf_size = Some(leaf_size);
+        self
+    }
+
+    /// Set the fixed-point scale for quantised float entries (see
+    /// [`BuildOptions::quantize_scale`]).
+    pub fn quantize_scale(mut self, scale: f64) -> Self {
+        self.quantize_scale = Some(scale);
         self
     }
 }
@@ -218,8 +233,8 @@ impl std::fmt::Display for RegistryError {
             }
             RegistryError::UnsupportedCoordinates(name) => write!(
                 f,
-                "index {name:?} does not support float coordinates (SFC-based \
-                 indexes require the paper's integer domain); float-capable: {}",
+                "index {name:?} does not support float coordinates; \
+                 float-capable (natively or via the quantising adapter): {}",
                 FLOAT_NAMES.join(", ")
             ),
         }
@@ -240,7 +255,19 @@ const ALL_NAMES: &[&str] = &[
     "brute-force",
 ];
 
-const FLOAT_NAMES: &[&str] = &["p-orth", "pkd", "brute-force"];
+/// Families serving `f64` coordinates: the natively float-capable trees
+/// (P-Orth, Pkd, brute force) plus every SFC family through the fixed-point
+/// [`Quantized`] adapter. Only the R-tree stand-in stays integer-only.
+const FLOAT_NAMES: &[&str] = &[
+    "p-orth",
+    "spac-h",
+    "spac-z",
+    "cpam-h",
+    "cpam-z",
+    "pkd",
+    "zd",
+    "brute-force",
+];
 
 /// Canonical names of every registered index, in the paper's table order.
 pub fn names() -> &'static [&'static str] {
@@ -350,13 +377,37 @@ where
     })
 }
 
-/// Instantiate a float-coordinate index by name ([`float_names`]); the
-/// SFC-based families return [`RegistryError::UnsupportedCoordinates`].
+/// Quantised config for an SFC family under `create_f64`: inner config with
+/// the leaf override applied, scale from [`BuildOptions::quantize_scale`].
+fn quantize_config<C: Default + LeafSized, const D: usize>(
+    opts: &BuildOptions<f64, D>,
+) -> QuantizeConfig<C> {
+    let mut cfg = QuantizeConfig::<C>::default();
+    if let Some(leaf) = opts.leaf_size {
+        cfg.set_leaf_size(leaf);
+    }
+    if let Some(scale) = opts.quantize_scale {
+        cfg.scale = scale;
+    }
+    cfg
+}
+
+/// Instantiate a float-coordinate index by name ([`float_names`]). The
+/// natively float-capable families (P-Orth, Pkd, brute force) build directly;
+/// the SFC families build through the fixed-point [`Quantized`] adapter
+/// (grid scale [`BuildOptions::quantize_scale`], default `1.0` — see
+/// [`crate::quantize`] for the exactness contract). The R-tree stand-in
+/// remains integer-only and returns
+/// [`RegistryError::UnsupportedCoordinates`].
 pub fn create_f64<const D: usize>(
     name: &str,
     points: &[Point<f64, D>],
     opts: &BuildOptions<f64, D>,
-) -> Result<Box<dyn DynIndex<f64, D>>, RegistryError> {
+) -> Result<Box<dyn DynIndex<f64, D>>, RegistryError>
+where
+    HilbertCurve: SfcCurve<D>,
+    MortonCurve: SfcCurve<D>,
+{
     let universe = opts.universe.as_ref();
     let resolved = resolve(name).ok_or_else(|| RegistryError::UnknownIndex(name.to_string()))?;
     Ok(match resolved {
@@ -369,6 +420,31 @@ pub fn create_f64<const D: usize>(
             points,
             universe,
             config_with_leaf::<PkdConfig, _, D>(opts),
+        )),
+        "spac-h" => boxed(Quantized::<SpacHTree<D>>::build_with(
+            points,
+            universe,
+            quantize_config::<SpacConfig, D>(opts),
+        )),
+        "spac-z" => boxed(Quantized::<SpacZTree<D>>::build_with(
+            points,
+            universe,
+            quantize_config::<SpacConfig, D>(opts),
+        )),
+        "cpam-h" => boxed(Quantized::<CpamHTree<D>>::build_with(
+            points,
+            universe,
+            quantize_config::<CpamConfig, D>(opts),
+        )),
+        "cpam-z" => boxed(Quantized::<CpamZTree<D>>::build_with(
+            points,
+            universe,
+            quantize_config::<CpamConfig, D>(opts),
+        )),
+        "zd" => boxed(Quantized::<ZdTree<D>>::build_with(
+            points,
+            universe,
+            quantize_config::<psi_zd::ZdConfig, D>(opts),
         )),
         "brute-force" => boxed(BruteForce::<f64, D>::build_with(points, universe, ())),
         _ => return Err(RegistryError::UnsupportedCoordinates(name.to_string())),

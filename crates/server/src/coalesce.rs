@@ -1,0 +1,223 @@
+//! Request coalescing: fold many clients' individual point queries into the
+//! batched query paths.
+//!
+//! Each query the paper's batch APIs answer costs one pool-job dispatch
+//! (`knn_batch` / `range_count_batch` / `range_list_batch` amortise that
+//! over thousands of queries). A serving front-end receives queries one at
+//! a time from many client threads — dispatching each individually would
+//! pay the batch machinery per query. The [`Coalescer`] sits in between:
+//!
+//! * clients enqueue a request plus a one-shot reply channel and block on
+//!   the reply ([`CoalesceHandle::knn`] and friends),
+//! * one **flusher** thread drains the queue (up to `max_batch` requests
+//!   per flush), pins a single [`RouterView`](crate::router::RouterView)
+//!   for the whole flush, groups
+//!   the requests by operation (and by `k` for kNN), answers each group
+//!   through one batched call, and distributes the replies.
+//!
+//! Every request in one flush is answered against the *same* pinned view,
+//! so a flush is per-shard epoch-consistent. Under load the queue fills
+//! while a flush runs and the next flush drains a large batch — the
+//! coalescing window grows with load and shrinks to a single request when
+//! idle (no artificial latency is added: the flusher sleeps only when the
+//! queue is empty).
+
+use crate::router::ServeCoord;
+use crate::Router;
+use psi_geometry::{Point, Rect};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+
+enum Op<T: ServeCoord, const D: usize> {
+    Knn(Point<T, D>, usize),
+    RangeCount(Rect<T, D>),
+    RangeList(Rect<T, D>),
+}
+
+enum Reply<T: ServeCoord, const D: usize> {
+    Points(Vec<Point<T, D>>),
+    Count(usize),
+}
+
+struct Pending<T: ServeCoord, const D: usize> {
+    op: Op<T, D>,
+    reply: mpsc::SyncSender<Reply<T, D>>,
+}
+
+struct QueueState<T: ServeCoord, const D: usize> {
+    buf: Vec<Pending<T, D>>,
+    shutdown: bool,
+}
+
+/// Shared client/flusher state.
+pub struct Coalescer<T: ServeCoord, const D: usize> {
+    queue: Mutex<QueueState<T, D>>,
+    ready: Condvar,
+    /// Flushes executed (for the batching-factor statistic).
+    flushes: AtomicU64,
+    /// Requests answered.
+    served: AtomicU64,
+}
+
+impl<T: ServeCoord, const D: usize> Coalescer<T, D> {
+    pub(crate) fn new() -> Self {
+        Coalescer {
+            queue: Mutex::new(QueueState {
+                buf: Vec::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+            flushes: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+        }
+    }
+
+    /// Requests answered so far.
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Batched flushes executed so far. `served / flushes` is the achieved
+    /// coalescing factor.
+    pub fn flushes(&self) -> u64 {
+        self.flushes.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn request_stop(&self) {
+        self.queue.lock().unwrap().shutdown = true;
+        self.ready.notify_all();
+    }
+
+    /// The flusher loop: drain, pin one view, batch, reply. Returns when
+    /// shutdown is requested and the queue has fully drained.
+    pub(crate) fn run_flusher(&self, router: &Router<T, D>, max_batch: usize) {
+        loop {
+            let batch: Vec<Pending<T, D>> = {
+                let mut q = self.queue.lock().unwrap();
+                loop {
+                    if !q.buf.is_empty() {
+                        let take = q.buf.len().min(max_batch.max(1));
+                        break q.buf.drain(..take).collect();
+                    }
+                    if q.shutdown {
+                        return;
+                    }
+                    q = self.ready.wait(q).unwrap();
+                }
+            };
+            self.flush(router, batch);
+        }
+    }
+
+    fn flush(&self, router: &Router<T, D>, batch: Vec<Pending<T, D>>) {
+        let view = router.pin();
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        self.served.fetch_add(batch.len() as u64, Ordering::Relaxed);
+
+        // Group by operation; kNN additionally by k (one batched call per
+        // distinct k in the flush).
+        let mut knn: HashMap<usize, (Vec<Point<T, D>>, Vec<usize>)> = HashMap::new();
+        let mut counts: (Vec<Rect<T, D>>, Vec<usize>) = Default::default();
+        let mut lists: (Vec<Rect<T, D>>, Vec<usize>) = Default::default();
+        for (slot, p) in batch.iter().enumerate() {
+            match &p.op {
+                Op::Knn(q, k) => {
+                    let g = knn.entry(*k).or_default();
+                    g.0.push(*q);
+                    g.1.push(slot);
+                }
+                Op::RangeCount(r) => {
+                    counts.0.push(*r);
+                    counts.1.push(slot);
+                }
+                Op::RangeList(r) => {
+                    lists.0.push(*r);
+                    lists.1.push(slot);
+                }
+            }
+        }
+
+        let send = |slot: usize, reply: Reply<T, D>| {
+            // A client that gave up (dropped its receiver) is not an error.
+            let _ = batch[slot].reply.send(reply);
+        };
+        let mut ks: Vec<usize> = knn.keys().copied().collect();
+        ks.sort_unstable();
+        for k in ks {
+            let (qs, slots) = &knn[&k];
+            for (ans, &slot) in view.knn_batch(qs, k).into_iter().zip(slots) {
+                send(slot, Reply::Points(ans));
+            }
+        }
+        if !counts.0.is_empty() {
+            for (c, &slot) in view.range_count_batch(&counts.0).into_iter().zip(&counts.1) {
+                send(slot, Reply::Count(c));
+            }
+        }
+        if !lists.0.is_empty() {
+            for (ans, &slot) in view.range_list_batch(&lists.0).into_iter().zip(&lists.1) {
+                send(slot, Reply::Points(ans));
+            }
+        }
+    }
+}
+
+/// A cloneable client handle; each call enqueues one request and blocks
+/// until the flusher answers it. Handles must not outlive the server (a
+/// request submitted after shutdown panics rather than hanging).
+pub struct CoalesceHandle<T: ServeCoord, const D: usize> {
+    pub(crate) shared: Arc<Coalescer<T, D>>,
+}
+
+impl<T: ServeCoord, const D: usize> Clone for CoalesceHandle<T, D> {
+    fn clone(&self) -> Self {
+        CoalesceHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T: ServeCoord, const D: usize> CoalesceHandle<T, D> {
+    fn request(&self, op: Op<T, D>) -> Reply<T, D> {
+        let (tx, rx) = mpsc::sync_channel(1);
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            assert!(
+                !q.shutdown,
+                "psi-server client used after the server shut down"
+            );
+            q.buf.push(Pending { op, reply: tx });
+        }
+        self.shared.ready.notify_all();
+        rx.recv()
+            .expect("the psi-server flusher answers every queued request")
+    }
+
+    /// The `k` nearest stored neighbours of `q`, closest first.
+    pub fn knn(&self, q: &Point<T, D>, k: usize) -> Vec<Point<T, D>> {
+        if k == 0 {
+            return Vec::new();
+        }
+        match self.request(Op::Knn(*q, k)) {
+            Reply::Points(p) => p,
+            Reply::Count(_) => unreachable!("knn requests get point replies"),
+        }
+    }
+
+    /// Number of stored points in the closed box.
+    pub fn range_count(&self, rect: &Rect<T, D>) -> usize {
+        match self.request(Op::RangeCount(*rect)) {
+            Reply::Count(c) => c,
+            Reply::Points(_) => unreachable!("count requests get count replies"),
+        }
+    }
+
+    /// The stored points in the closed box (shard order).
+    pub fn range_list(&self, rect: &Rect<T, D>) -> Vec<Point<T, D>> {
+        match self.request(Op::RangeList(*rect)) {
+            Reply::Points(p) => p,
+            Reply::Count(_) => unreachable!("list requests get point replies"),
+        }
+    }
+}

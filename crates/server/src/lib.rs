@@ -1,0 +1,366 @@
+//! **psi-server** — the concurrent query-serving subsystem of Ψ-Lib-rs.
+//!
+//! The paper's indexes are batch-parallel data structures driven, until this
+//! crate, by single-threaded harnesses: one logical client, updates and
+//! queries strictly interleaved. `psi-server` turns them into a serving
+//! system — many reader threads querying *while* batch writers publish —
+//! without ever exposing a torn batch:
+//!
+//! * [`shard`] — **epoch-published snapshots**: each shard keeps two
+//!   structurally identical index copies; batches apply to the writer's
+//!   shadow copy and an atomic pointer swap publishes a new epoch. Readers
+//!   pin an `Arc` snapshot and query it lock-free; they observe whole
+//!   epochs only, never an index mid-batch.
+//! * [`router`] — a **spatial shard router**: the domain is striped along
+//!   dimension 0 across shards; updates split per stripe, range queries
+//!   fan out to intersecting stripes and merge by sum/concatenation, and
+//!   kNN does a pruned best-`k` merge across stripes (batched: home-shard
+//!   phase + spill phase, one batch dispatch per shard per phase).
+//! * [`coalesce`] — a **request coalescer**: individual queries from many
+//!   client threads are buffered and flushed through the existing
+//!   `knn_batch` / `range_count_batch` / `range_list_batch` paths, so the
+//!   worker-pool dispatch cost is amortised over the whole flush; the
+//!   batching window grows with load and adds no latency when idle.
+//!
+//! [`PsiServer`] assembles the three: it owns the router, a writer thread
+//! consuming update batches from a bounded channel (back-pressure, not
+//! unbounded queueing), and the coalescer's flusher thread. Everything is
+//! std threads + channels riding the workspace's rayon-shim pool for the
+//! batched query execution — no async runtime. [`loadgen`] adds the shared
+//! closed-loop driver (clients × move-batch writer with a count-conservation
+//! check) behind `bench_serve` and the scenario harness's `[serve]` phase.
+//!
+//! ```
+//! use psi::registry::{self, BuildOptions};
+//! use psi::workloads;
+//! use psi_server::{PsiServer, ServeConfig};
+//! use std::sync::Arc;
+//!
+//! let max = 100_000;
+//! let data = workloads::uniform::<2>(4_000, max, 7);
+//! let universe = workloads::universe::<2>(max);
+//! let factory = Arc::new(move |pts: &[psi::PointI<2>]| {
+//!     registry::create::<2>("spac-h", pts, &BuildOptions::default()).unwrap()
+//! });
+//! let server = PsiServer::new(&data, &universe, ServeConfig::default(), factory);
+//!
+//! // Clients are cheap cloneable handles; calls block until answered.
+//! let client = server.client();
+//! let answer = client.knn(&psi::Point::new([50_000, 50_000]), 8);
+//! assert_eq!(answer.len(), 8);
+//!
+//! // Writers submit batches; readers keep querying while they apply.
+//! server.submit(data[..10].to_vec(), Vec::new());
+//! server.quiesce();
+//! assert_eq!(server.view().len(), 3_990);
+//! server.shutdown();
+//! ```
+
+pub mod coalesce;
+pub mod loadgen;
+pub mod router;
+pub mod shard;
+
+pub use coalesce::{CoalesceHandle, Coalescer};
+pub use loadgen::{closed_loop, LoadOutcome, LoadSpec};
+pub use router::{Router, RouterView, ServeCoord};
+pub use shard::{IndexFactory, Shard, Snapshot};
+
+use psi_geometry::{Point, Rect};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+/// Tuning knobs of a [`PsiServer`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Spatial shards (dimension-0 stripes). Default 1.
+    pub shards: usize,
+    /// Maximum requests the coalescer folds into one batched flush.
+    /// Default 64.
+    pub coalesce_max_batch: usize,
+    /// Capacity of the writer's update queue; submitters block when it is
+    /// full (closed-loop back-pressure). Default 8.
+    pub writer_queue: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 1,
+            coalesce_max_batch: 64,
+            writer_queue: 8,
+        }
+    }
+}
+
+enum Update<T: ServeCoord, const D: usize> {
+    /// Deletions then insertions, as one published batch.
+    Batch(Vec<Point<T, D>>, Vec<Point<T, D>>),
+    /// Barrier: acknowledged once every prior batch has been published.
+    Fence(mpsc::SyncSender<()>),
+}
+
+/// The assembled serving subsystem (see the crate docs).
+pub struct PsiServer<T: ServeCoord, const D: usize> {
+    router: Arc<Router<T, D>>,
+    coalescer: Arc<Coalescer<T, D>>,
+    update_tx: Option<mpsc::SyncSender<Update<T, D>>>,
+    writer: Option<JoinHandle<()>>,
+    flusher: Option<JoinHandle<()>>,
+    batches: Arc<AtomicU64>,
+}
+
+impl<T: ServeCoord, const D: usize> PsiServer<T, D> {
+    /// Build the server: shard `points` over `universe`, spawn the writer
+    /// and flusher threads. `factory` constructs each shard's index copies
+    /// (two per shard — the epoch double buffer).
+    pub fn new(
+        points: &[Point<T, D>],
+        universe: &Rect<T, D>,
+        cfg: ServeConfig,
+        factory: IndexFactory<T, D>,
+    ) -> Self {
+        let router = Arc::new(Router::new(&factory, points, universe, cfg.shards.max(1)));
+        let coalescer = Arc::new(Coalescer::new());
+        let batches = Arc::new(AtomicU64::new(0));
+
+        let (update_tx, update_rx) = mpsc::sync_channel(cfg.writer_queue.max(1));
+        let writer = {
+            let router = Arc::clone(&router);
+            let batches = Arc::clone(&batches);
+            std::thread::Builder::new()
+                .name("psi-serve-writer".into())
+                .spawn(move || {
+                    // Exits when every sender is dropped (shutdown).
+                    while let Ok(update) = update_rx.recv() {
+                        match update {
+                            Update::Batch(delete, insert) => {
+                                router.publish(&delete, &insert);
+                                batches.fetch_add(1, Ordering::Release);
+                            }
+                            Update::Fence(ack) => {
+                                let _ = ack.send(());
+                            }
+                        }
+                    }
+                })
+                .expect("spawn psi-serve-writer")
+        };
+
+        let flusher = {
+            let router = Arc::clone(&router);
+            let coalescer = Arc::clone(&coalescer);
+            let max_batch = cfg.coalesce_max_batch.max(1);
+            std::thread::Builder::new()
+                .name("psi-serve-flush".into())
+                .spawn(move || coalescer.run_flusher(&router, max_batch))
+                .expect("spawn psi-serve-flush")
+        };
+
+        PsiServer {
+            router,
+            coalescer,
+            update_tx: Some(update_tx),
+            writer: Some(writer),
+            flusher: Some(flusher),
+            batches,
+        }
+    }
+
+    /// A cloneable client handle (queries go through the coalescer).
+    pub fn client(&self) -> CoalesceHandle<T, D> {
+        CoalesceHandle {
+            shared: Arc::clone(&self.coalescer),
+        }
+    }
+
+    /// Pin a direct read view, bypassing the coalescer (tests, snapshots).
+    pub fn view(&self) -> RouterView<T, D> {
+        self.router.pin()
+    }
+
+    /// The router (shard/epoch inspection).
+    pub fn router(&self) -> &Router<T, D> {
+        &self.router
+    }
+
+    /// Submit an update batch (deletions applied before insertions) to the
+    /// writer. Blocks while the writer queue is full.
+    pub fn submit(&self, delete: Vec<Point<T, D>>, insert: Vec<Point<T, D>>) {
+        self.update_tx
+            .as_ref()
+            .expect("server not shut down")
+            .send(Update::Batch(delete, insert))
+            .expect("psi-serve-writer alive");
+    }
+
+    /// Wait until every previously submitted batch has been published.
+    pub fn quiesce(&self) {
+        let (ack_tx, ack_rx) = mpsc::sync_channel(1);
+        self.update_tx
+            .as_ref()
+            .expect("server not shut down")
+            .send(Update::Fence(ack_tx))
+            .expect("psi-serve-writer alive");
+        ack_rx.recv().expect("psi-serve-writer acknowledges fences");
+    }
+
+    /// Batches published so far.
+    pub fn batches_applied(&self) -> u64 {
+        self.batches.load(Ordering::Acquire)
+    }
+
+    /// Coalescer statistics: `(requests served, batched flushes)`.
+    pub fn coalesce_stats(&self) -> (u64, u64) {
+        (self.coalescer.served(), self.coalescer.flushes())
+    }
+
+    /// Stop both service threads and wait for them: the writer finishes the
+    /// queued batches, the flusher answers the queued requests. Clients
+    /// must be done first — a request enqueued after shutdown panics
+    /// instead of hanging.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        // Closing the channel lets the writer drain and exit.
+        drop(self.update_tx.take());
+        if let Some(w) = self.writer.take() {
+            w.join().expect("psi-serve-writer exits cleanly");
+        }
+        self.coalescer.request_stop();
+        if let Some(f) = self.flusher.take() {
+            f.join().expect("psi-serve-flush exits cleanly");
+        }
+    }
+}
+
+impl<T: ServeCoord, const D: usize> Drop for PsiServer<T, D> {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi::registry::{self, BuildOptions};
+    use psi::PointI;
+    use psi_workloads as workloads;
+
+    fn factory(name: &'static str) -> IndexFactory<i64, 2> {
+        Arc::new(move |pts: &[PointI<2>]| {
+            registry::create::<2>(name, pts, &BuildOptions::default()).unwrap()
+        })
+    }
+
+    #[test]
+    fn end_to_end_serve_loop() {
+        let max = 200_000;
+        let data = workloads::uniform::<2>(3_000, max, 17);
+        let universe = workloads::universe::<2>(max);
+        let server = PsiServer::new(
+            &data,
+            &universe,
+            ServeConfig {
+                shards: 2,
+                coalesce_max_batch: 16,
+                writer_queue: 4,
+            },
+            factory("p-orth"),
+        );
+
+        // Concurrent clients issue queries while a writer churns batches.
+        let clients: Vec<_> = (0..3)
+            .map(|c| {
+                let handle = server.client();
+                let queries = workloads::ind_queries(&data, 40, 100 + c);
+                let rects = workloads::range_queries(&data, max, 50, 10, 200 + c);
+                std::thread::spawn(move || {
+                    let mut answered = 0usize;
+                    for q in &queries {
+                        let ans = handle.knn(q, 5);
+                        assert_eq!(ans.len(), 5);
+                        // Closest-first ordering survives the shard merge.
+                        let d: Vec<i128> = ans.iter().map(|p| q.dist_sq(p)).collect();
+                        assert!(d.windows(2).all(|w| w[0] <= w[1]));
+                        answered += 1;
+                    }
+                    for r in &rects {
+                        assert_eq!(handle.range_count(r), handle.range_list(r).len());
+                        answered += 2;
+                    }
+                    answered
+                })
+            })
+            .collect();
+
+        // Writer: move points around (delete a slice, reinsert it) — the
+        // live count is invariant, batch atomicity keeps it exact.
+        for round in 0..10 {
+            let lo = (round * 97) % 2_000;
+            let slice = data[lo..lo + 200].to_vec();
+            server.submit(slice.clone(), slice);
+        }
+
+        let total: usize = clients.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, 3 * (40 + 20));
+        server.quiesce();
+        assert_eq!(server.batches_applied(), 10);
+        assert_eq!(server.view().len(), data.len(), "moves conserve the count");
+        let (served, flushes) = server.coalesce_stats();
+        assert_eq!(served, 180);
+        assert!(flushes <= served);
+        server.shutdown();
+    }
+
+    #[test]
+    fn quiesced_server_matches_oracle() {
+        use psi::SpatialIndex as _;
+        let max = 50_000;
+        let data = workloads::varden::<2>(2_500, max, 5);
+        let universe = workloads::universe::<2>(max);
+        let server = PsiServer::new(
+            &data,
+            &universe,
+            ServeConfig {
+                shards: 3,
+                ..Default::default()
+            },
+            factory("spac-h"),
+        );
+        let mut oracle = psi::BruteForce::<i64, 2>::build(&data, &universe);
+
+        server.submit(data[..300].to_vec(), data[..50].to_vec());
+        oracle.batch_delete(&data[..300]);
+        oracle.batch_insert(&data[..50]);
+        server.quiesce();
+
+        let client = server.client();
+        for q in workloads::ind_queries(&data, 30, 77) {
+            let got: Vec<i128> = client.knn(&q, 6).iter().map(|p| q.dist_sq(p)).collect();
+            let want: Vec<i128> = oracle.knn(&q, 6).iter().map(|p| q.dist_sq(p)).collect();
+            assert_eq!(got, want);
+        }
+        for r in workloads::range_queries(&data, max, 60, 12, 78) {
+            assert_eq!(client.range_count(&r), oracle.range_count(&r));
+            let mut got = client.range_list(&r);
+            let mut want = oracle.range_list(&r);
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn drop_shuts_down_cleanly() {
+        let data = workloads::uniform::<2>(500, 10_000, 1);
+        let universe = workloads::universe::<2>(10_000);
+        let server = PsiServer::new(&data, &universe, ServeConfig::default(), factory("zd"));
+        server.submit(Vec::new(), data[..5].to_vec());
+        drop(server); // must drain the batch and join both threads
+    }
+}

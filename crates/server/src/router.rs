@@ -1,0 +1,505 @@
+//! Spatial shard router: partition the keyspace into stripes, fan queries
+//! out to the shards that can contribute, and merge the answers.
+//!
+//! The domain is cut into `S` equal stripes along dimension 0 (the classic
+//! range-sharding layout; stripe boundaries are fixed at construction).
+//! Every point lives in exactly one shard — the one whose stripe contains
+//! its first coordinate — so:
+//!
+//! * **range queries** fan out to the shards whose stripe intersects the
+//!   box and *sum/concatenate* (disjointness means no deduplication),
+//! * **kNN queries** need a best-`k` merge: each contributing shard returns
+//!   its `k` nearest and the router keeps the `k` best overall, pruning
+//!   shards whose stripe is farther than the current `k`-th distance. The
+//!   batched path ([`RouterView::knn_batch`]) does this in two phases —
+//!   answer every query in its *home* shard first (one batch per shard),
+//!   then spill only the queries whose `k`-th distance reaches past their
+//!   stripe into the neighbouring shards (one more batch per shard) — so
+//!   the common case costs one batch dispatch per shard, not per query.
+//!
+//! Reads run against a [`RouterView`]: the set of shard snapshots pinned at
+//! one instant. Each shard publishes its own epochs, so a view is *per-shard
+//! consistent* (no shard is ever observed mid-batch); a batch that spans
+//! shards becomes visible shard by shard. Updates routed through
+//! [`Router::publish`] are split by stripe and published per shard.
+
+use crate::shard::{IndexFactory, Shard, Snapshot};
+use psi_geometry::{Coord, KnnHeap, Point, Rect};
+use std::sync::Arc;
+
+/// Coordinate types the router can cut into stripes (everything [`Coord`]
+/// plus exact interpolation of stripe boundaries).
+pub trait ServeCoord: Coord {
+    /// `lo + (hi - lo) * num / den`, computed without overflow; used to
+    /// place stripe boundaries.
+    fn lerp(lo: Self, hi: Self, num: usize, den: usize) -> Self;
+}
+
+impl ServeCoord for i64 {
+    fn lerp(lo: Self, hi: Self, num: usize, den: usize) -> Self {
+        let span = (hi as i128) - (lo as i128);
+        (lo as i128 + span * num as i128 / den as i128) as i64
+    }
+}
+
+impl ServeCoord for f64 {
+    fn lerp(lo: Self, hi: Self, num: usize, den: usize) -> Self {
+        lo + (hi - lo) * (num as f64 / den as f64)
+    }
+}
+
+/// A set of shards covering the domain in dimension-0 stripes.
+pub struct Router<T: ServeCoord, const D: usize> {
+    shards: Vec<Shard<T, D>>,
+    /// `cuts[i]` is the lower dimension-0 bound of shard `i`'s stripe
+    /// (`cuts[0]` is the domain's low edge; points below it route to
+    /// shard 0, points past the last cut to the last shard).
+    cuts: Vec<T>,
+}
+
+/// Conservative stripe box for pruning: unbounded in every dimension except
+/// the stripe's dimension-0 slice, and closed on both cuts (a boundary point
+/// lives in exactly one shard, but for *pruning* an overestimate is safe).
+fn stripe_region<T: Coord, const D: usize>(lo: Option<T>, hi: Option<T>) -> Rect<T, D> {
+    let mut lo_pt = [T::MIN_VALUE; D];
+    let mut hi_pt = [T::MAX_VALUE; D];
+    if let Some(l) = lo {
+        lo_pt[0] = l;
+    }
+    if let Some(h) = hi {
+        hi_pt[0] = h;
+    }
+    Rect::from_corners(Point::new(lo_pt), Point::new(hi_pt))
+}
+
+impl<T: ServeCoord, const D: usize> Router<T, D> {
+    /// Partition `points` into `shard_count` stripes of `universe` along
+    /// dimension 0 and build one [`Shard`] per stripe.
+    pub fn new(
+        factory: &IndexFactory<T, D>,
+        points: &[Point<T, D>],
+        universe: &Rect<T, D>,
+        shard_count: usize,
+    ) -> Self {
+        assert!(shard_count >= 1, "a router needs at least one shard");
+        let cuts: Vec<T> = (0..shard_count)
+            .map(|i| T::lerp(universe.lo.coords[0], universe.hi.coords[0], i, shard_count))
+            .collect();
+        let mut parts: Vec<Vec<Point<T, D>>> = vec![Vec::new(); shard_count];
+        for p in points {
+            parts[shard_of(&cuts, p)].push(*p);
+        }
+        let shards = (0..shard_count)
+            .map(|i| {
+                let lo = (i > 0).then(|| cuts[i]);
+                let hi = (i + 1 < shard_count).then(|| cuts[i + 1]);
+                Shard::new(stripe_region(lo, hi), factory, &parts[i])
+            })
+            .collect();
+        Router { shards, cuts }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Direct access to a shard (tests, epoch inspection).
+    pub fn shard(&self, i: usize) -> &Shard<T, D> {
+        &self.shards[i]
+    }
+
+    /// The shard a point routes to.
+    pub fn shard_of(&self, p: &Point<T, D>) -> usize {
+        shard_of(&self.cuts, p)
+    }
+
+    /// Pin every shard's current snapshot as one read view.
+    pub fn pin(&self) -> RouterView<T, D> {
+        RouterView {
+            snaps: self.shards.iter().map(Shard::pin).collect(),
+            regions: self.shards.iter().map(|s| *s.region()).collect(),
+            cuts: self.cuts.clone(),
+        }
+    }
+
+    /// Split a batch by stripe and publish it per shard (deletions before
+    /// insertions, per the `BatchDiff` contract). Shards whose sub-batch is
+    /// empty keep their current epoch. Returns the number of shards that
+    /// published a new epoch.
+    pub fn publish(&self, delete: &[Point<T, D>], insert: &[Point<T, D>]) -> usize {
+        let split = |pts: &[Point<T, D>]| {
+            let mut parts: Vec<Vec<Point<T, D>>> = vec![Vec::new(); self.shards.len()];
+            for p in pts {
+                parts[shard_of(&self.cuts, p)].push(*p);
+            }
+            parts
+        };
+        let dels = split(delete);
+        let inss = split(insert);
+        let mut published = 0;
+        for (i, shard) in self.shards.iter().enumerate() {
+            if dels[i].is_empty() && inss[i].is_empty() {
+                continue;
+            }
+            shard.publish(&dels[i], &inss[i]);
+            published += 1;
+        }
+        published
+    }
+
+    /// Total stored points across the current shard epochs.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(Shard::len).sum()
+    }
+
+    /// `true` if no shard stores any point.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn shard_of<T: Coord, const D: usize>(cuts: &[T], p: &Point<T, D>) -> usize {
+    // Largest i with cuts[i] <= p[0]; points below the first cut clamp to 0.
+    cuts.partition_point(|c| c.total_cmp(&p.coords[0]) != std::cmp::Ordering::Greater)
+        .saturating_sub(1)
+}
+
+/// A consistent-per-shard read view: every shard's snapshot pinned at one
+/// instant (see the module docs for the consistency contract).
+pub struct RouterView<T: Coord, const D: usize> {
+    snaps: Vec<Arc<Snapshot<T, D>>>,
+    regions: Vec<Rect<T, D>>,
+    cuts: Vec<T>,
+}
+
+impl<T: Coord, const D: usize> RouterView<T, D> {
+    /// Per-shard epochs of this view, in shard order.
+    pub fn epochs(&self) -> Vec<u64> {
+        self.snaps.iter().map(|s| s.epoch()).collect()
+    }
+
+    /// One pinned shard snapshot.
+    pub fn snapshot(&self, i: usize) -> &Snapshot<T, D> {
+        &self.snaps[i]
+    }
+
+    /// Number of shards in the view.
+    pub fn shard_count(&self) -> usize {
+        self.snaps.len()
+    }
+
+    /// The shard a point routes to (same cut table as the router).
+    pub fn shard_of(&self, p: &Point<T, D>) -> usize {
+        shard_of(&self.cuts, p)
+    }
+
+    /// Total stored points in this view.
+    pub fn len(&self) -> usize {
+        self.snaps.iter().map(|s| s.len()).sum()
+    }
+
+    /// `true` if the view holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `k` nearest neighbours of `q` across all shards, closest first:
+    /// query shards in stripe-distance order, keep the best `k`, stop as
+    /// soon as the next stripe cannot improve on the `k`-th distance.
+    pub fn knn(&self, q: &Point<T, D>, k: usize) -> Vec<Point<T, D>> {
+        if k == 0 || self.snaps.is_empty() {
+            return Vec::new();
+        }
+        let mut order: Vec<(T::Dist, usize)> = self
+            .regions
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.dist_sq_to_point(q), i))
+            .collect();
+        order.sort_by(|a, b| T::dist_cmp(a.0, b.0).then(a.1.cmp(&b.1)));
+        let mut heap = KnnHeap::new(k);
+        for (dist, i) in order {
+            if heap.is_full() && !heap.could_improve(dist) {
+                break; // sorted by stripe distance: nothing further helps
+            }
+            for p in self.snaps[i].index().knn(q, k) {
+                heap.offer_point(q, p);
+            }
+        }
+        heap.into_sorted()
+    }
+
+    /// Batched best-`k` merge (see the module docs): phase 1 answers every
+    /// query in its home shard (one `knn_batch` per shard), phase 2 spills
+    /// only the queries whose `k`-th distance reaches past their stripe.
+    pub fn knn_batch(&self, queries: &[Point<T, D>], k: usize) -> Vec<Vec<Point<T, D>>> {
+        if k == 0 || queries.is_empty() {
+            return vec![Vec::new(); queries.len()];
+        }
+        if self.snaps.len() == 1 {
+            return self.snaps[0].index().knn_batch(queries, k);
+        }
+
+        // Phase 1: group by home shard, one batch per shard.
+        let s = self.snaps.len();
+        let mut per_shard: Vec<(Vec<Point<T, D>>, Vec<usize>)> = vec![Default::default(); s];
+        for (qi, q) in queries.iter().enumerate() {
+            let home = shard_of(&self.cuts, q);
+            per_shard[home].0.push(*q);
+            per_shard[home].1.push(qi);
+        }
+        let mut answers: Vec<Vec<Point<T, D>>> = vec![Vec::new(); queries.len()];
+        for (si, (qs, idxs)) in per_shard.iter().enumerate() {
+            if qs.is_empty() {
+                continue;
+            }
+            for (ans, &qi) in self.snaps[si]
+                .index()
+                .knn_batch(qs, k)
+                .into_iter()
+                .zip(idxs)
+            {
+                answers[qi] = ans;
+            }
+        }
+
+        // Phase 2: spill queries whose k-th distance reaches into another
+        // stripe (or that found fewer than k at home).
+        let mut spill: Vec<(Vec<Point<T, D>>, Vec<usize>)> = vec![Default::default(); s];
+        for (qi, q) in queries.iter().enumerate() {
+            let home = shard_of(&self.cuts, q);
+            let bound = if answers[qi].len() == k {
+                Some(q.dist_sq(answers[qi].last().expect("k >= 1 answers")))
+            } else {
+                None // under-full: every shard could contribute
+            };
+            for (si, sp) in spill.iter_mut().enumerate() {
+                if si == home {
+                    continue;
+                }
+                let reaches = match bound {
+                    None => true,
+                    Some(b) => {
+                        T::dist_cmp(self.regions[si].dist_sq_to_point(q), b)
+                            == std::cmp::Ordering::Less
+                    }
+                };
+                if reaches {
+                    sp.0.push(*q);
+                    sp.1.push(qi);
+                }
+            }
+        }
+        let mut merged: Vec<Option<KnnHeap<T, D>>> = (0..queries.len()).map(|_| None).collect();
+        for (si, (qs, idxs)) in spill.iter().enumerate() {
+            if qs.is_empty() {
+                continue;
+            }
+            for (ans, &qi) in self.snaps[si]
+                .index()
+                .knn_batch(qs, k)
+                .into_iter()
+                .zip(idxs)
+            {
+                let heap = merged[qi].get_or_insert_with(|| {
+                    let mut h = KnnHeap::new(k);
+                    for p in &answers[qi] {
+                        h.offer_point(&queries[qi], *p);
+                    }
+                    h
+                });
+                for p in ans {
+                    heap.offer_point(&queries[qi], p);
+                }
+            }
+        }
+        for (qi, heap) in merged.into_iter().enumerate() {
+            if let Some(h) = heap {
+                answers[qi] = h.into_sorted();
+            }
+        }
+        answers
+    }
+
+    /// Number of stored points in the box, fanned out per intersecting
+    /// shard and summed (stripes are disjoint, so no deduplication).
+    pub fn range_count(&self, rect: &Rect<T, D>) -> usize {
+        self.snaps
+            .iter()
+            .zip(&self.regions)
+            .filter(|(_, region)| region.intersects(rect))
+            .map(|(snap, _)| snap.index().range_count(rect))
+            .sum()
+    }
+
+    /// Batched range counts: one `range_count_batch` per shard over the
+    /// rects that intersect its stripe.
+    pub fn range_count_batch(&self, rects: &[Rect<T, D>]) -> Vec<usize> {
+        let mut out = vec![0usize; rects.len()];
+        for (snap, region) in self.snaps.iter().zip(&self.regions) {
+            let (sub, idxs): (Vec<Rect<T, D>>, Vec<usize>) = rects
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| region.intersects(r))
+                .map(|(i, r)| (*r, i))
+                .unzip();
+            if sub.is_empty() {
+                continue;
+            }
+            for (count, &i) in snap.index().range_count_batch(&sub).into_iter().zip(&idxs) {
+                out[i] += count;
+            }
+        }
+        out
+    }
+
+    /// The stored points in the box, concatenated in shard order.
+    pub fn range_list(&self, rect: &Rect<T, D>) -> Vec<Point<T, D>> {
+        let mut out = Vec::new();
+        for (snap, region) in self.snaps.iter().zip(&self.regions) {
+            if region.intersects(rect) {
+                snap.index().range_visit(rect, &mut |p| out.push(*p));
+            }
+        }
+        out
+    }
+
+    /// Batched range lists: one `range_list_batch` per intersecting shard,
+    /// answers concatenated in shard order per rect.
+    pub fn range_list_batch(&self, rects: &[Rect<T, D>]) -> Vec<Vec<Point<T, D>>> {
+        let mut out: Vec<Vec<Point<T, D>>> = vec![Vec::new(); rects.len()];
+        for (snap, region) in self.snaps.iter().zip(&self.regions) {
+            let (sub, idxs): (Vec<Rect<T, D>>, Vec<usize>) = rects
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| region.intersects(r))
+                .map(|(i, r)| (*r, i))
+                .unzip();
+            if sub.is_empty() {
+                continue;
+            }
+            for (list, &i) in snap.index().range_list_batch(&sub).into_iter().zip(&idxs) {
+                out[i].extend(list);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi::registry::{self, BuildOptions};
+    use psi::BruteForce;
+    use psi::SpatialIndex as _;
+    use psi_geometry::PointI;
+    use psi_workloads as workloads;
+
+    fn factory() -> IndexFactory<i64, 2> {
+        Arc::new(|pts: &[PointI<2>]| {
+            registry::create::<2>("spac-h", pts, &BuildOptions::default()).unwrap()
+        })
+    }
+
+    #[test]
+    fn routing_is_total_and_disjoint() {
+        let max = 1_000_000;
+        let universe = workloads::universe::<2>(max);
+        let data = workloads::uniform::<2>(5_000, max, 11);
+        let router = Router::new(&factory(), &data, &universe, 4);
+        assert_eq!(router.shard_count(), 4);
+        assert_eq!(router.len(), data.len());
+        // Every point routes to exactly the shard that stores it.
+        let view = router.pin();
+        for p in data.iter().take(200) {
+            let si = router.shard_of(p);
+            assert_eq!(view.shard_of(p), si);
+            assert!(view.snapshot(si).index().range_count(&Rect::singleton(*p)) >= 1);
+        }
+        // Out-of-domain points clamp to the edge shards instead of panicking.
+        assert_eq!(router.shard_of(&Point::new([-50, 0])), 0);
+        assert_eq!(router.shard_of(&Point::new([max + 50, 0])), 3);
+    }
+
+    #[test]
+    fn cross_shard_queries_match_brute_force() {
+        let max = 100_000;
+        let universe = workloads::universe::<2>(max);
+        let data = workloads::varden::<2>(4_000, max, 3);
+        let router = Router::new(&factory(), &data, &universe, 3);
+        let oracle = BruteForce::<i64, 2>::build(&data, &universe);
+        let view = router.pin();
+
+        let queries = workloads::ind_queries(&data, 64, 9);
+        let k = 12;
+        // Batched two-phase answers == per-query merge == brute force.
+        let batched = view.knn_batch(&queries, k);
+        for (q, got) in queries.iter().zip(&batched) {
+            let single = view.knn(q, k);
+            let gd: Vec<i128> = got.iter().map(|p| q.dist_sq(p)).collect();
+            let sd: Vec<i128> = single.iter().map(|p| q.dist_sq(p)).collect();
+            let wd: Vec<i128> = oracle.knn(q, k).iter().map(|p| q.dist_sq(p)).collect();
+            assert_eq!(gd, wd, "knn_batch disagrees with oracle");
+            assert_eq!(sd, wd, "knn disagrees with oracle");
+        }
+
+        let rects = workloads::range_queries(&data, max, 80, 32, 5);
+        assert_eq!(
+            view.range_count_batch(&rects),
+            rects
+                .iter()
+                .map(|r| oracle.range_count(r))
+                .collect::<Vec<_>>()
+        );
+        for (r, mut got) in rects.iter().zip(view.range_list_batch(&rects)) {
+            let mut single = view.range_list(r);
+            let mut want = oracle.range_list(r);
+            got.sort_unstable();
+            single.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want);
+            assert_eq!(single, want);
+        }
+    }
+
+    #[test]
+    fn publish_routes_batches_per_stripe() {
+        let max = 90_000;
+        let universe = workloads::universe::<2>(max);
+        let data = workloads::uniform::<2>(3_000, max, 21);
+        let router = Router::new(&factory(), &data, &universe, 3);
+        let before = router.pin().epochs();
+        assert_eq!(before, vec![0, 0, 0]);
+
+        // A batch confined to the first stripe bumps only shard 0's epoch.
+        let local: Vec<PointI<2>> = (0..40).map(|i| Point::new([i, i])).collect();
+        let touched = router.publish(&[], &local);
+        assert_eq!(touched, 1);
+        assert_eq!(router.pin().epochs(), vec![1, 0, 0]);
+        assert_eq!(router.len(), data.len() + 40);
+
+        // A spanning batch touches every shard; deletions come first.
+        let touched = router.publish(&local, &data[..6]);
+        assert!(touched >= 2);
+        assert_eq!(router.len(), data.len() + 6);
+    }
+
+    #[test]
+    fn f64_router_works_through_quantised_families() {
+        let universe = Rect::from_corners(Point::new([0.0, 0.0]), Point::new([1_000.0, 1_000.0]));
+        let factory: IndexFactory<f64, 2> = Arc::new(|pts: &[Point<f64, 2>]| {
+            registry::create_f64::<2>("zd", pts, &BuildOptions::default()).unwrap()
+        });
+        let data: Vec<Point<f64, 2>> = (0..2_000)
+            .map(|i| Point::new([((i * 37) % 1_000) as f64, ((i * 91) % 1_000) as f64]))
+            .collect();
+        let router = Router::new(&factory, &data, &universe, 2);
+        let oracle = BruteForce::<f64, 2>::build(&data, &universe);
+        let view = router.pin();
+        let q = Point::new([500.0, 500.0]);
+        let gd: Vec<f64> = view.knn(&q, 9).iter().map(|p| q.dist_sq(p)).collect();
+        let wd: Vec<f64> = oracle.knn(&q, 9).iter().map(|p| q.dist_sq(p)).collect();
+        assert_eq!(gd, wd);
+    }
+}

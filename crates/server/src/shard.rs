@@ -1,0 +1,289 @@
+//! Epoch-published index snapshots: one shard of the serving subsystem.
+//!
+//! A [`Shard`] owns two structurally identical copies of an index (built by
+//! the same [`IndexFactory`] over the same points and fed the same batch
+//! sequence, so they answer identically — ties included):
+//!
+//! * the **published** copy, wrapped in an immutable [`Snapshot`] behind an
+//!   `Arc` that readers [`pin`](Shard::pin) and query freely, and
+//! * the **standby** copy, private to the writer, which absorbs the next
+//!   update batch.
+//!
+//! [`publish`](Shard::publish) applies a `.psi`-style batch (deletions, then
+//! insertions) to the standby and atomically swaps it into the published
+//! slot under a new epoch number. Readers never observe a half-applied
+//! batch: a pinned `Arc<Snapshot>` is immutable for as long as it is held,
+//! and the swap replaces the whole pointer. This is the classic left-right
+//! scheme — the writer then keeps the *old* published copy as the next
+//! standby and catches it up with the batch it missed (the `lag` batch)
+//! at the start of the following publish, once the last readers of two
+//! epochs ago have dropped their pins.
+//!
+//! Blocking discipline:
+//!
+//! * readers never block on a publish — [`Shard::pin`] takes a read lock
+//!   held only for one `Arc` clone, and the writer's write lock covers only
+//!   the pointer swap (nanoseconds), never batch application;
+//! * the writer blocks only on *stale* readers: a reader still pinning the
+//!   snapshot from two publishes ago delays the next publish (never the
+//!   current readers). Queries pin briefly, so this back-pressure only
+//!   engages when publishes outpace the slowest query.
+
+use psi::registry::DynIndex;
+use psi_geometry::{Coord, Point, Rect};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Builds one index copy over a point set; shards call it twice (published
+/// + standby) so both copies share structure and tie-breaking behaviour.
+pub type IndexFactory<T, const D: usize> =
+    Arc<dyn Fn(&[Point<T, D>]) -> Box<dyn DynIndex<T, D>> + Send + Sync>;
+
+/// An immutable, epoch-stamped view of one shard's index. Obtained from
+/// [`Shard::pin`]; queries run against [`Snapshot::index`] without any
+/// locking, and the contents never change while the `Arc` is held.
+pub struct Snapshot<T: Coord, const D: usize> {
+    epoch: u64,
+    index: Box<dyn DynIndex<T, D>>,
+}
+
+impl<T: Coord, const D: usize> Snapshot<T, D> {
+    /// The publish sequence number: 0 for the initial build, +1 per batch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The immutable index of this epoch.
+    pub fn index(&self) -> &dyn DynIndex<T, D> {
+        &*self.index
+    }
+
+    /// Number of stored points in this epoch.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// `true` if this epoch holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+}
+
+/// Writer-private half of the left-right scheme.
+/// One update batch: deletions, then insertions.
+type Batch<T, const D: usize> = (Vec<Point<T, D>>, Vec<Point<T, D>>);
+
+struct WriterSide<T: Coord, const D: usize> {
+    /// The copy the next batch will be applied to. Shared with stale
+    /// readers until they drop their pins; exclusively owned afterwards.
+    standby: Arc<Snapshot<T, D>>,
+    /// The batch already applied to the published copy but not yet to
+    /// `standby` (applied lazily at the start of the next publish).
+    lag: Option<Batch<T, D>>,
+}
+
+/// One serving shard: an epoch-published index pair (see module docs).
+pub struct Shard<T: Coord, const D: usize> {
+    published: RwLock<Arc<Snapshot<T, D>>>,
+    writer: Mutex<WriterSide<T, D>>,
+    region: Rect<T, D>,
+}
+
+impl<T: Coord, const D: usize> Shard<T, D> {
+    /// Build a shard over `points`. `region` is the part of space this shard
+    /// is responsible for (the router's stripe; a standalone shard passes
+    /// the whole domain) — queries use it only for pruning, so it may be
+    /// larger than the data's extent but must contain every point the shard
+    /// will ever store.
+    pub fn new(region: Rect<T, D>, factory: &IndexFactory<T, D>, points: &[Point<T, D>]) -> Self {
+        Shard {
+            published: RwLock::new(Arc::new(Snapshot {
+                epoch: 0,
+                index: factory(points),
+            })),
+            writer: Mutex::new(WriterSide {
+                standby: Arc::new(Snapshot {
+                    epoch: 0,
+                    index: factory(points),
+                }),
+                lag: None,
+            }),
+            region,
+        }
+    }
+
+    /// The region this shard serves.
+    pub fn region(&self) -> &Rect<T, D> {
+        &self.region
+    }
+
+    /// Pin the current epoch. Wait-free apart from one briefly-held read
+    /// lock (the writer's matching write lock covers only a pointer swap).
+    pub fn pin(&self) -> Arc<Snapshot<T, D>> {
+        self.published.read().unwrap().clone()
+    }
+
+    /// The current published epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.published.read().unwrap().epoch
+    }
+
+    /// Number of stored points in the current epoch.
+    pub fn len(&self) -> usize {
+        self.pin().len()
+    }
+
+    /// `true` if the current epoch holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Apply one batch (deletions first, then insertions — the `BatchDiff`
+    /// contract) and publish it as a new epoch. Returns the new epoch
+    /// number. Serialises writers via an internal lock; blocks only on
+    /// readers still pinning the snapshot from two publishes ago.
+    pub fn publish(&self, delete: &[Point<T, D>], insert: &[Point<T, D>]) -> u64 {
+        let mut w = self.writer.lock().unwrap();
+        let lag = w.lag.take();
+
+        // Reclaim the standby: readers of two epochs ago may still hold it.
+        let mut spins = 0u32;
+        while Arc::get_mut(&mut w.standby).is_none() {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else if spins < 1_024 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
+        }
+        let snap = Arc::get_mut(&mut w.standby).expect("standby just became exclusive");
+
+        // Catch up with the batch the standby missed, then apply the new one.
+        if let Some((del, ins)) = &lag {
+            snap.index.batch_delete(del);
+            snap.index.batch_insert(ins);
+        }
+        snap.index.batch_delete(delete);
+        snap.index.batch_insert(insert);
+        let epoch = self.published.read().unwrap().epoch + 1;
+        snap.epoch = epoch;
+
+        // Atomic publish: swap the pointer, keep the old copy as standby.
+        let fresh = w.standby.clone();
+        let old = std::mem::replace(&mut *self.published.write().unwrap(), fresh);
+        w.standby = old;
+        w.lag = Some((delete.to_vec(), insert.to_vec()));
+        epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psi::registry::{self, BuildOptions};
+    use psi_geometry::PointI;
+
+    fn factory() -> IndexFactory<i64, 2> {
+        Arc::new(|pts: &[PointI<2>]| {
+            registry::create::<2>("pkd", pts, &BuildOptions::default()).unwrap()
+        })
+    }
+
+    fn pts(range: std::ops::Range<i64>) -> Vec<PointI<2>> {
+        range.map(|i| Point::new([i, i * 2])).collect()
+    }
+
+    fn world() -> Rect<i64, 2> {
+        Rect::from_corners(Point::new([i64::MIN; 2]), Point::new([i64::MAX; 2]))
+    }
+
+    #[test]
+    fn publish_bumps_epochs_and_pins_are_stable() {
+        let shard = Shard::new(world(), &factory(), &pts(0..100));
+        let e0 = shard.pin();
+        assert_eq!(e0.epoch(), 0);
+        assert_eq!(e0.len(), 100);
+
+        let epoch = shard.publish(&pts(0..10), &pts(100..130));
+        assert_eq!(epoch, 1);
+        // The old pin still sees epoch 0 in full.
+        assert_eq!(e0.len(), 100);
+        assert_eq!(e0.index().range_count(&world()), 100);
+        // A fresh pin sees the whole batch.
+        let e1 = shard.pin();
+        assert_eq!(e1.epoch(), 1);
+        assert_eq!(e1.len(), 120);
+        assert_eq!(e1.index().range_count(&world()), 120);
+    }
+
+    #[test]
+    fn lag_catchup_keeps_both_copies_identical() {
+        let shard = Shard::new(world(), &factory(), &pts(0..50));
+        // Several publishes: the standby is always one batch behind and
+        // must catch up correctly (drop pins so the writer can reclaim).
+        for round in 0..5i64 {
+            let del = pts(round * 5..round * 5 + 5);
+            let ins = pts(100 + round * 7..100 + round * 7 + 7);
+            let epoch = shard.publish(&del, &ins);
+            assert_eq!(epoch, round as u64 + 1);
+            let pin = shard.pin();
+            assert_eq!(pin.epoch(), round as u64 + 1);
+            assert_eq!(
+                pin.len(),
+                50 - 5 * (round as usize + 1) + 7 * (round as usize + 1)
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_readers_see_whole_epochs_only() {
+        let shard = Arc::new(Shard::new(world(), &factory(), &pts(0..200)));
+        // Epoch e has exactly 200 + 10e points (insert-only batches), so a
+        // torn read would show a size matching no epoch.
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let shard = Arc::clone(&shard);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut seen_epochs = Vec::new();
+                    let mut last = 0u64;
+                    // Check `stop` *before* the observation, so even a
+                    // reader first scheduled after the writer finished
+                    // still makes one (final-epoch) observation.
+                    loop {
+                        let finishing = stop.load(std::sync::atomic::Ordering::Acquire);
+                        let pin = shard.pin();
+                        let e = pin.epoch();
+                        assert!(e >= last, "epochs must be monotonic per reader");
+                        last = e;
+                        assert_eq!(
+                            pin.index().range_count(&world()) as u64,
+                            200 + 10 * e,
+                            "reader observed a torn epoch"
+                        );
+                        seen_epochs.push(e);
+                        if finishing {
+                            break;
+                        }
+                    }
+                    seen_epochs
+                })
+            })
+            .collect();
+        for round in 0..20u64 {
+            let ins = pts(1_000 + (round as i64) * 10..1_000 + (round as i64) * 10 + 10);
+            shard.publish(&[], &ins);
+        }
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        for r in readers {
+            let seen = r.join().unwrap();
+            assert!(!seen.is_empty());
+            // The observation made after `stop` was set sees the final epoch.
+            assert_eq!(*seen.last().unwrap(), 20);
+        }
+        assert_eq!(shard.epoch(), 20);
+        assert_eq!(shard.len(), 400);
+    }
+}

@@ -31,10 +31,18 @@ fn main() {
 
     let mut total_update = 0.0;
     let mut total_query = 0.0;
+    let mut seen = std::collections::HashSet::with_capacity(MOVERS_PER_FRAME);
     for frame in 0..FRAMES {
-        // A subset of objects moves this frame.
+        // A subset of objects moves this frame. Sampling is with
+        // replacement, so the same object can be drawn twice — keep only its
+        // first draw: moving one object twice in a single batch would delete
+        // its old position twice (the second delete can hit another object
+        // sharing the coordinate, or miss) and insert two new positions,
+        // breaking the object count the assertion below guards.
+        seen.clear();
         let mover_ids: Vec<usize> = (0..MOVERS_PER_FRAME)
             .map(|_| rng.gen_range(0..positions.len()))
+            .filter(|id| seen.insert(*id))
             .collect();
         let old_positions: Vec<PointI<3>> = mover_ids.iter().map(|&i| positions[i]).collect();
         let new_positions: Vec<PointI<3>> = old_positions
@@ -74,7 +82,8 @@ fn main() {
 
         if frame % 5 == 0 {
             println!(
-                "frame {frame:>3}: {MOVERS_PER_FRAME} objects moved, {near_pairs} close-contact candidates"
+                "frame {frame:>3}: {} objects moved, {near_pairs} close-contact candidates",
+                mover_ids.len()
             );
         }
     }

@@ -154,7 +154,10 @@ fn battery_i64(name: &'static str) {
 }
 
 fn battery_f64(name: &'static str) {
-    let opts = BuildOptions::<f64, 2>::default();
+    // Quarter-integer data: scale 4 puts it exactly on the quantising
+    // adapter's fixed-point grid, so the SFC families answer bit-precisely
+    // too (natively-float families ignore the scale).
+    let opts = BuildOptions::<f64, 2>::default().quantize_scale(4.0);
     let make = move |pts: &[Point<f64, 2>]| {
         registry::create_f64::<2>(name, pts, &opts).unwrap_or_else(|e| panic!("{e}"))
     };
