@@ -192,8 +192,8 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"parallel_batch_queries\",\n  \"machine_threads\": {},\n  \"n\": {},\n  \"knn_queries\": {},\n  \"k\": {},\n  \"range_queries\": {},\n  \"reps\": {},\n  \"note\": \"best-of-reps wall clock; qps = queries per second; thread counts above machine_threads oversubscribe and cannot speed up\",\n  \"indexes\": [\n{}\n  ]\n}}\n",
-        rayon::current_num_threads(),
+        "{{\n  \"bench\": \"parallel_batch_queries\",\n  {},\n  \"n\": {},\n  \"knn_queries\": {},\n  \"k\": {},\n  \"range_queries\": {},\n  \"reps\": {},\n  \"note\": \"best-of-reps wall clock; qps = queries per second; thread counts above machine_threads oversubscribe and cannot speed up\",\n  \"indexes\": [\n{}\n  ]\n}}\n",
+        psi_bench::host_meta_json(),
         cfg.n,
         qs.knn_ind.len(),
         cfg.k,
@@ -253,8 +253,8 @@ fn main() {
     }
 
     let build_json = format!(
-        "{{\n  \"bench\": \"parallel_construction\",\n  \"machine_threads\": {},\n  \"n\": {},\n  \"reps\": {},\n  \"note\": \"best-of-reps wall clock of registry::create (full build_with); qps = points indexed per second; thread counts above machine_threads oversubscribe and cannot speed up\",\n  \"indexes\": [\n{}\n  ]\n}}\n",
-        rayon::current_num_threads(),
+        "{{\n  \"bench\": \"parallel_construction\",\n  {},\n  \"n\": {},\n  \"reps\": {},\n  \"note\": \"best-of-reps wall clock of registry::create (full build_with); qps = points indexed per second; thread counts above machine_threads oversubscribe and cannot speed up\",\n  \"indexes\": [\n{}\n  ]\n}}\n",
+        psi_bench::host_meta_json(),
         cfg.n,
         reps,
         build_blocks.join(",\n")

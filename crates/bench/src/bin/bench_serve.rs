@@ -205,13 +205,13 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"serve_closed_loop\",\n  \"machine_threads\": {},\n  \"n\": {},\n  \
+        "{{\n  \"bench\": \"serve_closed_loop\",\n  {},\n  \"n\": {},\n  \
          \"ops_per_client\": {},\n  \"shards\": {},\n  \"coalesce_max_batch\": {},\n  \"k\": {},\n  \
          \"note\": \"closed-loop clients over psi-server (epoch snapshots + coalescer + shard router); \
          move batches conserve the live count (checked); measured on a 1-core container — client \
          counts above machine_threads time-share and cannot show scaling; rerun on a multi-core box \
          for real speedups\",\n  \"families\": [\n{}\n  ]\n}}\n",
-        rayon::current_num_threads(),
+        psi_bench::host_meta_json(),
         n,
         ops,
         shards,

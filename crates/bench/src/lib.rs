@@ -120,6 +120,45 @@ pub fn fmt_secs(d: Duration) -> String {
     format!("{:.4}", d.as_secs_f64())
 }
 
+/// Strip a free-text host string down to safe JSON-literal characters.
+fn sanitize(s: &str) -> String {
+    s.trim()
+        .chars()
+        .filter(|c| c.is_ascii_graphic() || *c == ' ')
+        .filter(|c| !matches!(c, '"' | '\\'))
+        .collect()
+}
+
+fn proc_line(path: &str, key: &str) -> Option<String> {
+    std::fs::read_to_string(path).ok()?.lines().find_map(|l| {
+        let (k, v) = l.split_once(':')?;
+        (k.trim() == key).then(|| v.trim().to_string())
+    })
+}
+
+/// The `"machine_threads": N, "host": {...}` JSON fields that every
+/// `BENCH_*.json` writer embeds at the top level, so a checked-in benchmark
+/// file records what machine produced it. `machine_threads` is the worker
+/// pool the run actually used (it honours `RAYON_NUM_THREADS`); the `host`
+/// block is the physical box. Indented for a 2-space top-level object.
+pub fn host_meta_json() -> String {
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let kernel = std::fs::read_to_string("/proc/sys/kernel/osrelease")
+        .map_or_else(|_| "unknown".to_string(), |s| sanitize(&s));
+    let cpu_model = proc_line("/proc/cpuinfo", "model name")
+        .map_or_else(|| "unknown".to_string(), |s| sanitize(&s));
+    format!(
+        "\"machine_threads\": {},\n  \"host\": {{\"os\": \"{}\", \"arch\": \"{}\", \
+         \"cpus\": {}, \"kernel\": \"{}\", \"cpu_model\": \"{}\"}}",
+        rayon::current_num_threads(),
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        cpus,
+        kernel,
+        cpu_model,
+    )
+}
+
 /// One row of the Fig. 3 / Fig. 9 master table.
 #[derive(Clone, Debug, Default)]
 pub struct MasterRow {
@@ -264,6 +303,20 @@ mod tests {
         let u = cfg.universe::<2>();
         assert!(u.contains(&psi::Point::new([0, 0])));
         assert!(u.contains(&psi::Point::new([cfg.max_coord, cfg.max_coord])));
+    }
+
+    #[test]
+    fn host_meta_is_valid_json_fields() {
+        let meta = host_meta_json();
+        assert!(meta.starts_with("\"machine_threads\": "));
+        assert!(meta.contains("\"host\": {"));
+        assert!(meta.contains("\"cpus\": "));
+        // The fragment must compose into a parseable object: balanced
+        // braces, no stray quotes from /proc free text.
+        let obj = format!("{{{meta}}}");
+        assert_eq!(obj.matches('{').count(), obj.matches('}').count());
+        assert_eq!(obj.matches('"').count() % 2, 0);
+        assert_eq!(sanitize("  weird\\\"cpu\u{7f}  "), "weirdcpu");
     }
 
     #[test]

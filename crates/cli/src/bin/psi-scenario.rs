@@ -192,10 +192,11 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 Ok(r) => {
                     if !flags.quiet {
                         println!(
-                            "  serve {:<12} shards={} clients={} ops={} batches={} \
+                            "  serve {:<12} shards={} transport={} clients={} ops={} batches={} \
                              {:>9.0} q/s p50={:.3}ms p99={:.3}ms coalesce={:.1}x",
                             r.family,
                             r.shards,
+                            r.transport,
                             r.clients,
                             r.ops,
                             r.batches,

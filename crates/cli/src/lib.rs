@@ -26,6 +26,7 @@
 
 pub mod compare;
 pub mod exec;
+pub mod netd;
 pub mod report;
 pub mod scenario;
 pub mod serve;

@@ -93,12 +93,14 @@ pub fn json_string_with_serve(run: &ScenarioRun, serve: Option<&ServeReport>) ->
     let serve_block = serve.map_or(String::new(), |s| {
         format!(
             ",\n  \"serve\": {{\n    \"family\": \"{}\",\n    \"shards\": {},\n    \
+             \"transport\": \"{}\",\n    \
              \"clients\": {},\n    \"ops\": {},\n    \"batches\": {},\n    \
              \"elapsed_secs\": {:.6},\n    \"throughput_qps\": {:.1},\n    \
              \"p50_ms\": {:.4},\n    \"p99_ms\": {:.4},\n    \
              \"coalesce_factor\": {:.2}\n  }}",
             json_escape(&s.family),
             s.shards,
+            s.transport,
             s.clients,
             s.ops,
             s.batches,

@@ -45,6 +45,7 @@
 //! write-batch = 64              # points per published update batch
 //! write-every-ms = 2            # writer pacing (0 = as fast as possible)
 //! coalesce = 32                 # max queries folded into one flush
+//! transport = inproc            # inproc | threaded | evented (TCP loopback)
 //! ```
 //!
 //! Amounts are either absolute point counts (`500`) or percentages of `n`
@@ -218,6 +219,40 @@ pub struct ServeSpec {
     pub coalesce: usize,
     /// Family serving the phase; `None` uses the scenario's first instance.
     pub family: Option<&'static str>,
+    /// How clients reach the server: in-process handles (the default) or a
+    /// ψ-net TCP loopback socket on one of its two transports.
+    pub transport: ServeTransport,
+}
+
+/// Client transport for the serving phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServeTransport {
+    /// In-process coalescing handles (no sockets).
+    Inproc,
+    /// TCP loopback through ψ-net's thread-per-connection server.
+    Threaded,
+    /// TCP loopback through ψ-net's epoll event loop.
+    Evented,
+}
+
+impl ServeTransport {
+    fn parse(s: &str) -> Option<ServeTransport> {
+        match s {
+            "inproc" => Some(ServeTransport::Inproc),
+            "threaded" => Some(ServeTransport::Threaded),
+            "evented" => Some(ServeTransport::Evented),
+            _ => None,
+        }
+    }
+
+    /// The scenario-file spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeTransport::Inproc => "inproc",
+            ServeTransport::Threaded => "threaded",
+            ServeTransport::Evented => "evented",
+        }
+    }
 }
 
 impl Default for ServeSpec {
@@ -230,6 +265,7 @@ impl Default for ServeSpec {
             write_every_ms: 2,
             coalesce: 32,
             family: None,
+            transport: ServeTransport::Inproc,
         }
     }
 }
@@ -433,6 +469,16 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
                         })?
                     }
                     "coalesce" => sv.coalesce = parse_usize(value, "coalesce")?,
+                    "transport" => {
+                        sv.transport = ServeTransport::parse(value).ok_or_else(|| {
+                            err(
+                                lineno,
+                                format!(
+                                    "transport expects inproc, threaded or evented, got {value:?}"
+                                ),
+                            )
+                        })?
+                    }
                     "family" => serve_family_raw = Some((lineno, value.to_string())),
                     other => return Err(err(lineno, format!("unknown key {other:?} in [serve]"))),
                 }
@@ -749,6 +795,7 @@ write-batch = 32
 write-every-ms = 5
 coalesce = 16
 family = pkd
+transport = evented
 ";
         let sc = parse(text).unwrap();
         let sv = sc.serve.expect("serve section parsed");
@@ -759,13 +806,17 @@ family = pkd
         assert_eq!(sv.write_every_ms, 5);
         assert_eq!(sv.coalesce, 16);
         assert_eq!(sv.family, Some("pkd"));
+        assert_eq!(sv.transport, ServeTransport::Evented);
+        assert_eq!(sv.transport.name(), "evented");
         // Bare [serve] gets the defaults; absent section stays None.
         let bare = parse(&format!("{MINIMAL}[serve]\n")).unwrap();
         assert_eq!(bare.serve, Some(ServeSpec::default()));
         assert_eq!(parse(MINIMAL).unwrap().serve, None);
-        // Unknown keys, zero knobs and unlisted serve families are errors.
+        // Unknown keys, zero knobs, bogus transports and unlisted serve
+        // families are errors.
         assert!(parse(&format!("{MINIMAL}[serve]\nbogus = 1\n")).is_err());
         assert!(parse(&format!("{MINIMAL}[serve]\nclients = 0\n")).is_err());
+        assert!(parse(&format!("{MINIMAL}[serve]\ntransport = osmotic\n")).is_err());
         assert!(parse(&format!(
             "{MINIMAL}[indexes]\nfamilies = pkd\n[serve]\nfamily = zd\n"
         ))

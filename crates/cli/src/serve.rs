@@ -10,11 +10,17 @@
 //! distance). Epoch atomicity itself is pinned down by the dedicated
 //! `tests/serve_semantics.rs` battery.
 
-use crate::scenario::{CoordKind, Scenario, ServeSpec};
+use crate::scenario::{CoordKind, Scenario, ServeSpec, ServeTransport};
 use psi::registry::{self, BuildOptions};
 use psi::{HilbertCurve, MortonCurve, SfcCurve};
 use psi_geometry::{Point, PointI, Rect};
-use psi_server::{closed_loop, IndexFactory, LoadSpec, PsiServer, ServeConfig, ServeCoord};
+use psi_net::client::WireClient;
+use psi_net::wire::WireCoord;
+use psi_net::{loopback, NetConfig, NetServer, Transport};
+use psi_server::{
+    closed_loop, closed_loop_with, IndexFactory, LoadSpec, PsiServer, QueryClient, ServeConfig,
+    ServeCoord,
+};
 use psi_workloads as workloads;
 use std::sync::Arc;
 
@@ -25,6 +31,8 @@ pub struct ServeReport {
     pub family: String,
     /// Shard count.
     pub shards: usize,
+    /// Client transport (`inproc`, `threaded` or `evented`).
+    pub transport: &'static str,
     /// Client threads.
     pub clients: usize,
     /// Total queries answered across all clients.
@@ -144,7 +152,7 @@ where
 }
 
 #[allow(clippy::too_many_arguments)]
-fn serve_typed<T: ServeCoord, const D: usize>(
+fn serve_typed<T: ServeCoord + WireCoord, const D: usize>(
     sc: &Scenario,
     sv: &ServeSpec,
     family: &str,
@@ -171,11 +179,40 @@ fn serve_typed<T: ServeCoord, const D: usize>(
         write_batch: sv.write_batch,
         write_every_ms: sv.write_every_ms,
     };
-    let out = closed_loop(&server, data, queries, rects, &spec)
-        .map_err(|e| format!("serve phase: {e}"))?;
+    // Socket transports put a real TCP loopback (and the ψ-net wire
+    // protocol) between the closed-loop clients and the coalescer; the
+    // driver — and its conservation and answer-shape checks — is the same.
+    let out = match sv.transport {
+        ServeTransport::Inproc => closed_loop(&server, data, queries, rects, &spec),
+        ServeTransport::Threaded | ServeTransport::Evented => {
+            let transport = match sv.transport {
+                ServeTransport::Threaded => Transport::Threaded,
+                _ => Transport::Evented,
+            };
+            let net = NetServer::spawn(
+                Arc::clone(&server),
+                loopback(),
+                NetConfig {
+                    transport,
+                    coalesce: true,
+                },
+            )
+            .map_err(|e| format!("serve phase: bind loopback: {e}"))?;
+            let addr = net.addr();
+            let out = closed_loop_with(&server, data, queries, rects, &spec, |_| {
+                let client: WireClient<T, D> =
+                    WireClient::connect(addr).map_err(|e| e.to_string())?;
+                Ok(Box::new(client) as Box<dyn QueryClient<T, D>>)
+            });
+            net.shutdown();
+            out
+        }
+    }
+    .map_err(|e| format!("serve phase: {e}"))?;
     Ok(ServeReport {
         family: family.to_string(),
         shards: sv.shards,
+        transport: sv.transport.name(),
         clients: sv.clients,
         ops: out.ops,
         batches: out.batches,
@@ -237,6 +274,21 @@ coalesce = 16
             scenario::parse("[scenario]\nname = x\n[data]\ndistribution = uniform\nn = 50\n")
                 .unwrap();
         assert!(run_serve(&bare, None).is_err());
+    }
+
+    #[test]
+    fn socket_transports_run_the_serve_phase() {
+        for transport in ["threaded", "evented"] {
+            let text = SERVE.replace(
+                "coalesce = 16",
+                &format!("coalesce = 16\ntransport = {transport}"),
+            );
+            let sc = scenario::parse(&text).unwrap();
+            let report = run_serve(&sc, None).unwrap();
+            assert_eq!(report.transport, transport);
+            assert_eq!(report.ops, 120, "{transport}");
+            assert!(report.coalesce_factor >= 1.0, "{transport}");
+        }
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! A blocking wire-protocol client.
+//!
+//! [`WireClient`] owns one TCP connection: `connect` performs the hello
+//! exchange, after which the convenience calls (`knn`, `range_count`, …)
+//! run one request/reply round trip each. For pipelined use — the fan-out
+//! load generator keeps one request in flight on each of thousands of
+//! connections — `send`/`recv` split the round trip.
+//!
+//! The client also implements [`psi_server::QueryClient`], so
+//! `psi_server::loadgen::closed_loop_with` can drive real sockets through
+//! the exact closed-loop driver (and conservation checks) used in-process.
+
+use crate::wire::{decode_reply, encode_request, read_frame, Reply, Request, WireCoord, ERR_BUSY};
+use psi_geometry::{Point, Rect};
+use psi_server::{QueryClient, ServeCoord};
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// One hello-completed protocol connection.
+pub struct WireClient<T: WireCoord, const D: usize> {
+    stream: TcpStream,
+    next_id: u64,
+    wbuf: Vec<u8>,
+    payload: Vec<u8>,
+    /// Shard count the server reported in hello.
+    shards: u32,
+    _shape: std::marker::PhantomData<fn() -> Point<T, D>>,
+}
+
+fn bad_reply(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, what.to_string())
+}
+
+impl<T: WireCoord, const D: usize> WireClient<T, D> {
+    /// Connect and complete the hello exchange. Fails if the server's
+    /// coordinate type, dimensionality or protocol version differ.
+    pub fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let mut client = WireClient {
+            stream,
+            next_id: 0,
+            wbuf: Vec::new(),
+            payload: Vec::new(),
+            shards: 0,
+            _shape: std::marker::PhantomData,
+        };
+        match client.call(&Request::hello())? {
+            Reply::HelloOk { shards, .. } => {
+                client.shards = shards;
+                Ok(client)
+            }
+            Reply::Error { code, message } => Err(io::Error::other(format!(
+                "server rejected hello (code {code}): {message}"
+            ))),
+            _ => Err(bad_reply("hello answered with a non-hello reply")),
+        }
+    }
+
+    /// Shard count the server reported during hello.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Send one request without waiting for its reply; returns the request
+    /// id the matching reply will echo.
+    pub fn send(&mut self, req: &Request<T, D>) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.wbuf.clear();
+        encode_request(req, id, &mut self.wbuf);
+        self.stream.write_all(&self.wbuf)?;
+        Ok(id)
+    }
+
+    /// Receive the next reply frame.
+    pub fn recv(&mut self) -> io::Result<(u64, Reply<T, D>)> {
+        if !read_frame(&mut self.stream, &mut self.payload)? {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        decode_reply(&self.payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// One blocking round trip.
+    pub fn call(&mut self, req: &Request<T, D>) -> io::Result<Reply<T, D>> {
+        let id = self.send(req)?;
+        let (got, reply) = self.recv()?;
+        if got != id {
+            return Err(bad_reply("reply id does not match the request in flight"));
+        }
+        Ok(reply)
+    }
+
+    fn query(&mut self, req: Request<T, D>) -> io::Result<Reply<T, D>> {
+        match self.call(&req)? {
+            Reply::Error { code, message } => {
+                Err(io::Error::other(format!("server error {code}: {message}")))
+            }
+            ok => Ok(ok),
+        }
+    }
+
+    /// The `k` nearest stored neighbours of `q`, closest first.
+    pub fn knn(&mut self, q: &Point<T, D>, k: usize) -> io::Result<Vec<Point<T, D>>> {
+        match self.query(Request::Knn { q: *q, k: k as u32 })? {
+            Reply::Points(p) => Ok(p),
+            _ => Err(bad_reply("knn answered with a non-points reply")),
+        }
+    }
+
+    /// Number of stored points in the closed box.
+    pub fn range_count(&mut self, rect: &Rect<T, D>) -> io::Result<usize> {
+        match self.query(Request::RangeCount { rect: *rect })? {
+            Reply::Count(c) => Ok(c as usize),
+            _ => Err(bad_reply("range_count answered with a non-count reply")),
+        }
+    }
+
+    /// The stored points in the closed box (shard order).
+    pub fn range_list(&mut self, rect: &Rect<T, D>) -> io::Result<Vec<Point<T, D>>> {
+        match self.query(Request::RangeList { rect: *rect })? {
+            Reply::Points(p) => Ok(p),
+            _ => Err(bad_reply("range_list answered with a non-points reply")),
+        }
+    }
+
+    /// Publish one update batch (deletions before insertions). Retries
+    /// [`ERR_BUSY`] by spinning on the server's back-pressure signal; any
+    /// other error is fatal for the connection.
+    pub fn apply_batch(
+        &mut self,
+        delete: Vec<Point<T, D>>,
+        insert: Vec<Point<T, D>>,
+    ) -> io::Result<()> {
+        let req = Request::ApplyBatch { delete, insert };
+        loop {
+            match self.call(&req)? {
+                Reply::BatchOk => return Ok(()),
+                Reply::Error { code, .. } if code == ERR_BUSY => {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                Reply::Error { code, message } => {
+                    return Err(io::Error::other(format!("server error {code}: {message}")))
+                }
+                _ => return Err(bad_reply("apply_batch answered with an unexpected reply")),
+            }
+        }
+    }
+
+    /// Surrender the underlying stream (tests use this to push malformed
+    /// bytes at a server over an already-helloed connection).
+    pub fn into_stream(self) -> TcpStream {
+        self.stream
+    }
+}
+
+impl<T: WireCoord + ServeCoord, const D: usize> QueryClient<T, D> for WireClient<T, D> {
+    fn knn(&mut self, q: &Point<T, D>, k: usize) -> Vec<Point<T, D>> {
+        WireClient::knn(self, q, k).expect("wire client knn I/O")
+    }
+    fn range_count(&mut self, rect: &Rect<T, D>) -> usize {
+        WireClient::range_count(self, rect).expect("wire client range_count I/O")
+    }
+    fn range_list(&mut self, rect: &Rect<T, D>) -> Vec<Point<T, D>> {
+        WireClient::range_list(self, rect).expect("wire client range_list I/O")
+    }
+}

@@ -1,0 +1,216 @@
+//! The thread-per-connection transport: a blocking accept loop that hands
+//! each connection to its own small-stack OS thread running the blocking
+//! frame loop. Per-connection state is a thread plus two reusable buffers,
+//! which is comfortable into the hundreds of connections; past that the
+//! evented transport takes over (see `event_loop`).
+
+use crate::wire::{
+    check_hello, decode_request, encode_reply, read_frame, Reply, Request, WireCoord, WireError,
+    ERR_BUSY,
+};
+use crate::{Backend, Ctx, NetStats};
+use psi_server::ServeCoord;
+use std::collections::HashMap;
+use std::io::{self, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Stack size for connection threads. The blocking frame loop's deep point
+/// is a batched query through the coalescer (the flusher does the real work
+/// on its own stack), so connection threads stay shallow and 128 KiB keeps
+/// a thousand of them affordable.
+const CONN_STACK: usize = 128 * 1024;
+
+/// How often the accept loop polls the stop flag while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Accept loop: runs until `stop`, then disconnects every live client and
+/// joins their threads.
+pub(crate) fn run_threaded<T: ServeCoord + WireCoord, const D: usize>(
+    listener: TcpListener,
+    ctx: Ctx<T, D>,
+    stop: Arc<AtomicBool>,
+    stats: Arc<NetStats>,
+) {
+    listener
+        .set_nonblocking(true)
+        .expect("listener nonblocking");
+    // Registry of accepted streams (cloned handles) so shutdown can unblock
+    // reads in flight, plus the worker joins.
+    let registry: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+    let next_id = AtomicU64::new(0);
+    let mut workers = Vec::new();
+
+    while !stop.load(Ordering::Relaxed) {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+                continue;
+            }
+            // EMFILE, ECONNABORTED and friends: back off and keep serving
+            // the connections we already have.
+            Err(_) => {
+                std::thread::sleep(ACCEPT_POLL);
+                continue;
+            }
+        };
+        let _ = stream.set_nodelay(true);
+        let id = next_id.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            registry.lock().unwrap().insert(id, clone);
+        }
+        stats.accepted.fetch_add(1, Ordering::Relaxed);
+        stats.open.fetch_add(1, Ordering::Relaxed);
+        let ctx = ctx.clone();
+        let worker_stats = Arc::clone(&stats);
+        let worker_registry = Arc::clone(&registry);
+        let spawned = std::thread::Builder::new()
+            .name("psi-net-conn".to_string())
+            .stack_size(CONN_STACK)
+            .spawn(move || {
+                let _ = serve_conn(stream, &ctx, &worker_stats);
+                worker_registry.lock().unwrap().remove(&id);
+                worker_stats.open.fetch_sub(1, Ordering::Relaxed);
+            });
+        match spawned {
+            Ok(h) => workers.push(h),
+            Err(_) => {
+                // Thread spawn failed (resource exhaustion): drop the
+                // connection instead of the server.
+                registry.lock().unwrap().remove(&id);
+                stats.open.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    // Unblock every worker parked in a read, then join them all.
+    for (_, s) in registry.lock().unwrap().drain() {
+        let _ = s.shutdown(Shutdown::Both);
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+}
+
+/// The blocking per-connection frame loop, shared protocol semantics with
+/// the evented transport: hello first, then pipelined requests; protocol
+/// errors answer with one error frame and close; I/O errors and mid-frame
+/// EOFs close silently.
+fn serve_conn<T: ServeCoord + WireCoord, const D: usize>(
+    mut stream: TcpStream,
+    ctx: &Ctx<T, D>,
+    stats: &NetStats,
+) -> io::Result<()> {
+    let mut payload = Vec::new();
+    let mut out = Vec::new();
+    let mut hello_done = false;
+    loop {
+        match read_frame(&mut stream, &mut payload) {
+            Ok(true) => {}
+            Ok(false) => return Ok(()), // clean EOF between frames
+            Err(e) => {
+                if e.kind() == io::ErrorKind::InvalidData {
+                    // Out-of-bounds length prefix: the one framing error we
+                    // can still answer before closing.
+                    stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    send_error::<T, D>(&mut stream, &mut out, WireError::BadLength(0).code(), &e);
+                }
+                return Err(e);
+            }
+        }
+        let (req_id, req) = match decode_request::<T, D>(&payload) {
+            Ok(ok) => ok,
+            Err(e) => {
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                out.clear();
+                encode_reply::<T, D>(
+                    &Reply::Error {
+                        code: e.code(),
+                        message: e.to_string(),
+                    },
+                    0,
+                    0,
+                    &mut out,
+                );
+                let _ = stream.write_all(&out);
+                return Ok(());
+            }
+        };
+        if !hello_done {
+            let reply = check_hello(&req, ctx.shards);
+            let failed = reply.is_err();
+            let reply = reply.unwrap_or_else(|e| e);
+            out.clear();
+            encode_reply(&reply, req.opcode(), req_id, &mut out);
+            stream.write_all(&out)?;
+            if failed {
+                stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+            hello_done = true;
+            continue;
+        }
+        let opcode = req.opcode();
+        let reply = answer_blocking(ctx, req);
+        out.clear();
+        encode_reply(&reply, opcode, req_id, &mut out);
+        stream.write_all(&out)?;
+    }
+}
+
+fn send_error<T: WireCoord, const D: usize>(
+    stream: &mut TcpStream,
+    out: &mut Vec<u8>,
+    code: u16,
+    err: &dyn std::fmt::Display,
+) {
+    out.clear();
+    encode_reply::<T, D>(
+        &Reply::Error {
+            code,
+            message: err.to_string(),
+        },
+        0,
+        0,
+        out,
+    );
+    let _ = stream.write_all(out);
+}
+
+/// Answer one post-hello request on the calling thread. Blocking on the
+/// coalescer is exactly right here: the thread *is* the connection, and a
+/// parked thread is how the flusher accumulates its batch.
+pub(crate) fn answer_blocking<T: ServeCoord + WireCoord, const D: usize>(
+    ctx: &Ctx<T, D>,
+    req: Request<T, D>,
+) -> Reply<T, D> {
+    match req {
+        // A repeated hello is answered idempotently (harmless, and it lets
+        // clients re-verify the shape on a pooled connection).
+        Request::Hello { .. } => match check_hello(&req, ctx.shards) {
+            Ok(ok) | Err(ok) => ok,
+        },
+        Request::Knn { q, k } => Reply::Points(match &ctx.backend {
+            Backend::Coalesced(h) => h.knn(&q, k as usize),
+            Backend::Direct(h) => h.knn(&q, k as usize),
+        }),
+        Request::RangeCount { rect } => Reply::Count(match &ctx.backend {
+            Backend::Coalesced(h) => h.range_count(&rect),
+            Backend::Direct(h) => h.range_count(&rect),
+        } as u64),
+        Request::RangeList { rect } => Reply::Points(match &ctx.backend {
+            Backend::Coalesced(h) => h.range_list(&rect),
+            Backend::Direct(h) => h.range_list(&rect),
+        }),
+        Request::ApplyBatch { delete, insert } => match ctx.server.try_submit(delete, insert) {
+            Ok(()) => Reply::BatchOk,
+            Err(_) => Reply::Error {
+                code: ERR_BUSY,
+                message: "update queue full, retry".to_string(),
+            },
+        },
+    }
+}

@@ -29,20 +29,50 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 
-enum Op<T: ServeCoord, const D: usize> {
+/// One point query, as the coalescer buffers it. Public so socket front-ends
+/// (the `psi-net` crate) can enqueue decoded wire requests directly.
+pub enum QueryOp<T: ServeCoord, const D: usize> {
+    /// `k` nearest neighbours of a point.
     Knn(Point<T, D>, usize),
+    /// Number of stored points in a closed box.
     RangeCount(Rect<T, D>),
+    /// The stored points in a closed box.
     RangeList(Rect<T, D>),
 }
 
-enum Reply<T: ServeCoord, const D: usize> {
+/// The answer to a [`QueryOp`].
+pub enum QueryReply<T: ServeCoord, const D: usize> {
+    /// kNN / range-list answers.
     Points(Vec<Point<T, D>>),
+    /// Range-count answers.
     Count(usize),
 }
 
+/// How a buffered request's answer is delivered: a blocking one-shot channel
+/// (the [`CoalesceHandle`] convenience calls) or a callback invoked on the
+/// flusher thread (nonblocking submitters — the event-loop transport — which
+/// must never park a reactor thread waiting on a reply).
+pub enum Completion<T: ServeCoord, const D: usize> {
+    /// Deliver through a one-shot channel; the submitter blocks on it.
+    Channel(mpsc::SyncSender<QueryReply<T, D>>),
+    /// Invoke on the flusher thread once the answer is computed. Keep the
+    /// callback cheap (encode + hand off) — it runs inside the flush.
+    Callback(Box<dyn FnOnce(QueryReply<T, D>) + Send>),
+}
+
+impl<T: ServeCoord, const D: usize> Completion<T, D> {
+    fn deliver(self, reply: QueryReply<T, D>) {
+        match self {
+            // A client that gave up (dropped its receiver) is not an error.
+            Completion::Channel(tx) => drop(tx.send(reply)),
+            Completion::Callback(f) => f(reply),
+        }
+    }
+}
+
 struct Pending<T: ServeCoord, const D: usize> {
-    op: Op<T, D>,
-    reply: mpsc::SyncSender<Reply<T, D>>,
+    op: QueryOp<T, D>,
+    done: Option<Completion<T, D>>,
 }
 
 struct QueueState<T: ServeCoord, const D: usize> {
@@ -110,7 +140,7 @@ impl<T: ServeCoord, const D: usize> Coalescer<T, D> {
         }
     }
 
-    fn flush(&self, router: &Router<T, D>, batch: Vec<Pending<T, D>>) {
+    fn flush(&self, router: &Router<T, D>, mut batch: Vec<Pending<T, D>>) {
         let view = router.pin();
         self.flushes.fetch_add(1, Ordering::Relaxed);
         self.served.fetch_add(batch.len() as u64, Ordering::Relaxed);
@@ -122,42 +152,47 @@ impl<T: ServeCoord, const D: usize> Coalescer<T, D> {
         let mut lists: (Vec<Rect<T, D>>, Vec<usize>) = Default::default();
         for (slot, p) in batch.iter().enumerate() {
             match &p.op {
-                Op::Knn(q, k) => {
+                QueryOp::Knn(q, k) => {
                     let g = knn.entry(*k).or_default();
                     g.0.push(*q);
                     g.1.push(slot);
                 }
-                Op::RangeCount(r) => {
+                QueryOp::RangeCount(r) => {
                     counts.0.push(*r);
                     counts.1.push(slot);
                 }
-                Op::RangeList(r) => {
+                QueryOp::RangeList(r) => {
                     lists.0.push(*r);
                     lists.1.push(slot);
                 }
             }
         }
 
-        let send = |slot: usize, reply: Reply<T, D>| {
-            // A client that gave up (dropped its receiver) is not an error.
-            let _ = batch[slot].reply.send(reply);
+        let send = |batch: &mut [Pending<T, D>], slot: usize, reply: QueryReply<T, D>| {
+            batch[slot]
+                .done
+                .take()
+                .expect("each flush slot answered once")
+                .deliver(reply);
         };
         let mut ks: Vec<usize> = knn.keys().copied().collect();
         ks.sort_unstable();
         for k in ks {
             let (qs, slots) = &knn[&k];
             for (ans, &slot) in view.knn_batch(qs, k).into_iter().zip(slots) {
-                send(slot, Reply::Points(ans));
+                send(&mut batch, slot, QueryReply::Points(ans));
             }
         }
         if !counts.0.is_empty() {
-            for (c, &slot) in view.range_count_batch(&counts.0).into_iter().zip(&counts.1) {
-                send(slot, Reply::Count(c));
+            let answers = view.range_count_batch(&counts.0);
+            for (c, &slot) in answers.into_iter().zip(&counts.1) {
+                send(&mut batch, slot, QueryReply::Count(c));
             }
         }
         if !lists.0.is_empty() {
-            for (ans, &slot) in view.range_list_batch(&lists.0).into_iter().zip(&lists.1) {
-                send(slot, Reply::Points(ans));
+            let answers = view.range_list_batch(&lists.0);
+            for (ans, &slot) in answers.into_iter().zip(&lists.1) {
+                send(&mut batch, slot, QueryReply::Points(ans));
             }
         }
     }
@@ -179,17 +214,28 @@ impl<T: ServeCoord, const D: usize> Clone for CoalesceHandle<T, D> {
 }
 
 impl<T: ServeCoord, const D: usize> CoalesceHandle<T, D> {
-    fn request(&self, op: Op<T, D>) -> Reply<T, D> {
-        let (tx, rx) = mpsc::sync_channel(1);
+    /// Enqueue one request for the next flush, delivering the answer through
+    /// `done`. The nonblocking building block under the blocking convenience
+    /// calls; socket front-ends use it with [`Completion::Callback`] so a
+    /// reactor thread never parks waiting on the flusher.
+    pub fn submit(&self, op: QueryOp<T, D>, done: Completion<T, D>) {
         {
             let mut q = self.shared.queue.lock().unwrap();
             assert!(
                 !q.shutdown,
                 "psi-server client used after the server shut down"
             );
-            q.buf.push(Pending { op, reply: tx });
+            q.buf.push(Pending {
+                op,
+                done: Some(done),
+            });
         }
         self.shared.ready.notify_all();
+    }
+
+    fn request(&self, op: QueryOp<T, D>) -> QueryReply<T, D> {
+        let (tx, rx) = mpsc::sync_channel(1);
+        self.submit(op, Completion::Channel(tx));
         rx.recv()
             .expect("the psi-server flusher answers every queued request")
     }
@@ -199,25 +245,25 @@ impl<T: ServeCoord, const D: usize> CoalesceHandle<T, D> {
         if k == 0 {
             return Vec::new();
         }
-        match self.request(Op::Knn(*q, k)) {
-            Reply::Points(p) => p,
-            Reply::Count(_) => unreachable!("knn requests get point replies"),
+        match self.request(QueryOp::Knn(*q, k)) {
+            QueryReply::Points(p) => p,
+            QueryReply::Count(_) => unreachable!("knn requests get point replies"),
         }
     }
 
     /// Number of stored points in the closed box.
     pub fn range_count(&self, rect: &Rect<T, D>) -> usize {
-        match self.request(Op::RangeCount(*rect)) {
-            Reply::Count(c) => c,
-            Reply::Points(_) => unreachable!("count requests get count replies"),
+        match self.request(QueryOp::RangeCount(*rect)) {
+            QueryReply::Count(c) => c,
+            QueryReply::Points(_) => unreachable!("count requests get count replies"),
         }
     }
 
     /// The stored points in the closed box (shard order).
     pub fn range_list(&self, rect: &Rect<T, D>) -> Vec<Point<T, D>> {
-        match self.request(Op::RangeList(*rect)) {
-            Reply::Points(p) => p,
-            Reply::Count(_) => unreachable!("list requests get point replies"),
+        match self.request(QueryOp::RangeList(*rect)) {
+            QueryReply::Points(p) => p,
+            QueryReply::Count(_) => unreachable!("list requests get point replies"),
         }
     }
 }

@@ -61,8 +61,8 @@ pub mod loadgen;
 pub mod router;
 pub mod shard;
 
-pub use coalesce::{CoalesceHandle, Coalescer};
-pub use loadgen::{closed_loop, LoadOutcome, LoadSpec};
+pub use coalesce::{CoalesceHandle, Coalescer, Completion, QueryOp, QueryReply};
+pub use loadgen::{closed_loop, closed_loop_with, LoadOutcome, LoadSpec, QueryClient};
 pub use router::{Router, RouterView, ServeCoord};
 pub use shard::{IndexFactory, Shard, Snapshot};
 
@@ -175,6 +175,17 @@ impl<T: ServeCoord, const D: usize> PsiServer<T, D> {
         }
     }
 
+    /// A non-coalesced client handle: each call pins a fresh router view and
+    /// answers inline on the calling thread, skipping the coalescer queue and
+    /// the flusher round-trip entirely. Lowest latency when concurrency is
+    /// low (nothing to amortise); under load the coalesced [`Self::client`]
+    /// path wins because it batches the pool dispatch.
+    pub fn direct_client(&self) -> DirectHandle<T, D> {
+        DirectHandle {
+            router: Arc::clone(&self.router),
+        }
+    }
+
     /// Pin a direct read view, bypassing the coalescer (tests, snapshots).
     pub fn view(&self) -> RouterView<T, D> {
         self.router.pin()
@@ -193,6 +204,28 @@ impl<T: ServeCoord, const D: usize> PsiServer<T, D> {
             .expect("server not shut down")
             .send(Update::Batch(delete, insert))
             .expect("psi-serve-writer alive");
+    }
+
+    /// Nonblocking [`Self::submit`]: returns the batch instead of queueing it
+    /// when the writer queue is full, so a reactor thread can surface
+    /// back-pressure to its client rather than stalling every connection.
+    #[allow(clippy::type_complexity)]
+    pub fn try_submit(
+        &self,
+        delete: Vec<Point<T, D>>,
+        insert: Vec<Point<T, D>>,
+    ) -> Result<(), (Vec<Point<T, D>>, Vec<Point<T, D>>)> {
+        match self
+            .update_tx
+            .as_ref()
+            .expect("server not shut down")
+            .try_send(Update::Batch(delete, insert))
+        {
+            Ok(()) => Ok(()),
+            Err(mpsc::TrySendError::Full(Update::Batch(d, i)))
+            | Err(mpsc::TrySendError::Disconnected(Update::Batch(d, i))) => Err((d, i)),
+            Err(_) => unreachable!("try_submit only sends batches"),
+        }
     }
 
     /// Wait until every previously submitted batch has been published.
@@ -240,6 +273,40 @@ impl<T: ServeCoord, const D: usize> PsiServer<T, D> {
 impl<T: ServeCoord, const D: usize> Drop for PsiServer<T, D> {
     fn drop(&mut self) {
         self.stop();
+    }
+}
+
+/// The non-coalesced fast path (see [`PsiServer::direct_client`]): a
+/// cloneable handle answering every query inline against a freshly pinned
+/// router view. No queue, no flusher hand-off, no batching — one pool
+/// dispatch per call. Valid after shutdown (it only reads snapshots), so
+/// drain order relative to the service threads does not matter.
+pub struct DirectHandle<T: ServeCoord, const D: usize> {
+    router: Arc<Router<T, D>>,
+}
+
+impl<T: ServeCoord, const D: usize> Clone for DirectHandle<T, D> {
+    fn clone(&self) -> Self {
+        DirectHandle {
+            router: Arc::clone(&self.router),
+        }
+    }
+}
+
+impl<T: ServeCoord, const D: usize> DirectHandle<T, D> {
+    /// The `k` nearest stored neighbours of `q`, closest first.
+    pub fn knn(&self, q: &Point<T, D>, k: usize) -> Vec<Point<T, D>> {
+        self.router.pin().knn(q, k)
+    }
+
+    /// Number of stored points in the closed box.
+    pub fn range_count(&self, rect: &Rect<T, D>) -> usize {
+        self.router.pin().range_count(rect)
+    }
+
+    /// The stored points in the closed box (shard order).
+    pub fn range_list(&self, rect: &Rect<T, D>) -> Vec<Point<T, D>> {
+        self.router.pin().range_list(rect)
     }
 }
 

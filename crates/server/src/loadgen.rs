@@ -11,12 +11,51 @@
 //! exactly the dataset size, so a torn or lost batch fails the run instead
 //! of skewing a number.
 
+use crate::coalesce::CoalesceHandle;
 use crate::router::ServeCoord;
-use crate::PsiServer;
+use crate::{DirectHandle, PsiServer};
 use psi_geometry::{Point, Rect};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// What a closed-loop client thread needs from its transport: issue one
+/// query, block until answered. In-process handles implement it directly;
+/// the `psi-net` crate implements it for wire-protocol socket clients, so
+/// the same driver (and the same conservation/shape checks) measures both
+/// the in-process and the over-the-socket paths.
+pub trait QueryClient<T: ServeCoord, const D: usize>: Send + 'static {
+    /// The `k` nearest stored neighbours of `q`, closest first.
+    fn knn(&mut self, q: &Point<T, D>, k: usize) -> Vec<Point<T, D>>;
+    /// Number of stored points in the closed box.
+    fn range_count(&mut self, rect: &Rect<T, D>) -> usize;
+    /// The stored points in the closed box (shard order).
+    fn range_list(&mut self, rect: &Rect<T, D>) -> Vec<Point<T, D>>;
+}
+
+impl<T: ServeCoord, const D: usize> QueryClient<T, D> for CoalesceHandle<T, D> {
+    fn knn(&mut self, q: &Point<T, D>, k: usize) -> Vec<Point<T, D>> {
+        CoalesceHandle::knn(self, q, k)
+    }
+    fn range_count(&mut self, rect: &Rect<T, D>) -> usize {
+        CoalesceHandle::range_count(self, rect)
+    }
+    fn range_list(&mut self, rect: &Rect<T, D>) -> Vec<Point<T, D>> {
+        CoalesceHandle::range_list(self, rect)
+    }
+}
+
+impl<T: ServeCoord, const D: usize> QueryClient<T, D> for DirectHandle<T, D> {
+    fn knn(&mut self, q: &Point<T, D>, k: usize) -> Vec<Point<T, D>> {
+        DirectHandle::knn(self, q, k)
+    }
+    fn range_count(&mut self, rect: &Rect<T, D>) -> usize {
+        DirectHandle::range_count(self, rect)
+    }
+    fn range_list(&mut self, rect: &Rect<T, D>) -> Vec<Point<T, D>> {
+        DirectHandle::range_list(self, rect)
+    }
+}
 
 /// Shape of one closed-loop run.
 #[derive(Clone, Debug)]
@@ -52,9 +91,10 @@ pub struct LoadOutcome {
     pub coalesce_factor: f64,
 }
 
-/// Run the closed loop (see module docs). `data` is both the writer's
-/// move-batch source and the count-conservation expectation; it must be the
-/// point set the server was built over.
+/// Run the closed loop (see module docs) with in-process coalescing client
+/// handles. `data` is both the writer's move-batch source and the
+/// count-conservation expectation; it must be the point set the server was
+/// built over.
 pub fn closed_loop<T: ServeCoord, const D: usize>(
     server: &Arc<PsiServer<T, D>>,
     data: &[Point<T, D>],
@@ -62,8 +102,33 @@ pub fn closed_loop<T: ServeCoord, const D: usize>(
     rects: &[Rect<T, D>],
     spec: &LoadSpec,
 ) -> Result<LoadOutcome, String> {
+    closed_loop_with(server, data, queries, rects, spec, |_| {
+        Ok(Box::new(server.client()))
+    })
+}
+
+/// [`closed_loop`] over caller-supplied client transports: `make_client` is
+/// invoked once per client index (on the calling thread — connection errors
+/// surface before any thread spawns) and each resulting [`QueryClient`]
+/// moves into its own closed-loop thread. The writer still publishes
+/// in-process through `server`, and the conservation check still reads the
+/// server's own view, so a socket transport is measured against exactly the
+/// state the wire answers came from.
+#[allow(clippy::type_complexity)]
+pub fn closed_loop_with<T: ServeCoord, const D: usize>(
+    server: &Arc<PsiServer<T, D>>,
+    data: &[Point<T, D>],
+    queries: &[Point<T, D>],
+    rects: &[Rect<T, D>],
+    spec: &LoadSpec,
+    make_client: impl Fn(usize) -> Result<Box<dyn QueryClient<T, D>>, String>,
+) -> Result<LoadOutcome, String> {
     if queries.is_empty() || rects.is_empty() {
         return Err("closed_loop needs non-empty query and rect pools".to_string());
+    }
+    let mut handles: Vec<Box<dyn QueryClient<T, D>>> = Vec::with_capacity(spec.clients);
+    for c in 0..spec.clients {
+        handles.push(make_client(c).map_err(|e| format!("client {c}: {e}"))?);
     }
     let stop = Arc::new(AtomicBool::new(false));
     let writer = (spec.write_batch > 0 && !data.is_empty()).then(|| {
@@ -89,9 +154,10 @@ pub fn closed_loop<T: ServeCoord, const D: usize>(
     let k = spec.k;
     let expect_k = k.min(data.len());
     let started = Instant::now();
-    let client_threads: Vec<_> = (0..spec.clients)
-        .map(|c| {
-            let handle = server.client();
+    let client_threads: Vec<_> = handles
+        .into_iter()
+        .enumerate()
+        .map(|(c, mut handle)| {
             let queries = queries.to_vec();
             let rects = rects.to_vec();
             let ops = spec.ops_per_client;

@@ -10,7 +10,7 @@
 //! To (re)pin a scenario after an intentional change:
 //! `cargo run -p psi-cli --bin psi-scenario -- golden scenarios/<name>.psi > tests/golden/<name>.golden`
 
-use psi_cli::{exec, report, scenario};
+use psi_cli::{compare, exec, report, scenario};
 use std::path::PathBuf;
 
 fn repo_dir(sub: &str) -> PathBuf {
@@ -152,4 +152,32 @@ fn float_scenario_agrees_with_oracle() {
     for family in psi::registry::float_names() {
         exec::run_differential(&sc, family).unwrap_or_else(|e| panic!("{e}"));
     }
+}
+
+/// The checked-in perf-gate baseline stays honest: a fresh run of the gate
+/// scenario must agree with `tests/baselines/perf-gate-2d.json` on every
+/// checksum. This test pins *answers* only (effectively infinite timing
+/// tolerance); CI applies the real timing tolerance on top with
+/// `psi-scenario compare --tolerance`.
+#[test]
+fn perf_gate_baseline_matches_current_answers() {
+    let baseline_path = repo_dir("tests/baselines/perf-gate-2d.json");
+    let baseline_text = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+        panic!(
+            "missing baseline {} ({e}); regenerate with `psi-scenario run \
+             scenarios/perf-gate-2d.psi --out tests/baselines/perf-gate-2d.json`",
+            baseline_path.display()
+        )
+    });
+    let baseline = compare::parse_json(&baseline_text).unwrap_or_else(|e| panic!("{e}"));
+    let sc = scenario::parse_file(&repo_dir("scenarios/perf-gate-2d.psi")).unwrap();
+    let run = exec::run(&sc, None).unwrap_or_else(|e| panic!("{e}"));
+    let fresh = compare::parse_json(&report::json_string(&run)).unwrap();
+    let cmp = compare::compare_reports(&baseline, &fresh, f64::INFINITY)
+        .unwrap_or_else(|e| panic!("baseline is not comparable: {e}"));
+    assert!(
+        cmp.mismatches.is_empty(),
+        "perf-gate baseline answers diverged; re-pin the baseline:\n{}",
+        cmp.mismatches.join("\n")
+    );
 }

@@ -1,0 +1,244 @@
+//! Wire-protocol hardening battery for `psi-net`: property-based round
+//! trips for every opcode in both coordinate types, plus adversarial
+//! decoding (truncations, oversized prefixes, unknown opcodes, random
+//! bytes) that must reject cleanly — never panic, never over-allocate.
+
+use proptest::prelude::*;
+use proptest::ProptestConfig;
+use psi::{Point, Rect};
+use psi_net::wire::{
+    decode_reply, decode_request, encode_reply, encode_request, frame_size, Reply, Request,
+    WireCoord, WireError, LEN_PREFIX, MAX_FRAME, OP_APPLY_BATCH, OP_ERROR, OP_HELLO, OP_KNN,
+    OP_RANGE_COUNT, OP_RANGE_LIST, REPLY_BIT,
+};
+
+/// Encode → decode → re-encode must reproduce the bytes exactly (byte-level
+/// identity also covers NaN and negative-zero float payloads, where value
+/// equality would lie).
+fn assert_request_round_trip<T: WireCoord, const D: usize>(req: &Request<T, D>, id: u64) {
+    let mut wire = Vec::new();
+    encode_request(req, id, &mut wire);
+    let total = frame_size(&wire)
+        .expect("self-encoded frames are in bounds")
+        .expect("self-encoded frames are complete");
+    assert_eq!(total, wire.len(), "one frame, nothing trailing");
+    let (got_id, decoded) =
+        decode_request::<T, D>(&wire[LEN_PREFIX..]).expect("self-encoded frames decode");
+    assert_eq!(got_id, id);
+    let mut rewire = Vec::new();
+    encode_request(&decoded, id, &mut rewire);
+    assert_eq!(wire, rewire, "decode must preserve every payload bit");
+}
+
+fn assert_reply_round_trip<T: WireCoord, const D: usize>(reply: &Reply<T, D>, to: u8, id: u64) {
+    let mut wire = Vec::new();
+    encode_reply(reply, to, id, &mut wire);
+    let total = frame_size(&wire)
+        .expect("self-encoded frames are in bounds")
+        .expect("self-encoded frames are complete");
+    assert_eq!(total, wire.len());
+    let (got_id, decoded) =
+        decode_reply::<T, D>(&wire[LEN_PREFIX..]).expect("self-encoded replies decode");
+    assert_eq!(got_id, id);
+    let mut rewire = Vec::new();
+    encode_reply(&decoded, to, id, &mut rewire);
+    assert_eq!(wire, rewire);
+}
+
+/// Points whose coordinates cover the full bit domain: for f64 the raw bits
+/// are drawn from u64, so infinities, NaNs and subnormals all appear.
+fn ipoint(bits: &[u64]) -> Point<i64, 2> {
+    Point::new([bits[0] as i64, bits[1] as i64])
+}
+
+fn fpoint(bits: &[u64]) -> Point<f64, 2> {
+    Point::new([f64::from_bits(bits[0]), f64::from_bits(bits[1])])
+}
+
+fn irect(bits: &[u64]) -> Rect<i64, 2> {
+    Rect::from_corners(ipoint(&bits[0..2]), ipoint(&bits[2..4]))
+}
+
+fn frect(bits: &[u64]) -> Rect<f64, 2> {
+    Rect::from_corners(fpoint(&bits[0..2]), fpoint(&bits[2..4]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn knn_round_trips_both_coordinate_types(
+        bits in proptest::collection::vec(any::<u64>(), 2),
+        k in any::<u32>(),
+        id in any::<u64>(),
+    ) {
+        assert_request_round_trip(&Request::Knn { q: ipoint(&bits), k }, id);
+        assert_request_round_trip(&Request::Knn { q: fpoint(&bits), k }, id);
+    }
+
+    #[test]
+    fn range_ops_round_trip_both_coordinate_types(
+        bits in proptest::collection::vec(any::<u64>(), 4),
+        id in any::<u64>(),
+    ) {
+        assert_request_round_trip(&Request::RangeCount { rect: irect(&bits) }, id);
+        assert_request_round_trip(&Request::RangeList { rect: irect(&bits) }, id);
+        assert_request_round_trip(&Request::RangeCount { rect: frect(&bits) }, id);
+        assert_request_round_trip(&Request::RangeList { rect: frect(&bits) }, id);
+    }
+
+    #[test]
+    fn apply_batch_round_trips_both_coordinate_types(
+        del in proptest::collection::vec(proptest::collection::vec(any::<u64>(), 2), 0..20),
+        ins in proptest::collection::vec(proptest::collection::vec(any::<u64>(), 2), 0..20),
+        id in any::<u64>(),
+    ) {
+        assert_request_round_trip(
+            &Request::ApplyBatch {
+                delete: del.iter().map(|b| ipoint(b)).collect(),
+                insert: ins.iter().map(|b| ipoint(b)).collect(),
+            },
+            id,
+        );
+        assert_request_round_trip(
+            &Request::ApplyBatch {
+                delete: del.iter().map(|b| fpoint(b)).collect(),
+                insert: ins.iter().map(|b| fpoint(b)).collect(),
+            },
+            id,
+        );
+    }
+
+    #[test]
+    fn hello_and_replies_round_trip(
+        pts in proptest::collection::vec(proptest::collection::vec(any::<u64>(), 2), 0..20),
+        count in any::<u64>(),
+        code in any::<u16>(),
+        id in any::<u64>(),
+    ) {
+        assert_request_round_trip(&Request::<i64, 2>::hello(), id);
+        assert_request_round_trip(&Request::<f64, 2>::hello(), id);
+        let ipts: Vec<Point<i64, 2>> = pts.iter().map(|b| ipoint(b)).collect();
+        let fpts: Vec<Point<f64, 2>> = pts.iter().map(|b| fpoint(b)).collect();
+        assert_reply_round_trip(&Reply::Points(ipts), OP_KNN, id);
+        assert_reply_round_trip(&Reply::Points(fpts), OP_RANGE_LIST, id);
+        assert_reply_round_trip(&Reply::<i64, 2>::Count(count), OP_RANGE_COUNT, id);
+        assert_reply_round_trip(&Reply::<f64, 2>::BatchOk, OP_APPLY_BATCH, id);
+        assert_reply_round_trip(
+            &Reply::<i64, 2>::HelloOk {
+                version: 1,
+                coord: 0,
+                dims: 2,
+                shards: count as u32,
+            },
+            OP_HELLO,
+            id,
+        );
+        assert_reply_round_trip(
+            &Reply::<i64, 2>::Error { code, message: "proptest".to_string() },
+            OP_KNN,
+            id,
+        );
+    }
+
+    /// Any proper prefix of a valid payload must reject (the length prefix
+    /// is rewritten to match the truncation, so this exercises body parsing,
+    /// not framing).
+    #[test]
+    fn truncated_payloads_reject(
+        bits in proptest::collection::vec(any::<u64>(), 4),
+        pts in proptest::collection::vec(proptest::collection::vec(any::<u64>(), 2), 0..6),
+        pick in any::<u64>(),
+        cut_seed in any::<u64>(),
+    ) {
+        let reqs: Vec<Request<i64, 2>> = vec![
+            Request::hello(),
+            Request::Knn { q: ipoint(&bits), k: bits[2] as u32 },
+            Request::RangeCount { rect: irect(&bits) },
+            Request::RangeList { rect: irect(&bits) },
+            Request::ApplyBatch {
+                delete: pts.iter().map(|b| ipoint(b)).collect(),
+                insert: pts.iter().map(|b| ipoint(b)).collect(),
+            },
+        ];
+        let req = &reqs[(pick % reqs.len() as u64) as usize];
+        let mut wire = Vec::new();
+        encode_request(req, 7, &mut wire);
+        let payload = &wire[LEN_PREFIX..];
+        // Cut anywhere in [1, len): decoding the prefix must error, never
+        // panic. (Cut 0 would drop the opcode byte, same path.)
+        let cut = 1 + (cut_seed % (payload.len() as u64 - 1)) as usize;
+        prop_assert!(decode_request::<i64, 2>(&payload[..cut]).is_err());
+    }
+
+    /// Arbitrary bytes never panic the decoders, and the frame splitter
+    /// never admits a length outside its bounds.
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = decode_request::<i64, 2>(&bytes);
+        let _ = decode_request::<f64, 2>(&bytes);
+        let _ = decode_reply::<i64, 2>(&bytes);
+        if let Ok(Some(total)) = frame_size(&bytes) {
+            prop_assert!(total <= LEN_PREFIX + MAX_FRAME);
+            prop_assert!(total <= bytes.len());
+        }
+    }
+}
+
+#[test]
+fn oversized_length_prefix_rejects_before_buffering() {
+    // 4 GiB-1 declared length: must reject from the 4-byte prefix alone.
+    let prefix = u32::MAX.to_le_bytes();
+    assert_eq!(
+        frame_size(&prefix),
+        Err(WireError::BadLength(u32::MAX as usize))
+    );
+    // The largest admissible frame is fine; one past it is not.
+    let mut ok = ((MAX_FRAME) as u32).to_le_bytes().to_vec();
+    ok.push(OP_KNN);
+    assert_eq!(frame_size(&ok), Ok(None)); // in bounds, just incomplete
+    assert_eq!(
+        frame_size(&((MAX_FRAME as u32 + 1).to_le_bytes())),
+        Err(WireError::BadLength(MAX_FRAME + 1))
+    );
+}
+
+#[test]
+fn unknown_opcodes_reject_in_both_directions() {
+    for op in [0x00u8, 0x02, 0x13, 0x21, 0x7f, OP_KNN | REPLY_BIT, OP_ERROR] {
+        let mut payload = vec![op];
+        payload.extend_from_slice(&3u64.to_le_bytes());
+        // Requests never use reply opcodes (and OP_ERROR is reply-only)...
+        let decoded = decode_request::<i64, 2>(&payload);
+        assert!(decoded.is_err(), "request opcode {op:#04x} must reject");
+    }
+    for op in [0x00u8, OP_HELLO, OP_KNN, OP_APPLY_BATCH, 0x93] {
+        let mut payload = vec![op];
+        payload.extend_from_slice(&3u64.to_le_bytes());
+        let decoded = decode_reply::<i64, 2>(&payload);
+        assert!(decoded.is_err(), "reply opcode {op:#04x} must reject");
+    }
+}
+
+#[test]
+fn hostile_batch_counts_fail_without_allocating() {
+    // A batch frame claiming u32::MAX points in a 17-byte payload: the
+    // decoder must reject it from the byte budget, not attempt a 64 GiB
+    // Vec reservation first.
+    let mut payload = vec![OP_APPLY_BATCH];
+    payload.extend_from_slice(&1u64.to_le_bytes());
+    payload.extend_from_slice(&u32::MAX.to_le_bytes());
+    payload.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        decode_request::<i64, 2>(&payload),
+        Err(WireError::Malformed(_))
+    ));
+    // Same for a points reply.
+    let mut payload = vec![OP_RANGE_LIST | REPLY_BIT];
+    payload.extend_from_slice(&1u64.to_le_bytes());
+    payload.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(
+        decode_reply::<f64, 2>(&payload),
+        Err(WireError::Malformed(_))
+    ));
+}
