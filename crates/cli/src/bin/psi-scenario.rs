@@ -4,7 +4,7 @@
 //! ```text
 //! psi-scenario run <scenario.psi>... [--threads N] [--out report.json]
 //!                                    [--check golden.txt] [--quiet]
-//! psi-scenario compare <a.json> <b.json> [--tolerance <pct>]
+//! psi-scenario compare <a.json> <b.json> [--tolerance <pct>] [--noise-floor <secs>]
 //! psi-scenario golden <scenario.psi> [--threads N]
 //! psi-scenario print <scenario.psi>
 //! psi-scenario list [dir]
@@ -17,8 +17,9 @@
 //! * `compare` diffs two `run --out` JSON reports of the same scenario
 //!   (possibly from different machines/thread counts): checksum
 //!   disagreements and timings in `<b.json>` more than `--tolerance`
-//!   percent slower than `<a.json>` (default 20, with a 1 ms noise floor)
-//!   exit non-zero — the CI timing-regression gate.
+//!   percent slower than `<a.json>` (default 20, with a `--noise-floor`
+//!   absolute floor, default 1 ms) exit non-zero — the CI
+//!   timing-regression gate.
 //! * `golden` prints the deterministic golden text to stdout — redirect it
 //!   into `tests/golden/<name>.golden` to (re)pin a scenario.
 //! * `print` parses a scenario and dumps the resolved configuration.
@@ -33,7 +34,7 @@ usage: psi-scenario <command> [args]
 
 commands:
   run <scenario.psi>... [--threads N] [--out report.json] [--check golden.txt] [--quiet]
-  compare <a.json> <b.json> [--tolerance <pct>]
+  compare <a.json> <b.json> [--tolerance <pct>] [--noise-floor <secs>]
   golden <scenario.psi> [--threads N]
   print <scenario.psi>
   list [dir]
@@ -229,6 +230,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
 fn cmd_compare(args: &[String]) -> ExitCode {
     let mut files: Vec<PathBuf> = Vec::new();
     let mut tolerance = compare::DEFAULT_TOLERANCE_PCT;
+    let mut noise_floor = compare::NOISE_FLOOR_SECS;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -241,6 +243,20 @@ fn cmd_compare(args: &[String]) -> ExitCode {
                     _ => {
                         return fail(&format!(
                             "--tolerance expects a non-negative percentage, got {value:?}"
+                        ))
+                    }
+                }
+                i += 2;
+            }
+            "--noise-floor" => {
+                let Some(value) = args.get(i + 1) else {
+                    return fail("--noise-floor needs a value (seconds)");
+                };
+                match value.parse::<f64>() {
+                    Ok(f) if f >= 0.0 => noise_floor = f,
+                    _ => {
+                        return fail(&format!(
+                            "--noise-floor expects a non-negative number of seconds, got {value:?}"
                         ))
                     }
                 }
@@ -265,7 +281,7 @@ fn cmd_compare(args: &[String]) -> ExitCode {
         (Ok(a), Ok(b)) => (a, b),
         (Err(e), _) | (_, Err(e)) => return fail(&e),
     };
-    let cmp = match compare::compare_reports(&a, &b, tolerance) {
+    let cmp = match compare::compare_reports(&a, &b, tolerance, noise_floor) {
         Ok(c) => c,
         Err(e) => return fail(&e),
     };

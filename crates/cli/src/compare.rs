@@ -14,8 +14,9 @@
 //! 2. **Timings** (`update_secs` and the summed per-probe `secs`, per
 //!    family): the second report regresses a metric when it is more than
 //!    `tolerance` percent slower than the first **and** the absolute delta
-//!    exceeds [`NOISE_FLOOR_SECS`] (trivial scenarios finish in
-//!    microseconds, where relative noise is meaningless).
+//!    exceeds the noise floor (`--noise-floor` seconds, default
+//!    [`NOISE_FLOOR_SECS`] — trivial scenarios finish in microseconds,
+//!    where relative noise is meaningless).
 //!
 //! The JSON reader below is a minimal recursive-descent parser — the
 //! workspace builds without a crates registry, so no serde — that accepts
@@ -24,7 +25,8 @@
 
 use std::fmt::Write as _;
 
-/// Absolute slowdown below which a relative regression is ignored as noise.
+/// Default absolute slowdown below which a relative regression is ignored as
+/// noise (`--noise-floor` overrides it per invocation).
 pub const NOISE_FLOOR_SECS: f64 = 0.001;
 
 /// Default `--tolerance` (percent) when the flag is omitted.
@@ -288,7 +290,12 @@ fn render(v: Option<&Json>) -> String {
 /// Compare two parsed reports. `Err` means the inputs are not comparable at
 /// all (different scenario config or malformed shape); `Ok` carries the
 /// per-metric verdicts.
-pub fn compare_reports(a: &Json, b: &Json, tolerance_pct: f64) -> Result<Comparison, String> {
+pub fn compare_reports(
+    a: &Json,
+    b: &Json,
+    tolerance_pct: f64,
+    noise_floor_secs: f64,
+) -> Result<Comparison, String> {
     for key in CONFIG_KEYS {
         let (va, vb) = (a.get(key), b.get(key));
         if va != vb {
@@ -404,7 +411,7 @@ pub fn compare_reports(a: &Json, b: &Json, tolerance_pct: f64) -> Result<Compari
             };
             let mut line = format!("{name:<14} {metric:<12} {ta:>10.6}s -> {tb:>10.6}s");
             let _ = write!(line, "  ({delta_pct:+7.1}%)");
-            let regressed = delta_pct > tolerance_pct && tb - ta > NOISE_FLOOR_SECS;
+            let regressed = delta_pct > tolerance_pct && tb - ta > noise_floor_secs;
             if regressed {
                 line.push_str("  REGRESSION");
                 cmp.regressions.push(format!(
@@ -449,7 +456,7 @@ mod tests {
     fn identical_reports_compare_clean() {
         let text = tiny_report();
         let a = parse_json(&text).unwrap();
-        let cmp = compare_reports(&a, &a, 10.0).unwrap();
+        let cmp = compare_reports(&a, &a, 10.0, NOISE_FLOOR_SECS).unwrap();
         assert!(
             cmp.passed(),
             "self-comparison flagged: {:?}",
@@ -466,7 +473,7 @@ mod tests {
         // Deterministic checksums must always agree between reruns; a tiny
         // scenario's timings sit under the noise floor, so no regression
         // can fire regardless of scheduling.
-        let cmp = compare_reports(&a, &b, 1.0).unwrap();
+        let cmp = compare_reports(&a, &b, 1.0, NOISE_FLOOR_SECS).unwrap();
         assert!(cmp.mismatches.is_empty(), "{:?}", cmp.mismatches);
         assert!(cmp.passed());
     }
@@ -494,12 +501,46 @@ mod tests {
             }
         }
         inflate(&mut b);
-        let cmp = compare_reports(&a, &b, 20.0).unwrap();
+        let cmp = compare_reports(&a, &b, 20.0, NOISE_FLOOR_SECS).unwrap();
         assert_eq!(cmp.regressions.len(), 2, "{:?}", cmp.regressions);
         assert!(!cmp.passed());
         // The reverse direction is an improvement, not a regression.
-        let cmp = compare_reports(&b, &a, 20.0).unwrap();
+        let cmp = compare_reports(&b, &a, 20.0, NOISE_FLOOR_SECS).unwrap();
         assert!(cmp.passed());
+    }
+
+    #[test]
+    fn noise_floor_gates_absolute_deltas() {
+        let text = tiny_report();
+        let a = parse_json(&text).unwrap();
+        let mut b = a.clone();
+        // +10 ms on every update: a huge relative slowdown on a
+        // microsecond-scale scenario, but below a raised floor.
+        fn inflate(v: &mut Json) {
+            match v {
+                Json::Obj(fields) => {
+                    for (k, v) in fields {
+                        if k == "update_secs" {
+                            *v = Json::Num(v.num().unwrap_or(0.0) + 0.010);
+                        } else {
+                            inflate(v);
+                        }
+                    }
+                }
+                Json::Arr(items) => items.iter_mut().for_each(inflate),
+                _ => {}
+            }
+        }
+        inflate(&mut b);
+        // Default 1 ms floor: the 10 ms delta regresses.
+        let cmp = compare_reports(&a, &b, 20.0, NOISE_FLOOR_SECS).unwrap();
+        assert_eq!(cmp.regressions.len(), 2, "{:?}", cmp.regressions);
+        // A 1 s floor (noisy shared-CI box) swallows it.
+        let cmp = compare_reports(&a, &b, 20.0, 1.0).unwrap();
+        assert!(cmp.passed(), "{:?}", cmp.regressions);
+        // A zero floor makes the relative tolerance the only gate.
+        let cmp = compare_reports(&a, &b, 20.0, 0.0).unwrap();
+        assert_eq!(cmp.regressions.len(), 2, "{:?}", cmp.regressions);
     }
 
     #[test]
@@ -525,10 +566,10 @@ mod tests {
         }
         set_update_secs(&mut za, 0.0);
         set_update_secs(&mut zb, 5.0);
-        let cmp = compare_reports(&za, &zb, 1_000_000.0).unwrap();
+        let cmp = compare_reports(&za, &zb, 1_000_000.0, NOISE_FLOOR_SECS).unwrap();
         assert_eq!(cmp.regressions.len(), 2, "{:?}", cmp.regressions);
         // Zero to zero is not a regression.
-        let cmp = compare_reports(&za, &za, 20.0).unwrap();
+        let cmp = compare_reports(&za, &za, 20.0, NOISE_FLOOR_SECS).unwrap();
         assert!(cmp.passed());
     }
 
@@ -539,7 +580,7 @@ mod tests {
         let tampered = text.replacen("\"final_len\": 300", "\"final_len\": 299", 1);
         assert_ne!(tampered, text, "tamper target not found in report");
         let b = parse_json(&tampered).unwrap();
-        let cmp = compare_reports(&a, &b, 1_000.0).unwrap();
+        let cmp = compare_reports(&a, &b, 1_000.0, NOISE_FLOOR_SECS).unwrap();
         assert!(!cmp.mismatches.is_empty());
         assert!(!cmp.passed());
     }
@@ -550,6 +591,6 @@ mod tests {
         let a = parse_json(&text).unwrap();
         let other = text.replacen("\"scenario\": \"cmp\"", "\"scenario\": \"other\"", 1);
         let b = parse_json(&other).unwrap();
-        assert!(compare_reports(&a, &b, 10.0).is_err());
+        assert!(compare_reports(&a, &b, 10.0, NOISE_FLOOR_SECS).is_err());
     }
 }

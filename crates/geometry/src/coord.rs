@@ -48,6 +48,28 @@ pub trait Coord: Copy + Clone + PartialOrd + PartialEq + Debug + Send + Sync + '
     /// Total order even for floating point (`f64::total_cmp`); integer types
     /// use their natural order.
     fn total_cmp(&self, other: &Self) -> std::cmp::Ordering;
+    /// An `i64` key embedding [`Coord::total_cmp`] into the integer order:
+    /// `a.total_cmp(&b) == a.total_key().cmp(&b.total_key())` for **every**
+    /// bit pattern — including every NaN payload and `-0.0` for `f64`. This
+    /// is the branch-free comparison behind the SoA leaf kernels
+    /// ([`crate::leaf::LeafSoA`]): closed-interval containment becomes two
+    /// integer compares per coordinate plane, which auto-vectorize.
+    fn total_key(self) -> i64;
+    /// [`Coord::total_key`] range inside which distance pruning is sound.
+    ///
+    /// When every coordinate involved has a key in
+    /// `[PRUNABLE_KEY_LO, PRUNABLE_KEY_HI]`, the distance arithmetic is
+    /// *monotone*: shrinking a per-dimension |difference| never grows
+    /// `diff_sq`, and `dist_add` never decreases under larger inputs — no
+    /// NaN can appear (`f64`), and no `Dist` overflow for sums of up to 8
+    /// dimensions (`i64`). Inside this fence
+    /// [`crate::Rect::dist_sq_to_point`] is an exact lower bound on the
+    /// distance to every in-box point, so a kNN scan may skip a whole leaf
+    /// on its bounding box alone. Outside it, kernels must fall back to
+    /// per-point tests.
+    const PRUNABLE_KEY_LO: i64;
+    /// Upper end of the prunable key range; see [`Coord::PRUNABLE_KEY_LO`].
+    const PRUNABLE_KEY_HI: i64;
     /// Total order on distance values (needed because `f64` distances are only
     /// `PartialOrd`); every kNN search uses this to rank candidates.
     fn dist_cmp(a: Self::Dist, b: Self::Dist) -> std::cmp::Ordering;
@@ -91,6 +113,18 @@ impl Coord for i64 {
     fn total_cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.cmp(other)
     }
+
+    #[inline(always)]
+    fn total_key(self) -> i64 {
+        self
+    }
+
+    // |coord| <= 2^61 - 1 keeps each diff at most 2^62 - 2, each square
+    // strictly below 2^124, and a sum of up to 8 of them strictly below
+    // 2^127 — no i128 wrap. (At exactly ±2^61 an 8-dim sum hits 2^127,
+    // one past i128::MAX.)
+    const PRUNABLE_KEY_LO: i64 = -((1 << 61) - 1);
+    const PRUNABLE_KEY_HI: i64 = (1 << 61) - 1;
 
     #[inline(always)]
     fn dist_cmp(a: i128, b: i128) -> std::cmp::Ordering {
@@ -146,6 +180,28 @@ impl Coord for f64 {
     }
 
     #[inline(always)]
+    fn total_key(self) -> i64 {
+        // The sign-magnitude → two's-complement trick used by
+        // `f64::total_cmp` itself: flip the lower 63 bits of negative
+        // values, so the integer order of the keys is exactly the IEEE 754
+        // totalOrder predicate (-NaN < -inf < … < -0.0 < +0.0 < … < +NaN).
+        let b = self.to_bits() as i64;
+        b ^ (((b >> 63) as u64 >> 1) as i64)
+    }
+
+    // The keys of ±f64::MAX: everything strictly outside is an infinity or a
+    // NaN, for which squared-distance arithmetic stops being monotone.
+    // (Finite differences may still overflow to +inf, but +inf squares and
+    // sums stay +inf — monotone — whereas inf - inf or a NaN input poisons
+    // the bound.) Same sign-magnitude fold as `total_key`, spelled out here
+    // because trait methods cannot run in const context.
+    const PRUNABLE_KEY_LO: i64 = {
+        let b = (-f64::MAX).to_bits() as i64;
+        b ^ (((b >> 63) as u64 >> 1) as i64)
+    };
+    const PRUNABLE_KEY_HI: i64 = f64::MAX.to_bits() as i64;
+
+    #[inline(always)]
     fn dist_cmp(a: f64, b: f64) -> std::cmp::Ordering {
         f64::total_cmp(&a, &b)
     }
@@ -178,6 +234,35 @@ mod tests {
         let b: i64 = 0;
         assert_eq!(a.diff_sq(b), 1_000_000_000_000_000_000i128);
         assert_eq!(b.diff_sq(a), 1_000_000_000_000_000_000i128);
+    }
+
+    #[test]
+    fn prunable_key_range_matches_total_key() {
+        // The const fold must agree with the runtime key function.
+        assert_eq!(f64::PRUNABLE_KEY_LO, (-f64::MAX).total_key());
+        assert_eq!(f64::PRUNABLE_KEY_HI, f64::MAX.total_key());
+        // Infinities and NaNs (either sign) fall outside the fence.
+        for x in [
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            -f64::NAN,
+            f64::from_bits(0x7ff0_0000_0000_0001), // NaN payload
+        ] {
+            let k = x.total_key();
+            assert!(
+                !(f64::PRUNABLE_KEY_LO..=f64::PRUNABLE_KEY_HI).contains(&k),
+                "{x:?} must not be prunable"
+            );
+        }
+        // Every finite value is inside.
+        for x in [0.0, -0.0, f64::MAX, -f64::MAX, 1e-300, -1e308] {
+            let k = x.total_key();
+            assert!((f64::PRUNABLE_KEY_LO..=f64::PRUNABLE_KEY_HI).contains(&k));
+        }
+        // i64: the fence keeps an 8-dimensional squared sum inside i128.
+        let worst = i64::PRUNABLE_KEY_HI.diff_sq(i64::PRUNABLE_KEY_LO);
+        assert!(worst.checked_mul(8).is_some());
     }
 
     #[test]
@@ -215,6 +300,41 @@ mod tests {
         assert_eq!(Coord::total_cmp(&1.0f64, &2.0), Ordering::Less);
         // NaN sorts greater than any finite value under total_cmp.
         assert_eq!(Coord::total_cmp(&f64::NAN, &1.0), Ordering::Greater);
+    }
+
+    #[test]
+    fn total_key_embeds_total_cmp_exactly() {
+        // Every tricky f64 bit pattern: both NaN sign/payload variants, both
+        // zeros, infinities, subnormals, ordinary values.
+        let specials = [
+            f64::from_bits(0xFFF8_0000_0000_0001), // -NaN, payload set
+            f64::NEG_INFINITY,
+            f64::MIN,
+            -1.0,
+            -f64::MIN_POSITIVE / 2.0, // negative subnormal
+            -0.0,
+            0.0,
+            f64::MIN_POSITIVE / 2.0,
+            1.0,
+            f64::MAX,
+            f64::INFINITY,
+            f64::NAN,
+            f64::from_bits(0x7FF8_0000_0000_0001), // +NaN, payload set
+        ];
+        for &a in &specials {
+            for &b in &specials {
+                assert_eq!(
+                    Coord::total_cmp(&a, &b),
+                    a.total_key().cmp(&b.total_key()),
+                    "total_key order mismatch for {a:?} ({:#x}) vs {b:?} ({:#x})",
+                    a.to_bits(),
+                    b.to_bits(),
+                );
+            }
+        }
+        for (a, b) in [(i64::MIN, -1i64), (-1, 0), (0, 1), (1, i64::MAX)] {
+            assert_eq!(Coord::total_cmp(&a, &b), a.total_key().cmp(&b.total_key()));
+        }
     }
 
     #[test]

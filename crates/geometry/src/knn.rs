@@ -86,6 +86,30 @@ impl<T: Coord, const D: usize> KnnHeap<T, D> {
         }
     }
 
+    /// [`Self::offer`] for a candidate the caller has already gated through
+    /// [`Self::could_improve`] — skips re-testing acceptance. Same heap
+    /// mutations as `offer` in the accepting case, so results are identical.
+    #[inline]
+    pub(crate) fn offer_improving(&mut self, dist: T::Dist, p: Point<T, D>) {
+        debug_assert!(self.could_improve(dist));
+        if self.is_full() {
+            self.heap[0] = (dist, p);
+            self.sift_down(0);
+        } else {
+            self.heap.push((dist, p));
+            self.sift_up(self.heap.len() - 1);
+        }
+    }
+
+    /// The k-th best distance of a **full** heap — [`Self::worst_dist`]
+    /// minus the fullness branch, for gate loops that have already
+    /// established fullness (a full heap never shrinks until `reset`).
+    #[inline]
+    pub(crate) fn top_dist(&self) -> T::Dist {
+        debug_assert!(self.is_full());
+        self.heap[0].0
+    }
+
     /// Offer a candidate, computing its distance from the query point.
     #[inline]
     pub fn offer_point(&mut self, query: &Point<T, D>, p: Point<T, D>) {

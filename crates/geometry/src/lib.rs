@@ -16,11 +16,13 @@
 
 pub mod coord;
 pub mod knn;
+pub mod leaf;
 pub mod point;
 pub mod rect;
 
 pub use coord::Coord;
 pub use knn::{brute_force_knn, KnnHeap};
+pub use leaf::LeafSoA;
 pub use point::Point;
 pub use rect::Rect;
 

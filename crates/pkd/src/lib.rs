@@ -24,7 +24,7 @@
 //! assert_eq!(t.knn(&Point::new([5, 6]), 1), vec![Point::new([5, 5])]);
 //! ```
 
-use psi_geometry::{Coord, KnnHeap, Point, Rect};
+use psi_geometry::{Coord, KnnHeap, LeafSoA, Point, Rect};
 use psi_parutils::sieve_by;
 use psi_parutils::stats::counters;
 
@@ -52,8 +52,10 @@ impl Default for PkdConfig {
 
 enum Node<T: Coord, const D: usize> {
     Leaf {
-        points: Vec<Point<T, D>>,
-        bbox: Rect<T, D>,
+        /// SoA coordinate planes (+ bounding box): the leaf scan kernels
+        /// (range filter, kNN distance accumulation) run as per-plane
+        /// vectorizable loops over this, bit-identical to the old AoS scan.
+        points: LeafSoA<T, D>,
     },
     Internal {
         /// Splitting dimension.
@@ -76,7 +78,7 @@ impl<T: Coord, const D: usize> Node<T, D> {
     }
     fn bbox(&self) -> &Rect<T, D> {
         match self {
-            Node::Leaf { bbox, .. } => bbox,
+            Node::Leaf { points } => points.bbox(),
             Node::Internal { bbox, .. } => bbox,
         }
     }
@@ -88,7 +90,7 @@ impl<T: Coord, const D: usize> Node<T, D> {
     }
     fn collect_into(&self, out: &mut Vec<Point<T, D>>) {
         match self {
-            Node::Leaf { points, .. } => out.extend_from_slice(points),
+            Node::Leaf { points } => points.collect_into(out),
             Node::Internal { left, right, .. } => {
                 left.collect_into(out);
                 right.collect_into(out);
@@ -152,8 +154,7 @@ impl<T: Coord, const D: usize> PkdTree<T, D> {
         let root = std::mem::replace(
             &mut self.root,
             Node::Leaf {
-                points: Vec::new(),
-                bbox: Rect::empty(),
+                points: LeafSoA::empty(),
             },
         );
         self.root = insert_rec(root, &mut buf, &self.cfg, 0);
@@ -170,8 +171,7 @@ impl<T: Coord, const D: usize> PkdTree<T, D> {
         let root = std::mem::replace(
             &mut self.root,
             Node::Leaf {
-                points: Vec::new(),
-                bbox: Rect::empty(),
+                points: LeafSoA::empty(),
             },
         );
         self.root = delete_rec(root, &mut buf, &self.cfg, 0);
@@ -253,8 +253,7 @@ fn build_rec<T: Coord, const D: usize>(
     let n = points.len();
     if n <= cfg.leaf_cap || depth > 96 {
         return Node::Leaf {
-            points: points.to_vec(),
-            bbox: Rect::bounding(points),
+            points: LeafSoA::from_points(points),
         };
     }
     let bbox = Rect::bounding(points);
@@ -273,8 +272,7 @@ fn build_rec<T: Coord, const D: usize>(
         let all_same = bbox.extent(0) == 0.0 && (1..D).all(|d| bbox.extent(d) == 0.0);
         if all_same {
             return Node::Leaf {
-                points: points.to_vec(),
-                bbox,
+                points: LeafSoA::from_points(points),
             };
         }
         // Degenerate split (a very skewed value distribution defeated the
@@ -347,9 +345,9 @@ fn insert_rec<T: Coord, const D: usize>(
         return node;
     }
     match node {
-        Node::Leaf { mut points, .. } => {
-            points.extend_from_slice(batch);
-            let mut buf = points;
+        Node::Leaf { points } => {
+            let mut buf = points.to_vec();
+            buf.extend_from_slice(batch);
             build_rec(&mut buf, cfg, depth)
         }
         Node::Internal {
@@ -420,10 +418,12 @@ fn delete_rec<T: Coord, const D: usize>(
         return node;
     }
     match node {
-        Node::Leaf { mut points, .. } => {
-            remove_multiset(&mut points, batch);
-            let bbox = Rect::bounding(&points);
-            Node::Leaf { points, bbox }
+        Node::Leaf { points } => {
+            let mut pts = points.to_vec();
+            remove_multiset(&mut pts, batch);
+            Node::Leaf {
+                points: LeafSoA::from_points(&pts),
+            }
         }
         Node::Internal {
             dim,
@@ -454,8 +454,9 @@ fn delete_rec<T: Coord, const D: usize>(
                 let mut pts = Vec::with_capacity(new_size);
                 new_left.collect_into(&mut pts);
                 new_right.collect_into(&mut pts);
-                let bbox = Rect::bounding(&pts);
-                return Node::Leaf { points: pts, bbox };
+                return Node::Leaf {
+                    points: LeafSoA::from_points(&pts),
+                };
             }
             if unbalanced(new_left.size(), new_right.size(), cfg.alpha) {
                 counters::REBALANCES.bump();
@@ -504,11 +505,7 @@ fn remove_multiset<T: Coord, const D: usize>(
 fn knn_rec<T: Coord, const D: usize>(node: &Node<T, D>, q: &Point<T, D>, heap: &mut KnnHeap<T, D>) {
     counters::NODES_VISITED.bump();
     match node {
-        Node::Leaf { points, .. } => {
-            for p in points {
-                heap.offer_point(q, *p);
-            }
-        }
+        Node::Leaf { points } => points.knn_offer(q, heap),
         Node::Internal { left, right, .. } => {
             let dl = left.bbox().dist_sq_to_point(q);
             let dr = right.bbox().dist_sq_to_point(q);
@@ -536,7 +533,7 @@ fn range_count<T: Coord, const D: usize>(node: &Node<T, D>, rect: &Rect<T, D>) -
         return node.size();
     }
     match node {
-        Node::Leaf { points, .. } => points.iter().filter(|p| rect.contains(p)).count(),
+        Node::Leaf { points } => points.range_count(rect),
         Node::Internal { left, right, .. } => range_count(left, rect) + range_count(right, rect),
     }
 }
@@ -563,11 +560,7 @@ fn range_visit<T: Coord, const D: usize>(
         return;
     }
     match node {
-        Node::Leaf { points, .. } => {
-            for p in points.iter().filter(|p| rect.contains(p)) {
-                visitor(p);
-            }
-        }
+        Node::Leaf { points } => points.range_visit(rect, visitor),
         Node::Internal { left, right, .. } => {
             range_visit(left, rect, visitor);
             range_visit(right, rect, visitor);
@@ -577,9 +570,9 @@ fn range_visit<T: Coord, const D: usize>(
 
 fn visit_all<T: Coord, const D: usize>(node: &Node<T, D>, visitor: &mut dyn FnMut(&Point<T, D>)) {
     match node {
-        Node::Leaf { points, .. } => {
-            for p in points {
-                visitor(p);
+        Node::Leaf { points } => {
+            for p in points.iter() {
+                visitor(&p);
             }
         }
         Node::Internal { left, right, .. } => {
@@ -591,8 +584,12 @@ fn visit_all<T: Coord, const D: usize>(node: &Node<T, D>, visitor: &mut dyn FnMu
 
 fn check_rec<T: Coord, const D: usize>(node: &Node<T, D>, cfg: &PkdConfig, is_root: bool) {
     match node {
-        Node::Leaf { points, bbox } => {
-            assert_eq!(*bbox, Rect::bounding(points), "leaf bbox mismatch");
+        Node::Leaf { points } => {
+            assert_eq!(
+                *points.bbox(),
+                Rect::bounding(&points.to_vec()),
+                "leaf bbox mismatch"
+            );
             assert!(
                 is_root || !points.is_empty() || points.len() <= cfg.leaf_cap,
                 "leaf size invariant"

@@ -1,7 +1,7 @@
 //! Node representation of the P-Orth tree and its structural invariants.
 
 use crate::POrthConfig;
-use psi_geometry::{Coord, Point, Rect};
+use psi_geometry::{Coord, LeafSoA, Point, Rect};
 
 /// A P-Orth tree node.
 ///
@@ -10,13 +10,12 @@ use psi_geometry::{Coord, Point, Rect};
 /// leaves so child indexing stays positional (child `i` covers orthant `i`,
 /// where bit `d` of `i` selects the upper half of dimension `d`).
 pub enum Node<T: Coord, const D: usize> {
-    /// A wrapped leaf: at most `φ` points stored flat (more only for point
-    /// multisets that cannot be subdivided, e.g. many duplicates).
+    /// A wrapped leaf: at most `φ` points stored in structure-of-arrays layout
+    /// (more only for point multisets that cannot be subdivided, e.g. many
+    /// duplicates). The SoA planes carry their own tight bounding box.
     Leaf {
-        /// The stored points, in arbitrary order.
-        points: Vec<Point<T, D>>,
-        /// Tight bounding box of `points`.
-        bbox: Rect<T, D>,
+        /// The stored points (coordinate planes + bbox), insertion order kept.
+        points: LeafSoA<T, D>,
     },
     /// An internal node covering `2^D` orthants.
     Internal {
@@ -36,15 +35,15 @@ impl<T: Coord, const D: usize> Node<T, D> {
     /// An empty leaf.
     pub fn empty_leaf() -> Self {
         Node::Leaf {
-            points: Vec::new(),
-            bbox: Rect::empty(),
+            points: LeafSoA::empty(),
         }
     }
 
-    /// A leaf from a point slice.
+    /// A leaf from a point slice (transposed into SoA planes, order kept).
     pub fn leaf_from(points: Vec<Point<T, D>>) -> Self {
-        let bbox = Rect::bounding(&points);
-        Node::Leaf { points, bbox }
+        Node::Leaf {
+            points: LeafSoA::from_points(&points),
+        }
     }
 
     /// Number of points in the subtree.
@@ -60,7 +59,7 @@ impl<T: Coord, const D: usize> Node<T, D> {
     #[inline]
     pub fn bbox(&self) -> &Rect<T, D> {
         match self {
-            Node::Leaf { bbox, .. } => bbox,
+            Node::Leaf { points } => points.bbox(),
             Node::Internal { bbox, .. } => bbox,
         }
     }
@@ -83,7 +82,7 @@ impl<T: Coord, const D: usize> Node<T, D> {
     /// Append every point of the subtree to `out` (tree order).
     pub fn collect_into(&self, out: &mut Vec<Point<T, D>>) {
         match self {
-            Node::Leaf { points, .. } => out.extend_from_slice(points),
+            Node::Leaf { points } => points.collect_into(out),
             Node::Internal { children, .. } => {
                 for c in children {
                     c.collect_into(out);
@@ -162,15 +161,16 @@ pub fn check_invariants<T: Coord, const D: usize>(
     is_root: bool,
 ) {
     match node {
-        Node::Leaf { points, bbox } => {
-            let expect = Rect::bounding(points);
+        Node::Leaf { points } => {
+            let expect = Rect::bounding(&points.to_vec());
             assert_eq!(
-                &expect, bbox,
+                &expect,
+                points.bbox(),
                 "leaf bounding box must tightly cover its points"
             );
-            for p in points {
+            for p in points.iter() {
                 assert!(
-                    region.contains(p),
+                    region.contains(&p),
                     "leaf point {:?} escapes its region {:?}",
                     p,
                     region

@@ -41,11 +41,7 @@ pub fn knn_into<T: Coord, const D: usize>(
 fn knn_rec<T: Coord, const D: usize>(node: &Node<T, D>, q: &Point<T, D>, heap: &mut KnnHeap<T, D>) {
     counters::NODES_VISITED.bump();
     match node {
-        Node::Leaf { points, .. } => {
-            for p in points {
-                heap.offer_point(q, *p);
-            }
-        }
+        Node::Leaf { points } => points.knn_offer(q, heap),
         Node::Internal { children, .. } => {
             // Order children by distance from the query to their bounding box;
             // with at most 8 children an insertion sort over a fixed array is
@@ -77,7 +73,7 @@ pub fn range_count<T: Coord, const D: usize>(node: &Node<T, D>, rect: &Rect<T, D
         return node.size();
     }
     match node {
-        Node::Leaf { points, .. } => points.iter().filter(|p| rect.contains(p)).count(),
+        Node::Leaf { points } => points.range_count(rect),
         Node::Internal { children, .. } => children.iter().map(|c| range_count(c, rect)).sum(),
     }
 }
@@ -108,11 +104,7 @@ pub fn range_visit<T: Coord, const D: usize>(
         return;
     }
     match node {
-        Node::Leaf { points, .. } => {
-            for p in points.iter().filter(|p| rect.contains(p)) {
-                visitor(p);
-            }
-        }
+        Node::Leaf { points } => points.range_visit(rect, visitor),
         Node::Internal { children, .. } => {
             for c in children {
                 range_visit(c, rect, visitor);
@@ -124,9 +116,9 @@ pub fn range_visit<T: Coord, const D: usize>(
 /// Visit every point of a subtree (the fully-covered fast path).
 fn visit_all<T: Coord, const D: usize>(node: &Node<T, D>, visitor: &mut dyn FnMut(&Point<T, D>)) {
     match node {
-        Node::Leaf { points, .. } => {
-            for p in points {
-                visitor(p);
+        Node::Leaf { points } => {
+            for p in points.iter() {
+                visitor(&p);
             }
         }
         Node::Internal { children, .. } => {

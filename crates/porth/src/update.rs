@@ -30,11 +30,10 @@ pub fn batch_insert<T: Coord, const D: usize>(
     match node {
         Node::Leaf {
             points: leaf_points,
-            ..
         } => {
             // Rebuild the leaf together with the incoming batch (Alg. 2 line 4).
             let mut all = Vec::with_capacity(leaf_points.len() + points.len());
-            all.extend_from_slice(leaf_points);
+            leaf_points.collect_into(&mut all);
             all.extend_from_slice(points);
             *node = build_orth(&mut all, region, cfg, depth);
         }
@@ -90,10 +89,12 @@ pub fn batch_delete<T: Coord, const D: usize>(
     match node {
         Node::Leaf {
             points: leaf_points,
-            bbox,
         } => {
-            let removed = remove_multiset(leaf_points, points);
-            *bbox = Rect::bounding(leaf_points);
+            // Unpack the SoA planes, run the sort-merge removal on the flat
+            // form, and re-transpose; bbox is recomputed by the constructor.
+            let mut stored = leaf_points.to_vec();
+            let removed = remove_multiset(&mut stored, points);
+            *leaf_points = psi_geometry::LeafSoA::from_points(&stored);
             removed
         }
         Node::Internal {

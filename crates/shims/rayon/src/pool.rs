@@ -20,21 +20,67 @@
 //!    so nesting cannot deadlock.
 //!
 //! 2. **Tasks** — the forked halves of `join` calls and `scope`-spawned
-//!    closures. Every pool worker owns a *task deque*: it pushes forked
-//!    tasks onto the back, pops its own work LIFO from the back (preserving
-//!    the sequential depth-first order and its cache footprint), and thieves
-//!    steal FIFO from the front (taking the oldest, biggest subtrees).
-//!    Non-worker callers push into a shared FIFO **injector** instead.
-//!    Crucially, `join` never blocks while its forked half is outstanding:
-//!    if the task was not stolen the caller pops it back and runs it inline
-//!    (the overwhelmingly common case — one mutex push/pop, no OS
-//!    interaction); if it *was* stolen, the caller executes other tasks from
-//!    the deques until the thief's completion latch fires. A blocked state
-//!    exists only when there is provably nothing to steal, and every such
-//!    wait is bounded by a running thread making progress, so deeply nested
-//!    `join`-inside-`par_iter`-inside-`join` compositions stay
+//!    closures. Every pool worker owns a **lock-free Chase-Lev deque**: it
+//!    pushes forked tasks onto the bottom, pops its own work LIFO from the
+//!    bottom (preserving the sequential depth-first order and its cache
+//!    footprint), and thieves steal FIFO from the top (taking the oldest,
+//!    biggest subtrees) with a single CAS. Non-worker callers push into a
+//!    shared FIFO **injector** instead (a mutex-guarded ring — injection is
+//!    rare and never on the fork fast path). Crucially, `join` never blocks
+//!    while its forked half is outstanding: if the task was not stolen the
+//!    caller pops it straight back and runs it inline (the overwhelmingly
+//!    common case — one release store to push, one fenced load to pop, no
+//!    lock, no OS interaction); if it *was* stolen, the caller executes
+//!    other tasks from the deques until the thief's completion latch fires.
+//!    A blocked state exists only when there is provably nothing to steal,
+//!    and every such wait is bounded by a running thread making progress, so
+//!    deeply nested `join`-inside-`par_iter`-inside-`join` compositions stay
 //!    deadlock-free. **No OS thread is ever spawned on the fork-join path**;
 //!    an n-leaf fork tree costs n task pushes, not n thread spawns.
+//!
+//! # The Chase-Lev deques and their memory orderings
+//!
+//! Each worker deque is the classic Chase-Lev growable ring (Chase & Lev,
+//! SPAA '05) with the C11 orderings of Lê et al. (PPoPP '13):
+//!
+//! * **`push` (owner only):** write the task words into the ring, then
+//!   publish with `bottom.store(b + 1, Release)`. A thief's `Acquire` load
+//!   of `bottom` therefore observes fully-written slots.
+//! * **`pop` (owner only):** speculatively take the slot with
+//!   `bottom.store(b - 1, Relaxed)` followed by a single **SeqCst fence**,
+//!   then read `top`. The fence globally orders the bottom decrement against
+//!   the fence in every thief's `steal`: either the thief sees the
+//!   decremented bottom and aborts, or the owner sees the advanced top and
+//!   backs off. With two or more tasks queued the pop completes with no RMW
+//!   at all; with exactly one task left, owner and thieves race through a
+//!   SeqCst CAS on `top`, which at most one of them wins.
+//! * **`steal` (any thread):** `Acquire`-load `top`, SeqCst fence,
+//!   `Acquire`-load `bottom`, read the slot words, then claim with a SeqCst
+//!   `compare_exchange` on `top`. A failed CAS means the words just read may
+//!   be stale; they are discarded without being interpreted as a task. The
+//!   ABA argument: the ring slot for logical index `t` is only reused by
+//!   index `t + cap`, and the owner only writes index `t + cap` after
+//!   `top > t` (push grows the ring before overwriting a live window), so a
+//!   reused slot always implies the CAS on `t` fails.
+//! * **Ring growth and reclamation (owner only):** on a full ring the owner
+//!   copies the live window `[top, bottom)` into a ring of twice the
+//!   capacity at the same logical indices, publishes it with a SeqCst store
+//!   of the buffer pointer, and *retires* the old ring to an owner-private
+//!   limbo list. Thieves pin the buffer with a SeqCst counter increment for
+//!   the duration of their pointer-load → slot-read window. The owner frees
+//!   retired rings only when it observes the pin counter at zero *after*
+//!   publication: in the SeqCst total order every later pin re-loads the
+//!   buffer pointer after the new ring was published, so no thief can still
+//!   hold a retired pointer — a single-epoch deferred-reclamation scheme
+//!   (and if a pin is always in flight, the limbo list keeps the rings
+//!   alive; their total size is bounded by the geometric series under the
+//!   live ring's capacity). Slot words are relaxed atomics, so the racy
+//!   reads that the failed-CAS path discards are well-defined loads, never
+//!   torn plain memory.
+//!
+//! The deque fast paths — push, pop, steal — contain no mutex; the only
+//! blocking state on the fork-join path is the versioned park below, taken
+//! exclusively when a thread has provably nothing to run.
 //!
 //! # Pool sizing
 //!
@@ -56,7 +102,10 @@
 //! versioned park: publishing work (task push, job push, latch set, scope
 //! completion) bumps a version counter and wakes the parked set only when
 //! someone is actually parked, so the fork fast path stays a couple of
-//! atomic operations.
+//! atomic operations. A job submitter waiting on straggler workers does not
+//! park outright: it lends itself to the fork-join layer and steals queued
+//! tasks (typically the nested forks of the very workers it is waiting on)
+//! until the last registration drains.
 //!
 //! # Panics
 //!
@@ -69,7 +118,9 @@ use std::cell::{Cell, UnsafeCell};
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{
+    fence, AtomicBool, AtomicIsize, AtomicPtr, AtomicU64, AtomicUsize, Ordering,
+};
 use std::sync::{Condvar, Mutex, OnceLock};
 
 /// Hard cap on pool threads, a guard against runaway
@@ -241,32 +292,258 @@ struct Task {
 
 // SAFETY: the pointed-to state is `Sync`-shared between exactly the forking
 // thread and the (at most one) thief that removed the task from a deque;
-// deque removal under its mutex is the ownership hand-off.
+// the deque removal protocol (a successful `top` CAS, an owner pop ordered
+// by the SeqCst fence, or the injector mutex) is the ownership hand-off.
 unsafe impl Send for Task {}
 
-/// One worker's task deque (also the shape of the global injector). A plain
-/// mutex-guarded ring: push and pop are a handful of instructions under an
-/// uncontended lock, and sharding one deque per worker keeps it uncontended
-/// except when a thief actually strikes.
-struct TaskDeque {
+impl Task {
+    /// Rebuild a task from its two ring-slot words.
+    ///
+    /// # Safety
+    ///
+    /// The words must be *certified*: read by the owner in `pop`, or read by
+    /// a thief whose subsequent `top` CAS succeeded. Certified words are
+    /// exactly what some `push` wrote for a live, not-yet-executed task.
+    unsafe fn from_words(exec: usize, data: usize) -> Task {
+        Task {
+            // SAFETY: `exec` was produced by `push` from a real fn pointer.
+            execute: unsafe { std::mem::transmute::<usize, unsafe fn(*mut ())>(exec) },
+            data: data as *mut (),
+        }
+    }
+}
+
+/// Initial capacity of a worker deque's ring buffer (grows by doubling).
+const DEQUE_INITIAL_CAP: usize = 64;
+
+/// A ring-slot: the two words of a [`Task`], stored as relaxed atomics. A
+/// thief racing with slot reuse can read a stale pair, but such a pair is
+/// only interpreted as a task after the `top` CAS certifies it (the ABA
+/// argument in the module docs) — relaxed atomics make the racy read itself
+/// well-defined, where plain memory would be UB.
+struct RingSlot {
+    exec: AtomicUsize,
+    data: AtomicUsize,
+}
+
+/// One power-of-two ring buffer of a Chase-Lev deque. Logical index `i`
+/// lives in slot `i & mask`; the live window `[top, bottom)` never exceeds
+/// the capacity, so live entries are never overwritten.
+struct RingBuffer {
+    mask: usize,
+    slots: Box<[RingSlot]>,
+}
+
+impl RingBuffer {
+    fn new(cap: usize) -> Box<RingBuffer> {
+        debug_assert!(cap.is_power_of_two());
+        Box::new(RingBuffer {
+            mask: cap - 1,
+            slots: (0..cap)
+                .map(|_| RingSlot {
+                    exec: AtomicUsize::new(0),
+                    data: AtomicUsize::new(0),
+                })
+                .collect(),
+        })
+    }
+
+    fn cap(&self) -> usize {
+        self.mask + 1
+    }
+
+    fn write(&self, idx: isize, exec: usize, data: usize) {
+        let slot = &self.slots[idx as usize & self.mask];
+        slot.exec.store(exec, Ordering::Relaxed);
+        slot.data.store(data, Ordering::Relaxed);
+    }
+
+    fn read(&self, idx: isize) -> (usize, usize) {
+        let slot = &self.slots[idx as usize & self.mask];
+        (
+            slot.exec.load(Ordering::Relaxed),
+            slot.data.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// One worker's lock-free Chase-Lev work-stealing deque: owner LIFO
+/// push/pop at `bottom`, thief FIFO steal at `top`, growable ring storage
+/// with deferred reclamation. The memory-ordering argument lives in the
+/// module docs; the orderings below follow Lê et al. (PPoPP '13).
+struct ChaseLev {
+    top: AtomicIsize,
+    bottom: AtomicIsize,
+    buf: AtomicPtr<RingBuffer>,
+    /// Thieves currently inside the pinned window of `steal` (buffer-pointer
+    /// load through slot read). The owner frees retired rings only after
+    /// observing this at zero post-publication.
+    pinned: AtomicUsize,
+    /// Retired ring buffers whose storage may still be pinned by a thief.
+    /// The boxes are reconstituted from the raw pointers thieves may still
+    /// hold — the heap allocation itself must survive unmoved until freed,
+    /// so `Vec<RingBuffer>` (which would move the rings) is not an option.
+    #[allow(clippy::vec_box)]
+    /// Owner-only (a worker is the sole mutator of its own deque), hence no
+    /// lock: ring-growth bookkeeping needs none.
+    retired: UnsafeCell<Vec<Box<RingBuffer>>>,
+}
+
+// SAFETY: `top`/`bottom`/`buf`/`pinned` are atomics; `retired` is touched
+// only by the deque's owner (single thread) as documented on the field.
+unsafe impl Sync for ChaseLev {}
+unsafe impl Send for ChaseLev {}
+
+impl ChaseLev {
+    fn new() -> ChaseLev {
+        ChaseLev::with_capacity(DEQUE_INITIAL_CAP)
+    }
+
+    fn with_capacity(cap: usize) -> ChaseLev {
+        ChaseLev {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            buf: AtomicPtr::new(Box::into_raw(RingBuffer::new(cap))),
+            pinned: AtomicUsize::new(0),
+            retired: UnsafeCell::new(Vec::new()),
+        }
+    }
+
+    /// Owner push: write the slot, then publish with a release store of
+    /// `bottom`. No RMW, no lock.
+    fn push(&self, task: Task) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        // SAFETY: only the owner swaps `buf`, so the pointer is live here.
+        let mut buf = unsafe { &*self.buf.load(Ordering::Relaxed) };
+        if b - t >= buf.cap() as isize {
+            buf = self.grow(b, t);
+        }
+        buf.write(b, task.execute as usize, task.data as usize);
+        self.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Owner pop: LIFO from the bottom (depth-first, cache-warm order). The
+    /// single SeqCst fence orders the speculative bottom decrement against
+    /// every thief's fence; the CAS on `top` settles the last-element race.
+    fn pop(&self) -> Option<Task> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        // SAFETY: only the owner swaps `buf`, so the pointer is live here.
+        let buf = unsafe { &*self.buf.load(Ordering::Relaxed) };
+        self.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t < b {
+            // Two or more tasks: thieves cannot reach index b.
+            let (exec, data) = buf.read(b);
+            // SAFETY: owner-read below bottom ⇒ certified.
+            return Some(unsafe { Task::from_words(exec, data) });
+        }
+        if t == b {
+            // Exactly one task left: race thieves for it on `top`.
+            let won = self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            if won {
+                let (exec, data) = buf.read(b);
+                // SAFETY: the CAS certified the words.
+                return Some(unsafe { Task::from_words(exec, data) });
+            }
+            return None;
+        }
+        // Already empty; undo the speculative decrement.
+        self.bottom.store(b + 1, Ordering::Relaxed);
+        None
+    }
+
+    /// Thief steal: FIFO from the top (oldest fork = biggest subtree). Reads
+    /// the slot optimistically, then certifies with a CAS on `top`; a failed
+    /// CAS discards the (possibly stale) words and retries.
+    fn steal(&self) -> Option<Task> {
+        loop {
+            let t = self.top.load(Ordering::Acquire);
+            fence(Ordering::SeqCst);
+            let b = self.bottom.load(Ordering::Acquire);
+            if t >= b {
+                return None;
+            }
+            // Pin the buffer for the pointer-load → slot-read window so the
+            // owner cannot free it underneath us (see `grow`).
+            self.pinned.fetch_add(1, Ordering::SeqCst);
+            // SAFETY: pinned ⇒ the loaded ring is not freed until unpin.
+            let (exec, data) = unsafe { &*self.buf.load(Ordering::SeqCst) }.read(t);
+            self.pinned.fetch_sub(1, Ordering::SeqCst);
+            if self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok()
+            {
+                // SAFETY: the CAS certified the words.
+                return Some(unsafe { Task::from_words(exec, data) });
+            }
+            // Lost the race (owner pop or another thief); retry.
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Owner-only ring growth: copy the live window `[t, b)` into a ring of
+    /// twice the capacity at the same logical indices, publish it, retire
+    /// the old ring, and free retired rings once no thief is pinned — the
+    /// epoch-deferred reclamation described in the module docs.
+    #[cold]
+    fn grow(&self, b: isize, t: isize) -> &RingBuffer {
+        let old_ptr = self.buf.load(Ordering::Relaxed);
+        // SAFETY: owner-only; the old ring is live until retired below.
+        let old = unsafe { &*old_ptr };
+        let new = RingBuffer::new(old.cap() * 2);
+        for i in t..b {
+            let (exec, data) = old.read(i);
+            new.write(i, exec, data);
+        }
+        let new_ptr = Box::into_raw(new);
+        self.buf.store(new_ptr, Ordering::SeqCst);
+        // SAFETY: `retired` is owner-only, and `old_ptr` came from
+        // `Box::into_raw` and was just unpublished.
+        let retired = unsafe { &mut *self.retired.get() };
+        retired.push(unsafe { Box::from_raw(old_ptr) });
+        if self.pinned.load(Ordering::SeqCst) == 0 {
+            // Epoch boundary: every thief that could hold a retired pointer
+            // has unpinned, and later pins re-load `buf` after the store
+            // above (SeqCst total order), seeing only the new ring.
+            retired.clear();
+        }
+        // SAFETY: just published; only the owner can retire it.
+        unsafe { &*new_ptr }
+    }
+}
+
+impl Drop for ChaseLev {
+    fn drop(&mut self) {
+        // `&mut self` ⇒ no concurrent thieves; `retired` frees itself.
+        // SAFETY: `buf` always holds a live `Box::into_raw` pointer.
+        unsafe { drop(Box::from_raw(self.buf.load(Ordering::Relaxed))) };
+    }
+}
+
+/// The global injector: the task queue for non-worker forkers (and their
+/// reclaim target). A plain mutex-guarded ring is fine here — injection is
+/// rare (only threads outside the pool fork through it) and never on the
+/// worker fast path.
+struct Injector {
     tasks: Mutex<VecDeque<Task>>,
 }
 
-impl TaskDeque {
+impl Injector {
     const fn new() -> Self {
-        TaskDeque {
+        Injector {
             tasks: Mutex::new(VecDeque::new()),
         }
     }
 
-    /// Owner push: newest work on the back.
     fn push(&self, task: Task) {
         self.tasks.lock().unwrap().push_back(task);
-    }
-
-    /// Owner pop: LIFO from the back (depth-first, cache-warm order).
-    fn pop(&self) -> Option<Task> {
-        self.tasks.lock().unwrap().pop_back()
     }
 
     /// Thief pop: FIFO from the front (oldest fork = biggest subtree).
@@ -275,8 +552,8 @@ impl TaskDeque {
     }
 
     /// Remove the exact task whose state pointer is `data`, if it is still
-    /// queued. Used by `join` to reclaim its un-stolen fork; searching from
-    /// the back finds it in O(1) in the LIFO case.
+    /// queued. Used by non-worker `join` callers to reclaim their un-stolen
+    /// fork; searching from the back finds it in O(1) in the LIFO case.
     fn pop_exact(&self, data: *mut ()) -> bool {
         let mut q = self.tasks.lock().unwrap();
         if let Some(pos) = q.iter().rposition(|t| std::ptr::eq(t.data, data)) {
@@ -391,11 +668,11 @@ struct PoolShared {
 struct Pool {
     /// Job queue + spawn bookkeeping.
     shared: Mutex<PoolShared>,
-    /// One task deque per (potential) worker; deque `i` is owned by worker
-    /// `i`. Allocated eagerly — an empty `VecDeque` owns no heap memory.
-    deques: Box<[TaskDeque]>,
+    /// One lock-free Chase-Lev task deque per (potential) worker; deque `i`
+    /// is owned (pushed/popped) by worker `i`, stolen from by everyone.
+    deques: Box<[ChaseLev]>,
     /// Task queue for non-worker forkers (and their reclaim target).
-    injector: TaskDeque,
+    injector: Injector,
     /// Mirror of `PoolShared::spawned` readable without the lock (bounds the
     /// thieves' scan).
     spawned: AtomicUsize,
@@ -423,8 +700,8 @@ fn pool() -> &'static Pool {
             queue: Vec::new(),
             spawned: 0,
         }),
-        deques: (0..MAX_WORKERS).map(|_| TaskDeque::new()).collect(),
-        injector: TaskDeque::new(),
+        deques: (0..MAX_WORKERS).map(|_| ChaseLev::new()).collect(),
+        injector: Injector::new(),
         spawned: AtomicUsize::new(0),
         version: AtomicUsize::new(0),
         sleepers: AtomicUsize::new(0),
@@ -497,15 +774,6 @@ impl Pool {
             None => self.injector.push(task),
         }
         self.publish();
-    }
-
-    /// Take back a queued-but-unstolen task (identified by its state
-    /// pointer) from wherever `push_task` put it.
-    fn reclaim_task(&self, me: Option<usize>, data: *mut ()) -> bool {
-        match me {
-            Some(id) => self.deques[id].pop_exact(data),
-            None => self.injector.pop_exact(data),
-        }
     }
 
     /// Find one task to run: own deque first (LIFO), then steal a round over
@@ -685,7 +953,31 @@ where
 
     let rb = catch_unwind(AssertUnwindSafe(oper_b));
 
-    if pool.reclaim_task(me, data) {
+    // Reclaim the fork if nobody stole it. A Chase-Lev deque has no
+    // remove-by-identity, so a worker pops LIFO until it meets its own fork:
+    // anything above it was pushed more recently by this very thread (a
+    // not-yet-reclaimed inner fork or a scope spawn) and is executed inline,
+    // exactly as the thief that would otherwise take it would. An empty pop
+    // means our fork was stolen. Non-workers reclaim from the injector by
+    // identity, under its mutex.
+    let reclaimed = match me {
+        Some(id) => loop {
+            if job.latch.probe() {
+                break false; // stolen and already finished
+            }
+            match pool.deques[id].pop() {
+                Some(task) if std::ptr::eq(task.data, data) => break true,
+                // SAFETY: removed from the deque ⇒ sole execution right.
+                // Panics cannot unwind out: every task body runs under its
+                // own `catch_unwind`.
+                Some(task) => unsafe { (task.execute)(task.data) },
+                None => break false,
+            }
+        },
+        None => pool.injector.pop_exact(data),
+    };
+
+    if reclaimed {
         // Nobody stole the fork: run it inline on this thread — the common
         // case, and the whole point of the deque (no thread spawn, no
         // blocking, just a push/pop pair). If `oper_b` already panicked the
@@ -846,21 +1138,16 @@ fn run_pooled(n: usize, grain: usize, nslots: usize, body: &(dyn Fn(WorkerRanges
     }
 
     // Retire the job so no further workers can register, then wait for the
-    // ones that did (they are finishing their last claimed grain).
+    // ones that did (they are finishing their last claimed grain). Instead
+    // of parking outright, the blocked submitter lends itself to the
+    // fork-join layer and steals queued tasks — typically the nested forks
+    // of the very stragglers it is waiting on — parking only when there is
+    // provably nothing to run.
     {
         let mut shared = pool.shared.lock().unwrap();
         shared.queue.retain(|j| !std::ptr::eq(j.0, job_ref.0));
     }
-    loop {
-        if job.remaining.load(Ordering::SeqCst) == 0 {
-            break;
-        }
-        let seen = pool.version.load(Ordering::SeqCst);
-        if job.remaining.load(Ordering::SeqCst) == 0 {
-            break;
-        }
-        pool.park(seen);
-    }
+    pool.steal_until(worker_id(), || job.remaining.load(Ordering::SeqCst) == 0);
 
     let payload = job.panic.lock().unwrap().take();
     if let Some(payload) = payload {
@@ -1030,6 +1317,162 @@ mod tests {
                 assert_eq!((a, b), (i * 2, i * 3));
             }
         });
+    }
+
+    // -----------------------------------------------------------------
+    // Chase-Lev deque unit/stress tests: direct hammering of the
+    // lock-free hand-off protocol, no pool involved.
+    // -----------------------------------------------------------------
+
+    /// A task body that must never run: these tests treat `data` as an
+    /// opaque payload and only exercise the ownership hand-off.
+    unsafe fn never_run(_: *mut ()) {
+        unreachable!("hammer tasks are counted, not executed");
+    }
+
+    fn payload_task(v: usize) -> Task {
+        Task {
+            execute: never_run,
+            data: v as *mut (),
+        }
+    }
+
+    #[test]
+    fn chase_lev_owner_lifo_thief_fifo() {
+        let dq = ChaseLev::new();
+        for v in 1..=3 {
+            dq.push(payload_task(v));
+        }
+        assert_eq!(dq.pop().map(|t| t.data as usize), Some(3));
+        assert_eq!(dq.steal().map(|t| t.data as usize), Some(1));
+        assert_eq!(dq.steal().map(|t| t.data as usize), Some(2));
+        assert!(dq.steal().is_none());
+        assert!(dq.pop().is_none());
+    }
+
+    #[test]
+    fn chase_lev_growth_preserves_live_window_across_wraparound() {
+        // A 2-slot ring forces growth almost immediately; the interleaved
+        // pops/steals keep advancing top and bottom so the live window
+        // repeatedly wraps each ring it grows into.
+        let dq = ChaseLev::with_capacity(2);
+        let mut expect = VecDeque::new();
+        let mut next = 0usize;
+        for round in 0..64 {
+            for _ in 0..(round % 7) + 1 {
+                next += 1;
+                dq.push(payload_task(next));
+                expect.push_back(next);
+            }
+            if round % 2 == 0 {
+                assert_eq!(dq.pop().map(|t| t.data as usize), expect.pop_back());
+            } else {
+                assert_eq!(dq.steal().map(|t| t.data as usize), expect.pop_front());
+            }
+        }
+        while let Some(want) = expect.pop_back() {
+            assert_eq!(dq.pop().map(|t| t.data as usize), Some(want));
+        }
+        assert!(dq.pop().is_none());
+        assert!(dq.steal().is_none());
+    }
+
+    #[test]
+    fn chase_lev_steal_pop_hammer_every_task_exactly_once() {
+        // Seeded owner push/pop mix under concurrent thieves, on a tiny
+        // initial ring: constant growth + wraparound + empty races under
+        // fire. Loss would show as a short count, ABA as a duplicate.
+        use std::sync::Arc;
+        const N: usize = 100_000;
+        const THIEVES: usize = 3;
+        let dq = Arc::new(ChaseLev::with_capacity(2));
+        let done = Arc::new(AtomicBool::new(false));
+        let mut thieves = Vec::new();
+        for _ in 0..THIEVES {
+            let dq = Arc::clone(&dq);
+            let done = Arc::clone(&done);
+            thieves.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                loop {
+                    match dq.steal() {
+                        Some(t) => got.push(t.data as usize),
+                        None if done.load(Ordering::SeqCst) => break,
+                        None => std::thread::yield_now(),
+                    }
+                }
+                got
+            }));
+        }
+        let mut consumed = Vec::with_capacity(N);
+        let mut rng = 0x9E37_79B9_7F4A_7C15u64; // fixed seed
+        for v in 1..=N {
+            dq.push(payload_task(v));
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            if rng.is_multiple_of(3) {
+                if let Some(t) = dq.pop() {
+                    consumed.push(t.data as usize);
+                }
+            }
+        }
+        while let Some(t) = dq.pop() {
+            consumed.push(t.data as usize);
+        }
+        // The owner drained to empty and nothing pushes afterwards, so the
+        // thieves' final None is definitive.
+        done.store(true, Ordering::SeqCst);
+        for h in thieves {
+            consumed.extend(h.join().unwrap());
+        }
+        consumed.sort_unstable();
+        assert_eq!(consumed.len(), N, "a task was lost or duplicated");
+        assert!(
+            consumed.iter().copied().eq(1..=N),
+            "hand-off must deliver every task exactly once"
+        );
+    }
+
+    #[test]
+    fn chase_lev_single_element_race_has_exactly_one_winner() {
+        // The ABA-prone case: exactly one task in the deque, owner pop and
+        // thief steal released simultaneously — the SeqCst CAS on `top`
+        // must let exactly one side claim it, every round.
+        use std::sync::{Arc, Barrier};
+        const ROUNDS: usize = 2_000;
+        let dq = Arc::new(ChaseLev::with_capacity(2));
+        let start = Arc::new(Barrier::new(2));
+        let end = Arc::new(Barrier::new(2));
+        let thief = {
+            let dq = Arc::clone(&dq);
+            let (start, end) = (Arc::clone(&start), Arc::clone(&end));
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                for _ in 0..ROUNDS {
+                    start.wait();
+                    if let Some(t) = dq.steal() {
+                        got.push(t.data as usize);
+                    }
+                    end.wait();
+                }
+                got
+            })
+        };
+        let mut all = Vec::new();
+        for round in 1..=ROUNDS {
+            dq.push(payload_task(round));
+            start.wait();
+            if let Some(t) = dq.pop() {
+                all.push(t.data as usize);
+            }
+            end.wait();
+        }
+        all.extend(thief.join().unwrap());
+        all.sort_unstable();
+        assert!(
+            all.iter().copied().eq(1..=ROUNDS),
+            "each round's lone task must be claimed by exactly one side"
+        );
     }
 
     #[test]

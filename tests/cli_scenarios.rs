@@ -173,7 +173,7 @@ fn perf_gate_baseline_matches_current_answers() {
     let sc = scenario::parse_file(&repo_dir("scenarios/perf-gate-2d.psi")).unwrap();
     let run = exec::run(&sc, None).unwrap_or_else(|e| panic!("{e}"));
     let fresh = compare::parse_json(&report::json_string(&run)).unwrap();
-    let cmp = compare::compare_reports(&baseline, &fresh, f64::INFINITY)
+    let cmp = compare::compare_reports(&baseline, &fresh, f64::INFINITY, compare::NOISE_FLOOR_SECS)
         .unwrap_or_else(|e| panic!("baseline is not comparable: {e}"));
     assert!(
         cmp.mismatches.is_empty(),

@@ -1,0 +1,408 @@
+//! Leaf-equivalence battery (PR 7): the SoA leaf kernels must agree *exactly*
+//! — bit pattern for bit pattern — with the AoS reference kernels they
+//! replaced, and the trees that adopted [`LeafSoA`] (Pkd, P-Orth) must keep
+//! answering queries identically to a brute-force scan.
+//!
+//! The leaf-kernel properties deliberately feed fully arbitrary `f64` bit
+//! patterns (every NaN payload, `-0.0`, infinities, subnormals): the kernels
+//! are defined over the IEEE 754 total order, so nothing about the input is
+//! out of contract at the leaf level. Tree-level properties stay within each
+//! tree's documented domain (finite coordinates, `-0.0` and subnormals
+//! included) because spatial splitting on NaN is undefined for every family.
+
+use proptest::prelude::*;
+use psi::{POrthTreeGeneric as POrthTree, PkdTreeGeneric as PkdTree};
+use psi_geometry::leaf::{aos_knn_offer, aos_range_count, aos_range_visit};
+use psi_geometry::{Coord, KnnHeap, LeafSoA, Point, Rect};
+
+// ---------------------------------------------------------------------------
+// Strategies.
+// ---------------------------------------------------------------------------
+
+/// The f64 values most likely to break a total-order kernel.
+fn special_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(f64::NAN),
+        Just(f64::from_bits(0x7FF8_0000_0000_0001)), // +NaN, payload set
+        Just(f64::from_bits(0xFFF8_0000_0000_0001)), // -NaN, payload set
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(0.0),
+        Just(-0.0),
+        Just(f64::MIN_POSITIVE / 2.0),  // positive subnormal
+        Just(-f64::MIN_POSITIVE / 2.0), // negative subnormal
+        Just(1.0),
+        Just(-1.0),
+    ]
+}
+
+/// Any f64 bit pattern at all: ordinary values, specials, and raw bits.
+fn wild_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        (-1.0e3..1.0e3).boxed(),
+        special_f64().boxed(),
+        any::<u64>().prop_map(f64::from_bits).boxed(),
+    ]
+}
+
+/// Finite f64 (tree-level domain), still including -0.0 and subnormals.
+fn finite_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        (-1.0e3..1.0e3).boxed(),
+        Just(-0.0).boxed(),
+        Just(0.0).boxed(),
+        Just(f64::MIN_POSITIVE / 2.0).boxed(),
+        Just(-f64::MIN_POSITIVE / 2.0).boxed(),
+        (-1.0e12..1.0e12).boxed(),
+    ]
+}
+
+/// Small i64 domain so duplicates and exact ties are frequent.
+fn tie_i64() -> impl Strategy<Value = i64> {
+    prop_oneof![(-8i64..8).boxed(), (-1000i64..1000).boxed(),]
+}
+
+/// i64 values straddling the `PRUNABLE_KEY_*` fence (±2^61) while keeping a
+/// 2-d squared-distance sum inside i128 (kernels would overflow-panic in
+/// debug otherwise, in AoS and SoA alike).
+fn fence_i64() -> impl Strategy<Value = i64> {
+    prop_oneof![
+        (-1000i64..1000).boxed(),
+        ((1i64 << 60)..(3i64 << 60)).boxed(),
+        (-(3i64 << 60)..-(1i64 << 60)).boxed(),
+    ]
+}
+
+fn points_f(raw: &[(f64, f64)]) -> Vec<Point<f64, 2>> {
+    raw.iter().map(|&(x, y)| Point::new([x, y])).collect()
+}
+
+fn points_i(raw: &[(i64, i64)]) -> Vec<Point<i64, 2>> {
+    raw.iter().map(|&(x, y)| Point::new([x, y])).collect()
+}
+
+/// A closed query box from two arbitrary corner draws, ordered per dimension
+/// by the coordinate total order (so "inverted" draws still form a box).
+fn rect_from<T: Coord, const D: usize>(a: Point<T, D>, b: Point<T, D>) -> Rect<T, D> {
+    let mut lo = a;
+    let mut hi = b;
+    for d in 0..D {
+        if lo.coords[d].total_cmp(&hi.coords[d]) == std::cmp::Ordering::Greater {
+            std::mem::swap(&mut lo.coords[d], &mut hi.coords[d]);
+        }
+    }
+    Rect::from_corners(lo, hi)
+}
+
+// ---------------------------------------------------------------------------
+// Exact-equality helpers (f64 compared by bits, never by ==).
+// ---------------------------------------------------------------------------
+
+fn bits_f(points: &[Point<f64, 2>]) -> Vec<[u64; 2]> {
+    points
+        .iter()
+        .map(|p| [p.coords[0].to_bits(), p.coords[1].to_bits()])
+        .collect()
+}
+
+/// Run all three kernels on SoA and AoS forms and require exact agreement.
+fn assert_leaf_kernels_agree_f64(
+    points: &[Point<f64, 2>],
+    rect: &Rect<f64, 2>,
+    q: Point<f64, 2>,
+    k: usize,
+) {
+    let soa = LeafSoA::from_points(points);
+
+    assert_eq!(soa.range_count(rect), aos_range_count(points, rect));
+
+    let mut soa_hits = Vec::new();
+    soa.range_visit(rect, |p: &Point<f64, 2>| soa_hits.push(*p));
+    let mut aos_hits = Vec::new();
+    aos_range_visit(points, rect, |p: &Point<f64, 2>| aos_hits.push(*p));
+    assert_eq!(
+        bits_f(&soa_hits),
+        bits_f(&aos_hits),
+        "range_visit order/bits"
+    );
+
+    let mut soa_heap = KnnHeap::new(k);
+    soa.knn_offer(&q, &mut soa_heap);
+    let mut aos_heap = KnnHeap::new(k);
+    aos_knn_offer(points, &q, &mut aos_heap);
+    let soa_knn = soa_heap.into_sorted_with_dist();
+    let aos_knn = aos_heap.into_sorted_with_dist();
+    assert_eq!(soa_knn.len(), aos_knn.len());
+    for ((ds, ps), (da, pa)) in soa_knn.iter().zip(aos_knn.iter()) {
+        assert_eq!(ds.to_bits(), da.to_bits(), "kNN distance bits");
+        assert_eq!(bits_f(&[*ps]), bits_f(&[*pa]), "kNN point bits (ties)");
+    }
+}
+
+fn assert_leaf_kernels_agree_i64(
+    points: &[Point<i64, 2>],
+    rect: &Rect<i64, 2>,
+    q: Point<i64, 2>,
+    k: usize,
+) {
+    let soa = LeafSoA::from_points(points);
+
+    assert_eq!(soa.range_count(rect), aos_range_count(points, rect));
+
+    let mut soa_hits = Vec::new();
+    soa.range_visit(rect, |p: &Point<i64, 2>| soa_hits.push(*p));
+    let mut aos_hits = Vec::new();
+    aos_range_visit(points, rect, |p: &Point<i64, 2>| aos_hits.push(*p));
+    assert_eq!(soa_hits, aos_hits, "range_visit order");
+
+    let mut soa_heap = KnnHeap::new(k);
+    soa.knn_offer(&q, &mut soa_heap);
+    let mut aos_heap = KnnHeap::new(k);
+    aos_knn_offer(points, &q, &mut aos_heap);
+    assert_eq!(
+        soa_heap.into_sorted_with_dist(),
+        aos_heap.into_sorted_with_dist(),
+        "kNN results incl. ties"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Tree-level oracle: a plain AoS scan over the original point slice.
+// ---------------------------------------------------------------------------
+
+/// Sort key that is total even for f64 (so unordered result sets compare).
+fn sort_points<T: Coord, const D: usize>(points: &mut [Point<T, D>]) {
+    points.sort_by(|a, b| {
+        (0..D)
+            .map(|d| a.coords[d].total_key().cmp(&b.coords[d].total_key()))
+            .find(|o| *o != std::cmp::Ordering::Equal)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+}
+
+fn assert_tree_matches_scan<T, I, const D: usize>(
+    points: &[Point<T, D>],
+    index: &I,
+    rect: &Rect<T, D>,
+    q: Point<T, D>,
+    k: usize,
+) where
+    T: Coord,
+    I: TreeOps<T, D>,
+{
+    let expect_count = aos_range_count(points, rect);
+    assert_eq!(index.tree_range_count(rect), expect_count);
+
+    let mut got = index.tree_range_list(rect);
+    let mut expect: Vec<Point<T, D>> = points
+        .iter()
+        .filter(|p| rect.contains(p))
+        .copied()
+        .collect();
+    sort_points(&mut got);
+    sort_points(&mut expect);
+    assert_eq!(got.len(), expect.len());
+    for (g, e) in got.iter().zip(expect.iter()) {
+        for d in 0..D {
+            assert_eq!(g.coords[d].total_key(), e.coords[d].total_key());
+        }
+    }
+
+    // kNN: the distance multiset must match a brute-force scan exactly.
+    let got_knn = index.tree_knn(&q, k);
+    let expect_knn = psi_geometry::brute_force_knn(points, &q, k);
+    assert_eq!(got_knn.len(), expect_knn.len());
+    for (g, e) in got_knn.iter().zip(expect_knn.iter()) {
+        assert_eq!(
+            T::dist_cmp(q.dist_sq(g), q.dist_sq(e)),
+            std::cmp::Ordering::Equal,
+            "kNN distance rank mismatch"
+        );
+    }
+}
+
+/// The minimal query surface shared by the two LeafSoA-adopting trees.
+trait TreeOps<T: Coord, const D: usize> {
+    fn tree_range_count(&self, rect: &Rect<T, D>) -> usize;
+    fn tree_range_list(&self, rect: &Rect<T, D>) -> Vec<Point<T, D>>;
+    fn tree_knn(&self, q: &Point<T, D>, k: usize) -> Vec<Point<T, D>>;
+}
+
+impl<T: Coord, const D: usize> TreeOps<T, D> for PkdTree<T, D> {
+    fn tree_range_count(&self, rect: &Rect<T, D>) -> usize {
+        self.range_count(rect)
+    }
+    fn tree_range_list(&self, rect: &Rect<T, D>) -> Vec<Point<T, D>> {
+        self.range_list(rect)
+    }
+    fn tree_knn(&self, q: &Point<T, D>, k: usize) -> Vec<Point<T, D>> {
+        self.knn(q, k)
+    }
+}
+
+impl<T: Coord, const D: usize> TreeOps<T, D> for POrthTree<T, D> {
+    fn tree_range_count(&self, rect: &Rect<T, D>) -> usize {
+        self.range_count(rect)
+    }
+    fn tree_range_list(&self, rect: &Rect<T, D>) -> Vec<Point<T, D>> {
+        self.range_list(rect)
+    }
+    fn tree_knn(&self, q: &Point<T, D>, k: usize) -> Vec<Point<T, D>> {
+        self.knn(q, k)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Properties.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// f64 leaf kernels over completely arbitrary bit patterns.
+    #[test]
+    fn f64_leaf_kernels_bit_identical_to_aos(
+        raw in proptest::collection::vec((wild_f64(), wild_f64()), 0..96),
+        ra in (wild_f64(), wild_f64()),
+        rb in (wild_f64(), wild_f64()),
+        q in (wild_f64(), wild_f64()),
+        k in 1usize..16,
+    ) {
+        let points = points_f(&raw);
+        let rect = rect_from(Point::new([ra.0, ra.1]), Point::new([rb.0, rb.1]));
+        assert_leaf_kernels_agree_f64(&points, &rect, Point::new([q.0, q.1]), k);
+    }
+
+    /// i64 leaf kernels over a tie-heavy domain.
+    #[test]
+    fn i64_leaf_kernels_identical_to_aos(
+        raw in proptest::collection::vec((tie_i64(), tie_i64()), 0..96),
+        ra in (tie_i64(), tie_i64()),
+        rb in (tie_i64(), tie_i64()),
+        q in (tie_i64(), tie_i64()),
+        k in 1usize..16,
+    ) {
+        let points = points_i(&raw);
+        let rect = rect_from(Point::new([ra.0, ra.1]), Point::new([rb.0, rb.1]));
+        assert_leaf_kernels_agree_i64(&points, &rect, Point::new([q.0, q.1]), k);
+    }
+
+    /// Multi-leaf kNN with one persistent heap, as the trees drive it: the
+    /// bound tightens from leaf to leaf, which is exactly the regime where
+    /// the SoA leaf's bbox prune can skip whole leaves. Results must stay
+    /// bit-identical to the AoS scan — over arbitrary bit patterns, where
+    /// pruning must fence itself off rather than trust NaN/inf arithmetic.
+    #[test]
+    fn f64_multi_leaf_knn_persistent_heap(
+        raw in proptest::collection::vec((wild_f64(), wild_f64()), 1..160),
+        leaf_size in 4usize..24,
+        q in (wild_f64(), wild_f64()),
+        k in 1usize..8,
+    ) {
+        let points = points_f(&raw);
+        let query = Point::new([q.0, q.1]);
+        let mut soa_heap = KnnHeap::new(k);
+        let mut aos_heap = KnnHeap::new(k);
+        for chunk in points.chunks(leaf_size) {
+            let soa = LeafSoA::from_points(chunk);
+            soa.knn_offer(&query, &mut soa_heap);
+            aos_knn_offer(chunk, &query, &mut aos_heap);
+        }
+        let soa_knn = soa_heap.into_sorted_with_dist();
+        let aos_knn = aos_heap.into_sorted_with_dist();
+        prop_assert_eq!(soa_knn.len(), aos_knn.len());
+        for ((ds, ps), (da, pa)) in soa_knn.iter().zip(aos_knn.iter()) {
+            prop_assert_eq!(ds.to_bits(), da.to_bits(), "kNN distance bits");
+            prop_assert_eq!(bits_f(&[*ps]), bits_f(&[*pa]), "kNN point bits (ties)");
+        }
+    }
+
+    /// Same persistent-heap regime for i64, with coordinates straddling the
+    /// prunable fence so the overflow fallback path is exercised.
+    #[test]
+    fn i64_multi_leaf_knn_persistent_heap(
+        raw in proptest::collection::vec((fence_i64(), fence_i64()), 1..160),
+        leaf_size in 4usize..24,
+        q in (fence_i64(), fence_i64()),
+        k in 1usize..8,
+    ) {
+        let points = points_i(&raw);
+        let query = Point::new([q.0, q.1]);
+        let mut soa_heap = KnnHeap::new(k);
+        let mut aos_heap = KnnHeap::new(k);
+        for chunk in points.chunks(leaf_size) {
+            let soa = LeafSoA::from_points(chunk);
+            soa.knn_offer(&query, &mut soa_heap);
+            aos_knn_offer(chunk, &query, &mut aos_heap);
+        }
+        prop_assert_eq!(
+            soa_heap.into_sorted_with_dist(),
+            aos_heap.into_sorted_with_dist(),
+            "kNN results incl. ties"
+        );
+    }
+
+    /// Pkd over i64: tree answers equal a brute-force scan after the SoA port.
+    #[test]
+    fn pkd_i64_tree_matches_scan(
+        raw in proptest::collection::vec((tie_i64(), tie_i64()), 1..400),
+        ra in (tie_i64(), tie_i64()),
+        rb in (tie_i64(), tie_i64()),
+        q in (tie_i64(), tie_i64()),
+        k in 1usize..12,
+    ) {
+        let points = points_i(&raw);
+        let tree = PkdTree::<i64, 2>::build(&points);
+        tree.check_invariants();
+        let rect = rect_from(Point::new([ra.0, ra.1]), Point::new([rb.0, rb.1]));
+        assert_tree_matches_scan(&points, &tree, &rect, Point::new([q.0, q.1]), k);
+    }
+
+    /// Pkd over f64 (finite incl. -0.0/subnormals).
+    #[test]
+    fn pkd_f64_tree_matches_scan(
+        raw in proptest::collection::vec((finite_f64(), finite_f64()), 1..400),
+        ra in (finite_f64(), finite_f64()),
+        rb in (finite_f64(), finite_f64()),
+        q in (finite_f64(), finite_f64()),
+        k in 1usize..12,
+    ) {
+        let points = points_f(&raw);
+        let tree = PkdTree::<f64, 2>::build(&points);
+        tree.check_invariants();
+        let rect = rect_from(Point::new([ra.0, ra.1]), Point::new([rb.0, rb.1]));
+        assert_tree_matches_scan(&points, &tree, &rect, Point::new([q.0, q.1]), k);
+    }
+
+    /// P-Orth over i64.
+    #[test]
+    fn porth_i64_tree_matches_scan(
+        raw in proptest::collection::vec((tie_i64(), tie_i64()), 1..400),
+        ra in (tie_i64(), tie_i64()),
+        rb in (tie_i64(), tie_i64()),
+        q in (tie_i64(), tie_i64()),
+        k in 1usize..12,
+    ) {
+        let points = points_i(&raw);
+        let tree = POrthTree::<i64, 2>::build(&points);
+        tree.check_invariants();
+        let rect = rect_from(Point::new([ra.0, ra.1]), Point::new([rb.0, rb.1]));
+        assert_tree_matches_scan(&points, &tree, &rect, Point::new([q.0, q.1]), k);
+    }
+
+    /// P-Orth over f64 (finite incl. -0.0/subnormals).
+    #[test]
+    fn porth_f64_tree_matches_scan(
+        raw in proptest::collection::vec((finite_f64(), finite_f64()), 1..400),
+        ra in (finite_f64(), finite_f64()),
+        rb in (finite_f64(), finite_f64()),
+        q in (finite_f64(), finite_f64()),
+        k in 1usize..12,
+    ) {
+        let points = points_f(&raw);
+        let tree = POrthTree::<f64, 2>::build(&points);
+        tree.check_invariants();
+        let rect = rect_from(Point::new([ra.0, ra.1]), Point::new([rb.0, rb.1]));
+        assert_tree_matches_scan(&points, &tree, &rect, Point::new([q.0, q.1]), k);
+    }
+}

@@ -519,6 +519,113 @@ fn scope_spawn_rides_the_pool() {
 }
 
 // ---------------------------------------------------------------------------
+// Chase-Lev deque hammer (PR 7): drive the lock-free push/pop/steal paths
+// through the public fork-join API hard enough that every racy transition —
+// single-element pop-vs-steal, ring growth under live tasks, index
+// wraparound, ABA-prone slot reuse — happens many times per run. The
+// low-level seeded hammers with direct deque access live in the rayon shim's
+// unit tests; these end-to-end storms make the same interleavings happen in
+// the real pool at every CI thread count.
+// ---------------------------------------------------------------------------
+
+/// Deterministic splitmix-style generator for seeded storm shapes.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 16
+    }
+}
+
+#[test]
+fn deque_hammer_scope_storm_forces_ring_growth_and_wraparound() {
+    let _g = override_lock();
+    with_threads(4, || {
+        // Each round pushes 4 096 spawns onto the submitter's deque before
+        // any meaningful draining starts: the 64-slot initial ring must grow
+        // several times while thieves hold live references to the old
+        // buffers. Across rounds the top/bottom indices keep advancing, so
+        // later rounds exercise the wrapped (idx & mask) slot mapping of the
+        // grown rings.
+        for round in 0..8u64 {
+            let total = AtomicUsize::new(0);
+            let tally = &total;
+            rayon::scope(|s| {
+                for i in 0..4_096usize {
+                    s.spawn(move |_| {
+                        tally.fetch_add(i ^ (round as usize), Ordering::Relaxed);
+                    });
+                }
+            });
+            let expect: usize = (0..4_096).map(|i| i ^ (round as usize)).sum();
+            assert_eq!(total.load(Ordering::Relaxed), expect, "round {round}");
+        }
+    });
+}
+
+#[test]
+fn deque_hammer_seeded_random_fork_trees_match_across_thread_counts() {
+    // Irregular fork trees whose split points and leaf weights come from a
+    // fixed seed: uneven subtree sizes maximise steal/pop contention and the
+    // empty-deque races, while the seed keeps the expected sum exact.
+    fn storm(rng_state: u64, depth: usize) -> u64 {
+        let mut rng = Lcg(rng_state);
+        if depth == 0 {
+            // A tiny, deterministic leaf workload.
+            return (0..(rng.next() % 64)).map(|x| x ^ rng_state).sum();
+        }
+        let (l, r) = (rng.next(), rng.next());
+        let (a, b) = rayon::join(|| storm(l, depth - 1), || storm(r, depth - 1));
+        a.wrapping_add(b)
+    }
+    let out = assert_thread_invariant(|| {
+        (0..16u64)
+            .collect::<Vec<_>>()
+            .par_iter()
+            .map(|&seed| storm(0x9E37_79B9_7F4A_7C15 ^ seed, 7))
+            .collect::<Vec<u64>>()
+    });
+    assert_eq!(out.len(), 16);
+}
+
+#[test]
+fn deque_hammer_rapid_tiny_joins_stress_single_element_races() {
+    let _g = override_lock();
+    with_threads(4, || {
+        // Thousands of joins whose forked half is a single trivial task: the
+        // owner's pop and a thief's steal race for the same lone element
+        // (the CAS-certified bottom==top case) over and over. Running four
+        // such streams concurrently keeps the thieves hungry.
+        let total: u64 = (0..4usize)
+            .into_par_iter()
+            .with_min_len(1)
+            .map(|lane| {
+                let mut acc = 0u64;
+                for i in 0..20_000u64 {
+                    let (a, b) = rayon::join(|| i ^ lane as u64, || i.wrapping_mul(3));
+                    acc = acc.wrapping_add(a ^ b);
+                }
+                acc
+            })
+            .sum();
+        let expect: u64 = (0..4u64)
+            .map(|lane| {
+                let mut acc = 0u64;
+                for i in 0..20_000u64 {
+                    acc = acc.wrapping_add((i ^ lane) ^ i.wrapping_mul(3));
+                }
+                acc
+            })
+            .sum();
+        assert_eq!(total, expect);
+    });
+}
+
+// ---------------------------------------------------------------------------
 // The caller-owned range_list arena (PR 2 satellite).
 // ---------------------------------------------------------------------------
 
