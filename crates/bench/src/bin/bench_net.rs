@@ -67,6 +67,7 @@ fn run_cell(
             shards,
             coalesce_max_batch: coalesce,
             writer_queue: 8,
+            ..Default::default()
         },
         factory,
     ));

@@ -20,9 +20,10 @@
 
 use psi::registry::{self, BuildOptions};
 use psi::PointI;
-use psi_server::{closed_loop, IndexFactory, LoadSpec, PsiServer, ServeConfig};
+use psi_server::{closed_loop, IndexFactory, LoadSpec, PsiServer, Router, ServeConfig};
 use psi_workloads as workloads;
 use std::sync::Arc;
+use std::time::Instant;
 
 const MAX_COORD: i64 = 1_000_000_000;
 
@@ -73,6 +74,7 @@ fn run_cell(
             shards,
             coalesce_max_batch: coalesce,
             writer_queue: 8,
+            ..Default::default()
         },
         factory,
     ));
@@ -101,6 +103,64 @@ fn run_cell(
         p50_ms: out.p50_ms,
         p99_ms: out.p99_ms,
         coalesce: out.coalesce_factor,
+    }
+}
+
+/// Publish-latency comparison: how long one epoch publication takes under
+/// the left-right double-copy protocol versus persistent CoW snapshots.
+/// Left-right shards rebuild/patch a standby tree and wait out straggling
+/// readers; persistent shards apply the batch once and swap an O(log n)
+/// path-copied root.
+struct PublishCell {
+    family: &'static str,
+    mode: &'static str,
+    rounds: usize,
+    mean_ms: f64,
+    p99_ms: f64,
+}
+
+fn publish_latency_cell(
+    family: &'static str,
+    data: &[PointI<2>],
+    shards: usize,
+    batch: usize,
+    rounds: usize,
+) -> PublishCell {
+    let universe = workloads::universe::<2>(MAX_COORD);
+    let opts = BuildOptions::with_universe(universe);
+    let factory: IndexFactory<i64, 2> = Arc::new(move |pts: &[PointI<2>]| {
+        registry::create::<2>(family, pts, &opts).expect("registry families all build")
+    });
+    let router = Router::new(&factory, data, &universe, shards);
+    let mode = if router.is_persistent() {
+        "persistent"
+    } else {
+        "left-right"
+    };
+    let mut lat_ms: Vec<f64> = Vec::with_capacity(rounds);
+    for r in 0..rounds {
+        let span = &data[(r * batch) % (data.len() - batch)..][..batch];
+        let moved: Vec<PointI<2>> = span.to_vec();
+        // A reader pins the pre-publish epoch for the duration of the
+        // publish, as a concurrent query would. The pin is re-taken each
+        // round: holding one pin across many publishes would (by design)
+        // block a left-right writer forever — the protocol this bench
+        // compares against — and on this single thread that is a deadlock.
+        let pin = router.pin();
+        let t = Instant::now();
+        router.publish(&moved, &moved);
+        lat_ms.push(t.elapsed().as_secs_f64() * 1e3);
+        drop(pin);
+    }
+    lat_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mean_ms = lat_ms.iter().sum::<f64>() / rounds as f64;
+    let p99_ms = lat_ms[(rounds * 99 / 100).min(rounds - 1)];
+    PublishCell {
+        family,
+        mode,
+        rounds,
+        mean_ms,
+        p99_ms,
     }
 }
 
@@ -204,19 +264,40 @@ fn main() {
         ));
     }
 
+    // Publish-latency comparison: one left-right family against one
+    // persistent (CoW snapshot) family, same data and batch size.
+    let publish_rounds = if smoke { 40 } else { 200 };
+    let publish_batch = 200.min(n / 4);
+    let mut publish_cells: Vec<String> = Vec::new();
+    for family in ["pkd", "cpam-h"] {
+        let cell = publish_latency_cell(family, &data, shards, publish_batch, publish_rounds);
+        println!(
+            "publish  {:<8} mode={:<10} rounds={:<4} mean={:.3}ms p99={:.3}ms",
+            cell.family, cell.mode, cell.rounds, cell.mean_ms, cell.p99_ms
+        );
+        publish_cells.push(format!(
+            "    {{\"family\": \"{}\", \"mode\": \"{}\", \"batch\": {}, \"rounds\": {}, \
+             \"mean_ms\": {:.4}, \"p99_ms\": {:.4}}}",
+            cell.family, cell.mode, publish_batch, cell.rounds, cell.mean_ms, cell.p99_ms
+        ));
+    }
+
     let json = format!(
         "{{\n  \"bench\": \"serve_closed_loop\",\n  {},\n  \"n\": {},\n  \
          \"ops_per_client\": {},\n  \"shards\": {},\n  \"coalesce_max_batch\": {},\n  \"k\": {},\n  \
          \"note\": \"closed-loop clients over psi-server (epoch snapshots + coalescer + shard router); \
          move batches conserve the live count (checked); measured on a 1-core container — client \
          counts above machine_threads time-share and cannot show scaling; rerun on a multi-core box \
-         for real speedups\",\n  \"families\": [\n{}\n  ]\n}}\n",
+         for real speedups; publish_latency compares the left-right double-copy protocol against \
+         persistent CoW snapshot publication, a reader pin re-taken around each publish\",\n  \
+         \"publish_latency\": [\n{}\n  ],\n  \"families\": [\n{}\n  ]\n}}\n",
         psi_bench::host_meta_json(),
         n,
         ops,
         shards,
         coalesce,
         k,
+        publish_cells.join(",\n"),
         blocks.join(",\n")
     );
     std::fs::write(&out, json).expect("failed to write benchmark output");

@@ -257,6 +257,7 @@ fn boot_typed<T: ServeCoord + WireCoord, const D: usize>(
             shards: cfg.shards,
             coalesce_max_batch: cfg.coalesce,
             writer_queue: 8,
+            ..Default::default()
         },
         factory,
     ));

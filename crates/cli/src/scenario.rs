@@ -46,6 +46,7 @@
 //! write-every-ms = 2            # writer pacing (0 = as fast as possible)
 //! coalesce = 32                 # max queries folded into one flush
 //! transport = inproc            # inproc | threaded | evented (TCP loopback)
+//! epoch-history = 8             # retained epochs for "as of epoch N" queries
 //! ```
 //!
 //! Amounts are either absolute point counts (`500`) or percentages of `n`
@@ -217,6 +218,10 @@ pub struct ServeSpec {
     pub write_every_ms: u64,
     /// Maximum queries the coalescer folds into one batched flush.
     pub coalesce: usize,
+    /// Published epochs retained for "as of epoch N" time-travel queries.
+    /// Only takes effect when every shard serves a snapshot-capable
+    /// (persistent) family; left-right families keep no history.
+    pub epoch_history: usize,
     /// Family serving the phase; `None` uses the scenario's first instance.
     pub family: Option<&'static str>,
     /// How clients reach the server: in-process handles (the default) or a
@@ -264,6 +269,7 @@ impl Default for ServeSpec {
             write_batch: 64,
             write_every_ms: 2,
             coalesce: 32,
+            epoch_history: psi_server::DEFAULT_EPOCH_HISTORY,
             family: None,
             transport: ServeTransport::Inproc,
         }
@@ -469,6 +475,7 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
                         })?
                     }
                     "coalesce" => sv.coalesce = parse_usize(value, "coalesce")?,
+                    "epoch-history" => sv.epoch_history = parse_usize(value, "epoch-history")?,
                     "transport" => {
                         sv.transport = ServeTransport::parse(value).ok_or_else(|| {
                             err(
@@ -796,6 +803,7 @@ write-every-ms = 5
 coalesce = 16
 family = pkd
 transport = evented
+epoch-history = 12
 ";
         let sc = parse(text).unwrap();
         let sv = sc.serve.expect("serve section parsed");
@@ -805,6 +813,7 @@ transport = evented
         assert_eq!(sv.write_batch, 32);
         assert_eq!(sv.write_every_ms, 5);
         assert_eq!(sv.coalesce, 16);
+        assert_eq!(sv.epoch_history, 12);
         assert_eq!(sv.family, Some("pkd"));
         assert_eq!(sv.transport, ServeTransport::Evented);
         assert_eq!(sv.transport.name(), "evented");

@@ -169,6 +169,7 @@ fn serve_typed<T: ServeCoord + WireCoord, const D: usize>(
             shards: sv.shards,
             coalesce_max_batch: sv.coalesce,
             writer_queue: 8,
+            epoch_history: sv.epoch_history,
         },
         factory,
     ));
@@ -209,6 +210,19 @@ fn serve_typed<T: ServeCoord + WireCoord, const D: usize>(
         }
     }
     .map_err(|e| format!("serve phase: {e}"))?;
+    // Time-travel sanity probe: when the shards are persistent, the newest
+    // retained epoch must agree with the live view — drift here means a
+    // publish escaped the history log.
+    let epoch = server.epoch();
+    if let Some(past) = server.view_at(epoch) {
+        let live = server.view().len();
+        if past.len() != live {
+            return Err(format!(
+                "serve phase: epoch {epoch} snapshot holds {} points, live view holds {live}",
+                past.len()
+            ));
+        }
+    }
     Ok(ServeReport {
         family: family.to_string(),
         shards: sv.shards,
@@ -289,6 +303,21 @@ coalesce = 16
             assert_eq!(report.ops, 120, "{transport}");
             assert!(report.coalesce_factor >= 1.0, "{transport}");
         }
+    }
+
+    #[test]
+    fn persistent_family_serves_with_epoch_history() {
+        // A snapshot-capable family exercises the persistent publish path
+        // and the time-travel sanity probe in `serve_typed`.
+        let text = SERVE
+            .replace("families = spac-h, brute-force", "families = cpam-h")
+            .replace("coalesce = 16", "coalesce = 16\nepoch-history = 4");
+        let sc = scenario::parse(&text).unwrap();
+        assert_eq!(sc.serve.as_ref().unwrap().epoch_history, 4);
+        let report = run_serve(&sc, None).unwrap();
+        assert_eq!(report.family, "cpam-h");
+        assert_eq!(report.ops, 120);
+        assert!(report.batches > 0, "writer must publish epochs");
     }
 
     #[test]

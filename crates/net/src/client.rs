@@ -10,7 +10,10 @@
 //! `psi_server::loadgen::closed_loop_with` can drive real sockets through
 //! the exact closed-loop driver (and conservation checks) used in-process.
 
-use crate::wire::{decode_reply, encode_request, read_frame, Reply, Request, WireCoord, ERR_BUSY};
+use crate::wire::{
+    decode_reply, encode_request, read_frame, Reply, Request, WireCoord, ERR_BUSY, ERR_EPOCH,
+    MAX_FRAME, PAYLOAD_HEADER,
+};
 use psi_geometry::{Point, Rect};
 use psi_server::{QueryClient, ServeCoord};
 use std::io::{self, Write};
@@ -63,12 +66,16 @@ impl<T: WireCoord, const D: usize> WireClient<T, D> {
     }
 
     /// Send one request without waiting for its reply; returns the request
-    /// id the matching reply will echo.
+    /// id the matching reply will echo. Fails with `InvalidInput` — before
+    /// any bytes hit the socket — when the request body would exceed the
+    /// frame cap ([`MAX_FRAME`]); split such batches instead (see
+    /// [`WireClient::apply_batch`], which chunks automatically).
     pub fn send(&mut self, req: &Request<T, D>) -> io::Result<u64> {
         let id = self.next_id;
         self.next_id += 1;
         self.wbuf.clear();
-        encode_request(req, id, &mut self.wbuf);
+        encode_request(req, id, &mut self.wbuf)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
         self.stream.write_all(&self.wbuf)?;
         Ok(id)
     }
@@ -103,38 +110,133 @@ impl<T: WireCoord, const D: usize> WireClient<T, D> {
         }
     }
 
+    /// Like [`WireClient::query`], but an [`ERR_EPOCH`] reply — the pinned
+    /// epoch fell off the server's history window — becomes `Ok(None)`
+    /// instead of an error; the connection stays usable either way.
+    fn query_at(&mut self, req: Request<T, D>) -> io::Result<Option<Reply<T, D>>> {
+        match self.call(&req)? {
+            Reply::Error { code, .. } if code == ERR_EPOCH => Ok(None),
+            Reply::Error { code, message } => {
+                Err(io::Error::other(format!("server error {code}: {message}")))
+            }
+            ok => Ok(Some(ok)),
+        }
+    }
+
     /// The `k` nearest stored neighbours of `q`, closest first.
     pub fn knn(&mut self, q: &Point<T, D>, k: usize) -> io::Result<Vec<Point<T, D>>> {
-        match self.query(Request::Knn { q: *q, k: k as u32 })? {
+        match self.query(Request::Knn {
+            q: *q,
+            k: k as u32,
+            at: None,
+        })? {
             Reply::Points(p) => Ok(p),
             _ => Err(bad_reply("knn answered with a non-points reply")),
         }
     }
 
+    /// `knn` against the snapshot published at `epoch`. `Ok(None)` means the
+    /// epoch is outside the server's retained history window.
+    pub fn knn_at(
+        &mut self,
+        q: &Point<T, D>,
+        k: usize,
+        epoch: u64,
+    ) -> io::Result<Option<Vec<Point<T, D>>>> {
+        match self.query_at(Request::Knn {
+            q: *q,
+            k: k as u32,
+            at: Some(epoch),
+        })? {
+            None => Ok(None),
+            Some(Reply::Points(p)) => Ok(Some(p)),
+            Some(_) => Err(bad_reply("knn answered with a non-points reply")),
+        }
+    }
+
     /// Number of stored points in the closed box.
     pub fn range_count(&mut self, rect: &Rect<T, D>) -> io::Result<usize> {
-        match self.query(Request::RangeCount { rect: *rect })? {
+        match self.query(Request::RangeCount {
+            rect: *rect,
+            at: None,
+        })? {
             Reply::Count(c) => Ok(c as usize),
             _ => Err(bad_reply("range_count answered with a non-count reply")),
         }
     }
 
+    /// `range_count` against the snapshot published at `epoch`; `Ok(None)`
+    /// when that epoch has been evicted from the history window.
+    pub fn range_count_at(&mut self, rect: &Rect<T, D>, epoch: u64) -> io::Result<Option<usize>> {
+        match self.query_at(Request::RangeCount {
+            rect: *rect,
+            at: Some(epoch),
+        })? {
+            None => Ok(None),
+            Some(Reply::Count(c)) => Ok(Some(c as usize)),
+            Some(_) => Err(bad_reply("range_count answered with a non-count reply")),
+        }
+    }
+
     /// The stored points in the closed box (shard order).
     pub fn range_list(&mut self, rect: &Rect<T, D>) -> io::Result<Vec<Point<T, D>>> {
-        match self.query(Request::RangeList { rect: *rect })? {
+        match self.query(Request::RangeList {
+            rect: *rect,
+            at: None,
+        })? {
             Reply::Points(p) => Ok(p),
             _ => Err(bad_reply("range_list answered with a non-points reply")),
+        }
+    }
+
+    /// `range_list` against the snapshot published at `epoch`; `Ok(None)`
+    /// when that epoch has been evicted from the history window.
+    pub fn range_list_at(
+        &mut self,
+        rect: &Rect<T, D>,
+        epoch: u64,
+    ) -> io::Result<Option<Vec<Point<T, D>>>> {
+        match self.query_at(Request::RangeList {
+            rect: *rect,
+            at: Some(epoch),
+        })? {
+            None => Ok(None),
+            Some(Reply::Points(p)) => Ok(Some(p)),
+            Some(_) => Err(bad_reply("range_list answered with a non-points reply")),
         }
     }
 
     /// Publish one update batch (deletions before insertions). Retries
     /// [`ERR_BUSY`] by spinning on the server's back-pressure signal; any
     /// other error is fatal for the connection.
+    ///
+    /// Batches too large for one wire frame are split into several
+    /// `ApplyBatch` frames — all deletion chunks first, then all insertion
+    /// chunks, preserving delete-before-insert semantics. The server
+    /// publishes each frame as its own epoch, so an oversized batch lands
+    /// over a handful of epochs instead of failing to encode.
     pub fn apply_batch(
         &mut self,
         delete: Vec<Point<T, D>>,
         insert: Vec<Point<T, D>>,
     ) -> io::Result<()> {
+        // Points one frame can carry: coordinates are 8 wire bytes each, and
+        // the payload header plus the two point counts ride along under
+        // MAX_FRAME.
+        let cap = (MAX_FRAME - PAYLOAD_HEADER - 16) / (D * 8);
+        if delete.len() + insert.len() <= cap {
+            return self.apply_one(delete, insert);
+        }
+        for chunk in delete.chunks(cap) {
+            self.apply_one(chunk.to_vec(), Vec::new())?;
+        }
+        for chunk in insert.chunks(cap) {
+            self.apply_one(Vec::new(), chunk.to_vec())?;
+        }
+        Ok(())
+    }
+
+    fn apply_one(&mut self, delete: Vec<Point<T, D>>, insert: Vec<Point<T, D>>) -> io::Result<()> {
         let req = Request::ApplyBatch { delete, insert };
         loop {
             match self.call(&req)? {

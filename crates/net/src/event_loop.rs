@@ -25,7 +25,7 @@
 //! on the floor.
 
 use crate::epoll::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
-use crate::listener::answer_blocking;
+use crate::listener::{answer_blocking, reply_epoch_gone, reply_too_large};
 use crate::wire::{
     check_hello, decode_request, encode_reply, frame_size, Reply, Request, WireCoord, WireError,
     ERR_BUSY, LEN_PREFIX,
@@ -390,28 +390,34 @@ impl<T: ServeCoord + WireCoord, const D: usize> Reactor<T, D> {
                 self.queue_reply(idx, &reply, opcode, req_id);
                 return;
             }
-            Request::Knn { q, k } => {
+            Request::Knn { q, k, at } => {
                 if k == 0 {
                     self.queue_reply(idx, &Reply::Points(Vec::new()), opcode, req_id);
                     return;
                 }
-                QueryOp::Knn(q, k as usize)
+                (QueryOp::Knn(q, k as usize), at)
             }
-            Request::RangeCount { rect } => QueryOp::RangeCount(rect),
-            Request::RangeList { rect } => QueryOp::RangeList(rect),
+            Request::RangeCount { rect, at } => (QueryOp::RangeCount(rect), at),
+            Request::RangeList { rect, at } => (QueryOp::RangeList(rect), at),
         };
+        let (op, at) = op;
         let outbox = Arc::clone(&self.outbox);
         let wake = Arc::clone(&self.wake_tx);
         let gen = self.gens[idx];
-        handle.submit(
+        handle.submit_at(
             op,
+            at,
             Completion::Callback(Box::new(move |answer| {
                 let reply: Reply<T, D> = match answer {
                     QueryReply::Points(p) => Reply::Points(p),
                     QueryReply::Count(c) => Reply::Count(c as u64),
+                    QueryReply::EpochGone => reply_epoch_gone(),
                 };
                 let mut bytes = Vec::new();
-                encode_reply(&reply, opcode, req_id, &mut bytes);
+                if encode_reply(&reply, opcode, req_id, &mut bytes).is_err() {
+                    encode_reply::<T, D>(&reply_too_large(), opcode, req_id, &mut bytes)
+                        .expect("error frames fit one frame");
+                }
                 outbox.lock().unwrap().push((idx, gen, bytes));
                 // A full wakeup pipe means a kick is already pending.
                 let _ = (&*wake).write(&[1]);
@@ -421,7 +427,14 @@ impl<T: ServeCoord + WireCoord, const D: usize> Reactor<T, D> {
 
     fn queue_reply(&mut self, idx: usize, reply: &Reply<T, D>, opcode: u8, req_id: u64) {
         let conn = self.conns[idx].as_mut().expect("live conn");
-        encode_reply(reply, opcode, req_id, &mut conn.wbuf);
+        let at = conn.wbuf.len();
+        if encode_reply(reply, opcode, req_id, &mut conn.wbuf).is_err() {
+            // Rolled back to `at`: substitute a typed too-large error so the
+            // client still gets an answer for this req_id.
+            debug_assert_eq!(conn.wbuf.len(), at);
+            encode_reply::<T, D>(&reply_too_large(), opcode, req_id, &mut conn.wbuf)
+                .expect("error frames fit one frame");
+        }
     }
 
     fn write_ready(&mut self, idx: usize) {

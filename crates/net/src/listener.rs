@@ -6,7 +6,7 @@
 
 use crate::wire::{
     check_hello, decode_request, encode_reply, read_frame, Reply, Request, WireCoord, WireError,
-    ERR_BUSY,
+    ERR_BUSY, ERR_EPOCH, ERR_TOO_LARGE,
 };
 use crate::{Backend, Ctx, NetStats};
 use psi_server::ServeCoord;
@@ -134,7 +134,8 @@ fn serve_conn<T: ServeCoord + WireCoord, const D: usize>(
                     0,
                     0,
                     &mut out,
-                );
+                )
+                .expect("error frames fit one frame");
                 let _ = stream.write_all(&out);
                 return Ok(());
             }
@@ -144,7 +145,8 @@ fn serve_conn<T: ServeCoord + WireCoord, const D: usize>(
             let failed = reply.is_err();
             let reply = reply.unwrap_or_else(|e| e);
             out.clear();
-            encode_reply(&reply, req.opcode(), req_id, &mut out);
+            encode_reply(&reply, req.opcode(), req_id, &mut out)
+                .expect("hello frames fit one frame");
             stream.write_all(&out)?;
             if failed {
                 stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
@@ -156,7 +158,12 @@ fn serve_conn<T: ServeCoord + WireCoord, const D: usize>(
         let opcode = req.opcode();
         let reply = answer_blocking(ctx, req);
         out.clear();
-        encode_reply(&reply, opcode, req_id, &mut out);
+        if encode_reply(&reply, opcode, req_id, &mut out).is_err() {
+            // The reply outgrew the frame cap (e.g. a huge range-list):
+            // answer with a typed error instead; the connection stays open.
+            encode_reply::<T, D>(&reply_too_large(), opcode, req_id, &mut out)
+                .expect("error frames fit one frame");
+        }
         stream.write_all(&out)?;
     }
 }
@@ -176,8 +183,25 @@ fn send_error<T: WireCoord, const D: usize>(
         0,
         0,
         out,
-    );
+    )
+    .expect("error frames fit one frame");
     let _ = stream.write_all(out);
+}
+
+/// The error reply sent when an answer outgrows the frame cap.
+pub(crate) fn reply_too_large<T: WireCoord, const D: usize>() -> Reply<T, D> {
+    Reply::Error {
+        code: ERR_TOO_LARGE,
+        message: "reply exceeds the frame cap; narrow the query".to_string(),
+    }
+}
+
+/// The error reply sent when a pinned epoch fell off the history window.
+pub(crate) fn reply_epoch_gone<T: WireCoord, const D: usize>() -> Reply<T, D> {
+    Reply::Error {
+        code: ERR_EPOCH,
+        message: "epoch outside the retained history window".to_string(),
+    }
 }
 
 /// Answer one post-hello request on the calling thread. Blocking on the
@@ -193,18 +217,42 @@ pub(crate) fn answer_blocking<T: ServeCoord + WireCoord, const D: usize>(
         Request::Hello { .. } => match check_hello(&req, ctx.shards) {
             Ok(ok) | Err(ok) => ok,
         },
-        Request::Knn { q, k } => Reply::Points(match &ctx.backend {
-            Backend::Coalesced(h) => h.knn(&q, k as usize),
-            Backend::Direct(h) => h.knn(&q, k as usize),
-        }),
-        Request::RangeCount { rect } => Reply::Count(match &ctx.backend {
-            Backend::Coalesced(h) => h.range_count(&rect),
-            Backend::Direct(h) => h.range_count(&rect),
-        } as u64),
-        Request::RangeList { rect } => Reply::Points(match &ctx.backend {
-            Backend::Coalesced(h) => h.range_list(&rect),
-            Backend::Direct(h) => h.range_list(&rect),
-        }),
+        Request::Knn { q, k, at } => {
+            let ans = match (&ctx.backend, at) {
+                (Backend::Coalesced(h), None) => Some(h.knn(&q, k as usize)),
+                (Backend::Coalesced(h), Some(e)) => h.knn_at(&q, k as usize, e),
+                (Backend::Direct(h), None) => Some(h.knn(&q, k as usize)),
+                (Backend::Direct(h), Some(e)) => h.knn_at(&q, k as usize, e),
+            };
+            match ans {
+                Some(p) => Reply::Points(p),
+                None => reply_epoch_gone(),
+            }
+        }
+        Request::RangeCount { rect, at } => {
+            let ans = match (&ctx.backend, at) {
+                (Backend::Coalesced(h), None) => Some(h.range_count(&rect)),
+                (Backend::Coalesced(h), Some(e)) => h.range_count_at(&rect, e),
+                (Backend::Direct(h), None) => Some(h.range_count(&rect)),
+                (Backend::Direct(h), Some(e)) => h.range_count_at(&rect, e),
+            };
+            match ans {
+                Some(c) => Reply::Count(c as u64),
+                None => reply_epoch_gone(),
+            }
+        }
+        Request::RangeList { rect, at } => {
+            let ans = match (&ctx.backend, at) {
+                (Backend::Coalesced(h), None) => Some(h.range_list(&rect)),
+                (Backend::Coalesced(h), Some(e)) => h.range_list_at(&rect, e),
+                (Backend::Direct(h), None) => Some(h.range_list(&rect)),
+                (Backend::Direct(h), Some(e)) => h.range_list_at(&rect, e),
+            };
+            match ans {
+                Some(p) => Reply::Points(p),
+                None => reply_epoch_gone(),
+            }
+        }
         Request::ApplyBatch { delete, insert } => match ctx.server.try_submit(delete, insert) {
             Ok(()) => Reply::BatchOk,
             Err(_) => Reply::Error {

@@ -160,9 +160,16 @@ pub fn fanout<T: WireCoord, const D: usize>(
                             OpChoice::Knn(q) => Request::Knn {
                                 q: queries[q],
                                 k: spec.k as u32,
+                                at: None,
                             },
-                            OpChoice::Count(r) => Request::RangeCount { rect: rects[r] },
-                            OpChoice::List(r) => Request::RangeList { rect: rects[r] },
+                            OpChoice::Count(r) => Request::RangeCount {
+                                rect: rects[r],
+                                at: None,
+                            },
+                            OpChoice::List(r) => Request::RangeList {
+                                rect: rects[r],
+                                at: None,
+                            },
                         };
                         sent_at.push(Instant::now());
                         conn.send(&req).map_err(|e| format!("send: {e}"))?;

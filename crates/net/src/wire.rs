@@ -35,8 +35,10 @@ use psi_geometry::{Coord, Point, Rect};
 
 /// First bytes of every connection: `b"PSIN"` read as a little-endian u32.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"PSIN");
-/// Protocol version this build speaks.
-pub const VERSION: u16 = 1;
+/// Protocol version this build speaks. Version 2 added the optional
+/// "as of epoch" tag on query frames (a presence byte + u64 after the
+/// operation's body) and the [`ERR_EPOCH`] error code.
+pub const VERSION: u16 = 2;
 /// Hard cap on the length prefix (16 MiB). Larger frames are a protocol
 /// error; the limit bounds per-connection memory against hostile prefixes.
 pub const MAX_FRAME: usize = 1 << 24;
@@ -65,6 +67,9 @@ pub const ERR_MALFORMED: u16 = 5;
 pub const ERR_TOO_LARGE: u16 = 6;
 pub const ERR_HELLO_FIRST: u16 = 7;
 pub const ERR_BUSY: u16 = 8;
+/// The requested epoch is outside the server's retained history window.
+/// Per-request failure — the connection stays open.
+pub const ERR_EPOCH: u16 = 9;
 
 /// Coordinate types that travel on the wire: 8 bytes little-endian each,
 /// tagged so both ends agree on the interpretation during hello.
@@ -106,12 +111,17 @@ impl WireCoord for f64 {
 pub enum Request<T: WireCoord, const D: usize> {
     /// Connection opener: magic + version + coordinate tag + dims.
     Hello { version: u16, coord: u8, dims: u8 },
-    /// `k` nearest neighbours of a query point.
-    Knn { q: Point<T, D>, k: u32 },
-    /// Number of stored points in the closed box.
-    RangeCount { rect: Rect<T, D> },
-    /// The stored points in the closed box.
-    RangeList { rect: Rect<T, D> },
+    /// `k` nearest neighbours of a query point; `at` pins the answer to a
+    /// retained global epoch (time travel), `None` means "current".
+    Knn {
+        q: Point<T, D>,
+        k: u32,
+        at: Option<u64>,
+    },
+    /// Number of stored points in the closed box (as of `at`, if given).
+    RangeCount { rect: Rect<T, D>, at: Option<u64> },
+    /// The stored points in the closed box (as of `at`, if given).
+    RangeList { rect: Rect<T, D>, at: Option<u64> },
     /// One update batch: deletions applied before insertions.
     ApplyBatch {
         delete: Vec<Point<T, D>>,
@@ -206,9 +216,29 @@ fn begin_frame(out: &mut Vec<u8>, opcode: u8, req_id: u64) -> usize {
     at
 }
 
-fn end_frame(out: &mut [u8], at: usize) {
-    let len = (out.len() - at - LEN_PREFIX) as u32;
-    out[at..at + LEN_PREFIX].copy_from_slice(&len.to_le_bytes());
+/// Backpatch the length prefix, enforcing [`MAX_FRAME`] on the *encode*
+/// side: a frame the peer would reject as `BadLength` must never leave this
+/// process (and a > 4 GiB body must not silently wrap the u32 prefix). On
+/// failure the partial frame is rolled back, leaving `out` exactly as it was
+/// before `begin_frame` — safe to reuse for the next message.
+fn end_frame(out: &mut Vec<u8>, at: usize) -> Result<(), WireError> {
+    let len = out.len() - at - LEN_PREFIX;
+    if len > MAX_FRAME {
+        out.truncate(at);
+        return Err(WireError::BadLength(len));
+    }
+    out[at..at + LEN_PREFIX].copy_from_slice(&(len as u32).to_le_bytes());
+    Ok(())
+}
+
+fn put_at(out: &mut Vec<u8>, at: &Option<u64>) {
+    match at {
+        Some(e) => {
+            out.push(1);
+            out.extend_from_slice(&e.to_le_bytes());
+        }
+        None => out.push(0),
+    }
 }
 
 fn put_point<T: WireCoord, const D: usize>(out: &mut Vec<u8>, p: &Point<T, D>) {
@@ -225,11 +255,14 @@ fn put_points<T: WireCoord, const D: usize>(out: &mut Vec<u8>, pts: &[Point<T, D
 }
 
 /// Append one encoded request frame to `out` (reusable across calls).
+/// Fails — rolling `out` back to its previous length — when the body would
+/// exceed [`MAX_FRAME`] (e.g. an `ApplyBatch` over ~16 MiB of points must
+/// be chunked by the caller, not sent as a frame the peer will reject).
 pub fn encode_request<T: WireCoord, const D: usize>(
     req: &Request<T, D>,
     req_id: u64,
     out: &mut Vec<u8>,
-) {
+) -> Result<(), WireError> {
     let at = begin_frame(out, req.opcode(), req_id);
     match req {
         Request::Hello {
@@ -242,13 +275,15 @@ pub fn encode_request<T: WireCoord, const D: usize>(
             out.push(*coord);
             out.push(*dims);
         }
-        Request::Knn { q, k } => {
+        Request::Knn { q, k, at: epoch } => {
             out.extend_from_slice(&k.to_le_bytes());
             put_point(out, q);
+            put_at(out, epoch);
         }
-        Request::RangeCount { rect } | Request::RangeList { rect } => {
+        Request::RangeCount { rect, at: epoch } | Request::RangeList { rect, at: epoch } => {
             put_point(out, &rect.lo);
             put_point(out, &rect.hi);
+            put_at(out, epoch);
         }
         Request::ApplyBatch { delete, insert } => {
             out.extend_from_slice(&(delete.len() as u32).to_le_bytes());
@@ -257,18 +292,20 @@ pub fn encode_request<T: WireCoord, const D: usize>(
             put_points(out, insert);
         }
     }
-    end_frame(out, at);
+    end_frame(out, at)
 }
 
 /// Append one encoded reply frame to `out`. `reply_to` is the opcode of the
 /// request being answered (success replies mirror it with [`REPLY_BIT`]
-/// set; error replies always carry [`OP_ERROR`]).
+/// set; error replies always carry [`OP_ERROR`]). Fails — rolling `out`
+/// back — when the reply body would exceed [`MAX_FRAME`] (a range-list
+/// answer can outgrow the frame cap even when every request fit).
 pub fn encode_reply<T: WireCoord, const D: usize>(
     reply: &Reply<T, D>,
     reply_to: u8,
     req_id: u64,
     out: &mut Vec<u8>,
-) {
+) -> Result<(), WireError> {
     let opcode = match reply {
         Reply::Error { .. } => OP_ERROR,
         _ => reply_to | REPLY_BIT,
@@ -297,7 +334,7 @@ pub fn encode_reply<T: WireCoord, const D: usize>(
             out.extend_from_slice(message.as_bytes());
         }
     }
-    end_frame(out, at);
+    end_frame(out, at)
 }
 
 // ---------------------------------------------------------------- decoding
@@ -388,6 +425,15 @@ impl<'a> Rd<'a> {
         Ok(Rect::from_corners(lo, hi))
     }
 
+    /// The optional "as of epoch" tag: presence byte, then u64 if present.
+    fn at(&mut self) -> Result<Option<u64>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            _ => Err(WireError::Malformed("bad epoch presence byte")),
+        }
+    }
+
     fn finish(&self) -> Result<(), WireError> {
         if self.pos == self.buf.len() {
             Ok(())
@@ -420,9 +466,16 @@ pub fn decode_request<T: WireCoord, const D: usize>(
         OP_KNN => Request::Knn {
             k: rd.u32()?,
             q: rd.point()?,
+            at: rd.at()?,
         },
-        OP_RANGE_COUNT => Request::RangeCount { rect: rd.rect()? },
-        OP_RANGE_LIST => Request::RangeList { rect: rd.rect()? },
+        OP_RANGE_COUNT => Request::RangeCount {
+            rect: rd.rect()?,
+            at: rd.at()?,
+        },
+        OP_RANGE_LIST => Request::RangeList {
+            rect: rd.rect()?,
+            at: rd.at()?,
+        },
         OP_APPLY_BATCH => {
             let n_del = rd.u32()? as usize;
             let n_ins = rd.u32()? as usize;
@@ -547,7 +600,7 @@ mod tests {
 
     fn round_trip_request<T: WireCoord, const D: usize>(req: Request<T, D>, id: u64) {
         let mut buf = Vec::new();
-        encode_request(&req, id, &mut buf);
+        encode_request(&req, id, &mut buf).unwrap();
         let total = frame_size(&buf).unwrap().expect("complete frame");
         assert_eq!(total, buf.len());
         let (got_id, got) = decode_request::<T, D>(&buf[LEN_PREFIX..total]).unwrap();
@@ -557,7 +610,7 @@ mod tests {
 
     fn round_trip_reply<T: WireCoord, const D: usize>(reply: Reply<T, D>, to: u8, id: u64) {
         let mut buf = Vec::new();
-        encode_reply(&reply, to, id, &mut buf);
+        encode_reply(&reply, to, id, &mut buf).unwrap();
         let total = frame_size(&buf).unwrap().expect("complete frame");
         assert_eq!(total, buf.len());
         let (got_id, got) = decode_reply::<T, D>(&buf[LEN_PREFIX..total]).unwrap();
@@ -572,14 +625,31 @@ mod tests {
             Request::Knn {
                 q: Point::new([-5i64, i64::MAX]),
                 k: 17,
+                at: None,
             },
             9,
         );
         round_trip_request(
+            Request::Knn {
+                q: Point::new([1i64, 2]),
+                k: 3,
+                at: Some(u64::MAX),
+            },
+            10,
+        );
+        round_trip_request(
             Request::RangeCount {
                 rect: Rect::from_corners(Point::new([0.5f64, -1.0]), Point::new([2.0, 3.5])),
+                at: None,
             },
             1,
+        );
+        round_trip_request(
+            Request::RangeList {
+                rect: Rect::from_corners(Point::new([0i64, 0]), Point::new([9, 9])),
+                at: Some(42),
+            },
+            2,
         );
         round_trip_request(
             Request::ApplyBatch {
@@ -608,7 +678,7 @@ mod tests {
     #[test]
     fn partial_frames_wait_and_oversized_prefixes_reject() {
         let mut buf = Vec::new();
-        encode_request(&Request::<i64, 2>::hello(), 7, &mut buf);
+        encode_request(&Request::<i64, 2>::hello(), 7, &mut buf).unwrap();
         for cut in 0..buf.len() {
             assert_eq!(frame_size(&buf[..cut]).unwrap(), None, "cut at {cut}");
         }
@@ -620,6 +690,48 @@ mod tests {
             frame_size(&4u32.to_le_bytes()),
             Err(WireError::BadLength(4))
         ));
+    }
+
+    #[test]
+    fn oversized_bodies_fail_to_encode_and_roll_back() {
+        // A batch bigger than MAX_FRAME must be refused on the encode side
+        // (the peer would reject it as BadLength), leaving the buffer
+        // untouched — including any frames already queued in it.
+        let too_many = MAX_FRAME / 16 + 1; // 2-d i64 points: 16 bytes each
+        let big = vec![Point::new([7i64, 7]); too_many];
+        let mut buf = Vec::new();
+        encode_request(&Request::<i64, 2>::hello(), 1, &mut buf).unwrap();
+        let queued = buf.len();
+        let err = encode_request(
+            &Request::ApplyBatch {
+                delete: Vec::new(),
+                insert: big.clone(),
+            },
+            2,
+            &mut buf,
+        )
+        .unwrap_err();
+        assert!(matches!(err, WireError::BadLength(n) if n > MAX_FRAME));
+        assert_eq!(buf.len(), queued, "failed encode must roll back");
+        // The surviving prefix is still exactly the queued hello frame.
+        assert_eq!(frame_size(&buf).unwrap(), Some(queued));
+
+        // Same guard on the reply side (a range-list answer can outgrow the
+        // cap even when the request fit).
+        let err =
+            encode_reply(&Reply::<i64, 2>::Points(big), OP_RANGE_LIST, 3, &mut buf).unwrap_err();
+        assert!(matches!(err, WireError::BadLength(n) if n > MAX_FRAME));
+        assert_eq!(buf.len(), queued);
+
+        // A body just under the cap still encodes and round-trips.
+        let fits = vec![Point::new([1i64, 2]); 1_000];
+        round_trip_request(
+            Request::ApplyBatch {
+                delete: fits.clone(),
+                insert: fits,
+            },
+            4,
+        );
     }
 
     #[test]
@@ -656,10 +768,12 @@ mod tests {
             &Request::<i64, 2>::Knn {
                 q: Point::new([1, 2]),
                 k: 3,
+                at: None,
             },
             1,
             &mut buf,
-        );
+        )
+        .unwrap();
         buf.push(0xAB);
         let padded = (buf.len() - LEN_PREFIX) as u32;
         buf[..LEN_PREFIX].copy_from_slice(&padded.to_le_bytes());
@@ -667,6 +781,16 @@ mod tests {
             decode_request::<i64, 2>(&buf[LEN_PREFIX..]),
             Err(WireError::Malformed(_))
         ));
+        // Epoch presence byte that is neither 0 nor 1.
+        let mut buf = vec![OP_KNN];
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(&[0u8; 16]); // the 2-d point
+        buf.push(7); // bad presence byte
+        assert_eq!(
+            decode_request::<i64, 2>(&buf),
+            Err(WireError::Malformed("bad epoch presence byte"))
+        );
         // Wrong magic in hello.
         let mut buf = vec![OP_HELLO];
         buf.extend_from_slice(&0u64.to_le_bytes());
@@ -712,6 +836,7 @@ mod tests {
         let not_hello = Request::<i64, 2>::Knn {
             q: Point::new([0, 0]),
             k: 1,
+            at: None,
         };
         let Err(Reply::Error { code, .. }) = check_hello(&not_hello, 1) else {
             panic!("non-hello first frame must be rejected");

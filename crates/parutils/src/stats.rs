@@ -62,6 +62,10 @@ pub mod counters {
     pub static CODES_COMPUTED: Counter = Counter::new();
     /// Join/rebalance operations performed.
     pub static REBALANCES: Counter = Counter::new();
+    /// Shared nodes copied on write (the persistent-snapshot cost proxy: a
+    /// batch update against a snapshotted tree copies only the touched spine,
+    /// so this stays O(log n + touched leaves) per batch, never O(n)).
+    pub static NODES_COPIED: Counter = Counter::new();
 }
 
 /// A snapshot of all counters at one instant.
@@ -72,6 +76,7 @@ pub struct Snapshot {
     pub leaves_sorted: u64,
     pub codes_computed: u64,
     pub rebalances: u64,
+    pub nodes_copied: u64,
 }
 
 /// Read all counters.
@@ -82,6 +87,7 @@ pub fn snapshot() -> Snapshot {
         leaves_sorted: counters::LEAVES_SORTED.get(),
         codes_computed: counters::CODES_COMPUTED.get(),
         rebalances: counters::REBALANCES.get(),
+        nodes_copied: counters::NODES_COPIED.get(),
     }
 }
 
@@ -93,6 +99,7 @@ pub fn delta(before: Snapshot, after: Snapshot) -> Snapshot {
         leaves_sorted: after.leaves_sorted.saturating_sub(before.leaves_sorted),
         codes_computed: after.codes_computed.saturating_sub(before.codes_computed),
         rebalances: after.rebalances.saturating_sub(before.rebalances),
+        nodes_copied: after.nodes_copied.saturating_sub(before.nodes_copied),
     }
 }
 

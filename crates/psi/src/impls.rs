@@ -120,6 +120,9 @@ impl<C: SfcCurve<D>, const D: usize> SpatialIndex<i64, D> for SpacTree<C, D> {
     fn check_invariants(&self) {
         SpacTree::check_invariants(self)
     }
+    fn snapshot(&self) -> Option<Self> {
+        Some(SpacTree::snapshot(self))
+    }
 }
 
 impl<C: SfcCurve<D>, const D: usize> SpatialIndex<i64, D> for CpamTree<C, D> {
@@ -152,6 +155,9 @@ impl<C: SfcCurve<D>, const D: usize> SpatialIndex<i64, D> for CpamTree<C, D> {
     }
     fn check_invariants(&self) {
         CpamTree::check_invariants(self)
+    }
+    fn snapshot(&self) -> Option<Self> {
+        Some(CpamTree::snapshot(self))
     }
 }
 

@@ -146,6 +146,17 @@ pub trait SpatialIndex<T: Coord, const D: usize>: Sized + Send + Sync {
     /// no-op for indexes without a checker.
     fn check_invariants(&self) {}
 
+    /// An optional **persistent snapshot** capability. Families backed by a
+    /// functional (path-copying) structure — the CPAM/SPaC PaC-trees — return
+    /// a second handle to the *same* nodes in O(1): later updates through
+    /// either handle copy-on-write only the spine they touch, so the snapshot
+    /// is immutable, costs no full copy, and never blocks the writer.
+    /// Families without structural sharing return `None` (the default), and
+    /// callers fall back to rebuilding or full-copy strategies.
+    fn snapshot(&self) -> Option<Self> {
+        None
+    }
+
     /// Apply a deletion batch and an insertion batch as one logical update
     /// (the `BatchDiff` operation of the Ψ-Lib API): first the deletions, then
     /// the insertions. Returns the number of points actually deleted.

@@ -209,6 +209,13 @@ where
     fn check_invariants(&self) {
         self.inner.check_invariants();
     }
+
+    fn snapshot(&self) -> Option<Self> {
+        Some(Quantized {
+            inner: self.inner.snapshot()?,
+            scale: self.scale,
+        })
+    }
 }
 
 #[cfg(test)]

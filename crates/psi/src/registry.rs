@@ -99,6 +99,14 @@ pub trait DynIndex<T: Coord, const D: usize>: Send + Sync {
 
     /// Check structural invariants; panics on violation.
     fn check_invariants(&self);
+
+    /// Optional persistent-snapshot capability (see
+    /// [`SpatialIndex::snapshot`]): `Some` holds an immutable O(1)-copy view
+    /// sharing structure with `self`; `None` means the family has no
+    /// structural sharing and callers must fall back to full copies.
+    fn snapshot_dyn(&self) -> Option<Box<dyn DynIndex<T, D>>> {
+        None
+    }
 }
 
 /// Adapter giving any [`SpatialIndex`] the [`DynIndex`] vtable.
@@ -109,7 +117,7 @@ pub trait DynIndex<T: Coord, const D: usize>: Send + Sync {
 /// traits are in scope. Box through [`boxed`] (or the registry) instead.
 struct DynAdapter<I>(I);
 
-impl<T: Coord, const D: usize, I: SpatialIndex<T, D>> DynIndex<T, D> for DynAdapter<I> {
+impl<T: Coord, const D: usize, I: SpatialIndex<T, D> + 'static> DynIndex<T, D> for DynAdapter<I> {
     fn name(&self) -> &'static str {
         I::NAME
     }
@@ -154,6 +162,11 @@ impl<T: Coord, const D: usize, I: SpatialIndex<T, D>> DynIndex<T, D> for DynAdap
     }
     fn check_invariants(&self) {
         self.0.check_invariants()
+    }
+    fn snapshot_dyn(&self) -> Option<Box<dyn DynIndex<T, D>>> {
+        self.0
+            .snapshot()
+            .map(|s| Box::new(DynAdapter(s)) as Box<dyn DynIndex<T, D>>)
     }
 }
 

@@ -21,8 +21,16 @@
 //! coalescing window grows with load and shrinks to a single request when
 //! idle (no artificial latency is added: the flusher sleeps only when the
 //! queue is empty).
+//!
+//! Requests may carry an **"as of epoch N"** tag ([`CoalesceHandle::knn_at`]
+//! and friends): the flusher groups each flush by requested epoch and
+//! answers every group against that epoch's retained view
+//! ([`Router::pin_at`]), falling back to [`QueryReply::EpochGone`] when the
+//! epoch has been evicted from the history window (or the serving family
+//! keeps no history). Untagged requests keep using the freshly pinned
+//! current view.
 
-use crate::router::ServeCoord;
+use crate::router::{RouterView, ServeCoord};
 use crate::Router;
 use psi_geometry::{Point, Rect};
 use std::collections::HashMap;
@@ -46,6 +54,9 @@ pub enum QueryReply<T: ServeCoord, const D: usize> {
     Points(Vec<Point<T, D>>),
     /// Range-count answers.
     Count(usize),
+    /// The requested epoch is outside the server's history window — evicted,
+    /// never published, or the serving family keeps no history at all.
+    EpochGone,
 }
 
 /// How a buffered request's answer is delivered: a blocking one-shot channel
@@ -72,6 +83,9 @@ impl<T: ServeCoord, const D: usize> Completion<T, D> {
 
 struct Pending<T: ServeCoord, const D: usize> {
     op: QueryOp<T, D>,
+    /// `Some(e)` answers against the retained view of global epoch `e`;
+    /// `None` answers against the current view.
+    at: Option<u64>,
     done: Option<Completion<T, D>>,
 }
 
@@ -141,17 +155,47 @@ impl<T: ServeCoord, const D: usize> Coalescer<T, D> {
     }
 
     fn flush(&self, router: &Router<T, D>, mut batch: Vec<Pending<T, D>>) {
-        let view = router.pin();
         self.flushes.fetch_add(1, Ordering::Relaxed);
         self.served.fetch_add(batch.len() as u64, Ordering::Relaxed);
 
-        // Group by operation; kNN additionally by k (one batched call per
-        // distinct k in the flush).
+        // Group the flush by requested epoch — the common all-current flush
+        // makes exactly one group and pins exactly one view, as before.
+        let mut ats: Vec<Option<u64>> = batch.iter().map(|p| p.at).collect();
+        ats.sort_unstable();
+        ats.dedup();
+        for at in ats {
+            let slots: Vec<usize> = (0..batch.len()).filter(|&s| batch[s].at == at).collect();
+            let view = match at {
+                None => Some(router.pin()),
+                Some(epoch) => router.pin_at(epoch),
+            };
+            match view {
+                Some(view) => Self::answer(&view, &mut batch, &slots),
+                None => {
+                    for &slot in &slots {
+                        Self::send(&mut batch, slot, QueryReply::EpochGone);
+                    }
+                }
+            }
+        }
+    }
+
+    fn send(batch: &mut [Pending<T, D>], slot: usize, reply: QueryReply<T, D>) {
+        batch[slot]
+            .done
+            .take()
+            .expect("each flush slot answered once")
+            .deliver(reply);
+    }
+
+    /// Answer the `slots` of `batch` against one pinned view, grouped by
+    /// operation; kNN additionally by k (one batched call per distinct k).
+    fn answer(view: &RouterView<T, D>, batch: &mut [Pending<T, D>], slots: &[usize]) {
         let mut knn: HashMap<usize, (Vec<Point<T, D>>, Vec<usize>)> = HashMap::new();
         let mut counts: (Vec<Rect<T, D>>, Vec<usize>) = Default::default();
         let mut lists: (Vec<Rect<T, D>>, Vec<usize>) = Default::default();
-        for (slot, p) in batch.iter().enumerate() {
-            match &p.op {
+        for &slot in slots {
+            match &batch[slot].op {
                 QueryOp::Knn(q, k) => {
                     let g = knn.entry(*k).or_default();
                     g.0.push(*q);
@@ -168,31 +212,24 @@ impl<T: ServeCoord, const D: usize> Coalescer<T, D> {
             }
         }
 
-        let send = |batch: &mut [Pending<T, D>], slot: usize, reply: QueryReply<T, D>| {
-            batch[slot]
-                .done
-                .take()
-                .expect("each flush slot answered once")
-                .deliver(reply);
-        };
         let mut ks: Vec<usize> = knn.keys().copied().collect();
         ks.sort_unstable();
         for k in ks {
             let (qs, slots) = &knn[&k];
             for (ans, &slot) in view.knn_batch(qs, k).into_iter().zip(slots) {
-                send(&mut batch, slot, QueryReply::Points(ans));
+                Self::send(batch, slot, QueryReply::Points(ans));
             }
         }
         if !counts.0.is_empty() {
             let answers = view.range_count_batch(&counts.0);
             for (c, &slot) in answers.into_iter().zip(&counts.1) {
-                send(&mut batch, slot, QueryReply::Count(c));
+                Self::send(batch, slot, QueryReply::Count(c));
             }
         }
         if !lists.0.is_empty() {
             let answers = view.range_list_batch(&lists.0);
             for (ans, &slot) in answers.into_iter().zip(&lists.1) {
-                send(&mut batch, slot, QueryReply::Points(ans));
+                Self::send(batch, slot, QueryReply::Points(ans));
             }
         }
     }
@@ -219,6 +256,12 @@ impl<T: ServeCoord, const D: usize> CoalesceHandle<T, D> {
     /// calls; socket front-ends use it with [`Completion::Callback`] so a
     /// reactor thread never parks waiting on the flusher.
     pub fn submit(&self, op: QueryOp<T, D>, done: Completion<T, D>) {
+        self.submit_at(op, None, done);
+    }
+
+    /// As [`CoalesceHandle::submit`], answering against global epoch `at`
+    /// when given (`QueryReply::EpochGone` if the epoch is not retained).
+    pub fn submit_at(&self, op: QueryOp<T, D>, at: Option<u64>, done: Completion<T, D>) {
         {
             let mut q = self.shared.queue.lock().unwrap();
             assert!(
@@ -227,15 +270,16 @@ impl<T: ServeCoord, const D: usize> CoalesceHandle<T, D> {
             );
             q.buf.push(Pending {
                 op,
+                at,
                 done: Some(done),
             });
         }
         self.shared.ready.notify_all();
     }
 
-    fn request(&self, op: QueryOp<T, D>) -> QueryReply<T, D> {
+    fn request(&self, op: QueryOp<T, D>, at: Option<u64>) -> QueryReply<T, D> {
         let (tx, rx) = mpsc::sync_channel(1);
-        self.submit(op, Completion::Channel(tx));
+        self.submit_at(op, at, Completion::Channel(tx));
         rx.recv()
             .expect("the psi-server flusher answers every queued request")
     }
@@ -245,24 +289,55 @@ impl<T: ServeCoord, const D: usize> CoalesceHandle<T, D> {
         if k == 0 {
             return Vec::new();
         }
-        match self.request(QueryOp::Knn(*q, k)) {
+        match self.request(QueryOp::Knn(*q, k), None) {
             QueryReply::Points(p) => p,
-            QueryReply::Count(_) => unreachable!("knn requests get point replies"),
+            _ => unreachable!("knn requests get point replies"),
         }
     }
 
     /// Number of stored points in the closed box.
     pub fn range_count(&self, rect: &Rect<T, D>) -> usize {
-        match self.request(QueryOp::RangeCount(*rect)) {
+        match self.request(QueryOp::RangeCount(*rect), None) {
             QueryReply::Count(c) => c,
-            QueryReply::Points(_) => unreachable!("count requests get count replies"),
+            _ => unreachable!("count requests get count replies"),
         }
     }
 
     /// The stored points in the closed box (shard order).
     pub fn range_list(&self, rect: &Rect<T, D>) -> Vec<Point<T, D>> {
-        match self.request(QueryOp::RangeList(*rect)) {
+        match self.request(QueryOp::RangeList(*rect), None) {
             QueryReply::Points(p) => p,
+            _ => unreachable!("list requests get point replies"),
+        }
+    }
+
+    /// Time-travel kNN: the `k` nearest neighbours as of global `epoch`.
+    /// `None` when the epoch is outside the retained history window.
+    pub fn knn_at(&self, q: &Point<T, D>, k: usize, epoch: u64) -> Option<Vec<Point<T, D>>> {
+        if k == 0 {
+            return Some(Vec::new());
+        }
+        match self.request(QueryOp::Knn(*q, k), Some(epoch)) {
+            QueryReply::Points(p) => Some(p),
+            QueryReply::EpochGone => None,
+            QueryReply::Count(_) => unreachable!("knn requests get point replies"),
+        }
+    }
+
+    /// Time-travel range count as of global `epoch` (`None` if evicted).
+    pub fn range_count_at(&self, rect: &Rect<T, D>, epoch: u64) -> Option<usize> {
+        match self.request(QueryOp::RangeCount(*rect), Some(epoch)) {
+            QueryReply::Count(c) => Some(c),
+            QueryReply::EpochGone => None,
+            QueryReply::Points(_) => unreachable!("count requests get count replies"),
+        }
+    }
+
+    /// Time-travel range list as of global `epoch` (`None` if evicted).
+    pub fn range_list_at(&self, rect: &Rect<T, D>, epoch: u64) -> Option<Vec<Point<T, D>>> {
+        match self.request(QueryOp::RangeList(*rect), Some(epoch)) {
+            QueryReply::Points(p) => Some(p),
+            QueryReply::EpochGone => None,
             QueryReply::Count(_) => unreachable!("list requests get point replies"),
         }
     }

@@ -6,11 +6,14 @@
 //! system — many reader threads querying *while* batch writers publish —
 //! without ever exposing a torn batch:
 //!
-//! * [`shard`] — **epoch-published snapshots**: each shard keeps two
-//!   structurally identical index copies; batches apply to the writer's
-//!   shadow copy and an atomic pointer swap publishes a new epoch. Readers
-//!   pin an `Arc` snapshot and query it lock-free; they observe whole
-//!   epochs only, never an index mid-batch.
+//! * [`shard`] — **epoch-published snapshots**: batches apply on the writer
+//!   side and an atomic pointer swap publishes a new epoch. Readers pin a
+//!   snapshot and query it lock-free; they observe whole epochs only, never
+//!   an index mid-batch. Families with a persistent (path-copying) backbone
+//!   — the CPAM/SPaC PaC-trees — keep **one** live tree and publish `O(1)`
+//!   structural-sharing snapshots (no standby copy, writer never waits on
+//!   readers); everything else falls back to the classic left-right double
+//!   buffer with a parked (not spinning) standby-reclaim wait.
 //! * [`router`] — a **spatial shard router**: the domain is striped along
 //!   dimension 0 across shards; updates split per stripe, range queries
 //!   fan out to intersecting stripes and merge by sum/concatenation, and
@@ -29,6 +32,11 @@
 //! batched query execution — no async runtime. [`loadgen`] adds the shared
 //! closed-loop driver (clients × move-batch writer with a count-conservation
 //! check) behind `bench_serve` and the scenario harness's `[serve]` phase.
+//!
+//! Persistent routers additionally retain a bounded window of recent global
+//! epochs ([`ServeConfig::epoch_history`]): [`PsiServer::view_at`] and the
+//! `*_at` client calls answer **"as of epoch N"** time-travel queries from
+//! it, bit-identical to what a reader pinned at that epoch would have seen.
 //!
 //! ```
 //! use psi::registry::{self, BuildOptions};
@@ -63,8 +71,8 @@ pub mod shard;
 
 pub use coalesce::{CoalesceHandle, Coalescer, Completion, QueryOp, QueryReply};
 pub use loadgen::{closed_loop, closed_loop_with, LoadOutcome, LoadSpec, QueryClient};
-pub use router::{Router, RouterView, ServeCoord};
-pub use shard::{IndexFactory, Shard, Snapshot};
+pub use router::{Router, RouterView, ServeCoord, DEFAULT_EPOCH_HISTORY};
+pub use shard::{IndexFactory, Shard, Snapshot, SnapshotRef};
 
 use psi_geometry::{Point, Rect};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -82,6 +90,12 @@ pub struct ServeConfig {
     /// Capacity of the writer's update queue; submitters block when it is
     /// full (closed-loop back-pressure). Default 8.
     pub writer_queue: usize,
+    /// Recent global epochs kept pinned for "as of epoch N" time-travel
+    /// queries. Takes effect only when every shard is persistent (the
+    /// CPAM/SPaC families); retained views there share structure with the
+    /// live tree, so the window costs `O(batch · log n)` nodes per epoch,
+    /// not a copy. Default [`DEFAULT_EPOCH_HISTORY`]; 0 disables.
+    pub epoch_history: usize,
 }
 
 impl Default for ServeConfig {
@@ -90,6 +104,7 @@ impl Default for ServeConfig {
             shards: 1,
             coalesce_max_batch: 64,
             writer_queue: 8,
+            epoch_history: DEFAULT_EPOCH_HISTORY,
         }
     }
 }
@@ -113,15 +128,22 @@ pub struct PsiServer<T: ServeCoord, const D: usize> {
 
 impl<T: ServeCoord, const D: usize> PsiServer<T, D> {
     /// Build the server: shard `points` over `universe`, spawn the writer
-    /// and flusher threads. `factory` constructs each shard's index copies
-    /// (two per shard — the epoch double buffer).
+    /// and flusher threads. `factory` constructs each shard's index — once
+    /// per shard for persistent families, twice (the left-right double
+    /// buffer) for the rest.
     pub fn new(
         points: &[Point<T, D>],
         universe: &Rect<T, D>,
         cfg: ServeConfig,
         factory: IndexFactory<T, D>,
     ) -> Self {
-        let router = Arc::new(Router::new(&factory, points, universe, cfg.shards.max(1)));
+        let router = Arc::new(Router::with_history(
+            &factory,
+            points,
+            universe,
+            cfg.shards.max(1),
+            cfg.epoch_history,
+        ));
         let coalescer = Arc::new(Coalescer::new());
         let batches = Arc::new(AtomicU64::new(0));
 
@@ -189,6 +211,18 @@ impl<T: ServeCoord, const D: usize> PsiServer<T, D> {
     /// Pin a direct read view, bypassing the coalescer (tests, snapshots).
     pub fn view(&self) -> RouterView<T, D> {
         self.router.pin()
+    }
+
+    /// The view as of global `epoch`, if it is still inside the retained
+    /// history window ([`ServeConfig::epoch_history`]); `None` for evicted
+    /// epochs or non-persistent serving families.
+    pub fn view_at(&self, epoch: u64) -> Option<RouterView<T, D>> {
+        self.router.pin_at(epoch)
+    }
+
+    /// The current global epoch (batches published so far).
+    pub fn epoch(&self) -> u64 {
+        self.router.epoch()
     }
 
     /// The router (shard/epoch inspection).
@@ -308,6 +342,22 @@ impl<T: ServeCoord, const D: usize> DirectHandle<T, D> {
     pub fn range_list(&self, rect: &Rect<T, D>) -> Vec<Point<T, D>> {
         self.router.pin().range_list(rect)
     }
+
+    /// Time-travel kNN as of global `epoch`; `None` when the epoch is
+    /// outside the retained history window.
+    pub fn knn_at(&self, q: &Point<T, D>, k: usize, epoch: u64) -> Option<Vec<Point<T, D>>> {
+        Some(self.router.pin_at(epoch)?.knn(q, k))
+    }
+
+    /// Time-travel range count as of global `epoch` (`None` if evicted).
+    pub fn range_count_at(&self, rect: &Rect<T, D>, epoch: u64) -> Option<usize> {
+        Some(self.router.pin_at(epoch)?.range_count(rect))
+    }
+
+    /// Time-travel range list as of global `epoch` (`None` if evicted).
+    pub fn range_list_at(&self, rect: &Rect<T, D>, epoch: u64) -> Option<Vec<Point<T, D>>> {
+        Some(self.router.pin_at(epoch)?.range_list(rect))
+    }
 }
 
 #[cfg(test)]
@@ -335,6 +385,7 @@ mod tests {
                 shards: 2,
                 coalesce_max_batch: 16,
                 writer_queue: 4,
+                ..Default::default()
             },
             factory("p-orth"),
         );
@@ -419,6 +470,59 @@ mod tests {
             want.sort_unstable();
             assert_eq!(got, want);
         }
+        server.shutdown();
+    }
+
+    #[test]
+    fn time_travel_matches_epoch_replicas() {
+        use psi::SpatialIndex as _;
+        let max = 60_000;
+        let data = workloads::uniform::<2>(2_000, max, 23);
+        let universe = workloads::universe::<2>(max);
+        let server = PsiServer::new(
+            &data,
+            &universe,
+            ServeConfig {
+                shards: 2,
+                epoch_history: 4,
+                ..Default::default()
+            },
+            factory("cpam-h"),
+        );
+        // Replay the same batches into per-epoch brute-force replicas.
+        let mut replica = psi::BruteForce::<i64, 2>::build(&data, &universe);
+        let mut replica_lens = vec![replica.len()];
+        for round in 0..6usize {
+            let del = data[round * 50..round * 50 + 50].to_vec();
+            let ins = data[round * 20..round * 20 + 30].to_vec();
+            replica.batch_delete(&del);
+            replica.batch_insert(&ins);
+            replica_lens.push(replica.len());
+            server.submit(del, ins);
+        }
+        server.quiesce();
+        assert_eq!(server.epoch(), 6);
+
+        // Epochs 3..=6 are retained; old and future epochs are gone.
+        let client = server.client();
+        let whole = Rect::from_corners(Point::new([0, 0]), Point::new([max, max]));
+        for e in 3..=6u64 {
+            let view = server.view_at(e).expect("epoch inside the window");
+            assert_eq!(view.len(), replica_lens[e as usize]);
+            assert_eq!(
+                client.range_count_at(&whole, e),
+                Some(replica_lens[e as usize])
+            );
+            let q = Point::new([max / 2, max / 2]);
+            let direct = server.direct_client().knn_at(&q, 5, e).unwrap();
+            let coalesced = client.knn_at(&q, 5, e).unwrap();
+            let dd: Vec<i128> = direct.iter().map(|p| q.dist_sq(p)).collect();
+            let cd: Vec<i128> = coalesced.iter().map(|p| q.dist_sq(p)).collect();
+            assert_eq!(dd, cd, "both client paths answer from the same epoch");
+        }
+        assert!(server.view_at(0).is_none(), "evicted epoch");
+        assert!(server.view_at(99).is_none(), "future epoch");
+        assert_eq!(client.range_count_at(&whole, 0), None);
         server.shutdown();
     }
 

@@ -22,10 +22,25 @@
 //! consistent* (no shard is ever observed mid-batch); a batch that spans
 //! shards becomes visible shard by shard. Updates routed through
 //! [`Router::publish`] are split by stripe and published per shard.
+//!
+//! On top of the per-shard epochs the router keeps one **global epoch**
+//! counter — the number of batches published through it — and, when every
+//! shard is [persistent](Shard::is_persistent), a bounded **epoch history**:
+//! the pinned view of each recent global epoch. [`Router::pin_at`] serves
+//! "as of epoch N" time-travel queries from that log. The log is gated on
+//! persistence because retained views are nearly free there (structural
+//! sharing); under the left-right fallback they would pin old copies and
+//! stall the writer, so non-persistent routers keep no history and answer
+//! `pin_at` with `None`.
 
-use crate::shard::{IndexFactory, Shard, Snapshot};
+use crate::shard::{IndexFactory, Shard, Snapshot, SnapshotRef};
 use psi_geometry::{Coord, KnnHeap, Point, Rect};
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Global epochs a persistent router keeps pinned for time-travel queries
+/// when no explicit history depth is configured.
+pub const DEFAULT_EPOCH_HISTORY: usize = 8;
 
 /// Coordinate types the router can cut into stripes (everything [`Coord`]
 /// plus exact interpolation of stripe boundaries).
@@ -55,6 +70,18 @@ pub struct Router<T: ServeCoord, const D: usize> {
     /// (`cuts[0]` is the domain's low edge; points below it route to
     /// shard 0, points past the last cut to the last shard).
     cuts: Vec<T>,
+    /// Global epoch counter plus the bounded time-travel log (empty when
+    /// any shard is non-persistent — see the module docs).
+    history: Mutex<History<T, D>>,
+}
+
+struct History<T: Coord, const D: usize> {
+    /// `(global epoch, pinned view)`, oldest first; at most `cap` entries.
+    log: VecDeque<(u64, RouterView<T, D>)>,
+    /// Batches published through the router so far.
+    epoch: u64,
+    /// 0 disables the log (left-right shards present, or configured off).
+    cap: usize,
 }
 
 /// Conservative stripe box for pruning: unbounded in every dimension except
@@ -74,12 +101,32 @@ fn stripe_region<T: Coord, const D: usize>(lo: Option<T>, hi: Option<T>) -> Rect
 
 impl<T: ServeCoord, const D: usize> Router<T, D> {
     /// Partition `points` into `shard_count` stripes of `universe` along
-    /// dimension 0 and build one [`Shard`] per stripe.
+    /// dimension 0 and build one [`Shard`] per stripe, keeping the default
+    /// epoch-history depth ([`DEFAULT_EPOCH_HISTORY`]).
     pub fn new(
         factory: &IndexFactory<T, D>,
         points: &[Point<T, D>],
         universe: &Rect<T, D>,
         shard_count: usize,
+    ) -> Self {
+        Self::with_history(
+            factory,
+            points,
+            universe,
+            shard_count,
+            DEFAULT_EPOCH_HISTORY,
+        )
+    }
+
+    /// As [`Router::new`], with an explicit epoch-history depth: how many
+    /// recent global epochs stay pinned for [`Router::pin_at`]. Takes
+    /// effect only when every shard is persistent; `0` disables the log.
+    pub fn with_history(
+        factory: &IndexFactory<T, D>,
+        points: &[Point<T, D>],
+        universe: &Rect<T, D>,
+        shard_count: usize,
+        epoch_history: usize,
     ) -> Self {
         assert!(shard_count >= 1, "a router needs at least one shard");
         let cuts: Vec<T> = (0..shard_count)
@@ -89,14 +136,32 @@ impl<T: ServeCoord, const D: usize> Router<T, D> {
         for p in points {
             parts[shard_of(&cuts, p)].push(*p);
         }
-        let shards = (0..shard_count)
+        let shards: Vec<Shard<T, D>> = (0..shard_count)
             .map(|i| {
                 let lo = (i > 0).then(|| cuts[i]);
                 let hi = (i + 1 < shard_count).then(|| cuts[i + 1]);
                 Shard::new(stripe_region(lo, hi), factory, &parts[i])
             })
             .collect();
-        Router { shards, cuts }
+        let cap = if shards.iter().all(Shard::is_persistent) {
+            epoch_history
+        } else {
+            0
+        };
+        let router = Router {
+            shards,
+            cuts,
+            history: Mutex::new(History {
+                log: VecDeque::new(),
+                epoch: 0,
+                cap,
+            }),
+        };
+        if cap > 0 {
+            let initial = router.pin();
+            router.history.lock().unwrap().log.push_back((0, initial));
+        }
+        router
     }
 
     /// Number of shards.
@@ -125,8 +190,10 @@ impl<T: ServeCoord, const D: usize> Router<T, D> {
 
     /// Split a batch by stripe and publish it per shard (deletions before
     /// insertions, per the `BatchDiff` contract). Shards whose sub-batch is
-    /// empty keep their current epoch. Returns the number of shards that
-    /// published a new epoch.
+    /// empty keep their current epoch. Bumps the global epoch by one and,
+    /// on persistent routers, records the new view in the time-travel log.
+    /// Returns the number of shards that published a new epoch. Callers
+    /// must serialise publishes (the server runs one writer thread).
     pub fn publish(&self, delete: &[Point<T, D>], insert: &[Point<T, D>]) -> usize {
         let split = |pts: &[Point<T, D>]| {
             let mut parts: Vec<Vec<Point<T, D>>> = vec![Vec::new(); self.shards.len()];
@@ -145,7 +212,49 @@ impl<T: ServeCoord, const D: usize> Router<T, D> {
             shard.publish(&dels[i], &inss[i]);
             published += 1;
         }
+        let mut h = self.history.lock().unwrap();
+        h.epoch += 1;
+        if h.cap > 0 {
+            let epoch = h.epoch;
+            let view = self.pin();
+            h.log.push_back((epoch, view));
+            while h.log.len() > h.cap {
+                h.log.pop_front();
+            }
+        }
         published
+    }
+
+    /// The global epoch: batches published through this router so far.
+    pub fn epoch(&self) -> u64 {
+        self.history.lock().unwrap().epoch
+    }
+
+    /// `true` when every shard runs in persistent mode (one live tree per
+    /// shard, `O(1)` publishes, epoch history available).
+    pub fn is_persistent(&self) -> bool {
+        self.shards.iter().all(Shard::is_persistent)
+    }
+
+    /// The view recorded at global `epoch`, if it is still in the history
+    /// window. `None` for evicted or future epochs, and always `None` on
+    /// non-persistent routers (no history is kept — see the module docs).
+    pub fn pin_at(&self, epoch: u64) -> Option<RouterView<T, D>> {
+        let h = self.history.lock().unwrap();
+        h.log
+            .iter()
+            .find(|(e, _)| *e == epoch)
+            .map(|(_, view)| view.clone())
+    }
+
+    /// The `(oldest, newest)` global epochs currently answerable by
+    /// [`Router::pin_at`]; `None` when no history is kept.
+    pub fn epoch_bounds(&self) -> Option<(u64, u64)> {
+        let h = self.history.lock().unwrap();
+        match (h.log.front(), h.log.back()) {
+            (Some((lo, _)), Some((hi, _))) => Some((*lo, *hi)),
+            _ => None,
+        }
     }
 
     /// Total stored points across the current shard epochs.
@@ -166,11 +275,22 @@ fn shard_of<T: Coord, const D: usize>(cuts: &[T], p: &Point<T, D>) -> usize {
 }
 
 /// A consistent-per-shard read view: every shard's snapshot pinned at one
-/// instant (see the module docs for the consistency contract).
+/// instant (see the module docs for the consistency contract). Cloning is
+/// cheap — it re-pins the same snapshots.
 pub struct RouterView<T: Coord, const D: usize> {
-    snaps: Vec<Arc<Snapshot<T, D>>>,
+    snaps: Vec<SnapshotRef<T, D>>,
     regions: Vec<Rect<T, D>>,
     cuts: Vec<T>,
+}
+
+impl<T: Coord, const D: usize> Clone for RouterView<T, D> {
+    fn clone(&self) -> Self {
+        RouterView {
+            snaps: self.snaps.clone(),
+            regions: self.regions.clone(),
+            cuts: self.cuts.clone(),
+        }
+    }
 }
 
 impl<T: Coord, const D: usize> RouterView<T, D> {
@@ -395,10 +515,15 @@ mod tests {
     use psi::SpatialIndex as _;
     use psi_geometry::PointI;
     use psi_workloads as workloads;
+    use std::sync::Arc;
 
     fn factory() -> IndexFactory<i64, 2> {
-        Arc::new(|pts: &[PointI<2>]| {
-            registry::create::<2>("spac-h", pts, &BuildOptions::default()).unwrap()
+        named_factory("spac-h")
+    }
+
+    fn named_factory(name: &'static str) -> IndexFactory<i64, 2> {
+        Arc::new(move |pts: &[PointI<2>]| {
+            registry::create::<2>(name, pts, &BuildOptions::default()).unwrap()
         })
     }
 
@@ -483,6 +608,50 @@ mod tests {
         let touched = router.publish(&local, &data[..6]);
         assert!(touched >= 2);
         assert_eq!(router.len(), data.len() + 6);
+    }
+
+    #[test]
+    fn persistent_router_time_travels_within_its_history_window() {
+        let max = 80_000;
+        let universe = workloads::universe::<2>(max);
+        let data = workloads::uniform::<2>(2_000, max, 13);
+        let router = Router::with_history(&named_factory("cpam-h"), &data, &universe, 2, 4);
+        assert!(router.is_persistent());
+        assert_eq!(router.epoch(), 0);
+        assert_eq!(router.epoch_bounds(), Some((0, 0)));
+        assert_eq!(router.pin_at(0).unwrap().len(), data.len());
+
+        // Six insert-only batches: epoch e holds data.len() + 5e points.
+        for round in 0..6i64 {
+            let ins: Vec<PointI<2>> = (0..5)
+                .map(|i| Point::new([(round * 5 + i) * 11 % max, (round * 5 + i) * 7 % max]))
+                .collect();
+            router.publish(&[], &ins);
+        }
+        assert_eq!(router.epoch(), 6);
+        // Depth-4 window: epochs 3..=6 answerable, older ones evicted.
+        assert_eq!(router.epoch_bounds(), Some((3, 6)));
+        for e in 3..=6u64 {
+            let view = router.pin_at(e).expect("epoch within the window");
+            assert_eq!(view.len(), data.len() + 5 * e as usize);
+        }
+        for e in 0..3u64 {
+            assert!(router.pin_at(e).is_none(), "epoch {e} must be evicted");
+        }
+        assert!(router.pin_at(7).is_none(), "future epochs are unknown");
+    }
+
+    #[test]
+    fn left_right_router_keeps_no_history() {
+        let max = 40_000;
+        let universe = workloads::universe::<2>(max);
+        let data = workloads::uniform::<2>(1_000, max, 29);
+        let router = Router::new(&named_factory("pkd"), &data, &universe, 2);
+        assert!(!router.is_persistent());
+        router.publish(&[], &data[..10]);
+        assert_eq!(router.epoch(), 1);
+        assert!(router.epoch_bounds().is_none());
+        assert!(router.pin_at(0).is_none() && router.pin_at(1).is_none());
     }
 
     #[test]

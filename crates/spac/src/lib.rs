@@ -37,7 +37,7 @@ mod pac;
 mod query;
 mod update;
 
-pub use pac::{PNode, SpacConfig};
+pub use pac::{unshare, PNode, SpacConfig};
 
 use psi_geometry::{KnnHeap, Point, PointI, RectI};
 use psi_sfc::{HilbertCurve, MortonCurve, SfcCurve};
@@ -179,6 +179,19 @@ impl<C: SfcCurve<D>, const D: usize> SpacTree<C, D> {
     pub fn root(&self) -> &PNode<D> {
         &self.root
     }
+
+    /// An O(1)-for-interior / O(φ)-for-leaf **persistent snapshot**: the
+    /// returned tree shares every node below the root with `self`. Later
+    /// batch updates through either tree copy-on-write only the spine they
+    /// touch ([`unshare`]), so a snapshot costs one shallow root clone and
+    /// never blocks or observes subsequent writes.
+    pub fn snapshot(&self) -> Self {
+        SpacTree {
+            root: self.root.clone(),
+            cfg: self.cfg,
+            _curve: PhantomData,
+        }
+    }
 }
 
 /// Configuration newtype for the CPAM baselines: identical knobs to
@@ -267,6 +280,16 @@ impl<C: SfcCurve<D>, const D: usize> CpamTree<C, D> {
     /// Collect all stored points.
     pub fn collect_points(&self) -> Vec<PointI<D>> {
         self.0.collect_points()
+    }
+
+    /// Persistent snapshot; see [`SpacTree::snapshot`].
+    pub fn snapshot(&self) -> Self {
+        CpamTree(self.0.snapshot())
+    }
+
+    /// Read-only access to the root, for white-box tests.
+    pub fn root(&self) -> &PNode<D> {
+        self.0.root()
     }
 }
 

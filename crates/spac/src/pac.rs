@@ -13,6 +13,7 @@ use crate::Entry;
 use psi_geometry::{PointI, Rect, RectI};
 use psi_parutils::stats::counters;
 use psi_sfc::SfcCurve;
+use std::sync::Arc;
 
 /// Tuning knobs for [`crate::SpacTree`]; the two presets correspond to the
 /// paper's SPaC-trees and CPAM baselines.
@@ -73,6 +74,13 @@ impl SpacConfig {
 
 /// A PaC-tree node: either a wrapped leaf block or an interior node holding a
 /// single pivot entry.
+///
+/// Children are held through [`Arc`], which makes the tree **persistent** in
+/// the CPAM/PaC-tree sense: a snapshot is one refcount bump of the root, and
+/// subsequent updates copy-on-write only the nodes on the touched spine
+/// ([`unshare`]). Uniquely-owned nodes — the common case when no snapshot is
+/// live — are reclaimed via `Arc::try_unwrap`, so batch updates on an
+/// unshared tree allocate exactly as the old `Box` representation did.
 pub enum PNode<const D: usize> {
     /// A block of at most `2φ` entries (normally at most `φ`; up to `2φ`
     /// transiently before redistribution).
@@ -87,9 +95,9 @@ pub enum PNode<const D: usize> {
     /// An interior node; the pivot entry itself belongs to the set.
     Interior {
         /// Left subtree: every code is `<=` the pivot code.
-        left: Box<PNode<D>>,
+        left: Arc<PNode<D>>,
         /// Right subtree: every code is `>=` the pivot code.
-        right: Box<PNode<D>>,
+        right: Arc<PNode<D>>,
         /// The pivot entry.
         pivot: Entry<D>,
         /// Total number of entries in this subtree (including the pivot).
@@ -97,6 +105,51 @@ pub enum PNode<const D: usize> {
         /// Tight bounding box of every point in the subtree.
         bbox: RectI<D>,
     },
+}
+
+/// Shallow clone: a leaf copies its `O(φ)` entry block; an interior node
+/// copies its header and bumps the two child refcounts — `O(1)`, sharing both
+/// subtrees. This is what makes snapshots and copy-on-write cheap.
+impl<const D: usize> Clone for PNode<D> {
+    fn clone(&self) -> Self {
+        match self {
+            PNode::Leaf {
+                entries,
+                sorted,
+                bbox,
+            } => PNode::Leaf {
+                entries: entries.clone(),
+                sorted: *sorted,
+                bbox: *bbox,
+            },
+            PNode::Interior {
+                left,
+                right,
+                pivot,
+                size,
+                bbox,
+            } => PNode::Interior {
+                left: Arc::clone(left),
+                right: Arc::clone(right),
+                pivot: *pivot,
+                size: *size,
+                bbox: *bbox,
+            },
+        }
+    }
+}
+
+/// Take ownership of a child for mutation. Uniquely-owned nodes move out for
+/// free (`Arc::try_unwrap` — the no-snapshot fast path); shared nodes are
+/// shallow-cloned (copy-on-write), leaving every snapshot that still
+/// references the original untouched. The clone is counted so the benches and
+/// the structural-sharing tests can assert spine-only copying.
+#[inline]
+pub fn unshare<const D: usize>(node: Arc<PNode<D>>) -> PNode<D> {
+    Arc::try_unwrap(node).unwrap_or_else(|shared| {
+        counters::NODES_COPIED.bump();
+        (*shared).clone()
+    })
 }
 
 impl<const D: usize> PNode<D> {
@@ -234,8 +287,8 @@ pub fn interior<const D: usize>(left: PNode<D>, pivot: Entry<D>, right: PNode<D>
     let mut bbox = left.bbox().merged(right.bbox());
     bbox.expand(&pivot.1);
     PNode::Interior {
-        left: Box::new(left),
-        right: Box::new(right),
+        left: Arc::new(left),
+        right: Arc::new(right),
         pivot,
         size,
         bbox,
@@ -258,7 +311,7 @@ pub fn expose<const D: usize>(node: PNode<D>, cfg: &SpacConfig) -> (PNode<D>, En
     match node {
         PNode::Interior {
             left, right, pivot, ..
-        } => (*left, pivot, *right),
+        } => (unshare(left), pivot, unshare(right)),
         PNode::Leaf {
             mut entries,
             sorted,
@@ -474,10 +527,10 @@ pub fn split_last<const D: usize>(node: PNode<D>, cfg: &SpacConfig) -> (PNode<D>
             left, right, pivot, ..
         } => {
             if right.size() == 0 {
-                (*left, pivot)
+                (unshare(left), pivot)
             } else {
-                let (rest, last) = split_last(*right, cfg);
-                (join(*left, pivot, rest, cfg), last)
+                let (rest, last) = split_last(unshare(right), cfg);
+                (join(unshare(left), pivot, rest, cfg), last)
             }
         }
     }

@@ -11,8 +11,8 @@
 //! and re-entering the batch insertion otherwise.
 
 use crate::pac::{
-    bbox_of_entries, build_sorted_entries, expose, join, join2, node_ctor, sort_leaf, PNode,
-    SpacConfig,
+    bbox_of_entries, build_sorted_entries, expose, join, join2, node_ctor, sort_leaf, unshare,
+    PNode, SpacConfig,
 };
 use crate::Entry;
 use psi_geometry::PointI;
@@ -129,13 +129,13 @@ pub fn insert_sorted<const D: usize>(
             let (lbatch, rbatch) = batch.split_at(t);
             let (new_left, new_right) = if batch.len() >= PAR_GRAIN {
                 par_join(
-                    || insert_sorted(*left, lbatch, cfg),
-                    || insert_sorted(*right, rbatch, cfg),
+                    || insert_sorted(unshare(left), lbatch, cfg),
+                    || insert_sorted(unshare(right), rbatch, cfg),
                 )
             } else {
                 (
-                    insert_sorted(*left, lbatch, cfg),
-                    insert_sorted(*right, rbatch, cfg),
+                    insert_sorted(unshare(left), lbatch, cfg),
+                    insert_sorted(unshare(right), rbatch, cfg),
                 )
             };
             join(new_left, pivot, new_right, cfg)
@@ -183,13 +183,13 @@ pub fn delete_sorted<const D: usize>(
 
             let (new_left, new_right) = if batch.len() >= PAR_GRAIN {
                 par_join(
-                    || delete_sorted(*left, lbatch, cfg),
-                    || delete_sorted(*right, rbatch, cfg),
+                    || delete_sorted(unshare(left), lbatch, cfg),
+                    || delete_sorted(unshare(right), rbatch, cfg),
                 )
             } else {
                 (
-                    delete_sorted(*left, lbatch, cfg),
-                    delete_sorted(*right, rbatch, cfg),
+                    delete_sorted(unshare(left), lbatch, cfg),
+                    delete_sorted(unshare(right), rbatch, cfg),
                 )
             };
             let mut tree = join(new_left, pivot, new_right, cfg);
@@ -255,22 +255,22 @@ fn delete_matching<const D: usize>(
         } => {
             let mut removed = 0;
             let new_left = if target.0 <= pivot.0 {
-                let (l, r) = delete_matching(*left, target, count, cfg);
+                let (l, r) = delete_matching(unshare(left), target, count, cfg);
                 removed += r;
                 l
             } else {
-                *left
+                unshare(left)
             };
             let pivot_matches = removed < count && pivot.0 == target.0 && pivot.1 == target.1;
             if pivot_matches {
                 removed += 1;
             }
             let new_right = if removed < count && target.0 >= pivot.0 {
-                let (r, c) = delete_matching(*right, target, count - removed, cfg);
+                let (r, c) = delete_matching(unshare(right), target, count - removed, cfg);
                 removed += c;
                 r
             } else {
-                *right
+                unshare(right)
             };
             let tree = if pivot_matches {
                 join2(new_left, new_right, cfg)

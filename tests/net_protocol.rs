@@ -17,7 +17,7 @@ use psi_net::wire::{
 /// equality would lie).
 fn assert_request_round_trip<T: WireCoord, const D: usize>(req: &Request<T, D>, id: u64) {
     let mut wire = Vec::new();
-    encode_request(req, id, &mut wire);
+    encode_request(req, id, &mut wire).expect("round-trip frames fit one frame");
     let total = frame_size(&wire)
         .expect("self-encoded frames are in bounds")
         .expect("self-encoded frames are complete");
@@ -26,13 +26,13 @@ fn assert_request_round_trip<T: WireCoord, const D: usize>(req: &Request<T, D>, 
         decode_request::<T, D>(&wire[LEN_PREFIX..]).expect("self-encoded frames decode");
     assert_eq!(got_id, id);
     let mut rewire = Vec::new();
-    encode_request(&decoded, id, &mut rewire);
+    encode_request(&decoded, id, &mut rewire).expect("round-trip frames fit one frame");
     assert_eq!(wire, rewire, "decode must preserve every payload bit");
 }
 
 fn assert_reply_round_trip<T: WireCoord, const D: usize>(reply: &Reply<T, D>, to: u8, id: u64) {
     let mut wire = Vec::new();
-    encode_reply(reply, to, id, &mut wire);
+    encode_reply(reply, to, id, &mut wire).expect("round-trip frames fit one frame");
     let total = frame_size(&wire)
         .expect("self-encoded frames are in bounds")
         .expect("self-encoded frames are complete");
@@ -41,7 +41,7 @@ fn assert_reply_round_trip<T: WireCoord, const D: usize>(reply: &Reply<T, D>, to
         decode_reply::<T, D>(&wire[LEN_PREFIX..]).expect("self-encoded replies decode");
     assert_eq!(got_id, id);
     let mut rewire = Vec::new();
-    encode_reply(&decoded, to, id, &mut rewire);
+    encode_reply(&decoded, to, id, &mut rewire).expect("round-trip frames fit one frame");
     assert_eq!(wire, rewire);
 }
 
@@ -72,8 +72,11 @@ proptest! {
         k in any::<u32>(),
         id in any::<u64>(),
     ) {
-        assert_request_round_trip(&Request::Knn { q: ipoint(&bits), k }, id);
-        assert_request_round_trip(&Request::Knn { q: fpoint(&bits), k }, id);
+        // Half the cases pin an epoch; the tag value reuses the id bits so
+        // the full u64 domain is covered without another generator.
+        let at = if id % 2 == 0 { None } else { Some(id) };
+        assert_request_round_trip(&Request::Knn { q: ipoint(&bits), k, at }, id);
+        assert_request_round_trip(&Request::Knn { q: fpoint(&bits), k, at }, id);
     }
 
     #[test]
@@ -81,10 +84,11 @@ proptest! {
         bits in proptest::collection::vec(any::<u64>(), 4),
         id in any::<u64>(),
     ) {
-        assert_request_round_trip(&Request::RangeCount { rect: irect(&bits) }, id);
-        assert_request_round_trip(&Request::RangeList { rect: irect(&bits) }, id);
-        assert_request_round_trip(&Request::RangeCount { rect: frect(&bits) }, id);
-        assert_request_round_trip(&Request::RangeList { rect: frect(&bits) }, id);
+        let at = if id % 2 == 0 { None } else { Some(id) };
+        assert_request_round_trip(&Request::RangeCount { rect: irect(&bits), at }, id);
+        assert_request_round_trip(&Request::RangeList { rect: irect(&bits), at }, id);
+        assert_request_round_trip(&Request::RangeCount { rect: frect(&bits), at }, id);
+        assert_request_round_trip(&Request::RangeList { rect: frect(&bits), at }, id);
     }
 
     #[test]
@@ -151,11 +155,12 @@ proptest! {
         pick in any::<u64>(),
         cut_seed in any::<u64>(),
     ) {
+        let at = if cut_seed % 2 == 0 { None } else { Some(cut_seed) };
         let reqs: Vec<Request<i64, 2>> = vec![
             Request::hello(),
-            Request::Knn { q: ipoint(&bits), k: bits[2] as u32 },
-            Request::RangeCount { rect: irect(&bits) },
-            Request::RangeList { rect: irect(&bits) },
+            Request::Knn { q: ipoint(&bits), k: bits[2] as u32, at },
+            Request::RangeCount { rect: irect(&bits), at },
+            Request::RangeList { rect: irect(&bits), at },
             Request::ApplyBatch {
                 delete: pts.iter().map(|b| ipoint(b)).collect(),
                 insert: pts.iter().map(|b| ipoint(b)).collect(),
@@ -163,7 +168,7 @@ proptest! {
         ];
         let req = &reqs[(pick % reqs.len() as u64) as usize];
         let mut wire = Vec::new();
-        encode_request(req, 7, &mut wire);
+        encode_request(req, 7, &mut wire).expect("round-trip frames fit one frame");
         let payload = &wire[LEN_PREFIX..];
         // Cut anywhere in [1, len): decoding the prefix must error, never
         // panic. (Cut 0 would drop the opcode byte, same path.)

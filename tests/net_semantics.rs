@@ -277,7 +277,7 @@ fn malformed_connections_never_wound_the_server() {
         .expect("spawn net server");
         let label = transport.name();
         let hello_bytes = |out: &mut Vec<u8>| {
-            wire::encode_request(&Request::<i64, 2>::hello(), 0, out);
+            wire::encode_request(&Request::<i64, 2>::hello(), 0, out).unwrap();
         };
 
         // 1. Oversized length prefix straight away.
@@ -313,10 +313,12 @@ fn malformed_connections_never_wound_the_server() {
                 &Request::<i64, 2>::Knn {
                     q: Point::new([1, 2]),
                     k: 3,
+                    at: None,
                 },
                 1,
                 &mut knn,
-            );
+            )
+            .unwrap();
             // Declare 5 extra bytes the frame does not carry.
             let len = u32::from_le_bytes(knn[..LEN_PREFIX].try_into().unwrap()) + 5;
             knn[..LEN_PREFIX].copy_from_slice(&len.to_le_bytes());
@@ -339,10 +341,12 @@ fn malformed_connections_never_wound_the_server() {
                 &Request::<i64, 2>::Knn {
                     q: queries[0],
                     k: 5,
+                    at: None,
                 },
                 1,
                 &mut out,
-            );
+            )
+            .unwrap();
             out.extend_from_slice(&200u32.to_le_bytes()); // frame never finished
             out.push(0x10);
             s.write_all(&out).unwrap();

@@ -403,3 +403,121 @@ fn router_stripe_epochs_are_atomic() {
     assert_eq!(router.pin().epochs(), vec![6, 6]);
     assert_eq!(router.len(), data.len() + 12 * 50);
 }
+
+/// Time-travel goldens: a persistent (CPAM) router retains a bounded window
+/// of global epochs, and "query as of epoch N" must answer **bit-identical**
+/// to the offline replica of epoch N — the same golden-checksum oracle the
+/// live battery uses — while everything outside the window is gone.
+#[test]
+fn persistent_time_travel_matches_per_epoch_goldens() {
+    let max = 1_000_000i64;
+    let data = workloads::varden::<2>(1_400, max, 81);
+    let queries = workloads::ind_queries(&data, 12, 82);
+    let rects = workloads::range_queries(&data, max, 40, 6, 83);
+    let batches = i64_batches(&data, 12, 120, max);
+    let universe = workloads::universe::<2>(max);
+    let k = 6;
+
+    let factory = i64_factory("cpam-h", Some(32));
+    let goldens = golden_epochs(&factory, &data, &batches, &queries, &rects, k);
+    let router = Router::with_history(&factory, &data, &universe, 1, 8);
+    assert!(router.is_persistent(), "cpam-h serves persistent snapshots");
+    for (del, ins) in &batches {
+        router.publish(del, ins);
+    }
+
+    // 13 states (epoch 0 + 12 publishes), window of 8: epochs 5..=12 stay.
+    assert_eq!(router.epoch_bounds(), Some((5, 12)), "eviction bound");
+    for e in 0..5u64 {
+        assert!(router.pin_at(e).is_none(), "epoch {e} must be evicted");
+    }
+    assert!(router.pin_at(13).is_none(), "future epoch");
+    for e in 5..=12u64 {
+        let view = router.pin_at(e).expect("epoch inside the window");
+        let got = answers_checksum(view.snapshot(0).index(), &queries, &rects, k);
+        assert_eq!(
+            got, goldens[e as usize],
+            "time-travel answers for epoch {e} drifted from the golden"
+        );
+    }
+}
+
+/// The same epoch answers through ψ-net: a wire client's `*_at` calls must
+/// return byte-for-byte what an in-process view of that epoch returns, on
+/// both socket transports; an evicted epoch is a typed per-request failure
+/// that leaves the connection usable.
+#[test]
+fn time_travel_over_the_socket_matches_in_process() {
+    use psi_net::client::WireClient;
+    use psi_net::{loopback, NetConfig, NetServer, Transport};
+    use psi_server::{PsiServer, ServeConfig};
+
+    let max = 1_000_000i64;
+    let data = workloads::uniform::<2>(1_500, max, 91);
+    let universe = workloads::universe::<2>(max);
+    let server = Arc::new(PsiServer::new(
+        &data,
+        &universe,
+        ServeConfig {
+            shards: 2,
+            epoch_history: 4,
+            ..Default::default()
+        },
+        i64_factory("cpam-h", None),
+    ));
+    for r in 0..6usize {
+        let del = data[r * 40..r * 40 + 40].to_vec();
+        let ins = workloads::uniform::<2>(40, max, 300 + r as u64);
+        server.submit(del, ins);
+    }
+    server.quiesce();
+    assert_eq!(server.epoch(), 6);
+
+    let queries = workloads::ind_queries(&data, 8, 92);
+    let rects = workloads::range_queries(&data, max, 40, 5, 93);
+    let k = 6;
+    for transport in [Transport::Threaded, Transport::Evented] {
+        let net = NetServer::spawn(
+            Arc::clone(&server),
+            loopback(),
+            NetConfig {
+                transport,
+                coalesce: true,
+            },
+        )
+        .expect("bind loopback");
+        let mut client: WireClient<i64, 2> = WireClient::connect(net.addr()).expect("connect");
+        for e in 3..=6u64 {
+            let view = server.view_at(e).expect("epoch inside the window");
+            let want_knn = view.knn_batch(&queries, k);
+            for (q, want) in queries.iter().zip(&want_knn) {
+                let got = client
+                    .knn_at(q, k, e)
+                    .expect("I/O")
+                    .expect("epoch inside the window");
+                assert_eq!(&got, want, "socket knn@{e} differs from in-process");
+            }
+            for rect in &rects {
+                assert_eq!(
+                    client.range_count_at(rect, e).expect("I/O"),
+                    Some(view.range_count(rect)),
+                    "socket range_count@{e}"
+                );
+                let mut got = client
+                    .range_list_at(rect, e)
+                    .expect("I/O")
+                    .expect("epoch inside the window");
+                let mut want = view.range_list(rect);
+                got.sort_unstable();
+                want.sort_unstable();
+                assert_eq!(got, want, "socket range_list@{e}");
+            }
+        }
+        // Evicted / future epochs: ERR_EPOCH is per-request, not fatal.
+        assert_eq!(client.knn_at(&queries[0], 3, 0).expect("I/O"), None);
+        assert_eq!(client.range_count_at(&rects[0], 99).expect("I/O"), None);
+        let alive = client.knn(&queries[0], 3).expect("connection stays open");
+        assert_eq!(alive.len(), 3);
+        net.shutdown();
+    }
+}
