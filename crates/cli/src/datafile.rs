@@ -1,0 +1,192 @@
+//! Point-file loaders backing `[data] source = file:PATH` scenarios.
+//!
+//! Two formats, chosen by extension:
+//!
+//! * `.csv` — one `x,y[,z]` row per point, integer coordinates, `#`
+//!   comments and blank lines allowed. The format real exports end up in.
+//! * anything else — raw little-endian i64 words, row-major (`D` words per
+//!   point, 8 bytes each), the zero-parse bulk format.
+//!
+//! Float scenarios reuse the integer loader and convert, exactly like the
+//! synthetic generators do, so i64 and f64 runs of one file see
+//! geometrically identical data. Malformed files are hard errors with the
+//! offending line or byte count — a loader that silently skipped rows
+//! would quietly change every checksum downstream.
+
+use psi_geometry::{Point, PointI};
+use std::path::Path;
+
+/// Load a point file (see the module docs for the two formats). Never
+/// returns an empty set: a scenario over zero points is a configuration
+/// error, not a valid run.
+pub fn load<const D: usize>(path: &Path) -> Result<Vec<PointI<D>>, String> {
+    let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+    let points = if ext.eq_ignore_ascii_case("csv") {
+        load_csv(path)?
+    } else {
+        load_bin(path)?
+    };
+    if points.is_empty() {
+        return Err(format!("{}: file holds no points", path.display()));
+    }
+    Ok(points)
+}
+
+/// The smallest axis-aligned `[0, max]` domain bound covering `data`: the
+/// `max-coord` a file-sourced scenario derives when none is declared.
+/// Negative coordinates still produce a positive bound (query generation
+/// needs one); 1 is the floor so degenerate single-origin files stay valid.
+pub fn derive_max_coord<const D: usize>(data: &[PointI<D>]) -> i64 {
+    data.iter()
+        .flat_map(|p| p.coords.iter().map(|c| c.unsigned_abs()))
+        .max()
+        .map_or(1, |m| i64::try_from(m).unwrap_or(i64::MAX).max(1))
+}
+
+/// The build universe for file-sourced data: `[0, max_coord]` on every
+/// axis — the synthetic generators' domain, so query generation stays
+/// uniform — stretched downward to cover any negative coordinates the
+/// file holds.
+pub fn derive_universe<const D: usize>(
+    data: &[PointI<D>],
+    max_coord: i64,
+) -> psi_geometry::RectI<D> {
+    let mut lo = [0i64; D];
+    for p in data {
+        for (l, c) in lo.iter_mut().zip(p.coords.iter()) {
+            *l = (*l).min(*c);
+        }
+    }
+    psi_geometry::Rect::from_corners(Point::new(lo), Point::new([max_coord; D]))
+}
+
+fn load_csv<const D: usize>(path: &Path) -> Result<Vec<PointI<D>>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let mut coords = [0i64; D];
+        for (d, c) in coords.iter_mut().enumerate() {
+            let field = fields
+                .next()
+                .map(str::trim)
+                .filter(|f| !f.is_empty())
+                .ok_or_else(|| {
+                    format!(
+                        "{}:{}: expected {D} comma-separated coordinates, got {d}",
+                        path.display(),
+                        idx + 1
+                    )
+                })?;
+            *c = field.parse().map_err(|_| {
+                format!(
+                    "{}:{}: bad integer coordinate {field:?}",
+                    path.display(),
+                    idx + 1
+                )
+            })?;
+        }
+        if fields.next().is_some() {
+            return Err(format!(
+                "{}:{}: more than {D} coordinates on one row",
+                path.display(),
+                idx + 1
+            ));
+        }
+        out.push(Point::new(coords));
+    }
+    Ok(out)
+}
+
+fn load_bin<const D: usize>(path: &Path) -> Result<Vec<PointI<D>>, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let stride = D * 8;
+    if bytes.len() % stride != 0 {
+        return Err(format!(
+            "{}: {} bytes is not a whole number of {D}-dimensional points \
+             ({stride} bytes each)",
+            path.display(),
+            bytes.len()
+        ));
+    }
+    let mut out = Vec::with_capacity(bytes.len() / stride);
+    for row in bytes.chunks_exact(stride) {
+        let mut coords = [0i64; D];
+        for (c, word) in coords.iter_mut().zip(row.chunks_exact(8)) {
+            *c = i64::from_le_bytes(word.try_into().expect("8-byte chunk"));
+        }
+        out.push(Point::new(coords));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("psi-datafile-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn csv_round_trips_with_comments_and_spacing() {
+        let path = tmp("ok.csv");
+        std::fs::write(&path, "# header comment\n1, 2\n-3,4 # inline\n\n5,6\n").unwrap();
+        let pts = load::<2>(&path).unwrap();
+        assert_eq!(
+            pts,
+            vec![Point::new([1, 2]), Point::new([-3, 4]), Point::new([5, 6])]
+        );
+    }
+
+    #[test]
+    fn csv_shape_errors_name_the_line() {
+        for (body, what) in [
+            ("1,2\n3\n", "expected 2"),
+            ("1,2,3\n", "more than 2"),
+            ("1,x\n", "bad integer"),
+            ("# only comments\n", "no points"),
+        ] {
+            let path = tmp("bad.csv");
+            std::fs::write(&path, body).unwrap();
+            let e = load::<2>(&path).unwrap_err();
+            assert!(e.contains(what), "{body:?} -> {e}");
+        }
+    }
+
+    #[test]
+    fn binary_round_trips_and_rejects_ragged_files() {
+        let path = tmp("pts.bin");
+        let mut bytes = Vec::new();
+        for w in [7i64, -9, 1 << 40, 0] {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(
+            load::<2>(&path).unwrap(),
+            vec![Point::new([7, -9]), Point::new([1 << 40, 0])]
+        );
+        // The same bytes are not a whole number of 3-d points.
+        assert!(load::<3>(&path).unwrap_err().contains("whole number"));
+        std::fs::write(&path, &bytes[..12]).unwrap();
+        assert!(load::<2>(&path).unwrap_err().contains("whole number"));
+        std::fs::write(&path, b"").unwrap();
+        assert!(load::<2>(&path).unwrap_err().contains("no points"));
+    }
+
+    #[test]
+    fn max_coord_derivation_covers_the_data() {
+        assert_eq!(derive_max_coord::<2>(&[Point::new([3, -70])]), 70);
+        assert_eq!(derive_max_coord::<2>(&[Point::new([0, 0])]), 1);
+        assert_eq!(derive_max_coord::<2>(&[]), 1);
+        let uni = derive_universe::<2>(&[Point::new([3, -70])], 70);
+        assert_eq!(uni.lo, Point::new([0, -70]));
+        assert_eq!(uni.hi, Point::new([70, 70]));
+    }
+}

@@ -25,6 +25,7 @@
 //! tests run scenarios in-process.
 
 pub mod compare;
+pub mod datafile;
 pub mod exec;
 pub mod netd;
 pub mod report;

@@ -13,9 +13,10 @@ use psi::{HilbertCurve, MortonCurve, SfcCurve};
 use psi_geometry::{Point, PointI, Rect};
 use psi_net::wire::WireCoord;
 use psi_net::{NetConfig, NetServer, Transport};
-use psi_server::{IndexFactory, PsiServer, ServeConfig, ServeCoord};
+use psi_server::{DurabilityConfig, FsyncPolicy, IndexFactory, PsiServer, ServeConfig, ServeCoord};
 use psi_workloads::{self as workloads, Distribution};
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Everything `psi-netd` needs to boot, as parsed from its command line.
@@ -46,6 +47,10 @@ pub struct NetdConfig {
     pub max_coord: i64,
     /// Dataset seed.
     pub seed: u64,
+    /// Durability directory (`--data-dir`); `None` serves memory-only.
+    pub data_dir: Option<PathBuf>,
+    /// WAL fsync policy (`--fsync`); only meaningful with `data_dir`.
+    pub fsync: FsyncPolicy,
 }
 
 impl Default for NetdConfig {
@@ -63,6 +68,8 @@ impl Default for NetdConfig {
             distribution: Distribution::Uniform,
             max_coord: 1_000_000,
             seed: 42,
+            data_dir: None,
+            fsync: FsyncPolicy::default(),
         }
     }
 }
@@ -86,7 +93,11 @@ pub fn usage() -> &'static str {
      --n N               synthetic dataset size (default 100000)\n\
      --distribution NAME any workloads distribution (default uniform)\n\
      --max-coord C       coordinate upper bound (default 1000000)\n\
-     --seed S            dataset seed (default 42)\n"
+     --seed S            dataset seed (default 42)\n\
+     --data-dir PATH     durability directory: WAL + checkpoints; recovers\n\
+     \u{20}                    existing state on start (default: memory-only)\n\
+     --fsync POLICY      every-batch | every-N | os (default every-batch;\n\
+     \u{20}                    requires --data-dir)\n"
 }
 
 fn value<'a>(flag: &str, it: &mut impl Iterator<Item = &'a str>) -> Result<&'a str, String> {
@@ -100,6 +111,7 @@ fn parse_num<T: std::str::FromStr>(flag: &str, v: &str) -> Result<T, String> {
 /// Parse `psi-netd` flags (everything after argv[0]).
 pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<NetdConfig, String> {
     let mut cfg = NetdConfig::default();
+    let mut fsync_set = false;
     let mut it = args.iter().map(AsRef::as_ref);
     while let Some(flag) = it.next() {
         match flag {
@@ -144,6 +156,14 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<NetdConfig, String> {
             }
             "--max-coord" => cfg.max_coord = parse_num(flag, value(flag, &mut it)?)?,
             "--seed" => cfg.seed = parse_num(flag, value(flag, &mut it)?)?,
+            "--data-dir" => cfg.data_dir = Some(PathBuf::from(value(flag, &mut it)?)),
+            "--fsync" => {
+                let v = value(flag, &mut it)?;
+                cfg.fsync = FsyncPolicy::parse(v).ok_or_else(|| {
+                    format!("--fsync: expected every-batch, every-N or os, got {v:?}")
+                })?;
+                fsync_set = true;
+            }
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
@@ -153,6 +173,9 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<NetdConfig, String> {
     }
     if cfg.n == 0 {
         return Err("--n must be positive".to_string());
+    }
+    if fsync_set && cfg.data_dir.is_none() {
+        return Err("--fsync requires --data-dir".to_string());
     }
     Ok(cfg)
 }
@@ -257,6 +280,10 @@ fn boot_typed<T: ServeCoord + WireCoord, const D: usize>(
             shards: cfg.shards,
             coalesce_max_batch: cfg.coalesce,
             writer_queue: 8,
+            durability: cfg.data_dir.as_ref().map(|dir| DurabilityConfig {
+                dir: dir.clone(),
+                fsync: cfg.fsync,
+            }),
             ..Default::default()
         },
         factory,
@@ -271,7 +298,7 @@ fn boot_typed<T: ServeCoord + WireCoord, const D: usize>(
     )
     .map_err(|e| format!("bind {}: {e}", cfg.addr))?;
     let banner = format!(
-        "listening on {} family={} coords={} dims={} n={} dist={} shards={} transport={} coalesce={}",
+        "listening on {} family={} coords={} dims={} n={} dist={} shards={} transport={} coalesce={} durable={}",
         net.addr(),
         cfg.family,
         cfg.coords.name(),
@@ -282,6 +309,11 @@ fn boot_typed<T: ServeCoord + WireCoord, const D: usize>(
         cfg.transport.name(),
         if cfg.coalesced {
             cfg.coalesce.to_string()
+        } else {
+            "off".to_string()
+        },
+        if server.is_durable() {
+            cfg.fsync.name()
         } else {
             "off".to_string()
         },
@@ -344,6 +376,13 @@ mod tests {
         assert_eq!(cfg.max_coord, 99);
         assert_eq!(cfg.seed, 7);
 
+        let cfg = parse_args(&["--data-dir", "/tmp/psi-data", "--fsync", "every-8"]).unwrap();
+        assert_eq!(
+            cfg.data_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/psi-data"))
+        );
+        assert_eq!(cfg.fsync, FsyncPolicy::EveryN(8));
+
         for bad in [
             &["--family", "nope"][..],
             &["--transport", "carrier-pigeon"],
@@ -354,6 +393,10 @@ mod tests {
             &["--addr", "not-an-addr"],
             &["--mystery"],
             &["--seed"],
+            // --fsync is a durability knob: meaningless without --data-dir.
+            &["--fsync", "os"],
+            &["--data-dir", "/tmp/x", "--fsync", "sometimes"],
+            &["--data-dir", "/tmp/x", "--fsync", "every-0"],
         ] {
             assert!(parse_args(bad).is_err(), "{bad:?} should be rejected");
         }
@@ -380,6 +423,51 @@ mod tests {
             drop(client);
             running.shutdown();
         }
+    }
+
+    #[test]
+    fn data_dir_survives_a_reboot() {
+        let dir = std::env::temp_dir().join(format!("psi-netd-reboot-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let world = Rect::from_corners(Point::new([0, 0]), Point::new([1_000_000, 1_000_000]));
+        let cfg = parse_args(&[
+            "--n",
+            "500",
+            "--family",
+            "cpam-h",
+            "--data-dir",
+            dir.to_str().unwrap(),
+        ])
+        .unwrap();
+        {
+            let running = boot(&cfg).unwrap();
+            assert!(running.banner().ends_with("durable=every-batch"));
+            let mut client: WireClient<i64, 2> = WireClient::connect(running.addr()).unwrap();
+            client
+                .apply_batch(Vec::new(), vec![Point::new([1, 2]), Point::new([3, 4])])
+                .unwrap();
+            // BatchOk acks the submission, not the publish: poll the epoch
+            // until the writer thread lands (and WAL-logs) the batch.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            while client.epoch_bounds().unwrap().map(|(_, hi)| hi) != Some(1) {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "epoch 1 never published"
+                );
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            drop(client);
+            running.shutdown();
+        }
+        // Reboot over the same directory: recovery must land on the same
+        // epoch with the same contents, ignoring the synthetic seed data.
+        let running = boot(&cfg).unwrap();
+        let mut client: WireClient<i64, 2> = WireClient::connect(running.addr()).unwrap();
+        assert_eq!(client.epoch_bounds().unwrap().map(|(_, hi)| hi), Some(1));
+        assert_eq!(client.range_count(&world).unwrap(), 502);
+        drop(client);
+        running.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

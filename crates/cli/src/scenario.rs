@@ -16,6 +16,13 @@
 //! coords = i64                  # i64 or f64
 //! n = 2400
 //! max-coord = 1000000           # optional; defaults to the paper's domain
+//! source = file:points.csv      # optional: load points from a file instead
+//!                               # of generating them (CSV `x,y[,z]` rows or
+//!                               # raw little-endian i64 words, by extension;
+//!                               # relative to the scenario file). With a
+//!                               # source, distribution / n / max-coord are
+//!                               # optional: n truncates, max-coord defaults
+//!                               # to the data's own bounding box.
 //!
 //! [indexes]
 //! families = all                # or a comma list of registry names;
@@ -47,6 +54,9 @@
 //! coalesce = 32                 # max queries folded into one flush
 //! transport = inproc            # inproc | threaded | evented (TCP loopback)
 //! epoch-history = 8             # retained epochs for "as of epoch N" queries
+//! epoch-history-bytes = 1048576 # optional byte budget for that history
+//! data-dir = /var/psi/demo      # optional: WAL + checkpoint durability
+//! fsync = every-batch           # every-batch | every-N | os (needs data-dir)
 //! ```
 //!
 //! Amounts are either absolute point counts (`500`) or percentages of `n`
@@ -222,11 +232,20 @@ pub struct ServeSpec {
     /// Only takes effect when every shard serves a snapshot-capable
     /// (persistent) family; left-right families keep no history.
     pub epoch_history: usize,
+    /// Byte budget for the epoch history (`0` bounds by count only); see
+    /// `ServeConfig::epoch_history_bytes`.
+    pub epoch_history_bytes: usize,
     /// Family serving the phase; `None` uses the scenario's first instance.
     pub family: Option<&'static str>,
     /// How clients reach the server: in-process handles (the default) or a
     /// ψ-net TCP loopback socket on one of its two transports.
     pub transport: ServeTransport,
+    /// Durability directory: applied batches are WAL-logged and
+    /// checkpointed there, and a rerun recovers the previous run's state.
+    /// `None` (the default) serves memory-only.
+    pub data_dir: Option<std::path::PathBuf>,
+    /// WAL fsync policy; only meaningful with `data_dir`.
+    pub fsync: psi_server::FsyncPolicy,
 }
 
 /// Client transport for the serving phase.
@@ -270,8 +289,11 @@ impl Default for ServeSpec {
             write_every_ms: 2,
             coalesce: 32,
             epoch_history: psi_server::DEFAULT_EPOCH_HISTORY,
+            epoch_history_bytes: 0,
             family: None,
             transport: ServeTransport::Inproc,
+            data_dir: None,
+            fsync: psi_server::FsyncPolicy::default(),
         }
     }
 }
@@ -289,10 +311,18 @@ pub struct Scenario {
     pub dims: usize,
     /// Coordinate type.
     pub coords: CoordKind,
-    /// Dataset size.
+    /// Dataset size. With a file [`Scenario::source`], `0` means "every
+    /// point in the file" and a positive value truncates to the first `n`.
     pub n: usize,
-    /// Coordinate domain upper bound.
+    /// Coordinate domain upper bound. With a file [`Scenario::source`], `0`
+    /// means "derive from the data's own bounding box".
     pub max_coord: i64,
+    /// Point file to load instead of generating from `distribution`
+    /// (`source = file:PATH` in `[data]`). `.csv` files hold one
+    /// comma-separated `x,y[,z]` row per point (`#` comments allowed); any
+    /// other extension is raw little-endian i64 words, row-major.
+    /// [`parse_file`] resolves relative paths against the scenario file.
+    pub source: Option<String>,
     /// The index instances to run (family × leaf-size sweep, expanded).
     pub families: Vec<FamilySpec>,
     /// Query-mix sizes.
@@ -358,6 +388,8 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
     let mut coords = CoordKind::I64;
     let mut n: Option<usize> = None;
     let mut max_coord: Option<i64> = None;
+    let mut source: Option<String> = None;
+    let mut fsync_line: Option<usize> = None;
     let mut families_raw: Option<(usize, String)> = None;
     let mut leaf_sizes: Option<(usize, Vec<usize>)> = None;
     let mut queries = QuerySpec::default();
@@ -442,6 +474,15 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
                     )
                 })?)
             }
+            ("data", "source") => {
+                let path = value.strip_prefix("file:").ok_or_else(|| {
+                    err(lineno, format!("source expects `file:PATH`, got {value:?}"))
+                })?;
+                if path.trim().is_empty() {
+                    return Err(err(lineno, "source file path is empty"));
+                }
+                source = Some(path.trim().to_string());
+            }
             ("indexes", "families") => families_raw = Some((lineno, value.to_string())),
             ("indexes", "leaf-size") => {
                 leaf_sizes = Some((
@@ -476,6 +517,19 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
                     }
                     "coalesce" => sv.coalesce = parse_usize(value, "coalesce")?,
                     "epoch-history" => sv.epoch_history = parse_usize(value, "epoch-history")?,
+                    "epoch-history-bytes" => {
+                        sv.epoch_history_bytes = parse_usize(value, "epoch-history-bytes")?
+                    }
+                    "data-dir" => sv.data_dir = Some(std::path::PathBuf::from(value)),
+                    "fsync" => {
+                        sv.fsync = psi_server::FsyncPolicy::parse(value).ok_or_else(|| {
+                            err(
+                                lineno,
+                                format!("fsync expects every-batch, every-N or os, got {value:?}"),
+                            )
+                        })?;
+                        fsync_line = Some(lineno);
+                    }
                     "transport" => {
                         sv.transport = ServeTransport::parse(value).ok_or_else(|| {
                             err(
@@ -495,21 +549,35 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
         }
     }
 
-    // Whole-file validation.
+    // Whole-file validation. A file source supplies the data itself, so
+    // distribution/n/max-coord turn optional: 0 is the "take it from the
+    // file" sentinel for the numeric pair (see the [`Scenario`] field docs).
     let name = name.ok_or_else(|| err(0, "[scenario] name is required"))?;
-    let distribution = distribution.ok_or_else(|| err(0, "[data] distribution is required"))?;
-    let n = n.ok_or_else(|| err(0, "[data] n is required"))?;
-    if n == 0 {
+    let distribution = match (distribution, &source) {
+        (Some(d), _) => d,
+        (None, Some(_)) => Distribution::Uniform,
+        (None, None) => return Err(err(0, "[data] distribution is required")),
+    };
+    let n = match (n, &source) {
+        (Some(n), _) => n,
+        (None, Some(_)) => 0,
+        (None, None) => return Err(err(0, "[data] n is required")),
+    };
+    if n == 0 && source.is_none() {
         return Err(err(0, "[data] n must be positive"));
     }
     if !(dims == 2 || dims == 3) {
         return Err(err(0, format!("dims must be 2 or 3, got {dims}")));
     }
-    let max_coord = max_coord.unwrap_or(match dims {
-        3 => DEFAULT_MAX_COORD_3D,
-        _ => DEFAULT_MAX_COORD_2D,
-    });
-    if max_coord <= 0 {
+    let max_coord = match (max_coord, &source) {
+        (Some(m), _) => m,
+        (None, Some(_)) => 0,
+        (None, None) => match dims {
+            3 => DEFAULT_MAX_COORD_3D,
+            _ => DEFAULT_MAX_COORD_2D,
+        },
+    };
+    if max_coord <= 0 && !(max_coord == 0 && source.is_some()) {
         return Err(err(0, "max-coord must be positive"));
     }
 
@@ -611,6 +679,11 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
                 "[serve] clients, ops, shards and coalesce must be positive",
             ));
         }
+        if let Some(lineno) = fsync_line {
+            if sv.data_dir.is_none() {
+                return Err(err(lineno, "[serve] fsync requires data-dir"));
+            }
+        }
         if let Some((lineno, raw)) = serve_family_raw {
             let canon = registry::resolve_name(&raw)
                 .ok_or_else(|| err(lineno, format!("unknown serve family {raw:?}")))?;
@@ -645,6 +718,7 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
         coords,
         n,
         max_coord,
+        source,
         families,
         queries,
         schedule,
@@ -652,10 +726,21 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
     })
 }
 
-/// Read and parse a scenario file.
+/// Read and parse a scenario file. A relative `source = file:` path is
+/// resolved against the scenario file's own directory, so scenarios can
+/// ship next to their datasets.
 pub fn parse_file(path: &std::path::Path) -> Result<Scenario, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
-    parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    let mut sc = parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    if let Some(src) = &sc.source {
+        let p = std::path::Path::new(src);
+        if p.is_relative() {
+            if let Some(dir) = path.parent() {
+                sc.source = Some(dir.join(p).to_string_lossy().into_owned());
+            }
+        }
+    }
+    Ok(sc)
 }
 
 #[cfg(test)]
@@ -830,6 +915,75 @@ epoch-history = 12
             "{MINIMAL}[indexes]\nfamilies = pkd\n[serve]\nfamily = zd\n"
         ))
         .is_err());
+    }
+
+    #[test]
+    fn file_source_relaxes_data_keys() {
+        // With a source, distribution/n/max-coord all become optional and
+        // fall back to their "take it from the file" sentinels.
+        let text = "\
+[scenario]
+name = file-demo
+[data]
+source = file:points.csv
+[indexes]
+families = pkd
+";
+        let sc = parse(text).unwrap();
+        assert_eq!(sc.source.as_deref(), Some("points.csv"));
+        assert_eq!(sc.n, 0);
+        assert_eq!(sc.max_coord, 0);
+        assert_eq!(sc.distribution, Distribution::Uniform);
+        // Explicit n / max-coord still win.
+        let sc = parse(&text.replace(
+            "source = file:points.csv",
+            "source = file:points.csv\nn = 100\nmax-coord = 4096",
+        ))
+        .unwrap();
+        assert_eq!(sc.n, 100);
+        assert_eq!(sc.max_coord, 4096);
+        // Malformed sources are errors, and without a source the old
+        // required-key rules still hold.
+        assert!(parse(&text.replace("file:points.csv", "points.csv")).is_err());
+        assert!(parse(&text.replace("file:points.csv", "file: ")).is_err());
+        assert!(parse("[scenario]\nname = x\n[data]\nn = 10\n").is_err());
+    }
+
+    #[test]
+    fn source_paths_resolve_against_the_scenario_file() {
+        let dir = std::env::temp_dir().join(format!("psi-scn-src-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("demo.psi");
+        std::fs::write(
+            &path,
+            "[scenario]\nname = demo\n[data]\nsource = file:pts.csv\n",
+        )
+        .unwrap();
+        let sc = parse_file(&path).unwrap();
+        assert_eq!(
+            sc.source.as_deref(),
+            Some(dir.join("pts.csv").to_str().unwrap())
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_durability_keys_round_trip() {
+        let base = format!("{MINIMAL}[serve]\n");
+        let sc = parse(&format!(
+            "{base}data-dir = /tmp/psi-serve\nfsync = every-4\nepoch-history-bytes = 4096\n"
+        ))
+        .unwrap();
+        let sv = sc.serve.unwrap();
+        assert_eq!(
+            sv.data_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/psi-serve"))
+        );
+        assert_eq!(sv.fsync, psi_server::FsyncPolicy::EveryN(4));
+        assert_eq!(sv.epoch_history_bytes, 4096);
+        // fsync without data-dir, and bogus policies, are parse errors.
+        assert!(parse(&format!("{base}fsync = os\n")).is_err());
+        assert!(parse(&format!("{base}data-dir = /tmp/x\nfsync = sometimes\n")).is_err());
     }
 
     #[test]

@@ -94,8 +94,11 @@ where
     HilbertCurve: SfcCurve<D>,
     MortonCurve: SfcCurve<D>,
 {
-    let data = sc.distribution.generate::<D>(sc.n, sc.max_coord, sc.seed);
-    let universe = workloads::universe::<D>(sc.max_coord);
+    let (data, max_coord) = crate::exec::source_data_i64::<D>(sc)?;
+    let universe = match sc.source {
+        Some(_) => crate::datafile::derive_universe(&data, max_coord),
+        None => workloads::universe::<D>(max_coord),
+    };
     let (family, leaf) = serving_family(sc, sv);
     let mut opts = BuildOptions::with_universe(universe);
     opts.leaf_size = leaf;
@@ -106,7 +109,7 @@ where
     let queries = workloads::ind_queries(&data, 256, sc.seed ^ 0x61);
     let rects = workloads::range_queries(
         &data,
-        sc.max_coord,
+        max_coord,
         sc.queries.range_target.max(1),
         64,
         sc.seed ^ 0x62,
@@ -124,9 +127,13 @@ where
     MortonCurve: SfcCurve<D>,
 {
     // Same integer-generated geometry as the executor's f64 path.
-    let idata = sc.distribution.generate::<D>(sc.n, sc.max_coord, sc.seed);
+    let (idata, max_coord) = crate::exec::source_data_i64::<D>(sc)?;
     let data: Vec<Point<f64, D>> = idata.iter().map(to_f64_point).collect();
-    let universe = Rect::from_corners(Point::new([0.0; D]), Point::new([sc.max_coord as f64; D]));
+    let iuniverse = match sc.source {
+        Some(_) => crate::datafile::derive_universe(&idata, max_coord),
+        None => workloads::universe::<D>(max_coord),
+    };
+    let universe = Rect::from_corners(to_f64_point(&iuniverse.lo), to_f64_point(&iuniverse.hi));
     let (family, leaf) = serving_family(sc, sv);
     let mut opts = BuildOptions::with_universe(universe);
     opts.leaf_size = leaf;
@@ -140,7 +147,7 @@ where
         .collect();
     let rects: Vec<Rect<f64, D>> = workloads::range_queries(
         &idata,
-        sc.max_coord,
+        max_coord,
         sc.queries.range_target.max(1),
         64,
         sc.seed ^ 0x62,
@@ -170,6 +177,14 @@ fn serve_typed<T: ServeCoord + WireCoord, const D: usize>(
             coalesce_max_batch: sv.coalesce,
             writer_queue: 8,
             epoch_history: sv.epoch_history,
+            epoch_history_bytes: sv.epoch_history_bytes,
+            durability: sv
+                .data_dir
+                .as_ref()
+                .map(|dir| psi_server::DurabilityConfig {
+                    dir: dir.clone(),
+                    fsync: sv.fsync,
+                }),
         },
         factory,
     ));

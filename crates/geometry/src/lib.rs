@@ -19,12 +19,14 @@ pub mod knn;
 pub mod leaf;
 pub mod point;
 pub mod rect;
+pub mod wirecoord;
 
 pub use coord::Coord;
 pub use knn::{brute_force_knn, KnnHeap};
 pub use leaf::LeafSoA;
 pub use point::Point;
 pub use rect::Rect;
+pub use wirecoord::WireCoord;
 
 /// Convenience alias: integer-coordinate point, the representation used by all
 /// SFC-based indexes in the paper (coordinates are 64-bit integers in `[0, 10^9]`).

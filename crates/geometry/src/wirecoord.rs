@@ -1,0 +1,78 @@
+//! The 8-byte little-endian coordinate codec shared by every serialized
+//! form in the workspace: the ψ-net wire protocol (`psi-net`), the
+//! write-ahead log and checkpoint snapshots (`psi-server`), and the binary
+//! point-file loader (`psi-cli`).
+//!
+//! One codec, one contract: `i64` travels as its raw little-endian bytes,
+//! `f64` as its IEEE-754 bit pattern — so NaN payloads and `-0.0` survive a
+//! round trip bit-for-bit (value equality would lie about both). The `TAG`
+//! byte lets a header announce which interpretation its words carry, so a
+//! reader can reject a shape mismatch before decoding a single point.
+
+use crate::coord::Coord;
+
+/// Coordinate types with a canonical 8-byte little-endian serialized form,
+/// tagged so readers and writers agree on the interpretation up front.
+pub trait WireCoord: Coord {
+    /// Coordinate tag carried in headers (0 = i64, 1 = f64).
+    const TAG: u8;
+    /// Little-endian wire form.
+    fn to_wire(self) -> [u8; 8];
+    /// Decode the little-endian wire form.
+    fn from_wire(bytes: [u8; 8]) -> Self;
+}
+
+impl WireCoord for i64 {
+    const TAG: u8 = 0;
+    #[inline]
+    fn to_wire(self) -> [u8; 8] {
+        self.to_le_bytes()
+    }
+    #[inline]
+    fn from_wire(bytes: [u8; 8]) -> Self {
+        i64::from_le_bytes(bytes)
+    }
+}
+
+impl WireCoord for f64 {
+    const TAG: u8 = 1;
+    #[inline]
+    fn to_wire(self) -> [u8; 8] {
+        self.to_bits().to_le_bytes()
+    }
+    #[inline]
+    fn from_wire(bytes: [u8; 8]) -> Self {
+        f64::from_bits(u64::from_le_bytes(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i64_round_trips_raw_le() {
+        for v in [0i64, 1, -1, i64::MIN, i64::MAX, 0x0123_4567_89AB_CDEF] {
+            assert_eq!(i64::from_wire(v.to_wire()), v);
+            assert_eq!(v.to_wire(), v.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn f64_round_trips_bit_exact() {
+        // Value equality would conflate NaN payloads and -0.0 with 0.0;
+        // the codec must preserve the exact bit pattern.
+        for bits in [
+            0u64,
+            (-0.0f64).to_bits(),
+            f64::NAN.to_bits(),
+            f64::NAN.to_bits() | 0xDEAD, // NaN with a payload
+            f64::INFINITY.to_bits(),
+            f64::MIN_POSITIVE.to_bits(),
+            1u64, // subnormal
+        ] {
+            let v = f64::from_bits(bits);
+            assert_eq!(f64::from_wire(v.to_wire()).to_bits(), bits);
+        }
+    }
+}

@@ -206,6 +206,17 @@ impl<T: WireCoord, const D: usize> WireClient<T, D> {
         }
     }
 
+    /// The `(oldest, newest)` epochs the server can still answer pinned
+    /// queries for, or `None` while the server retains no history (single
+    /// snapshot mode). `newest` is the currently published epoch, so this
+    /// doubles as a cheap "what epoch are you at" probe.
+    pub fn epoch_bounds(&mut self) -> io::Result<Option<(u64, u64)>> {
+        match self.query(Request::EpochBounds)? {
+            Reply::EpochBounds(b) => Ok(b),
+            _ => Err(bad_reply("epoch_bounds answered with an unexpected reply")),
+        }
+    }
+
     /// Publish one update batch (deletions before insertions). Retries
     /// [`ERR_BUSY`] by spinning on the server's back-pressure signal; any
     /// other error is fatal for the connection.

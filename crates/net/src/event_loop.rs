@@ -379,6 +379,14 @@ impl<T: ServeCoord + WireCoord, const D: usize> Reactor<T, D> {
                 self.queue_reply(idx, &reply, opcode, req_id);
                 return;
             }
+            Request::EpochBounds => {
+                // Answered inline: one mutex-guarded peek at the history
+                // log, nothing worth a coalescer round-trip.
+                let reply: Reply<T, D> =
+                    Reply::EpochBounds(self.ctx.server.router().epoch_bounds());
+                self.queue_reply(idx, &reply, opcode, req_id);
+                return;
+            }
             Request::ApplyBatch { delete, insert } => {
                 let reply = match self.ctx.server.try_submit(delete, insert) {
                     Ok(()) => Reply::BatchOk,

@@ -253,6 +253,7 @@ pub(crate) fn answer_blocking<T: ServeCoord + WireCoord, const D: usize>(
                 None => reply_epoch_gone(),
             }
         }
+        Request::EpochBounds => Reply::EpochBounds(ctx.server.router().epoch_bounds()),
         Request::ApplyBatch { delete, insert } => match ctx.server.try_submit(delete, insert) {
             Ok(()) => Reply::BatchOk,
             Err(_) => Reply::Error {

@@ -31,7 +31,7 @@
 //! and decoding borrows from the connection's read buffer; only the decoded
 //! point vectors themselves are materialised.
 
-use psi_geometry::{Coord, Point, Rect};
+use psi_geometry::{Point, Rect};
 
 /// First bytes of every connection: `b"PSIN"` read as a little-endian u32.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"PSIN");
@@ -52,6 +52,7 @@ pub const OP_HELLO: u8 = 0x01;
 pub const OP_KNN: u8 = 0x10;
 pub const OP_RANGE_COUNT: u8 = 0x11;
 pub const OP_RANGE_LIST: u8 = 0x12;
+pub const OP_EPOCH_BOUNDS: u8 = 0x13;
 pub const OP_APPLY_BATCH: u8 = 0x20;
 /// Set on a request opcode to form its success-reply opcode.
 pub const REPLY_BIT: u8 = 0x80;
@@ -72,39 +73,10 @@ pub const ERR_BUSY: u16 = 8;
 pub const ERR_EPOCH: u16 = 9;
 
 /// Coordinate types that travel on the wire: 8 bytes little-endian each,
-/// tagged so both ends agree on the interpretation during hello.
-pub trait WireCoord: Coord {
-    /// Coordinate tag exchanged in hello (0 = i64, 1 = f64).
-    const TAG: u8;
-    /// Little-endian wire form.
-    fn to_wire(self) -> [u8; 8];
-    /// Decode the little-endian wire form.
-    fn from_wire(bytes: [u8; 8]) -> Self;
-}
-
-impl WireCoord for i64 {
-    const TAG: u8 = 0;
-    #[inline]
-    fn to_wire(self) -> [u8; 8] {
-        self.to_le_bytes()
-    }
-    #[inline]
-    fn from_wire(bytes: [u8; 8]) -> Self {
-        i64::from_le_bytes(bytes)
-    }
-}
-
-impl WireCoord for f64 {
-    const TAG: u8 = 1;
-    #[inline]
-    fn to_wire(self) -> [u8; 8] {
-        self.to_bits().to_le_bytes()
-    }
-    #[inline]
-    fn from_wire(bytes: [u8; 8]) -> Self {
-        f64::from_bits(u64::from_le_bytes(bytes))
-    }
-}
+/// tagged so both ends agree on the interpretation during hello. The codec
+/// itself lives in `psi-geometry` (re-exported here) so the server's WAL and
+/// checkpoint formats serialize points with the same bit-exact contract.
+pub use psi_geometry::WireCoord;
 
 /// A decoded request frame.
 #[derive(Clone, Debug, PartialEq)]
@@ -122,6 +94,8 @@ pub enum Request<T: WireCoord, const D: usize> {
     RangeCount { rect: Rect<T, D>, at: Option<u64> },
     /// The stored points in the closed box (as of `at`, if given).
     RangeList { rect: Rect<T, D>, at: Option<u64> },
+    /// The retained time-travel window: which epochs `at` may name. No body.
+    EpochBounds,
     /// One update batch: deletions applied before insertions.
     ApplyBatch {
         delete: Vec<Point<T, D>>,
@@ -137,6 +111,7 @@ impl<T: WireCoord, const D: usize> Request<T, D> {
             Request::Knn { .. } => OP_KNN,
             Request::RangeCount { .. } => OP_RANGE_COUNT,
             Request::RangeList { .. } => OP_RANGE_LIST,
+            Request::EpochBounds => OP_EPOCH_BOUNDS,
             Request::ApplyBatch { .. } => OP_APPLY_BATCH,
         }
     }
@@ -165,6 +140,10 @@ pub enum Reply<T: WireCoord, const D: usize> {
     Points(Vec<Point<T, D>>),
     /// Range-count answer.
     Count(u64),
+    /// Epoch-bounds answer: `Some((oldest, newest))` retained epochs, or
+    /// `None` when the server keeps no history (non-persistent family, or
+    /// history disabled).
+    EpochBounds(Option<(u64, u64)>),
     /// Batch accepted (enqueued to the writer; publication is asynchronous).
     BatchOk,
     /// Typed failure. The server closes the connection after protocol
@@ -285,6 +264,7 @@ pub fn encode_request<T: WireCoord, const D: usize>(
             put_point(out, &rect.hi);
             put_at(out, epoch);
         }
+        Request::EpochBounds => {}
         Request::ApplyBatch { delete, insert } => {
             out.extend_from_slice(&(delete.len() as u32).to_le_bytes());
             out.extend_from_slice(&(insert.len() as u32).to_le_bytes());
@@ -328,6 +308,14 @@ pub fn encode_reply<T: WireCoord, const D: usize>(
             put_points(out, pts);
         }
         Reply::Count(c) => out.extend_from_slice(&c.to_le_bytes()),
+        Reply::EpochBounds(bounds) => match bounds {
+            Some((lo, hi)) => {
+                out.push(1);
+                out.extend_from_slice(&lo.to_le_bytes());
+                out.extend_from_slice(&hi.to_le_bytes());
+            }
+            None => out.push(0),
+        },
         Reply::BatchOk => {}
         Reply::Error { code, message } => {
             out.extend_from_slice(&code.to_le_bytes());
@@ -476,6 +464,7 @@ pub fn decode_request<T: WireCoord, const D: usize>(
             rect: rd.rect()?,
             at: rd.at()?,
         },
+        OP_EPOCH_BOUNDS => Request::EpochBounds,
         OP_APPLY_BATCH => {
             let n_del = rd.u32()? as usize;
             let n_ins = rd.u32()? as usize;
@@ -510,6 +499,11 @@ pub fn decode_reply<T: WireCoord, const D: usize>(
             Reply::Points(rd.points(n)?)
         }
         op if op == OP_RANGE_COUNT | REPLY_BIT => Reply::Count(rd.u64()?),
+        op if op == OP_EPOCH_BOUNDS | REPLY_BIT => match rd.u8()? {
+            0 => Reply::EpochBounds(None),
+            1 => Reply::EpochBounds(Some((rd.u64()?, rd.u64()?))),
+            _ => return Err(WireError::Malformed("bad epoch-bounds presence byte")),
+        },
         op if op == OP_APPLY_BATCH | REPLY_BIT => Reply::BatchOk,
         OP_ERROR => {
             let code = rd.u16()?;
@@ -664,6 +658,13 @@ mod tests {
             OP_KNN,
             4,
         );
+        round_trip_request(Request::<i64, 2>::EpochBounds, 11);
+        round_trip_reply(
+            Reply::<i64, 2>::EpochBounds(Some((3, 17))),
+            OP_EPOCH_BOUNDS,
+            12,
+        );
+        round_trip_reply(Reply::<i64, 2>::EpochBounds(None), OP_EPOCH_BOUNDS, 13);
         round_trip_reply(Reply::<i64, 2>::BatchOk, OP_APPLY_BATCH, 5);
         round_trip_reply(
             Reply::<i64, 2>::Error {

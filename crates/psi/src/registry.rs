@@ -107,6 +107,19 @@ pub trait DynIndex<T: Coord, const D: usize>: Send + Sync {
     fn snapshot_dyn(&self) -> Option<Box<dyn DynIndex<T, D>>> {
         None
     }
+
+    /// Append every stored point to `out` (checkpoint serialization: the
+    /// extracted build array recreates this index bit-identically through
+    /// [`create`]). The default walks [`DynIndex::range_visit`] over the
+    /// index's own [`DynIndex::bounding_box`], so it works for every family
+    /// without per-family code.
+    fn extract_points(&self, out: &mut Vec<Point<T, D>>) {
+        if self.is_empty() {
+            return;
+        }
+        out.reserve(self.len());
+        self.range_visit(&self.bounding_box(), &mut |p| out.push(*p));
+    }
 }
 
 /// Adapter giving any [`SpatialIndex`] the [`DynIndex`] vtable.

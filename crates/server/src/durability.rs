@@ -1,0 +1,575 @@
+//! Checkpoint snapshots and crash recovery for [`crate::PsiServer`].
+//!
+//! Durability pairs two on-disk artifacts per **generation** `g`:
+//!
+//! * `checkpoint-g<g>.psic` — a full binary snapshot of the stored points
+//!   at one epoch watermark (the build array any registry family rebuilds
+//!   from), and
+//! * `wal-g<g>.log` — the [`crate::wal`] segment continuing from that
+//!   watermark.
+//!
+//! A [checkpoint](write_checkpoint) is written to a temp file, fsynced, and
+//! renamed into place, so a crash mid-checkpoint leaves the previous
+//! generation untouched. Every checkpoint starts a new generation; the two
+//! newest generations are retained, so a truncated or corrupted newest
+//! checkpoint falls back to the previous one (its WAL segment chain still
+//! reaches the present).
+//!
+//! [`recover`] walks generations newest-first: the first checkpoint that
+//! validates becomes the base state, then WAL segments from that generation
+//! forward are chained by contiguous epochs. Anything unreadable — torn
+//! record tails, CRC mismatches, epoch gaps, alien headers — ends the chain
+//! at the last consistent epoch and is reported as a warning, never a panic:
+//! the recovered state is always *some* prefix of what was acknowledged.
+//!
+//! ## Checkpoint format
+//!
+//! ```text
+//! [u32 magic "PSIC"][u16 version][u8 tag][u8 dims]
+//! [u64 epoch][u64 count]
+//! [2 * D words: universe lo, hi]
+//! [count * D words: points]
+//! [u32 crc32 over everything before it]
+//! ```
+//!
+//! Words are the shared 8-byte little-endian [`WireCoord`] encoding (bit
+//! exact for `f64` NaN payloads and `-0.0`).
+
+use crate::wal::{self, crc32, FsyncPolicy, WalRecord, WalSegment};
+use psi_geometry::{Point, Rect, WireCoord};
+use std::fs::{self, File};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// First bytes of every checkpoint file: `b"PSIC"` as a little-endian u32.
+pub const CHECKPOINT_MAGIC: u32 = u32::from_le_bytes(*b"PSIC");
+/// Checkpoint format version.
+pub const CHECKPOINT_VERSION: u16 = 1;
+/// Fixed checkpoint bytes before the universe words.
+const CK_HEADER: usize = 4 + 2 + 1 + 1 + 8 + 8;
+
+/// Where and how a [`crate::PsiServer`] persists its state.
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// Directory holding the checkpoint and WAL files (created on demand).
+    pub dir: PathBuf,
+    /// When WAL appends reach stable storage (see [`FsyncPolicy`]).
+    pub fsync: FsyncPolicy,
+}
+
+impl DurabilityConfig {
+    /// Durability under `dir` with the default [`FsyncPolicy::EveryBatch`].
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::default(),
+        }
+    }
+}
+
+/// The checkpoint file of generation `gen` under `dir`.
+pub fn checkpoint_path(dir: &Path, gen: u64) -> PathBuf {
+    dir.join(format!("checkpoint-g{gen}.psic"))
+}
+
+/// The WAL segment of generation `gen` under `dir`.
+pub fn wal_path(dir: &Path, gen: u64) -> PathBuf {
+    dir.join(format!("wal-g{gen}.log"))
+}
+
+// -------------------------------------------------------------- checkpoint
+
+fn put_rect<T: WireCoord, const D: usize>(out: &mut Vec<u8>, r: &Rect<T, D>) {
+    for c in r.lo.coords {
+        out.extend_from_slice(&c.to_wire());
+    }
+    for c in r.hi.coords {
+        out.extend_from_slice(&c.to_wire());
+    }
+}
+
+/// Serialize `points` at epoch watermark `epoch` into the checkpoint file at
+/// `path`, atomically: the bytes land in `<path>.tmp`, are fsynced, and are
+/// renamed over `path` only then — a crash mid-write never damages an
+/// existing checkpoint.
+pub fn write_checkpoint<T: WireCoord, const D: usize>(
+    path: &Path,
+    epoch: u64,
+    universe: &Rect<T, D>,
+    points: &[Point<T, D>],
+) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(CK_HEADER + (2 + points.len()) * D * 8 + 4);
+    buf.extend_from_slice(&CHECKPOINT_MAGIC.to_le_bytes());
+    buf.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+    buf.push(T::TAG);
+    buf.push(D as u8);
+    buf.extend_from_slice(&epoch.to_le_bytes());
+    buf.extend_from_slice(&(points.len() as u64).to_le_bytes());
+    put_rect(&mut buf, universe);
+    for p in points {
+        for c in p.coords {
+            buf.extend_from_slice(&c.to_wire());
+        }
+    }
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+
+    let tmp = path.with_extension("psic.tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(&buf)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    // Make the rename itself durable (best effort: not every filesystem
+    // supports fsync on a directory handle).
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// A validated checkpoint: the base state recovery rebuilds from.
+#[derive(Debug)]
+pub struct Checkpoint<T: WireCoord, const D: usize> {
+    /// The global epoch watermark the snapshot was taken at.
+    pub epoch: u64,
+    /// The serving universe (stripe cuts derive from it).
+    pub universe: Rect<T, D>,
+    /// The stored points — the build array for [`crate::IndexFactory`].
+    pub points: Vec<Point<T, D>>,
+}
+
+/// Read and validate a checkpoint file. Any defect — unreadable file, alien
+/// magic/version, shape mismatch, truncation, CRC failure — is an `Err`
+/// describing it; hostile bytes never panic and never allocate beyond the
+/// file's actual size.
+pub fn read_checkpoint<T: WireCoord, const D: usize>(
+    path: &Path,
+) -> Result<Checkpoint<T, D>, String> {
+    let mut buf = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut buf))
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let fail = |what: &str| Err(format!("{}: {what}", path.display()));
+    if buf.len() < CK_HEADER + 2 * D * 8 + 4 {
+        return fail("truncated (shorter than the fixed header)");
+    }
+    let magic = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes"));
+    if magic != CHECKPOINT_MAGIC {
+        return fail("bad magic");
+    }
+    let version = u16::from_le_bytes(buf[4..6].try_into().expect("2 bytes"));
+    if version != CHECKPOINT_VERSION {
+        return fail(&format!("unsupported version {version}"));
+    }
+    if buf[6] != T::TAG || buf[7] != D as u8 {
+        return fail(&format!(
+            "shape mismatch: file is tag {} dims {}, server serves tag {} dims {D}",
+            buf[6],
+            buf[7],
+            T::TAG
+        ));
+    }
+    let epoch = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+    let count = u64::from_le_bytes(buf[16..24].try_into().expect("8 bytes"));
+    let need = (count as usize)
+        .checked_mul(D * 8)
+        .and_then(|n| n.checked_add(CK_HEADER + 2 * D * 8 + 4))
+        .ok_or_else(|| format!("{}: point count overflows", path.display()))?;
+    if buf.len() != need {
+        return fail(&format!(
+            "length {} disagrees with declared count {count}",
+            buf.len()
+        ));
+    }
+    let crc_at = buf.len() - 4;
+    let stored = u32::from_le_bytes(buf[crc_at..].try_into().expect("4 bytes"));
+    let computed = crc32(&buf[..crc_at]);
+    if stored != computed {
+        return fail(&format!(
+            "crc mismatch: stored {stored:#010x}, computed {computed:#010x}"
+        ));
+    }
+
+    let mut words = buf[CK_HEADER..crc_at].chunks_exact(8);
+    let mut next_point = || -> Point<T, D> {
+        let mut coords = [T::ZERO; D];
+        for c in coords.iter_mut() {
+            let w = words.next().expect("length validated above");
+            *c = T::from_wire(w.try_into().expect("8 bytes"));
+        }
+        Point::new(coords)
+    };
+    let lo = next_point();
+    let hi = next_point();
+    let points = (0..count).map(|_| next_point()).collect();
+    Ok(Checkpoint {
+        epoch,
+        universe: Rect::from_corners(lo, hi),
+        points,
+    })
+}
+
+// ---------------------------------------------------------------- recovery
+
+/// What [`recover`] found on disk.
+pub struct RecoveryReport<T: WireCoord, const D: usize> {
+    /// `Some` when a valid checkpoint anchored recovery; `None` means a
+    /// fresh start (empty directory, or nothing on disk was salvageable —
+    /// the warnings say which).
+    pub state: Option<Recovered<T, D>>,
+    /// The generation the recovered (or fresh) server should write next.
+    pub next_gen: u64,
+    /// Everything that was dropped, skipped, or fell back — one line each.
+    pub warnings: Vec<String>,
+}
+
+/// A recovered base state plus the WAL tail to replay on top of it.
+pub struct Recovered<T: WireCoord, const D: usize> {
+    /// The checkpoint watermark the base state rebuilds at.
+    pub base_epoch: u64,
+    /// The universe recorded in the checkpoint (authoritative across a
+    /// restart, so stripe cuts match what the WAL records were split by).
+    pub universe: Rect<T, D>,
+    /// The checkpointed points (build array at `base_epoch`).
+    pub points: Vec<Point<T, D>>,
+    /// WAL records with epochs `base_epoch + 1 ..= base_epoch + tail.len()`,
+    /// in replay order.
+    pub tail: Vec<WalRecord<T, D>>,
+}
+
+impl<T: WireCoord, const D: usize> Recovered<T, D> {
+    /// The epoch the server arrives at once the tail is replayed.
+    pub fn final_epoch(&self) -> u64 {
+        self.base_epoch + self.tail.len() as u64
+    }
+}
+
+fn parse_gen(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?
+        .strip_suffix(suffix)?
+        .parse()
+        .ok()
+}
+
+/// Scan `dir` and recover the newest consistent state (see the module
+/// docs). `Err` only for an unusable directory (cannot create or list it);
+/// everything found *inside* degrades gracefully into warnings.
+pub fn recover<T: WireCoord, const D: usize>(dir: &Path) -> std::io::Result<RecoveryReport<T, D>> {
+    fs::create_dir_all(dir)?;
+    let mut ck_gens: Vec<u64> = Vec::new();
+    let mut wal_gens: Vec<u64> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(g) = parse_gen(name, "checkpoint-g", ".psic") {
+            ck_gens.push(g);
+        } else if let Some(g) = parse_gen(name, "wal-g", ".log") {
+            wal_gens.push(g);
+        }
+    }
+    ck_gens.sort_unstable();
+    wal_gens.sort_unstable();
+    let next_gen = ck_gens
+        .iter()
+        .chain(wal_gens.iter())
+        .max()
+        .map_or(1, |g| g + 1);
+    let mut warnings = Vec::new();
+
+    // Newest checkpoint that validates anchors the recovery.
+    for &ck_gen in ck_gens.iter().rev() {
+        let ck = match read_checkpoint::<T, D>(&checkpoint_path(dir, ck_gen)) {
+            Ok(ck) => ck,
+            Err(e) => {
+                warnings.push(format!(
+                    "checkpoint generation {ck_gen} rejected ({e}); falling back"
+                ));
+                continue;
+            }
+        };
+        // Chain WAL segments from the anchor generation forward.
+        let mut tail: Vec<WalRecord<T, D>> = Vec::new();
+        let mut current = ck.epoch;
+        for &wg in wal_gens.iter().filter(|&&g| g >= ck_gen) {
+            let path = wal_path(dir, wg);
+            let seg: WalSegment<T, D> = match wal::read_segment(&path) {
+                Ok(seg) => seg,
+                Err(e) => {
+                    warnings.push(format!(
+                        "wal generation {wg} unreadable ({e}); replay stops at epoch {current}"
+                    ));
+                    break;
+                }
+            };
+            if seg.base_epoch > current {
+                warnings.push(format!(
+                    "wal generation {wg} starts at epoch {} but replay reached {current}; \
+                     gap — replay stops here",
+                    seg.base_epoch
+                ));
+                break;
+            }
+            // A segment may overlap what is already replayed (its base is
+            // older than `current`); keep only the new suffix.
+            let mut usable = true;
+            for rec in seg.records {
+                if rec.epoch <= current {
+                    continue;
+                }
+                if rec.epoch != current + 1 {
+                    warnings.push(format!(
+                        "wal generation {wg}: epoch jump to {} after {current}; \
+                         replay stops here",
+                        rec.epoch
+                    ));
+                    usable = false;
+                    break;
+                }
+                current += 1;
+                tail.push(rec);
+            }
+            if let Some(dropped) = seg.dropped {
+                warnings.push(format!(
+                    "wal generation {wg}: {dropped}; replay stops at epoch {current}"
+                ));
+                usable = false;
+            }
+            if !usable {
+                break;
+            }
+        }
+        return Ok(RecoveryReport {
+            state: Some(Recovered {
+                base_epoch: ck.epoch,
+                universe: ck.universe,
+                points: ck.points,
+                tail,
+            }),
+            next_gen,
+            warnings,
+        });
+    }
+
+    if !ck_gens.is_empty() || !wal_gens.is_empty() {
+        warnings.push(
+            "no checkpoint validated; starting fresh (applied batches on disk are lost)"
+                .to_string(),
+        );
+    }
+    Ok(RecoveryReport {
+        state: None,
+        next_gen,
+        warnings,
+    })
+}
+
+/// Delete checkpoint and WAL files of generations older than `keep_from`.
+/// Failures are reported, not fatal — stale files only cost disk.
+pub fn retire_generations(dir: &Path, keep_from: u64) -> Vec<String> {
+    let mut warnings = Vec::new();
+    let Ok(entries) = fs::read_dir(dir) else {
+        return warnings;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let gen =
+            parse_gen(name, "checkpoint-g", ".psic").or_else(|| parse_gen(name, "wal-g", ".log"));
+        if let Some(g) = gen {
+            if g < keep_from {
+                if let Err(e) = fs::remove_file(entry.path()) {
+                    warnings.push(format!("could not retire {name}: {e}"));
+                }
+            }
+        }
+    }
+    warnings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::WalWriter;
+    use psi_geometry::PointI;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("psi-durability-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn uni() -> Rect<i64, 2> {
+        Rect::from_corners(Point::new([0, 0]), Point::new([1_000, 1_000]))
+    }
+
+    fn pts(range: std::ops::Range<i64>) -> Vec<PointI<2>> {
+        range.map(|i| Point::new([i, i * 3])).collect()
+    }
+
+    #[test]
+    fn checkpoint_round_trips_and_rejects_damage() {
+        let dir = tempdir("ckpt");
+        let path = checkpoint_path(&dir, 1);
+        let points = pts(0..100);
+        write_checkpoint(&path, 42, &uni(), &points).unwrap();
+        let ck = read_checkpoint::<i64, 2>(&path).unwrap();
+        assert_eq!(ck.epoch, 42);
+        assert_eq!(ck.universe, uni());
+        assert_eq!(ck.points, points);
+
+        // Truncation and byte flips are rejected with a reason, no panic.
+        let clean = fs::read(&path).unwrap();
+        for cut in [0, 3, CK_HEADER, clean.len() - 1] {
+            fs::write(&path, &clean[..cut]).unwrap();
+            assert!(read_checkpoint::<i64, 2>(&path).is_err(), "cut {cut}");
+        }
+        for i in [0usize, 6, 10, 30, clean.len() - 2] {
+            let mut bad = clean.clone();
+            bad[i] ^= 0x20;
+            fs::write(&path, &bad).unwrap();
+            assert!(read_checkpoint::<i64, 2>(&path).is_err(), "flip {i}");
+        }
+        // f64 shape against an i64 reader.
+        write_checkpoint::<f64, 2>(
+            &path,
+            1,
+            &Rect::from_corners(Point::new([0.0, 0.0]), Point::new([1.0, 1.0])),
+            &[],
+        )
+        .unwrap();
+        let err = read_checkpoint::<i64, 2>(&path).unwrap_err();
+        assert!(err.contains("shape mismatch"), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_empty_dir_is_fresh() {
+        let dir = tempdir("fresh");
+        let report = recover::<i64, 2>(&dir).unwrap();
+        assert!(report.state.is_none());
+        assert_eq!(report.next_gen, 1);
+        assert!(report.warnings.is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_checkpoint_plus_tail() {
+        let dir = tempdir("tail");
+        write_checkpoint(&checkpoint_path(&dir, 1), 10, &uni(), &pts(0..50)).unwrap();
+        let mut w =
+            WalWriter::<i64, 2>::create(&wal_path(&dir, 1), 10, FsyncPolicy::EveryBatch).unwrap();
+        for e in 11..=13u64 {
+            w.append(e, &pts(0..2), &pts(100..105)).unwrap();
+        }
+        drop(w);
+
+        let report = recover::<i64, 2>(&dir).unwrap();
+        assert!(report.warnings.is_empty(), "{:?}", report.warnings);
+        assert_eq!(report.next_gen, 2);
+        let state = report.state.unwrap();
+        assert_eq!(state.base_epoch, 10);
+        assert_eq!(state.points.len(), 50);
+        assert_eq!(state.tail.len(), 3);
+        assert_eq!(state.final_epoch(), 13);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_newest_checkpoint_falls_back_a_generation() {
+        let dir = tempdir("fallback");
+        // Generation 1: checkpoint at 0, wal with epochs 1..=4.
+        write_checkpoint(&checkpoint_path(&dir, 1), 0, &uni(), &pts(0..20)).unwrap();
+        let mut w = WalWriter::<i64, 2>::create(&wal_path(&dir, 1), 0, FsyncPolicy::Os).unwrap();
+        for e in 1..=4u64 {
+            w.append(e, &[], &pts(e as i64 * 10..e as i64 * 10 + 3))
+                .unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+        // Generation 2: checkpoint at 4 — then truncate it (torn write).
+        write_checkpoint(&checkpoint_path(&dir, 2), 4, &uni(), &pts(0..32)).unwrap();
+        let ck2 = checkpoint_path(&dir, 2);
+        let len = fs::metadata(&ck2).unwrap().len();
+        let f = fs::OpenOptions::new().write(true).open(&ck2).unwrap();
+        f.set_len(len / 2).unwrap();
+        drop(f);
+        // Generation 2 wal continues 5..=6.
+        let mut w = WalWriter::<i64, 2>::create(&wal_path(&dir, 2), 4, FsyncPolicy::Os).unwrap();
+        for e in 5..=6u64 {
+            w.append(e, &[], &pts(200..202)).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+
+        let report = recover::<i64, 2>(&dir).unwrap();
+        assert!(
+            report
+                .warnings
+                .iter()
+                .any(|w| w.contains("generation 2 rejected")),
+            "{:?}",
+            report.warnings
+        );
+        let state = report.state.unwrap();
+        // Fell back to generation 1's checkpoint, then chained BOTH wal
+        // segments (gen 1 epochs 1..=4, gen 2 epochs 5..=6).
+        assert_eq!(state.base_epoch, 0);
+        assert_eq!(state.tail.len(), 6);
+        assert_eq!(state.final_epoch(), 6);
+        assert_eq!(report.next_gen, 3);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_wal_tail_recovers_to_last_good_epoch() {
+        let dir = tempdir("torn");
+        write_checkpoint(&checkpoint_path(&dir, 1), 0, &uni(), &pts(0..10)).unwrap();
+        let mut w = WalWriter::<i64, 2>::create(&wal_path(&dir, 1), 0, FsyncPolicy::Os).unwrap();
+        for e in 1..=5u64 {
+            w.append(e, &[], &pts(0..4)).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+        // Flip a byte inside the 4th record's body.
+        let path = wal_path(&dir, 1);
+        let mut bytes = fs::read(&path).unwrap();
+        let at = bytes.len() - 100;
+        bytes[at] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+
+        let report = recover::<i64, 2>(&dir).unwrap();
+        let state = report.state.unwrap();
+        assert!(state.final_epoch() < 5, "corrupt record must stop replay");
+        assert!(
+            report.warnings.iter().any(|w| w.contains("crc mismatch")),
+            "{:?}",
+            report.warnings
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn retire_keeps_recent_generations() {
+        let dir = tempdir("retire");
+        for g in 1..=4u64 {
+            write_checkpoint(&checkpoint_path(&dir, g), g, &uni(), &[]).unwrap();
+            WalWriter::<i64, 2>::create(&wal_path(&dir, g), g, FsyncPolicy::Os).unwrap();
+        }
+        let warnings = retire_generations(&dir, 3);
+        assert!(warnings.is_empty());
+        for g in 1..=2u64 {
+            assert!(!checkpoint_path(&dir, g).exists());
+            assert!(!wal_path(&dir, g).exists());
+        }
+        for g in 3..=4u64 {
+            assert!(checkpoint_path(&dir, g).exists());
+            assert!(wal_path(&dir, g).exists());
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+}

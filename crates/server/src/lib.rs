@@ -65,19 +65,25 @@
 //! ```
 
 pub mod coalesce;
+pub mod durability;
 pub mod loadgen;
 pub mod router;
 pub mod shard;
+pub mod wal;
 
 pub use coalesce::{CoalesceHandle, Coalescer, Completion, QueryOp, QueryReply};
+pub use durability::DurabilityConfig;
 pub use loadgen::{closed_loop, closed_loop_with, LoadOutcome, LoadSpec, QueryClient};
 pub use router::{Router, RouterView, ServeCoord, DEFAULT_EPOCH_HISTORY};
 pub use shard::{IndexFactory, Shard, Snapshot, SnapshotRef};
+pub use wal::FsyncPolicy;
 
-use psi_geometry::{Point, Rect};
+use durability::{checkpoint_path, wal_path};
+use psi_geometry::{Point, Rect, WireCoord};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use wal::WalWriter;
 
 /// Tuning knobs of a [`PsiServer`].
 #[derive(Clone, Debug)]
@@ -96,6 +102,18 @@ pub struct ServeConfig {
     /// live tree, so the window costs `O(batch · log n)` nodes per epoch,
     /// not a copy. Default [`DEFAULT_EPOCH_HISTORY`]; 0 disables.
     pub epoch_history: usize,
+    /// Additional **byte budget** for the epoch history: estimated retained
+    /// bytes (batch payload plus a small per-entry overhead) beyond which
+    /// the oldest epochs are evicted even when the count bound still has
+    /// room. The newest epoch is always kept. 0 (the default) bounds by
+    /// count only.
+    pub epoch_history_bytes: usize,
+    /// Persist applied batches and checkpoints under a data directory (see
+    /// [`DurabilityConfig`] and the [`durability`] module). On construction
+    /// the server recovers the newest consistent state from that directory
+    /// — the caller's initial points are used only when nothing durable
+    /// exists yet. `None` (the default) serves memory-only.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for ServeConfig {
@@ -105,6 +123,8 @@ impl Default for ServeConfig {
             coalesce_max_batch: 64,
             writer_queue: 8,
             epoch_history: DEFAULT_EPOCH_HISTORY,
+            epoch_history_bytes: 0,
+            durability: None,
         }
     }
 }
@@ -114,6 +134,63 @@ enum Update<T: ServeCoord, const D: usize> {
     Batch(Vec<Point<T, D>>, Vec<Point<T, D>>),
     /// Barrier: acknowledged once every prior batch has been published.
     Fence(mpsc::SyncSender<()>),
+    /// Checkpoint fence: snapshot the state at the current epoch watermark,
+    /// start a new WAL generation, and retire old ones. Answered with the
+    /// watermark epoch, or the error that prevented it.
+    Checkpoint(mpsc::SyncSender<std::io::Result<u64>>),
+}
+
+/// The writer thread's durable half: where files live, how they are
+/// fsynced, and the open WAL segment of the current generation.
+struct DurabilityState<T: WireCoord, const D: usize> {
+    dir: std::path::PathBuf,
+    fsync: FsyncPolicy,
+    gen: u64,
+    universe: Rect<T, D>,
+    /// `None` after an append failure: the server keeps serving without
+    /// durability (logged) until the next successful checkpoint re-arms it.
+    wal: Option<WalWriter<T, D>>,
+}
+
+/// Every stored point across the current view, in shard order — the build
+/// array a checkpoint serializes.
+fn extract_all<T: ServeCoord, const D: usize>(router: &Router<T, D>) -> Vec<Point<T, D>> {
+    let view = router.pin();
+    let mut out = Vec::new();
+    for i in 0..view.shard_count() {
+        view.snapshot(i).index().extract_points(&mut out);
+    }
+    out
+}
+
+/// Take a checkpoint at the current epoch: durable WAL first (the watermark
+/// must never run ahead of the records behind it), snapshot, fresh WAL
+/// generation, retire generations older than the previous one. Also re-arms
+/// a WAL disabled by an earlier append failure — the snapshot captures the
+/// full state, so the fresh segment starts consistent.
+fn checkpoint_now<T: ServeCoord + WireCoord, const D: usize>(
+    router: &Router<T, D>,
+    state: &mut DurabilityState<T, D>,
+) -> std::io::Result<u64> {
+    if let Some(w) = state.wal.as_mut() {
+        w.sync()?;
+    }
+    let epoch = router.epoch();
+    let points = extract_all(router);
+    let gen = state.gen + 1;
+    durability::write_checkpoint(
+        &checkpoint_path(&state.dir, gen),
+        epoch,
+        &state.universe,
+        &points,
+    )?;
+    let wal = WalWriter::create(&wal_path(&state.dir, gen), epoch, state.fsync)?;
+    state.gen = gen;
+    state.wal = Some(wal);
+    for w in durability::retire_generations(&state.dir, gen.saturating_sub(1)) {
+        eprintln!("psi-server: {w}");
+    }
+    Ok(epoch)
 }
 
 /// The assembled serving subsystem (see the crate docs).
@@ -124,26 +201,109 @@ pub struct PsiServer<T: ServeCoord, const D: usize> {
     writer: Option<JoinHandle<()>>,
     flusher: Option<JoinHandle<()>>,
     batches: Arc<AtomicU64>,
+    durable: bool,
 }
 
-impl<T: ServeCoord, const D: usize> PsiServer<T, D> {
+impl<T: ServeCoord + WireCoord, const D: usize> PsiServer<T, D> {
     /// Build the server: shard `points` over `universe`, spawn the writer
     /// and flusher threads. `factory` constructs each shard's index — once
     /// per shard for persistent families, twice (the left-right double
     /// buffer) for the rest.
+    ///
+    /// With [`ServeConfig::durability`] set, construction first **recovers**
+    /// from the data directory: the newest valid checkpoint is rebuilt, the
+    /// WAL tail behind it replayed, and the epoch counter continues where
+    /// the previous run stopped — `points` and `universe` then apply only
+    /// when the directory holds nothing durable. Damaged state degrades
+    /// gracefully (warnings on stderr, earlier consistent epoch), and a
+    /// durability setup failure falls back to memory-only serving rather
+    /// than refusing to start.
     pub fn new(
         points: &[Point<T, D>],
         universe: &Rect<T, D>,
         cfg: ServeConfig,
         factory: IndexFactory<T, D>,
     ) -> Self {
-        let router = Arc::new(Router::with_history(
-            &factory,
-            points,
-            universe,
-            cfg.shards.max(1),
-            cfg.epoch_history,
-        ));
+        let shards = cfg.shards.max(1);
+        // Recover durable state first: it may replace the initial points
+        // and seed the epoch counter.
+        let mut pending: Option<(DurabilityConfig, u64)> = None; // (config, next generation)
+        let mut recovered: Option<durability::Recovered<T, D>> = None;
+        if let Some(dcfg) = cfg.durability.clone() {
+            match durability::recover::<T, D>(&dcfg.dir) {
+                Ok(report) => {
+                    for w in &report.warnings {
+                        eprintln!("psi-server: recovery: {w}");
+                    }
+                    pending = Some((dcfg, report.next_gen));
+                    recovered = report.state;
+                }
+                Err(e) => eprintln!(
+                    "psi-server: data dir {} unusable ({e}); serving without durability",
+                    dcfg.dir.display()
+                ),
+            }
+        }
+        let (router, tail) = match &recovered {
+            Some(rec) => (
+                Router::with_history_at(
+                    &factory,
+                    &rec.points,
+                    &rec.universe,
+                    shards,
+                    cfg.epoch_history,
+                    cfg.epoch_history_bytes,
+                    rec.base_epoch,
+                ),
+                rec.tail.as_slice(),
+            ),
+            None => (
+                Router::with_history_at(
+                    &factory,
+                    points,
+                    universe,
+                    shards,
+                    cfg.epoch_history,
+                    cfg.epoch_history_bytes,
+                    0,
+                ),
+                &[][..],
+            ),
+        };
+        // Replay the WAL tail before anything is served: each publish bumps
+        // the global epoch, landing exactly on the last durable epoch.
+        for rec in tail {
+            router.publish(&rec.delete, &rec.insert);
+        }
+        let router = Arc::new(router);
+
+        // Start a fresh generation at the recovered (or initial) epoch: a
+        // full checkpoint plus an empty WAL segment. Self-healing by
+        // construction — whatever half-written files recovery skipped are
+        // superseded and then retired.
+        let dur: Option<DurabilityState<T, D>> = pending.and_then(|(dcfg, gen)| {
+            let universe = recovered.as_ref().map_or(*universe, |rec| rec.universe);
+            let mut state = DurabilityState {
+                dir: dcfg.dir,
+                fsync: dcfg.fsync,
+                gen: gen - 1,
+                universe,
+                wal: None,
+            };
+            match checkpoint_now(&router, &mut state) {
+                Ok(_) => Some(state),
+                Err(e) => {
+                    eprintln!(
+                        "psi-server: cannot initialize durability under {} ({e}); \
+                         serving without it",
+                        state.dir.display()
+                    );
+                    None
+                }
+            }
+        });
+        let durable = dur.is_some();
+
         let coalescer = Arc::new(Coalescer::new());
         let batches = Arc::new(AtomicU64::new(0));
 
@@ -151,6 +311,7 @@ impl<T: ServeCoord, const D: usize> PsiServer<T, D> {
         let writer = {
             let router = Arc::clone(&router);
             let batches = Arc::clone(&batches);
+            let mut dur = dur;
             std::thread::Builder::new()
                 .name("psi-serve-writer".into())
                 .spawn(move || {
@@ -158,11 +319,35 @@ impl<T: ServeCoord, const D: usize> PsiServer<T, D> {
                     while let Ok(update) = update_rx.recv() {
                         match update {
                             Update::Batch(delete, insert) => {
+                                // WAL first (redo discipline): the record
+                                // carries the epoch the publish will produce.
+                                if let Some(state) = dur.as_mut() {
+                                    if let Some(w) = state.wal.as_mut() {
+                                        let epoch = router.epoch() + 1;
+                                        if let Err(e) = w.append(epoch, &delete, &insert) {
+                                            eprintln!(
+                                                "psi-server: WAL append failed ({e}); \
+                                                 durability suspended until the next checkpoint"
+                                            );
+                                            state.wal = None;
+                                        }
+                                    }
+                                }
                                 router.publish(&delete, &insert);
                                 batches.fetch_add(1, Ordering::Release);
                             }
                             Update::Fence(ack) => {
                                 let _ = ack.send(());
+                            }
+                            Update::Checkpoint(ack) => {
+                                let result = match dur.as_mut() {
+                                    Some(state) => checkpoint_now(&router, state),
+                                    None => Err(std::io::Error::new(
+                                        std::io::ErrorKind::Unsupported,
+                                        "server has no data directory configured",
+                                    )),
+                                };
+                                let _ = ack.send(result);
                             }
                         }
                     }
@@ -187,9 +372,12 @@ impl<T: ServeCoord, const D: usize> PsiServer<T, D> {
             writer: Some(writer),
             flusher: Some(flusher),
             batches,
+            durable,
         }
     }
+}
 
+impl<T: ServeCoord, const D: usize> PsiServer<T, D> {
     /// A cloneable client handle (queries go through the coalescer).
     pub fn client(&self) -> CoalesceHandle<T, D> {
         CoalesceHandle {
@@ -260,6 +448,29 @@ impl<T: ServeCoord, const D: usize> PsiServer<T, D> {
             | Err(mpsc::TrySendError::Disconnected(Update::Batch(d, i))) => Err((d, i)),
             Err(_) => unreachable!("try_submit only sends batches"),
         }
+    }
+
+    /// Take a durable checkpoint: every batch submitted before this call is
+    /// published and snapshotted, a new WAL generation starts, and older
+    /// generations (beyond the previous one) are retired. Returns the epoch
+    /// watermark the snapshot captured. Fails with `Unsupported` when the
+    /// server has no [`ServeConfig::durability`] configured.
+    pub fn checkpoint(&self) -> std::io::Result<u64> {
+        let (ack_tx, ack_rx) = mpsc::sync_channel(1);
+        self.update_tx
+            .as_ref()
+            .expect("server not shut down")
+            .send(Update::Checkpoint(ack_tx))
+            .expect("psi-serve-writer alive");
+        ack_rx.recv().expect("psi-serve-writer answers checkpoints")
+    }
+
+    /// `true` while applied batches are being persisted to the data
+    /// directory (false when none is configured, or after durability was
+    /// suspended by a write failure and not yet re-armed by a checkpoint —
+    /// this reports the configuration, not the live WAL state).
+    pub fn is_durable(&self) -> bool {
+        self.durable
     }
 
     /// Wait until every previously submitted batch has been published.
@@ -523,6 +734,66 @@ mod tests {
         assert!(server.view_at(0).is_none(), "evicted epoch");
         assert!(server.view_at(99).is_none(), "future epoch");
         assert_eq!(client.range_count_at(&whole, 0), None);
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_recovers_across_restarts() {
+        use psi::SpatialIndex as _;
+        let dir = std::env::temp_dir().join(format!("psi-serve-dur-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let max = 40_000;
+        let data = workloads::uniform::<2>(1_500, max, 9);
+        let universe = workloads::universe::<2>(max);
+        let cfg = ServeConfig {
+            shards: 2,
+            durability: Some(DurabilityConfig::new(&dir)),
+            ..Default::default()
+        };
+        let mut oracle = psi::BruteForce::<i64, 2>::build(&data, &universe);
+
+        let server = PsiServer::new(&data, &universe, cfg.clone(), factory("spac-h"));
+        assert!(server.is_durable());
+        for round in 0..5usize {
+            let del = data[round * 40..round * 40 + 40].to_vec();
+            let ins = data[round * 15..round * 15 + 20].to_vec();
+            oracle.batch_delete(&del);
+            oracle.batch_insert(&ins);
+            server.submit(del, ins);
+        }
+        server.quiesce();
+        assert_eq!(server.epoch(), 5);
+        let ck_epoch = server.checkpoint().unwrap();
+        assert_eq!(ck_epoch, 5);
+        // One more batch after the checkpoint, recovered from the WAL tail.
+        let del = data[900..940].to_vec();
+        oracle.batch_delete(&del);
+        server.submit(del, Vec::new());
+        drop(server);
+
+        // Restart with *empty* initial points: everything must come back
+        // from disk — checkpoint base plus the post-checkpoint WAL record.
+        let server = PsiServer::new(&[], &universe, cfg, factory("spac-h"));
+        assert_eq!(server.epoch(), 6, "epoch continues across the restart");
+        assert_eq!(server.view().len(), oracle.len());
+        let client = server.client();
+        for q in workloads::ind_queries(&data, 20, 91) {
+            let got: Vec<i128> = client.knn(&q, 5).iter().map(|p| q.dist_sq(p)).collect();
+            let want: Vec<i128> = oracle.knn(&q, 5).iter().map(|p| q.dist_sq(p)).collect();
+            assert_eq!(got, want, "recovered answers match the replayed oracle");
+        }
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_without_data_dir_is_unsupported() {
+        let data = workloads::uniform::<2>(300, 10_000, 3);
+        let universe = workloads::universe::<2>(10_000);
+        let server = PsiServer::new(&data, &universe, ServeConfig::default(), factory("spac-h"));
+        assert!(!server.is_durable());
+        let err = server.checkpoint().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::Unsupported);
         server.shutdown();
     }
 

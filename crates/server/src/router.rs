@@ -75,14 +75,33 @@ pub struct Router<T: ServeCoord, const D: usize> {
     history: Mutex<History<T, D>>,
 }
 
+struct HistoryEntry<T: Coord, const D: usize> {
+    epoch: u64,
+    view: RouterView<T, D>,
+    /// Estimated retained bytes this entry adds beyond the live tree: the
+    /// copy-on-write spine a persistent publish duplicates is proportional
+    /// to the batch, so the estimate charges the batch's point payload plus
+    /// a fixed per-entry overhead.
+    bytes: usize,
+}
+
 struct History<T: Coord, const D: usize> {
-    /// `(global epoch, pinned view)`, oldest first; at most `cap` entries.
-    log: VecDeque<(u64, RouterView<T, D>)>,
+    /// Retained epochs, oldest first; at most `cap` entries.
+    log: VecDeque<HistoryEntry<T, D>>,
     /// Batches published through the router so far.
     epoch: u64,
     /// 0 disables the log (left-right shards present, or configured off).
     cap: usize,
+    /// Byte budget across retained entries; 0 = unbounded (count bound
+    /// only). The newest entry is always kept, even when over budget.
+    byte_cap: usize,
+    /// Estimated bytes currently retained (sum of entry costs).
+    bytes: usize,
 }
+
+/// Fixed per-entry overhead charged against the byte budget (snapshot Arcs,
+/// the log slot, spine nodes a tiny batch still copies).
+const HISTORY_ENTRY_OVERHEAD: usize = 64;
 
 /// Conservative stripe box for pruning: unbounded in every dimension except
 /// the stripe's dimension-0 slice, and closed on both cuts (a boundary point
@@ -128,6 +147,24 @@ impl<T: ServeCoord, const D: usize> Router<T, D> {
         shard_count: usize,
         epoch_history: usize,
     ) -> Self {
+        Self::with_history_at(factory, points, universe, shard_count, epoch_history, 0, 0)
+    }
+
+    /// The fully-general constructor: an explicit epoch-history depth, an
+    /// additional **byte budget** for the history (`0` = count bound only;
+    /// estimated retained bytes per entry are charged as batch payload plus
+    /// a fixed overhead, and the newest entry is always kept), and a
+    /// starting global epoch — crash recovery seeds `base_epoch` at the
+    /// checkpoint watermark so epoch numbers continue across a restart.
+    pub fn with_history_at(
+        factory: &IndexFactory<T, D>,
+        points: &[Point<T, D>],
+        universe: &Rect<T, D>,
+        shard_count: usize,
+        epoch_history: usize,
+        epoch_history_bytes: usize,
+        base_epoch: u64,
+    ) -> Self {
         assert!(shard_count >= 1, "a router needs at least one shard");
         let cuts: Vec<T> = (0..shard_count)
             .map(|i| T::lerp(universe.lo.coords[0], universe.hi.coords[0], i, shard_count))
@@ -140,7 +177,7 @@ impl<T: ServeCoord, const D: usize> Router<T, D> {
             .map(|i| {
                 let lo = (i > 0).then(|| cuts[i]);
                 let hi = (i + 1 < shard_count).then(|| cuts[i + 1]);
-                Shard::new(stripe_region(lo, hi), factory, &parts[i])
+                Shard::with_epoch(stripe_region(lo, hi), factory, &parts[i], base_epoch)
             })
             .collect();
         let cap = if shards.iter().all(Shard::is_persistent) {
@@ -153,13 +190,21 @@ impl<T: ServeCoord, const D: usize> Router<T, D> {
             cuts,
             history: Mutex::new(History {
                 log: VecDeque::new(),
-                epoch: 0,
+                epoch: base_epoch,
                 cap,
+                byte_cap: epoch_history_bytes,
+                bytes: 0,
             }),
         };
         if cap > 0 {
             let initial = router.pin();
-            router.history.lock().unwrap().log.push_back((0, initial));
+            let mut h = router.history.lock().unwrap();
+            h.bytes = HISTORY_ENTRY_OVERHEAD;
+            h.log.push_back(HistoryEntry {
+                epoch: base_epoch,
+                view: initial,
+                bytes: HISTORY_ENTRY_OVERHEAD,
+            });
         }
         router
     }
@@ -217,9 +262,14 @@ impl<T: ServeCoord, const D: usize> Router<T, D> {
         if h.cap > 0 {
             let epoch = h.epoch;
             let view = self.pin();
-            h.log.push_back((epoch, view));
-            while h.log.len() > h.cap {
-                h.log.pop_front();
+            let bytes = (delete.len() + insert.len()) * D * 8 + HISTORY_ENTRY_OVERHEAD;
+            h.bytes += bytes;
+            h.log.push_back(HistoryEntry { epoch, view, bytes });
+            while h.log.len() > h.cap || (h.byte_cap > 0 && h.bytes > h.byte_cap && h.log.len() > 1)
+            {
+                if let Some(evicted) = h.log.pop_front() {
+                    h.bytes -= evicted.bytes;
+                }
             }
         }
         published
@@ -243,8 +293,8 @@ impl<T: ServeCoord, const D: usize> Router<T, D> {
         let h = self.history.lock().unwrap();
         h.log
             .iter()
-            .find(|(e, _)| *e == epoch)
-            .map(|(_, view)| view.clone())
+            .find(|entry| entry.epoch == epoch)
+            .map(|entry| entry.view.clone())
     }
 
     /// The `(oldest, newest)` global epochs currently answerable by
@@ -252,7 +302,7 @@ impl<T: ServeCoord, const D: usize> Router<T, D> {
     pub fn epoch_bounds(&self) -> Option<(u64, u64)> {
         let h = self.history.lock().unwrap();
         match (h.log.front(), h.log.back()) {
-            (Some((lo, _)), Some((hi, _))) => Some((*lo, *hi)),
+            (Some(first), Some(last)) => Some((first.epoch, last.epoch)),
             _ => None,
         }
     }
@@ -639,6 +689,49 @@ mod tests {
             assert!(router.pin_at(e).is_none(), "epoch {e} must be evicted");
         }
         assert!(router.pin_at(7).is_none(), "future epochs are unknown");
+    }
+
+    #[test]
+    fn history_byte_budget_evicts_oldest_first() {
+        let max = 80_000;
+        let universe = workloads::universe::<2>(max);
+        let data = workloads::uniform::<2>(1_000, max, 31);
+        // Count bound generous (32); the byte budget is the binding
+        // constraint. Each 50-point insert batch costs 50 * 2 * 8 + 64 =
+        // 864 bytes, so a 3_000-byte budget holds at most 3 batch entries.
+        let router =
+            Router::with_history_at(&named_factory("cpam-h"), &data, &universe, 2, 32, 3_000, 0);
+        for round in 0..10i64 {
+            let ins: Vec<PointI<2>> = (0..50)
+                .map(|i| Point::new([(round * 50 + i) * 13 % max, i * 17 % max]))
+                .collect();
+            router.publish(&[], &ins);
+        }
+        let (lo, hi) = router.epoch_bounds().unwrap();
+        assert_eq!(hi, 10);
+        assert!(lo >= 7, "byte budget must evict older epochs (lo = {lo})");
+        assert!(router.pin_at(hi).is_some(), "newest epoch always kept");
+        assert!(router.pin_at(lo.saturating_sub(1)).is_none());
+
+        // A byte budget smaller than any entry still keeps the newest.
+        let tiny = Router::with_history_at(&named_factory("cpam-h"), &data, &universe, 1, 32, 1, 0);
+        tiny.publish(&[], &data[..50]);
+        assert_eq!(tiny.epoch_bounds(), Some((1, 1)));
+    }
+
+    #[test]
+    fn base_epoch_seeds_shards_and_history() {
+        let max = 50_000;
+        let universe = workloads::universe::<2>(max);
+        let data = workloads::uniform::<2>(500, max, 37);
+        let router =
+            Router::with_history_at(&named_factory("spac-h"), &data, &universe, 2, 4, 0, 17);
+        assert_eq!(router.epoch(), 17);
+        assert_eq!(router.pin().epochs(), vec![17, 17]);
+        assert_eq!(router.epoch_bounds(), Some((17, 17)));
+        router.publish(&[], &data[..5]);
+        assert_eq!(router.epoch(), 18);
+        assert!(router.pin_at(18).is_some());
     }
 
     #[test]

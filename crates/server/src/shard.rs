@@ -170,11 +170,24 @@ impl<T: Coord, const D: usize> Shard<T, D> {
     /// shard runs in persistent mode; otherwise it is called twice (the
     /// left-right double buffer).
     pub fn new(region: Rect<T, D>, factory: &IndexFactory<T, D>, points: &[Point<T, D>]) -> Self {
+        Self::with_epoch(region, factory, points, 0)
+    }
+
+    /// As [`Shard::new`], but the initial build publishes as `epoch` instead
+    /// of 0. Crash recovery uses this to seed a rebuilt shard at the
+    /// checkpoint watermark, so epoch numbers stay continuous across a
+    /// restart.
+    pub fn with_epoch(
+        region: Rect<T, D>,
+        factory: &IndexFactory<T, D>,
+        points: &[Point<T, D>],
+        epoch: u64,
+    ) -> Self {
         let live = factory(points);
         match live.snapshot_dyn() {
             Some(shared) => Shard {
                 published: RwLock::new(Arc::new(Snapshot {
-                    epoch: 0,
+                    epoch,
                     index: shared,
                 })),
                 writer: Mutex::new(WriterSide::Persistent { live }),
@@ -182,13 +195,10 @@ impl<T: Coord, const D: usize> Shard<T, D> {
                 region,
             },
             None => Shard {
-                published: RwLock::new(Arc::new(Snapshot {
-                    epoch: 0,
-                    index: live,
-                })),
+                published: RwLock::new(Arc::new(Snapshot { epoch, index: live })),
                 writer: Mutex::new(WriterSide::LeftRight {
                     standby: Arc::new(Snapshot {
-                        epoch: 0,
+                        epoch,
                         index: factory(points),
                     }),
                     lag: None,

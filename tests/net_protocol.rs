@@ -8,8 +8,8 @@ use proptest::ProptestConfig;
 use psi::{Point, Rect};
 use psi_net::wire::{
     decode_reply, decode_request, encode_reply, encode_request, frame_size, Reply, Request,
-    WireCoord, WireError, LEN_PREFIX, MAX_FRAME, OP_APPLY_BATCH, OP_ERROR, OP_HELLO, OP_KNN,
-    OP_RANGE_COUNT, OP_RANGE_LIST, REPLY_BIT,
+    WireCoord, WireError, LEN_PREFIX, MAX_FRAME, OP_APPLY_BATCH, OP_EPOCH_BOUNDS, OP_ERROR,
+    OP_HELLO, OP_KNN, OP_RANGE_COUNT, OP_RANGE_LIST, REPLY_BIT,
 };
 
 /// Encode → decode → re-encode must reproduce the bytes exactly (byte-level
@@ -143,6 +143,16 @@ proptest! {
             OP_KNN,
             id,
         );
+        // Epoch-bounds: a bodyless request, and replies in both presence
+        // states (the bounds reuse already-generated u64s).
+        assert_request_round_trip(&Request::<i64, 2>::EpochBounds, id);
+        assert_request_round_trip(&Request::<f64, 2>::EpochBounds, id);
+        assert_reply_round_trip(
+            &Reply::<i64, 2>::EpochBounds(Some((count.min(id), count.max(id)))),
+            OP_EPOCH_BOUNDS,
+            id,
+        );
+        assert_reply_round_trip(&Reply::<f64, 2>::EpochBounds(None), OP_EPOCH_BOUNDS, id);
     }
 
     /// Any proper prefix of a valid payload must reject (the length prefix
@@ -210,7 +220,7 @@ fn oversized_length_prefix_rejects_before_buffering() {
 
 #[test]
 fn unknown_opcodes_reject_in_both_directions() {
-    for op in [0x00u8, 0x02, 0x13, 0x21, 0x7f, OP_KNN | REPLY_BIT, OP_ERROR] {
+    for op in [0x00u8, 0x02, 0x14, 0x21, 0x7f, OP_KNN | REPLY_BIT, OP_ERROR] {
         let mut payload = vec![op];
         payload.extend_from_slice(&3u64.to_le_bytes());
         // Requests never use reply opcodes (and OP_ERROR is reply-only)...
@@ -222,6 +232,29 @@ fn unknown_opcodes_reject_in_both_directions() {
         payload.extend_from_slice(&3u64.to_le_bytes());
         let decoded = decode_reply::<i64, 2>(&payload);
         assert!(decoded.is_err(), "reply opcode {op:#04x} must reject");
+    }
+}
+
+#[test]
+fn epoch_bounds_presence_byte_is_strict() {
+    // Only 0 (absent) and 1 (present) are legal; anything else must reject
+    // rather than guess.
+    for (presence, tail, ok) in [
+        (0u8, 0usize, true),
+        (1, 16, true),
+        (2, 16, false),
+        (0xff, 16, false),
+        (1, 8, false), // present but missing one bound
+    ] {
+        let mut payload = vec![OP_EPOCH_BOUNDS | REPLY_BIT];
+        payload.extend_from_slice(&5u64.to_le_bytes());
+        payload.push(presence);
+        payload.extend_from_slice(&vec![0u8; tail]);
+        assert_eq!(
+            decode_reply::<i64, 2>(&payload).is_ok(),
+            ok,
+            "presence {presence} tail {tail}"
+        );
     }
 }
 
