@@ -20,7 +20,10 @@
 
 use psi::registry::{self, BuildOptions};
 use psi::PointI;
-use psi_server::{closed_loop, IndexFactory, LoadSpec, PsiServer, Router, ServeConfig};
+use psi_server::{
+    closed_loop, DurabilityConfig, FsyncPolicy, IndexFactory, LoadSpec, PsiServer, Router,
+    ServeConfig,
+};
 use psi_workloads as workloads;
 use std::sync::Arc;
 use std::time::Instant;
@@ -164,6 +167,105 @@ fn publish_latency_cell(
     }
 }
 
+/// The ROADMAP item-3 follow-up: what does each fsync policy cost? One
+/// durable server per policy over a throwaway WAL directory, the same move
+/// batches pushed through each, write throughput measured wall-clock and
+/// fsync/append latency read back as snapshot deltas of the WAL's own
+/// psi-obs histograms — the same series `OP_STATS` exposes live.
+struct FsyncCell {
+    policy: String,
+    batches: u64,
+    elapsed: f64,
+    batches_per_sec: f64,
+    wal_mib: f64,
+    fsyncs: u64,
+    fsync_p50_us: f64,
+    fsync_p99_us: f64,
+    append_p50_us: f64,
+    append_p99_us: f64,
+}
+
+fn fsync_policy_cell(
+    family: &'static str,
+    data: &[PointI<2>],
+    shards: usize,
+    batch: usize,
+    rounds: usize,
+    policy: FsyncPolicy,
+) -> FsyncCell {
+    let dir = std::env::temp_dir().join(format!(
+        "psi-bench-fsync-{}-{}",
+        std::process::id(),
+        policy.name()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let universe = workloads::universe::<2>(MAX_COORD);
+    let opts = BuildOptions::with_universe(universe);
+    let factory: IndexFactory<i64, 2> = Arc::new(move |pts: &[PointI<2>]| {
+        registry::create::<2>(family, pts, &opts).expect("registry families all build")
+    });
+    let server = Arc::new(PsiServer::new(
+        data,
+        &universe,
+        ServeConfig {
+            shards,
+            writer_queue: 8,
+            durability: Some(DurabilityConfig {
+                dir: dir.clone(),
+                fsync: policy,
+            }),
+            ..Default::default()
+        },
+        factory,
+    ));
+    // Resolve the WAL's registered series (idempotent: same name + labels
+    // returns the same metric the WAL writer records into).
+    let fsync_hist = psi_obs::histogram(
+        "psi_wal_fsync_latency_ns",
+        "wall time of one WAL flush+fsync to stable storage",
+        &[],
+    );
+    let append_hist = psi_obs::histogram(
+        "psi_wal_append_latency_ns",
+        "wall time of one WAL batch append, fsync included when the policy demands it",
+        &[],
+    );
+    let wal_bytes = psi_obs::counter(
+        "psi_wal_bytes_written_total",
+        "record bytes appended to WAL segments",
+        &[],
+    );
+    let fsync_before = fsync_hist.snapshot();
+    let append_before = append_hist.snapshot();
+    let bytes_before = wal_bytes.get();
+    let t = Instant::now();
+    for r in 0..rounds {
+        let lo = (r * batch) % (data.len() - batch);
+        let slice = data[lo..lo + batch].to_vec();
+        server.submit(slice.clone(), slice);
+    }
+    server.quiesce();
+    let elapsed = t.elapsed().as_secs_f64();
+    let batches = server.batches_applied();
+    let fsync = fsync_hist.snapshot().delta(&fsync_before);
+    let append = append_hist.snapshot().delta(&append_before);
+    let bytes = wal_bytes.get() - bytes_before;
+    let _ = std::fs::remove_dir_all(&dir);
+    let us = |ns: u64| ns as f64 / 1e3;
+    FsyncCell {
+        policy: policy.name(),
+        batches,
+        elapsed,
+        batches_per_sec: batches as f64 / elapsed.max(1e-9),
+        wal_mib: bytes as f64 / (1024.0 * 1024.0),
+        fsyncs: fsync.count(),
+        fsync_p50_us: us(fsync.quantile(0.5)),
+        fsync_p99_us: us(fsync.quantile(0.99)),
+        append_p50_us: us(append.quantile(0.5)),
+        append_p99_us: us(append.quantile(0.99)),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut n = 50_000usize;
@@ -282,6 +384,47 @@ fn main() {
         ));
     }
 
+    // Fsync-policy sweep: the durability cost curve, measured through the
+    // WAL's own psi-obs histograms.
+    let fsync_rounds = if smoke { 30 } else { 150 };
+    let fsync_batch = 200.min(n / 4);
+    let mut fsync_cells: Vec<String> = Vec::new();
+    for policy in [
+        FsyncPolicy::EveryBatch,
+        FsyncPolicy::EveryN(4),
+        FsyncPolicy::Os,
+    ] {
+        let cell = fsync_policy_cell("pkd", &data, shards, fsync_batch, fsync_rounds, policy);
+        println!(
+            "fsync    {:<12} {:>7.0} batch/s  fsyncs={:<5} fsync p50={:.1}us p99={:.1}us  append p50={:.1}us p99={:.1}us  wal={:.1}MiB",
+            cell.policy,
+            cell.batches_per_sec,
+            cell.fsyncs,
+            cell.fsync_p50_us,
+            cell.fsync_p99_us,
+            cell.append_p50_us,
+            cell.append_p99_us,
+            cell.wal_mib
+        );
+        fsync_cells.push(format!(
+            "    {{\"policy\": \"{}\", \"batch\": {}, \"batches\": {}, \"elapsed_secs\": {:.4}, \
+             \"batches_per_sec\": {:.1}, \"wal_mib\": {:.2}, \"fsyncs\": {}, \
+             \"fsync_p50_us\": {:.2}, \"fsync_p99_us\": {:.2}, \
+             \"append_p50_us\": {:.2}, \"append_p99_us\": {:.2}}}",
+            cell.policy,
+            fsync_batch,
+            cell.batches,
+            cell.elapsed,
+            cell.batches_per_sec,
+            cell.wal_mib,
+            cell.fsyncs,
+            cell.fsync_p50_us,
+            cell.fsync_p99_us,
+            cell.append_p50_us,
+            cell.append_p99_us
+        ));
+    }
+
     let json = format!(
         "{{\n  \"bench\": \"serve_closed_loop\",\n  {},\n  \"n\": {},\n  \
          \"ops_per_client\": {},\n  \"shards\": {},\n  \"coalesce_max_batch\": {},\n  \"k\": {},\n  \
@@ -289,8 +432,10 @@ fn main() {
          move batches conserve the live count (checked); measured on a 1-core container — client \
          counts above machine_threads time-share and cannot show scaling; rerun on a multi-core box \
          for real speedups; publish_latency compares the left-right double-copy protocol against \
-         persistent CoW snapshot publication, a reader pin re-taken around each publish\",\n  \
-         \"publish_latency\": [\n{}\n  ],\n  \"families\": [\n{}\n  ]\n}}\n",
+         persistent CoW snapshot publication, a reader pin re-taken around each publish; \
+         fsync_sweep pushes identical move batches through a durable server per FsyncPolicy, \
+         latencies read from the WAL's psi-obs histograms\",\n  \
+         \"publish_latency\": [\n{}\n  ],\n  \"fsync_sweep\": [\n{}\n  ],\n  \"families\": [\n{}\n  ]\n}}\n",
         psi_bench::host_meta_json(),
         n,
         ops,
@@ -298,6 +443,7 @@ fn main() {
         coalesce,
         k,
         publish_cells.join(",\n"),
+        fsync_cells.join(",\n"),
         blocks.join(",\n")
     );
     std::fs::write(&out, json).expect("failed to write benchmark output");

@@ -31,6 +31,7 @@ pub mod netd;
 pub mod report;
 pub mod scenario;
 pub mod serve;
+pub mod statsd;
 
 pub use compare::{compare_reports, parse_json, Comparison, Json};
 pub use exec::{run, run_differential, DiffReport, FamilyRun, ProbeOutcome, ScenarioRun};

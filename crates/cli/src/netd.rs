@@ -8,6 +8,7 @@
 //! holds the daemon up exactly as long as it holds the pipe open.
 
 use crate::scenario::CoordKind;
+use crate::statsd::StatsEndpoint;
 use psi::registry::{self, BuildOptions};
 use psi::{HilbertCurve, MortonCurve, SfcCurve};
 use psi_geometry::{Point, PointI, Rect};
@@ -51,6 +52,12 @@ pub struct NetdConfig {
     pub data_dir: Option<PathBuf>,
     /// WAL fsync policy (`--fsync`); only meaningful with `data_dir`.
     pub fsync: FsyncPolicy,
+    /// Plaintext metrics endpoint address (`--stats-addr`); `None` (the
+    /// default) exposes metrics over the wire protocol (`OP_STATS`) only.
+    pub stats_addr: Option<SocketAddr>,
+    /// Slow-query log threshold in milliseconds (`--slow-ms`); `None`
+    /// leaves the log disabled.
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for NetdConfig {
@@ -70,6 +77,8 @@ impl Default for NetdConfig {
             seed: 42,
             data_dir: None,
             fsync: FsyncPolicy::default(),
+            stats_addr: None,
+            slow_ms: None,
         }
     }
 }
@@ -97,7 +106,12 @@ pub fn usage() -> &'static str {
      --data-dir PATH     durability directory: WAL + checkpoints; recovers\n\
      \u{20}                    existing state on start (default: memory-only)\n\
      --fsync POLICY      every-batch | every-N | os (default every-batch;\n\
-     \u{20}                    requires --data-dir)\n"
+     \u{20}                    requires --data-dir)\n\
+     --stats-addr H:P    also serve a plaintext metrics endpoint here\n\
+     \u{20}                    (Prometheus-style text + recent events; port 0\n\
+     \u{20}                    picks an ephemeral port, echoed in the banner)\n\
+     --slow-ms N         record queries slower than N ms in the slow-query\n\
+     \u{20}                    log (shown on the stats endpoint; default off)\n"
 }
 
 fn value<'a>(flag: &str, it: &mut impl Iterator<Item = &'a str>) -> Result<&'a str, String> {
@@ -157,6 +171,20 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<NetdConfig, String> {
             "--max-coord" => cfg.max_coord = parse_num(flag, value(flag, &mut it)?)?,
             "--seed" => cfg.seed = parse_num(flag, value(flag, &mut it)?)?,
             "--data-dir" => cfg.data_dir = Some(PathBuf::from(value(flag, &mut it)?)),
+            "--stats-addr" => {
+                let v = value(flag, &mut it)?;
+                cfg.stats_addr =
+                    Some(v.parse().map_err(|_| {
+                        format!("--stats-addr: bad address {v:?} (numeric host:port)")
+                    })?);
+            }
+            "--slow-ms" => {
+                let ms: u64 = parse_num(flag, value(flag, &mut it)?)?;
+                if ms == 0 {
+                    return Err("--slow-ms must be positive".to_string());
+                }
+                cfg.slow_ms = Some(ms);
+            }
             "--fsync" => {
                 let v = value(flag, &mut it)?;
                 cfg.fsync = FsyncPolicy::parse(v).ok_or_else(|| {
@@ -185,6 +213,7 @@ pub fn parse_args<S: AsRef<str>>(args: &[S]) -> Result<NetdConfig, String> {
 /// releases the [`PsiServer`] — the order the coalescer requires.
 pub struct RunningNetd {
     net: Option<NetServer>,
+    stats: Option<StatsEndpoint>,
     _server: Box<dyn std::any::Any + Send>,
     banner: String,
 }
@@ -193,6 +222,11 @@ impl RunningNetd {
     /// The bound address (resolves port 0 to the real ephemeral port).
     pub fn addr(&self) -> SocketAddr {
         self.net.as_ref().expect("live until drop").addr()
+    }
+
+    /// The metrics endpoint's bound address, when `--stats-addr` was given.
+    pub fn stats_addr(&self) -> Option<SocketAddr> {
+        self.stats.as_ref().map(StatsEndpoint::addr)
     }
 
     /// The one-line `listening on ...` banner the binary prints.
@@ -204,6 +238,9 @@ impl RunningNetd {
     pub fn shutdown(mut self) {
         if let Some(net) = self.net.take() {
             net.shutdown();
+        }
+        if let Some(stats) = self.stats.take() {
+            stats.shutdown();
         }
     }
 }
@@ -218,6 +255,9 @@ impl Drop for RunningNetd {
 
 /// Build the dataset and server and bind the socket front-end.
 pub fn boot(cfg: &NetdConfig) -> Result<RunningNetd, String> {
+    if let Some(ms) = cfg.slow_ms {
+        psi_obs::slowlog::set_threshold(Some(std::time::Duration::from_millis(ms)));
+    }
     match (cfg.coords, cfg.dims) {
         (CoordKind::I64, 2) => boot_i64::<2>(cfg),
         (CoordKind::I64, 3) => boot_i64::<3>(cfg),
@@ -297,7 +337,13 @@ fn boot_typed<T: ServeCoord + WireCoord, const D: usize>(
         },
     )
     .map_err(|e| format!("bind {}: {e}", cfg.addr))?;
-    let banner = format!(
+    let stats = match cfg.stats_addr {
+        Some(addr) => Some(
+            StatsEndpoint::bind(addr).map_err(|e| format!("bind stats endpoint {addr}: {e}"))?,
+        ),
+        None => None,
+    };
+    let mut banner = format!(
         "listening on {} family={} coords={} dims={} n={} dist={} shards={} transport={} coalesce={} durable={}",
         net.addr(),
         cfg.family,
@@ -318,8 +364,14 @@ fn boot_typed<T: ServeCoord + WireCoord, const D: usize>(
             "off".to_string()
         },
     );
+    // The suffix is conditional so scripts that parse the banner (and tests
+    // that pin its tail) only see it when the flag was given.
+    if let Some(ep) = &stats {
+        banner.push_str(&format!(" stats={}", ep.addr()));
+    }
     Ok(RunningNetd {
         net: Some(net),
+        stats,
         _server: Box::new(server),
         banner,
     })
@@ -376,6 +428,10 @@ mod tests {
         assert_eq!(cfg.max_coord, 99);
         assert_eq!(cfg.seed, 7);
 
+        let cfg = parse_args(&["--stats-addr", "127.0.0.1:9471", "--slow-ms", "25"]).unwrap();
+        assert_eq!(cfg.stats_addr.map(|a| a.port()), Some(9471));
+        assert_eq!(cfg.slow_ms, Some(25));
+
         let cfg = parse_args(&["--data-dir", "/tmp/psi-data", "--fsync", "every-8"]).unwrap();
         assert_eq!(
             cfg.data_dir.as_deref(),
@@ -391,6 +447,9 @@ mod tests {
             &["--shards", "0"],
             &["--n", "0"],
             &["--addr", "not-an-addr"],
+            &["--stats-addr", "not-an-addr"],
+            &["--slow-ms", "0"],
+            &["--slow-ms", "soon"],
             &["--mystery"],
             &["--seed"],
             // --fsync is a durability knob: meaningless without --data-dir.
@@ -468,6 +527,29 @@ mod tests {
         drop(client);
         running.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_endpoint_scrapes_live_metrics() {
+        use std::io::{Read, Write};
+        let cfg = parse_args(&["--n", "1000", "--stats-addr", "127.0.0.1:0"]).unwrap();
+        let running = boot(&cfg).unwrap();
+        let stats_addr = running.stats_addr().expect("flag given");
+        assert!(running.banner().contains(&format!(" stats={stats_addr}")));
+        // Generate traffic so the scrape has nonzero net-layer series.
+        let mut client: WireClient<i64, 2> = WireClient::connect(running.addr()).unwrap();
+        for _ in 0..4 {
+            client.knn(&Point::new([1, 1]), 3).unwrap();
+        }
+        drop(client);
+        let mut s = std::net::TcpStream::connect(stats_addr).unwrap();
+        s.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut text = String::new();
+        s.read_to_string(&mut text).unwrap();
+        assert!(text.starts_with("HTTP/1.0 200 OK\r\n"));
+        assert!(text.contains("psi_net_frames_in_total{op=\"knn\"}"));
+        assert!(text.contains("psi_net_request_latency_ns"));
+        running.shutdown();
     }
 
     #[test]

@@ -91,13 +91,20 @@ pub fn json_string(run: &ScenarioRun) -> String {
 pub fn json_string_with_serve(run: &ScenarioRun, serve: Option<&ServeReport>) -> String {
     let families: Vec<String> = run.families.iter().map(json_family).collect();
     let serve_block = serve.map_or(String::new(), |s| {
+        let metrics_block = s.metrics.as_ref().map_or(String::new(), |m| {
+            let pairs: Vec<String> = m
+                .iter()
+                .map(|(k, v)| format!("      \"{}\": {}", json_escape(k), v))
+                .collect();
+            format!(",\n    \"metrics\": {{\n{}\n    }}", pairs.join(",\n"))
+        });
         format!(
             ",\n  \"serve\": {{\n    \"family\": \"{}\",\n    \"shards\": {},\n    \
              \"transport\": \"{}\",\n    \
              \"clients\": {},\n    \"ops\": {},\n    \"batches\": {},\n    \
              \"elapsed_secs\": {:.6},\n    \"throughput_qps\": {:.1},\n    \
              \"p50_ms\": {:.4},\n    \"p99_ms\": {:.4},\n    \
-             \"coalesce_factor\": {:.2}\n  }}",
+             \"coalesce_factor\": {:.2}{}\n  }}",
             json_escape(&s.family),
             s.shards,
             s.transport,
@@ -108,7 +115,8 @@ pub fn json_string_with_serve(run: &ScenarioRun, serve: Option<&ServeReport>) ->
             s.throughput_qps,
             s.p50_ms,
             s.p99_ms,
-            s.coalesce_factor
+            s.coalesce_factor,
+            metrics_block
         )
     });
     format!(

@@ -246,6 +246,9 @@ pub struct ServeSpec {
     pub data_dir: Option<std::path::PathBuf>,
     /// WAL fsync policy; only meaningful with `data_dir`.
     pub fsync: psi_server::FsyncPolicy,
+    /// Embed a metrics block (psi-obs registry read-out) in the JSON
+    /// report (`stats = on`, the default; `off` omits it).
+    pub stats: bool,
 }
 
 /// Client transport for the serving phase.
@@ -294,6 +297,7 @@ impl Default for ServeSpec {
             transport: ServeTransport::Inproc,
             data_dir: None,
             fsync: psi_server::FsyncPolicy::default(),
+            stats: true,
         }
     }
 }
@@ -541,6 +545,18 @@ pub fn parse(text: &str) -> Result<Scenario, ParseError> {
                         })?
                     }
                     "family" => serve_family_raw = Some((lineno, value.to_string())),
+                    "stats" => {
+                        sv.stats = match value {
+                            "on" => true,
+                            "off" => false,
+                            other => {
+                                return Err(err(
+                                    lineno,
+                                    format!("stats expects on or off, got {other:?}"),
+                                ))
+                            }
+                        }
+                    }
                     other => return Err(err(lineno, format!("unknown key {other:?} in [serve]"))),
                 }
             }

@@ -49,6 +49,31 @@ pub struct ServeReport {
     pub p99_ms: f64,
     /// Mean requests folded into one coalesced flush.
     pub coalesce_factor: f64,
+    /// Flat metrics read-out of the psi-obs registry at phase end
+    /// (`[serve] stats = on`, the default): one `(series, value)` pair per
+    /// counter/gauge, three (`_count`/`_p50`/`_p99`) per histogram. Values
+    /// are cumulative for the process, which for a scenario run means the
+    /// phase that just finished plus its server construction.
+    pub metrics: Option<Vec<(String, f64)>>,
+}
+
+/// Read every registered metric out of the psi-obs registry as flat
+/// `(series, value)` pairs for the JSON report.
+fn collect_metrics() -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for sample in psi_obs::registry().collect() {
+        match sample {
+            psi_obs::registry::Sample::Counter(id, _, v) => out.push((id.render(), v as f64)),
+            psi_obs::registry::Sample::Gauge(id, _, v) => out.push((id.render(), v as f64)),
+            psi_obs::registry::Sample::Histogram(id, _, snap) => {
+                let base = id.render();
+                out.push((format!("{base}_count"), snap.count() as f64));
+                out.push((format!("{base}_p50"), snap.quantile(0.5) as f64));
+                out.push((format!("{base}_p99"), snap.quantile(0.99) as f64));
+            }
+        }
+    }
+    out
 }
 
 /// Run the scenario's `[serve]` phase. `threads` mirrors `exec::run`: pin
@@ -250,6 +275,7 @@ fn serve_typed<T: ServeCoord + WireCoord, const D: usize>(
         p50_ms: out.p50_ms,
         p99_ms: out.p99_ms,
         coalesce_factor: out.coalesce_factor,
+        metrics: sv.stats.then(collect_metrics),
     })
 }
 

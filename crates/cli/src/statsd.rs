@@ -1,0 +1,194 @@
+//! The plaintext metrics endpoint behind `psi-netd --stats-addr`: a tiny
+//! single-threaded HTTP/1.0 responder that answers every request with the
+//! same page — the Prometheus-style registry rendering, then the recent
+//! event ring and the slow-query log as `#`-prefixed comment lines. It is
+//! deliberately not a web server: one short-lived thread, one connection at
+//! a time, no routing, no keep-alive — enough for `curl`, a Prometheus
+//! scraper, or a watch loop, and nothing that could compete with the
+//! serving path for resources.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often the accept loop polls the stop flag while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Cap on the request head we bother reading before answering. Anything a
+/// scraper sends fits; anything longer is answered anyway and closed.
+const MAX_REQUEST_HEAD: usize = 4096;
+
+/// How many event-ring entries and slow queries the page appends.
+const TAIL_LIMIT: usize = 32;
+
+/// A live metrics endpoint. Dropping (or [`StatsEndpoint::shutdown`]) stops
+/// the accept thread.
+pub struct StatsEndpoint {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl StatsEndpoint {
+    /// Bind `addr` (port 0 picks an ephemeral port) and start serving.
+    pub fn bind(addr: SocketAddr) -> io::Result<StatsEndpoint> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("psi-statsd".to_string())
+            .spawn(move || accept_loop(listener, &thread_stop))?;
+        Ok(StatsEndpoint {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept thread and release the socket.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for StatsEndpoint {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, stop: &AtomicBool) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Serve inline: scrapes are rare and the page is cheap, so
+                // one at a time keeps the endpoint to a single thread.
+                let _ = serve_scrape(stream);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Read (and discard) the request head, then answer with the stats page.
+fn serve_scrape(mut stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut head = Vec::new();
+    let mut buf = [0u8; 512];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= MAX_REQUEST_HEAD {
+                    break;
+                }
+            }
+            // Timeout or interruption: answer with what we have anyway —
+            // the page is the same for every request.
+            Err(_) => break,
+        }
+    }
+    let body = stats_page();
+    let header = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// The page every scrape receives: metrics first (machine-readable), then
+/// the event ring and slow-query log as comments (human-readable tail).
+pub fn stats_page() -> String {
+    let mut body = psi_obs::render_prometheus();
+    let events = psi_obs::render_events(TAIL_LIMIT);
+    if !events.is_empty() {
+        body.push_str("# recent events:\n");
+        for line in events.lines() {
+            body.push_str("# ");
+            body.push_str(line);
+            body.push('\n');
+        }
+    }
+    let slow = psi_obs::slowlog::recent(TAIL_LIMIT);
+    if !slow.is_empty() {
+        body.push_str("# slow queries (threshold ");
+        body.push_str(&psi_obs::slowlog::threshold_ns().to_string());
+        body.push_str("ns):\n");
+        for q in slow {
+            body.push_str(&format!(
+                "# [{}] {} {}ns {}\n",
+                q.seq, q.op, q.latency_ns, q.shape
+            ));
+        }
+    }
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrape(addr: SocketAddr) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut text = String::new();
+        s.read_to_string(&mut text).unwrap();
+        text
+    }
+
+    #[test]
+    fn endpoint_answers_a_plain_get() {
+        let c = psi_obs::counter("statsd_test_total", "scrapes", &[]);
+        c.bump();
+        let ep = StatsEndpoint::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let text = scrape(ep.addr());
+        assert!(text.starts_with("HTTP/1.0 200 OK\r\n"), "{text:?}");
+        assert!(text.contains("Content-Type: text/plain"));
+        assert!(text.contains("statsd_test_total"));
+        // Content-Length must match the body exactly (scrapers trust it).
+        let body = text.split("\r\n\r\n").nth(1).unwrap();
+        let len: usize = text
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert_eq!(body.len(), len);
+        ep.shutdown();
+    }
+
+    #[test]
+    fn page_appends_slow_queries_as_comments() {
+        psi_obs::slowlog::set_threshold(Some(Duration::from_millis(1)));
+        psi_obs::slowlog::observe("knn", 2_000_000, || "k=9".to_string());
+        let page = stats_page();
+        psi_obs::slowlog::set_threshold(None);
+        assert!(page.contains("# slow queries"));
+        assert!(page
+            .lines()
+            .any(|l| l.starts_with("# ") && l.contains("knn 2000000ns k=9")));
+    }
+}

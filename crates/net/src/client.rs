@@ -217,6 +217,16 @@ impl<T: WireCoord, const D: usize> WireClient<T, D> {
         }
     }
 
+    /// A live metrics snapshot of the serving process: the snapshot schema
+    /// version plus the Prometheus-style text rendering of every metric the
+    /// server has registered.
+    pub fn stats(&mut self) -> io::Result<(u32, String)> {
+        match self.query(Request::Stats)? {
+            Reply::Stats { version, text } => Ok((version, text)),
+            _ => Err(bad_reply("stats answered with a non-stats reply")),
+        }
+    }
+
     /// Publish one update batch (deletions before insertions). Retries
     /// [`ERR_BUSY`] by spinning on the server's back-pressure signal; any
     /// other error is fatal for the connection.

@@ -25,7 +25,8 @@
 //! on the floor.
 
 use crate::epoll::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
-use crate::listener::{answer_blocking, reply_epoch_gone, reply_too_large};
+use crate::listener::{answer_blocking, describe_request, reply_epoch_gone, reply_too_large};
+use crate::obs::{net_obs, op_name};
 use crate::wire::{
     check_hello, decode_request, encode_reply, frame_size, Reply, Request, WireCoord, WireError,
     ERR_BUSY, LEN_PREFIX,
@@ -38,6 +39,7 @@ use std::os::unix::io::AsRawFd;
 use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 const LISTENER_TOKEN: u64 = u64::MAX;
 const WAKE_TOKEN: u64 = u64::MAX - 1;
@@ -206,6 +208,7 @@ impl<T: ServeCoord + WireCoord, const D: usize> Reactor<T, D> {
             });
             self.stats.accepted.fetch_add(1, Ordering::Relaxed);
             self.stats.open.fetch_add(1, Ordering::Relaxed);
+            net_obs().open.inc();
         }
     }
 
@@ -215,6 +218,7 @@ impl<T: ServeCoord + WireCoord, const D: usize> Reactor<T, D> {
             self.gens[idx] += 1; // invalidate in-flight callbacks
             self.free.push(idx);
             self.stats.open.fetch_sub(1, Ordering::Relaxed);
+            net_obs().open.dec();
         }
     }
 
@@ -272,8 +276,9 @@ impl<T: ServeCoord + WireCoord, const D: usize> Reactor<T, D> {
 
         // Peel complete frames into owned requests, then handle them with
         // the connection borrow released (handlers write into `wbuf` and
-        // enqueue to the coalescer).
-        let mut parsed: Vec<(u64, Request<T, D>)> = Vec::new();
+        // enqueue to the coalescer). Each frame's decode instant rides along
+        // so request latency covers decode to reply hand-off.
+        let mut parsed: Vec<(u64, Request<T, D>, Instant)> = Vec::new();
         let mut poison: Option<WireError> = None;
         {
             let conn = self.conns[idx].as_mut().expect("parse on live conn");
@@ -282,7 +287,10 @@ impl<T: ServeCoord + WireCoord, const D: usize> Reactor<T, D> {
                 match frame_size(&conn.rbuf[pos..]) {
                     Ok(Some(total)) => {
                         match decode_request::<T, D>(&conn.rbuf[pos + LEN_PREFIX..pos + total]) {
-                            Ok(frame) => parsed.push(frame),
+                            Ok((req_id, req)) => {
+                                net_obs().frame_in(req.opcode());
+                                parsed.push((req_id, req, Instant::now()));
+                            }
                             Err(e) => {
                                 poison = Some(e);
                                 break;
@@ -300,8 +308,8 @@ impl<T: ServeCoord + WireCoord, const D: usize> Reactor<T, D> {
             conn.rbuf.drain(..pos);
         }
 
-        for (req_id, req) in parsed {
-            self.handle_request(idx, req_id, req);
+        for (req_id, req, t0) in parsed {
+            self.handle_request(idx, req_id, req, t0);
             if self.conns[idx].as_ref().is_none_or(|c| c.closing) {
                 break;
             }
@@ -341,18 +349,18 @@ impl<T: ServeCoord + WireCoord, const D: usize> Reactor<T, D> {
         }
     }
 
-    fn handle_request(&mut self, idx: usize, req_id: u64, req: Request<T, D>) {
+    fn handle_request(&mut self, idx: usize, req_id: u64, req: Request<T, D>, t0: Instant) {
         let hello_done = self.conns[idx].as_ref().expect("live conn").hello_done;
         if !hello_done {
             let opcode = req.opcode();
             match check_hello(&req, self.ctx.shards) {
                 Ok(ok) => {
-                    self.queue_reply(idx, &ok, opcode, req_id);
+                    self.answer_now(idx, &ok, opcode, req_id, t0);
                     self.conns[idx].as_mut().expect("live conn").hello_done = true;
                 }
                 Err(err) => {
                     self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                    self.queue_reply(idx, &err, opcode, req_id);
+                    self.answer_now(idx, &err, opcode, req_id, t0);
                     self.poison(idx);
                 }
             }
@@ -368,15 +376,18 @@ impl<T: ServeCoord + WireCoord, const D: usize> Reactor<T, D> {
         };
         let Some(handle) = coalesced else {
             let reply = answer_blocking(&self.ctx, req);
-            self.queue_reply(idx, &reply, opcode, req_id);
+            self.answer_now(idx, &reply, opcode, req_id, t0);
             return;
         };
+        // Slow-query log: build the shape before `req` is consumed, and only
+        // while the log is enabled (one relaxed load).
+        let slow_shape = (psi_obs::slowlog::threshold_ns() > 0).then(|| describe_request(&req));
         let op = match req {
             Request::Hello { .. } => {
                 let reply = match check_hello(&req, self.ctx.shards) {
                     Ok(ok) | Err(ok) => ok,
                 };
-                self.queue_reply(idx, &reply, opcode, req_id);
+                self.answer_now(idx, &reply, opcode, req_id, t0);
                 return;
             }
             Request::EpochBounds => {
@@ -384,7 +395,17 @@ impl<T: ServeCoord + WireCoord, const D: usize> Reactor<T, D> {
                 // log, nothing worth a coalescer round-trip.
                 let reply: Reply<T, D> =
                     Reply::EpochBounds(self.ctx.server.router().epoch_bounds());
-                self.queue_reply(idx, &reply, opcode, req_id);
+                self.answer_now(idx, &reply, opcode, req_id, t0);
+                return;
+            }
+            Request::Stats => {
+                // Inline too: collection walks the registry under its mutex,
+                // but never touches the serving path.
+                let reply: Reply<T, D> = Reply::Stats {
+                    version: psi_obs::SNAPSHOT_VERSION,
+                    text: psi_obs::render_prometheus(),
+                };
+                self.answer_now(idx, &reply, opcode, req_id, t0);
                 return;
             }
             Request::ApplyBatch { delete, insert } => {
@@ -395,12 +416,12 @@ impl<T: ServeCoord + WireCoord, const D: usize> Reactor<T, D> {
                         message: "update queue full, retry".to_string(),
                     },
                 };
-                self.queue_reply(idx, &reply, opcode, req_id);
+                self.answer_now(idx, &reply, opcode, req_id, t0);
                 return;
             }
             Request::Knn { q, k, at } => {
                 if k == 0 {
-                    self.queue_reply(idx, &Reply::Points(Vec::new()), opcode, req_id);
+                    self.answer_now(idx, &Reply::Points(Vec::new()), opcode, req_id, t0);
                     return;
                 }
                 (QueryOp::Knn(q, k as usize), at)
@@ -423,14 +444,40 @@ impl<T: ServeCoord + WireCoord, const D: usize> Reactor<T, D> {
                 };
                 let mut bytes = Vec::new();
                 if encode_reply(&reply, opcode, req_id, &mut bytes).is_err() {
-                    encode_reply::<T, D>(&reply_too_large(), opcode, req_id, &mut bytes)
+                    let substitute = reply_too_large::<T, D>();
+                    encode_reply(&substitute, opcode, req_id, &mut bytes)
                         .expect("error frames fit one frame");
+                    net_obs().count_reply(opcode, &substitute);
+                } else {
+                    net_obs().count_reply(opcode, &reply);
+                }
+                // Latency ends at reply hand-off: the flusher finished the
+                // query and the encoded frame is on its way to the reactor.
+                let dt = t0.elapsed();
+                net_obs().request_latency(opcode).record_duration(dt);
+                if let Some(shape) = slow_shape {
+                    psi_obs::slowlog::observe(op_name(opcode), dt.as_nanos() as u64, || shape);
                 }
                 outbox.lock().unwrap().push((idx, gen, bytes));
                 // A full wakeup pipe means a kick is already pending.
                 let _ = (&*wake).write(&[1]);
             })),
         );
+    }
+
+    /// Queue an inline reply and record its decode-to-hand-off latency.
+    fn answer_now(
+        &mut self,
+        idx: usize,
+        reply: &Reply<T, D>,
+        opcode: u8,
+        req_id: u64,
+        t0: Instant,
+    ) {
+        self.queue_reply(idx, reply, opcode, req_id);
+        net_obs()
+            .request_latency(opcode)
+            .record_duration(t0.elapsed());
     }
 
     fn queue_reply(&mut self, idx: usize, reply: &Reply<T, D>, opcode: u8, req_id: u64) {
@@ -440,8 +487,12 @@ impl<T: ServeCoord + WireCoord, const D: usize> Reactor<T, D> {
             // Rolled back to `at`: substitute a typed too-large error so the
             // client still gets an answer for this req_id.
             debug_assert_eq!(conn.wbuf.len(), at);
-            encode_reply::<T, D>(&reply_too_large(), opcode, req_id, &mut conn.wbuf)
+            let substitute = reply_too_large::<T, D>();
+            encode_reply(&substitute, opcode, req_id, &mut conn.wbuf)
                 .expect("error frames fit one frame");
+            net_obs().count_reply(opcode, &substitute);
+        } else {
+            net_obs().count_reply(opcode, reply);
         }
     }
 

@@ -33,6 +33,7 @@ pub mod epoll;
 mod event_loop;
 mod listener;
 pub mod loadgen;
+mod obs;
 pub mod wire;
 
 use psi_server::{PsiServer, ServeCoord};

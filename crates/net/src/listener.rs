@@ -4,6 +4,7 @@
 //! which is comfortable into the hundreds of connections; past that the
 //! evented transport takes over (see `event_loop`).
 
+use crate::obs::net_obs;
 use crate::wire::{
     check_hello, decode_request, encode_reply, read_frame, Reply, Request, WireCoord, WireError,
     ERR_BUSY, ERR_EPOCH, ERR_TOO_LARGE,
@@ -64,6 +65,7 @@ pub(crate) fn run_threaded<T: ServeCoord + WireCoord, const D: usize>(
         }
         stats.accepted.fetch_add(1, Ordering::Relaxed);
         stats.open.fetch_add(1, Ordering::Relaxed);
+        net_obs().open.inc();
         let ctx = ctx.clone();
         let worker_stats = Arc::clone(&stats);
         let worker_registry = Arc::clone(&registry);
@@ -74,6 +76,7 @@ pub(crate) fn run_threaded<T: ServeCoord + WireCoord, const D: usize>(
                 let _ = serve_conn(stream, &ctx, &worker_stats);
                 worker_registry.lock().unwrap().remove(&id);
                 worker_stats.open.fetch_sub(1, Ordering::Relaxed);
+                net_obs().open.dec();
             });
         match spawned {
             Ok(h) => workers.push(h),
@@ -82,6 +85,7 @@ pub(crate) fn run_threaded<T: ServeCoord + WireCoord, const D: usize>(
                 // connection instead of the server.
                 registry.lock().unwrap().remove(&id);
                 stats.open.fetch_sub(1, Ordering::Relaxed);
+                net_obs().open.dec();
             }
         }
     }
@@ -121,32 +125,31 @@ fn serve_conn<T: ServeCoord + WireCoord, const D: usize>(
                 return Err(e);
             }
         }
+        let t0 = std::time::Instant::now();
         let (req_id, req) = match decode_request::<T, D>(&payload) {
             Ok(ok) => ok,
             Err(e) => {
                 stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let reply: Reply<T, D> = Reply::Error {
+                    code: e.code(),
+                    message: e.to_string(),
+                };
+                net_obs().count_reply(0, &reply);
                 out.clear();
-                encode_reply::<T, D>(
-                    &Reply::Error {
-                        code: e.code(),
-                        message: e.to_string(),
-                    },
-                    0,
-                    0,
-                    &mut out,
-                )
-                .expect("error frames fit one frame");
+                encode_reply(&reply, 0, 0, &mut out).expect("error frames fit one frame");
                 let _ = stream.write_all(&out);
                 return Ok(());
             }
         };
+        let opcode = req.opcode();
+        net_obs().frame_in(opcode);
         if !hello_done {
             let reply = check_hello(&req, ctx.shards);
             let failed = reply.is_err();
             let reply = reply.unwrap_or_else(|e| e);
+            net_obs().count_reply(opcode, &reply);
             out.clear();
-            encode_reply(&reply, req.opcode(), req_id, &mut out)
-                .expect("hello frames fit one frame");
+            encode_reply(&reply, opcode, req_id, &mut out).expect("hello frames fit one frame");
             stream.write_all(&out)?;
             if failed {
                 stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
@@ -155,16 +158,27 @@ fn serve_conn<T: ServeCoord + WireCoord, const D: usize>(
             hello_done = true;
             continue;
         }
-        let opcode = req.opcode();
+        // Slow-query log: the shape string is only built while the log is
+        // enabled (one relaxed load), and only recorded past the threshold.
+        let slow_shape = (psi_obs::slowlog::threshold_ns() > 0).then(|| describe_request(&req));
         let reply = answer_blocking(ctx, req);
         out.clear();
         if encode_reply(&reply, opcode, req_id, &mut out).is_err() {
             // The reply outgrew the frame cap (e.g. a huge range-list):
             // answer with a typed error instead; the connection stays open.
-            encode_reply::<T, D>(&reply_too_large(), opcode, req_id, &mut out)
+            let substitute = reply_too_large();
+            encode_reply::<T, D>(&substitute, opcode, req_id, &mut out)
                 .expect("error frames fit one frame");
+            net_obs().count_reply(opcode, &substitute);
+        } else {
+            net_obs().count_reply(opcode, &reply);
         }
         stream.write_all(&out)?;
+        let dt = t0.elapsed();
+        net_obs().request_latency(opcode).record_duration(dt);
+        if let Some(shape) = slow_shape {
+            psi_obs::slowlog::observe(crate::obs::op_name(opcode), dt.as_nanos() as u64, || shape);
+        }
     }
 }
 
@@ -174,18 +188,35 @@ fn send_error<T: WireCoord, const D: usize>(
     code: u16,
     err: &dyn std::fmt::Display,
 ) {
+    let reply: Reply<T, D> = Reply::Error {
+        code,
+        message: err.to_string(),
+    };
+    net_obs().count_reply(0, &reply);
     out.clear();
-    encode_reply::<T, D>(
-        &Reply::Error {
-            code,
-            message: err.to_string(),
-        },
-        0,
-        0,
-        out,
-    )
-    .expect("error frames fit one frame");
+    encode_reply(&reply, 0, 0, out).expect("error frames fit one frame");
     let _ = stream.write_all(out);
+}
+
+/// The slow-query-log shape of a request: enough detail to reproduce the
+/// query's cost class (k, epoch pin, batch sizes) without logging payloads.
+pub(crate) fn describe_request<T: WireCoord, const D: usize>(req: &Request<T, D>) -> String {
+    match req {
+        Request::Hello { .. } => "hello".to_string(),
+        Request::Knn { k, at, .. } => match at {
+            Some(e) => format!("k={k} at={e}"),
+            None => format!("k={k}"),
+        },
+        Request::RangeCount { at, .. } | Request::RangeList { at, .. } => match at {
+            Some(e) => format!("rect at={e}"),
+            None => "rect".to_string(),
+        },
+        Request::EpochBounds => "epoch_bounds".to_string(),
+        Request::Stats => "stats".to_string(),
+        Request::ApplyBatch { delete, insert } => {
+            format!("del={} ins={}", delete.len(), insert.len())
+        }
+    }
 }
 
 /// The error reply sent when an answer outgrows the frame cap.
@@ -254,6 +285,10 @@ pub(crate) fn answer_blocking<T: ServeCoord + WireCoord, const D: usize>(
             }
         }
         Request::EpochBounds => Reply::EpochBounds(ctx.server.router().epoch_bounds()),
+        Request::Stats => Reply::Stats {
+            version: psi_obs::SNAPSHOT_VERSION,
+            text: psi_obs::render_prometheus(),
+        },
         Request::ApplyBatch { delete, insert } => match ctx.server.try_submit(delete, insert) {
             Ok(()) => Reply::BatchOk,
             Err(_) => Reply::Error {

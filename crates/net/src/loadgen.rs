@@ -123,6 +123,9 @@ pub fn fanout<T: WireCoord, const D: usize>(
         return Err("fanout needs at least one connection and one round".to_string());
     }
     let workers = spec.workers.clamp(1, spec.connections);
+    // One shared latency histogram per run (wait-free record; percentiles
+    // are bucket quantiles from the same machinery the live metrics use).
+    let hist = Arc::new(psi_obs::Histogram::new());
     // Workers + the measuring thread: timing starts only once every
     // connection is established.
     let start_gate = Arc::new(Barrier::new(workers + 1));
@@ -135,7 +138,8 @@ pub fn fanout<T: WireCoord, const D: usize>(
             let rects = rects.to_vec();
             let spec = spec.clone();
             let start_gate = Arc::clone(&start_gate);
-            std::thread::spawn(move || -> Result<(Vec<f64>, u64), String> {
+            let hist = Arc::clone(&hist);
+            std::thread::spawn(move || -> Result<u64, String> {
                 let connected = (|| -> Result<Vec<WireClient<T, D>>, String> {
                     let mut conns: Vec<WireClient<T, D>> = Vec::with_capacity(hi - lo);
                     for c in lo..hi {
@@ -151,7 +155,6 @@ pub fn fanout<T: WireCoord, const D: usize>(
                 start_gate.wait();
                 let mut conns = connected?;
                 let mut sums: Vec<u64> = vec![FNV_OFFSET; hi - lo];
-                let mut latencies: Vec<f64> = Vec::with_capacity((hi - lo) * spec.rounds);
                 let mut sent_at: Vec<Instant> = Vec::with_capacity(hi - lo);
                 for i in 0..spec.rounds {
                     sent_at.clear();
@@ -176,7 +179,7 @@ pub fn fanout<T: WireCoord, const D: usize>(
                     }
                     for (j, conn) in conns.iter_mut().enumerate() {
                         let (_, reply) = conn.recv().map_err(|e| format!("recv: {e}"))?;
-                        latencies.push(sent_at[j].elapsed().as_secs_f64());
+                        hist.record_duration(sent_at[j].elapsed());
                         if let Reply::Error { code, message } = &reply {
                             return Err(format!("server error {code}: {message}"));
                         }
@@ -184,36 +187,30 @@ pub fn fanout<T: WireCoord, const D: usize>(
                     }
                 }
                 let combined = sums.into_iter().fold(0u64, u64::wrapping_add);
-                Ok((latencies, combined))
+                Ok(combined)
             })
         })
         .collect();
 
     start_gate.wait();
     let started = Instant::now();
-    let mut latencies = Vec::with_capacity(spec.connections * spec.rounds);
     let mut checksum = 0u64;
     for t in threads {
-        let (lat, sum) = t
+        let sum = t
             .join()
             .map_err(|_| "a fanout worker panicked".to_string())??;
-        latencies.extend(lat);
         checksum = checksum.wrapping_add(sum);
     }
     let elapsed = started.elapsed().as_secs_f64();
 
-    latencies.sort_by(|a, b| a.total_cmp(b));
-    let pct = |p: f64| -> f64 {
-        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
-        latencies[idx] * 1e3
-    };
+    let snap = hist.snapshot();
     Ok(FanoutOutcome {
         connections: spec.connections,
-        ops: latencies.len(),
+        ops: snap.count() as usize,
         elapsed_secs: elapsed,
-        throughput_qps: latencies.len() as f64 / elapsed.max(1e-9),
-        p50_ms: pct(0.5),
-        p99_ms: pct(0.99),
+        throughput_qps: snap.count() as f64 / elapsed.max(1e-9),
+        p50_ms: snap.quantile_ms(0.5),
+        p99_ms: snap.quantile_ms(0.99),
         checksum,
     })
 }

@@ -53,6 +53,7 @@ pub const OP_KNN: u8 = 0x10;
 pub const OP_RANGE_COUNT: u8 = 0x11;
 pub const OP_RANGE_LIST: u8 = 0x12;
 pub const OP_EPOCH_BOUNDS: u8 = 0x13;
+pub const OP_STATS: u8 = 0x14;
 pub const OP_APPLY_BATCH: u8 = 0x20;
 /// Set on a request opcode to form its success-reply opcode.
 pub const REPLY_BIT: u8 = 0x80;
@@ -96,6 +97,8 @@ pub enum Request<T: WireCoord, const D: usize> {
     RangeList { rect: Rect<T, D>, at: Option<u64> },
     /// The retained time-travel window: which epochs `at` may name. No body.
     EpochBounds,
+    /// A live metrics snapshot of the serving process. No body.
+    Stats,
     /// One update batch: deletions applied before insertions.
     ApplyBatch {
         delete: Vec<Point<T, D>>,
@@ -112,6 +115,7 @@ impl<T: WireCoord, const D: usize> Request<T, D> {
             Request::RangeCount { .. } => OP_RANGE_COUNT,
             Request::RangeList { .. } => OP_RANGE_LIST,
             Request::EpochBounds => OP_EPOCH_BOUNDS,
+            Request::Stats => OP_STATS,
             Request::ApplyBatch { .. } => OP_APPLY_BATCH,
         }
     }
@@ -146,6 +150,9 @@ pub enum Reply<T: WireCoord, const D: usize> {
     EpochBounds(Option<(u64, u64)>),
     /// Batch accepted (enqueued to the writer; publication is asynchronous).
     BatchOk,
+    /// Metrics snapshot: a schema version tag plus the Prometheus-style
+    /// text rendering of every registered metric (see `psi_obs::expose`).
+    Stats { version: u32, text: String },
     /// Typed failure. The server closes the connection after protocol
     /// errors; [`ERR_BUSY`] is the one retryable code.
     Error { code: u16, message: String },
@@ -264,7 +271,7 @@ pub fn encode_request<T: WireCoord, const D: usize>(
             put_point(out, &rect.hi);
             put_at(out, epoch);
         }
-        Request::EpochBounds => {}
+        Request::EpochBounds | Request::Stats => {}
         Request::ApplyBatch { delete, insert } => {
             out.extend_from_slice(&(delete.len() as u32).to_le_bytes());
             out.extend_from_slice(&(insert.len() as u32).to_le_bytes());
@@ -317,6 +324,10 @@ pub fn encode_reply<T: WireCoord, const D: usize>(
             None => out.push(0),
         },
         Reply::BatchOk => {}
+        Reply::Stats { version, text } => {
+            out.extend_from_slice(&version.to_le_bytes());
+            out.extend_from_slice(text.as_bytes());
+        }
         Reply::Error { code, message } => {
             out.extend_from_slice(&code.to_le_bytes());
             out.extend_from_slice(message.as_bytes());
@@ -465,6 +476,7 @@ pub fn decode_request<T: WireCoord, const D: usize>(
             at: rd.at()?,
         },
         OP_EPOCH_BOUNDS => Request::EpochBounds,
+        OP_STATS => Request::Stats,
         OP_APPLY_BATCH => {
             let n_del = rd.u32()? as usize;
             let n_ins = rd.u32()? as usize;
@@ -505,6 +517,11 @@ pub fn decode_reply<T: WireCoord, const D: usize>(
             _ => return Err(WireError::Malformed("bad epoch-bounds presence byte")),
         },
         op if op == OP_APPLY_BATCH | REPLY_BIT => Reply::BatchOk,
+        op if op == OP_STATS | REPLY_BIT => {
+            let version = rd.u32()?;
+            let text = String::from_utf8_lossy(rd.take(payload.len() - rd.pos)?).into_owned();
+            Reply::Stats { version, text }
+        }
         OP_ERROR => {
             let code = rd.u16()?;
             let message = String::from_utf8_lossy(rd.take(payload.len() - rd.pos)?).into_owned();
@@ -659,6 +676,15 @@ mod tests {
             4,
         );
         round_trip_request(Request::<i64, 2>::EpochBounds, 11);
+        round_trip_request(Request::<i64, 2>::Stats, 14);
+        round_trip_reply(
+            Reply::<i64, 2>::Stats {
+                version: 1,
+                text: "psi_net_frames_in_total{op=\"knn\"} 7\n".to_string(),
+            },
+            OP_STATS,
+            14,
+        );
         round_trip_reply(
             Reply::<i64, 2>::EpochBounds(Some((3, 17))),
             OP_EPOCH_BOUNDS,

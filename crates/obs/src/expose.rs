@@ -1,0 +1,112 @@
+//! Exposition: serialise the registry as Prometheus-style text. Histograms
+//! render as summaries (`{quantile="…"}` series plus `_count`, `_sum`,
+//! `_max`) — the full 1920-bucket array would dwarf the payload while the
+//! log-linear buckets already bound each quantile within 1/32.
+//!
+//! The same text is the payload of the wire's `OP_STATS` reply (prefixed
+//! with [`SNAPSHOT_VERSION`]) and of the `--stats-addr` endpoint, so every
+//! consumer sees one consistent rendering.
+
+use crate::registry::{registry, Sample};
+
+/// Version tag carried inside the `OP_STATS` snapshot frame. Bump when the
+/// text schema changes incompatibly (metric renames, format changes).
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Quantiles every histogram reports.
+const QUANTILES: &[(f64, &str)] = &[(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99"), (0.999, "0.999")];
+
+fn labels_with(extra: (&str, &str), id: &crate::registry::MetricId) -> String {
+    let mut pairs: Vec<String> = id
+        .labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{v}\""))
+        .collect();
+    pairs.push(format!("{}=\"{}\"", extra.0, extra.1));
+    format!("{}{{{}}}", id.name, pairs.join(","))
+}
+
+/// Render every registered metric as Prometheus-style text exposition.
+pub fn render_prometheus() -> String {
+    let mut out = String::with_capacity(4096);
+    let mut seen_help: Vec<&'static str> = Vec::new();
+    for sample in registry().collect() {
+        match sample {
+            Sample::Counter(id, help, v) => {
+                if !seen_help.contains(&id.name) {
+                    out.push_str(&format!(
+                        "# HELP {} {}\n# TYPE {} counter\n",
+                        id.name, help, id.name
+                    ));
+                    seen_help.push(id.name);
+                }
+                out.push_str(&format!("{} {}\n", id.render(), v));
+            }
+            Sample::Gauge(id, help, v) => {
+                if !seen_help.contains(&id.name) {
+                    out.push_str(&format!(
+                        "# HELP {} {}\n# TYPE {} gauge\n",
+                        id.name, help, id.name
+                    ));
+                    seen_help.push(id.name);
+                }
+                out.push_str(&format!("{} {}\n", id.render(), v));
+            }
+            Sample::Histogram(id, help, snap) => {
+                if !seen_help.contains(&id.name) {
+                    out.push_str(&format!(
+                        "# HELP {} {}\n# TYPE {} summary\n",
+                        id.name, help, id.name
+                    ));
+                    seen_help.push(id.name);
+                }
+                for &(q, tag) in QUANTILES {
+                    out.push_str(&format!(
+                        "{} {}\n",
+                        labels_with(("quantile", tag), &id),
+                        snap.quantile(q)
+                    ));
+                }
+                let base = id.render();
+                let (series, labels) = match base.find('{') {
+                    Some(i) => (&base[..i], &base[i..]),
+                    None => (base.as_str(), ""),
+                };
+                out.push_str(&format!("{series}_count{labels} {}\n", snap.count()));
+                out.push_str(&format!("{series}_sum{labels} {}\n", snap.sum));
+                out.push_str(&format!("{series}_max{labels} {}\n", snap.max));
+            }
+        }
+    }
+    out
+}
+
+/// Render the most recent `limit` events as text, one line each.
+pub fn render_events(limit: usize) -> String {
+    let mut out = String::new();
+    for e in crate::events::recent_events(limit) {
+        out.push_str(&e.render());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposition_contains_registered_series() {
+        let c = crate::counter("expose_test_total", "events", &[("op", "knn")]);
+        c.add(7);
+        let h = crate::histogram("expose_test_latency_ns", "latency", &[]);
+        h.record(1000);
+        let text = render_prometheus();
+        assert!(text.contains("expose_test_total{op=\"knn\"} 7"));
+        assert!(text.contains("# TYPE expose_test_total counter"));
+        assert!(text.contains("expose_test_latency_ns{quantile=\"0.99\"}"));
+        assert!(text.contains("expose_test_latency_ns_count 1"));
+        assert!(text.contains("expose_test_latency_ns_sum 1000"));
+        assert!(text.contains("expose_test_latency_ns_max 1000"));
+    }
+}

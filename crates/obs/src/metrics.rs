@@ -1,0 +1,525 @@
+//! The metric primitives: sharded counters, gauges, and the log-bucketed
+//! latency histogram. Everything here is designed for the *recording* side
+//! to be wait-free — a bounded number of relaxed atomic operations, no CAS
+//! loop, no lock — because these calls sit on query, steal and publish hot
+//! paths that must never coordinate.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Stripes per [`Counter`]. Eight 128-byte-padded cells cost 1 KiB per
+/// counter and absorb the write traffic of every realistic thread count —
+/// threads hash onto stripes, so two cores rarely contend on one line.
+const COUNTER_STRIPES: usize = 8;
+
+/// A cache-line-padded atomic cell. 128-byte alignment covers the adjacent
+/// line prefetcher on common x86 parts, not just the 64-byte line itself.
+#[repr(align(128))]
+struct PaddedU64(AtomicU64);
+
+thread_local! {
+    /// This thread's counter stripe, assigned round-robin on first use.
+    static STRIPE: Cell<usize> = const { Cell::new(usize::MAX) };
+    /// The active same-thread scoped capture: (counter address, count).
+    /// At most one capture per thread; see [`Counter::scoped`].
+    static CAPTURE: Cell<(usize, u64)> = const { Cell::new((0, 0)) };
+}
+
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+#[inline]
+fn stripe_index() -> usize {
+    STRIPE.with(|s| {
+        let v = s.get();
+        if v != usize::MAX {
+            return v;
+        }
+        let v = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) % COUNTER_STRIPES;
+        s.set(v);
+        v
+    })
+}
+
+/// A monotonically increasing event counter, striped across padded cells so
+/// concurrent writers on different cores do not serialise on one cache
+/// line. Const-constructible, so it works in `static` position.
+pub struct Counter {
+    stripes: [PaddedU64; COUNTER_STRIPES],
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Counter::new()
+    }
+}
+
+impl Counter {
+    /// A new zeroed counter (usable in `static` position).
+    pub const fn new() -> Self {
+        Counter {
+            stripes: [const { PaddedU64(AtomicU64::new(0)) }; COUNTER_STRIPES],
+        }
+    }
+
+    /// Add `n` events. One relaxed `fetch_add` on this thread's stripe.
+    #[inline(always)]
+    pub fn add(&self, n: u64) {
+        self.stripes[stripe_index()]
+            .0
+            .fetch_add(n, Ordering::Relaxed);
+        let (addr, count) = CAPTURE.with(Cell::get);
+        if addr == std::ptr::from_ref(self) as usize {
+            CAPTURE.with(|c| c.set((addr, count + n)));
+        }
+    }
+
+    /// Add a single event.
+    #[inline(always)]
+    pub fn bump(&self) {
+        self.add(1);
+    }
+
+    /// Current value (sum over stripes; exact once writers are quiescent,
+    /// a consistent-enough read while they are not).
+    pub fn get(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Reset to zero and return the previous value.
+    pub fn take(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| s.0.swap(0, Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Run `f` and return `(f(), adds)` where `adds` counts only the events
+    /// **this thread** added to **this counter** inside `f`.
+    ///
+    /// This is the scoped delta handle for tests that assert on a
+    /// process-global counter: a plain before/after snapshot races with
+    /// every other test thread mutating the same counter, while a scoped
+    /// capture attributes exactly the calling thread's own work. The global
+    /// stripes are still bumped — capture observes, it never diverts.
+    /// Captures do not nest (the inner scope would steal the outer's
+    /// attribution); at most one is active per thread.
+    pub fn scoped<R>(&self, f: impl FnOnce() -> R) -> (R, u64) {
+        let me = std::ptr::from_ref(self) as usize;
+        let prev = CAPTURE.with(|c| c.replace((me, 0)));
+        assert_eq!(prev.0, 0, "Counter::scoped captures do not nest");
+        let out = f();
+        let (_, n) = CAPTURE.with(|c| c.replace(prev));
+        (out, n)
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Counter")
+            .field("value", &self.get())
+            .finish()
+    }
+}
+
+/// A signed instantaneous level: queue depth, open connections, pinned
+/// readers. Set/add/sub on one atomic — gauges change orders of magnitude
+/// less often than counters, so striping would buy nothing.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: std::sync::atomic::AtomicI64,
+}
+
+impl Gauge {
+    /// A new zeroed gauge (usable in `static` position).
+    pub const fn new() -> Self {
+        Gauge {
+            value: std::sync::atomic::AtomicI64::new(0),
+        }
+    }
+
+    /// Set the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the level by `n`.
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Lower the level by `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Raise by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Lower by one.
+    #[inline]
+    pub fn dec(&self) {
+        self.sub(1);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram: HDR-style log-linear buckets.
+// ---------------------------------------------------------------------------
+
+/// Linear sub-buckets per power-of-two group: 2^5. Bucket width is at most
+/// 1/32 of the value's magnitude, so any quantile read out of a bucket is
+/// within ~3.2 % of the true sample quantile.
+const SUB_BITS: u32 = 5;
+const SUB: usize = 1 << SUB_BITS;
+
+/// Total buckets: indices `0..64` hold exact integer values `0..64`
+/// (groups where the sub-bucket refinement is finer than 1); above that,
+/// one 32-bucket group per power of two up to `u64::MAX`.
+pub const N_BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB; // 1920
+
+/// The bucket a value lands in. Monotonic in `v`; exact for `v < 64`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros(); // >= SUB_BITS
+    let group = (msb - SUB_BITS) as usize;
+    let sub = ((v >> (msb - SUB_BITS)) as usize) - SUB;
+    SUB + group * SUB + sub
+}
+
+/// Inclusive `[lo, hi]` value bounds of bucket `idx`. Every `v` with
+/// `bucket_index(v) == idx` satisfies `lo <= v <= hi`, and vice versa.
+#[inline]
+pub fn bucket_bounds(idx: usize) -> (u64, u64) {
+    debug_assert!(idx < N_BUCKETS);
+    if idx < SUB {
+        return (idx as u64, idx as u64);
+    }
+    let group = (idx - SUB) / SUB;
+    let sub = ((idx - SUB) % SUB) as u64;
+    let lo = (SUB as u64 + sub) << group;
+    let width = 1u64 << group;
+    (lo, lo + (width - 1))
+}
+
+/// A lock-free log-bucketed latency histogram. [`record`](Self::record) is
+/// wait-free (three relaxed atomic RMWs, no CAS loop); snapshots merge
+/// associatively and subtract into deltas; quantiles come from the
+/// cumulative bucket walk, reported as the bucket's upper bound (within
+/// 1/32 of the true value by construction), with the exact observed
+/// maximum kept alongside.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// A new empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value. Wait-free: bucket `fetch_add`, sum `fetch_add`,
+    /// max `fetch_max` — all relaxed, none can spin or block.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record an elapsed duration in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Total recorded values (sums the buckets).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// A point-in-time copy of the whole histogram. Concurrent recorders
+    /// may land between bucket reads; each individual value is either fully
+    /// in or fully out of some later snapshot, so deltas never go negative
+    /// per bucket by more than in-flight records.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .finish()
+    }
+}
+
+/// A mergeable point-in-time copy of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistSnapshot {
+    buckets: Vec<u64>,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Exact maximum recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl Default for HistSnapshot {
+    fn default() -> Self {
+        HistSnapshot::empty()
+    }
+}
+
+impl HistSnapshot {
+    /// A snapshot of nothing.
+    pub fn empty() -> Self {
+        HistSnapshot {
+            buckets: vec![0; N_BUCKETS],
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Fold `other` into `self`. Associative and commutative: merging
+    /// per-thread or per-shard snapshots in any grouping yields the same
+    /// totals, which is what makes sharded recording aggregate exactly.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// The growth since `earlier` (bucket-wise saturating subtraction).
+    /// `max` carries over from `self`: the running maximum is monotone, so
+    /// the delta's max is an upper bound, not the window's exact max.
+    pub fn delta(&self, earlier: &HistSnapshot) -> HistSnapshot {
+        HistSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .zip(&earlier.buckets)
+                .map(|(a, b)| a.saturating_sub(*b))
+                .collect(),
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: self.max,
+        }
+    }
+
+    /// Mean recorded value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// Inclusive value bounds of the bucket holding the `q`-quantile
+    /// (`0.0 ..= 1.0`); `None` when the histogram is empty. The true
+    /// sorted-sample quantile is guaranteed to lie inside these bounds.
+    pub fn quantile_bounds(&self, q: f64) -> Option<(u64, u64)> {
+        let n = self.count();
+        if n == 0 {
+            return None;
+        }
+        // Nearest-rank: the smallest value with cumulative count >= ceil(q*n).
+        let target = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(bucket_bounds(idx));
+            }
+        }
+        None
+    }
+
+    /// The `q`-quantile, reported as its bucket's upper bound clamped to
+    /// the observed maximum (0 when empty). Within 1/32 of the true
+    /// nearest-rank sample quantile.
+    pub fn quantile(&self, q: f64) -> u64 {
+        self.quantile_bounds(q)
+            .map(|(_, hi)| hi.min(self.max))
+            .unwrap_or(0)
+    }
+
+    /// Convenience: a quantile in milliseconds, for values recorded in
+    /// nanoseconds.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        self.quantile(q) as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_monotone_and_bounded() {
+        let mut values: Vec<u64> = (0..64)
+            .flat_map(|shift| [0u64, 1, 2, 3].map(|off| (1u64 << shift).saturating_add(off)))
+            .collect();
+        values.sort_unstable();
+        let mut prev = 0usize;
+        for v in values {
+            let idx = bucket_index(v);
+            assert!(idx >= prev, "index must be monotone in value (v={v})");
+            assert!(idx < N_BUCKETS);
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(lo <= v && v <= hi, "v={v} outside bucket [{lo},{hi}]");
+            prev = idx;
+        }
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_line() {
+        // Consecutive buckets tile the u64 line with no gap or overlap.
+        for idx in 0..N_BUCKETS - 1 {
+            let (_, hi) = bucket_bounds(idx);
+            let (next_lo, _) = bucket_bounds(idx + 1);
+            assert_eq!(hi + 1, next_lo, "gap/overlap at bucket {idx}");
+        }
+        assert_eq!(bucket_bounds(0).0, 0);
+        assert_eq!(bucket_bounds(N_BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn counter_stripes_sum() {
+        let c = Counter::new();
+        c.add(5);
+        c.bump();
+        assert_eq!(c.get(), 6);
+        assert_eq!(c.take(), 6);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_scoped_captures_own_thread_only() {
+        static C: Counter = Counter::new();
+        let other = std::thread::spawn(|| {
+            for _ in 0..1000 {
+                C.add(3);
+            }
+        });
+        let ((), mine) = C.scoped(|| {
+            for _ in 0..10 {
+                C.add(2);
+            }
+        });
+        other.join().unwrap();
+        assert_eq!(mine, 20, "scoped delta must see only this thread's adds");
+        assert_eq!(C.get(), 3020, "global total still counts everyone");
+    }
+
+    #[test]
+    fn gauge_levels() {
+        let g = Gauge::new();
+        g.inc();
+        g.add(4);
+        g.dec();
+        assert_eq!(g.get(), 4);
+        g.set(-2);
+        assert_eq!(g.get(), -2);
+    }
+
+    #[test]
+    fn histogram_quantiles_track_samples() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1000);
+        assert_eq!(s.max, 1000);
+        let (lo, hi) = s.quantile_bounds(0.5).unwrap();
+        assert!(lo <= 500 && 500 <= hi);
+        let (lo, hi) = s.quantile_bounds(0.99).unwrap();
+        assert!(lo <= 990 && 990 <= hi);
+        // The reported value is the bucket's upper bound: never below the
+        // true quantile, never above it by more than the bucket width.
+        assert!(s.quantile(0.5) >= 500);
+        assert!(s.quantile(1.0) == 1000);
+    }
+
+    #[test]
+    fn histogram_merge_is_associative() {
+        let parts: Vec<HistSnapshot> = (0..3)
+            .map(|i| {
+                let h = Histogram::new();
+                for v in 0..100u64 {
+                    h.record(v * (i + 1));
+                }
+                h.snapshot()
+            })
+            .collect();
+        // (a + b) + c == a + (b + c)
+        let mut left = parts[0].clone();
+        left.merge(&parts[1]);
+        left.merge(&parts[2]);
+        let mut bc = parts[1].clone();
+        bc.merge(&parts[2]);
+        let mut right = parts[0].clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn histogram_delta_isolates_a_window() {
+        let h = Histogram::new();
+        h.record(10);
+        let before = h.snapshot();
+        h.record(20);
+        h.record(30);
+        let after = h.snapshot();
+        let d = after.delta(&before);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.sum, 50);
+    }
+}

@@ -1,0 +1,390 @@
+//! The process-global metrics registry: a catalogue of every named metric
+//! and its static label set, used only on cold paths (registration at
+//! startup, collection at exposition time). Hot paths hold the `Arc` a
+//! registration call returned — or a [`LazyCounter`]/[`LazyGauge`] static
+//! that resolves it once — and never take the registry lock again.
+
+use crate::metrics::{Counter, Gauge, HistSnapshot, Histogram};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One metric's identity: name + resolved label pairs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricId {
+    /// Metric name (`psi_serve_publish_latency_ns`, …).
+    pub name: &'static str,
+    /// Label pairs, fixed at registration.
+    pub labels: Vec<(&'static str, String)>,
+}
+
+impl MetricId {
+    /// Render as `name` or `name{k="v",…}`.
+    pub fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.to_string();
+        }
+        let inner: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .collect();
+        format!("{}{{{}}}", self.name, inner.join(","))
+    }
+}
+
+enum Slot {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+    /// A `static` counter owned elsewhere (the legacy `psi_parutils::stats`
+    /// counters live in statics; the registry only catalogues them).
+    StaticCounter(&'static Counter),
+}
+
+struct Entry {
+    id: MetricId,
+    help: &'static str,
+    slot: Slot,
+}
+
+/// A read-out of one metric at collection time.
+pub enum Sample {
+    /// Monotonic counter value.
+    Counter(MetricId, &'static str, u64),
+    /// Instantaneous gauge level.
+    Gauge(MetricId, &'static str, i64),
+    /// Full histogram snapshot.
+    Histogram(MetricId, &'static str, HistSnapshot),
+}
+
+/// The process-global catalogue of metrics. Obtain it via [`registry`];
+/// registration is idempotent — asking for the same name + label set again
+/// returns the same underlying metric, so re-created servers within one
+/// process keep accumulating into one series.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl MetricsRegistry {
+    fn find_or_insert<M>(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+        get: impl Fn(&Slot) -> Option<M>,
+        make: impl FnOnce() -> (M, Slot),
+    ) -> M {
+        let labels: Vec<(&'static str, String)> =
+            labels.iter().map(|(k, v)| (*k, v.to_string())).collect();
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(e) = entries
+            .iter()
+            .find(|e| e.id.name == name && e.id.labels == labels)
+        {
+            return get(&e.slot)
+                .unwrap_or_else(|| panic!("metric {name:?} re-registered with a different type"));
+        }
+        let (out, slot) = make();
+        entries.push(Entry {
+            id: MetricId { name, labels },
+            help,
+            slot,
+        });
+        out
+    }
+
+    /// Get-or-register a counter.
+    pub fn counter(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Arc<Counter> {
+        self.find_or_insert(
+            name,
+            help,
+            labels,
+            |s| match s {
+                Slot::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+            || {
+                let c = Arc::new(Counter::new());
+                (Arc::clone(&c), Slot::Counter(c))
+            },
+        )
+    }
+
+    /// Get-or-register a gauge.
+    pub fn gauge(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Arc<Gauge> {
+        self.find_or_insert(
+            name,
+            help,
+            labels,
+            |s| match s {
+                Slot::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+            || {
+                let g = Arc::new(Gauge::new());
+                (Arc::clone(&g), Slot::Gauge(g))
+            },
+        )
+    }
+
+    /// Get-or-register a histogram.
+    pub fn histogram(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Arc<Histogram> {
+        self.find_or_insert(
+            name,
+            help,
+            labels,
+            |s| match s {
+                Slot::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+            || {
+                let h = Arc::new(Histogram::new());
+                (Arc::clone(&h), Slot::Histogram(h))
+            },
+        )
+    }
+
+    /// Catalogue a `static` counter owned by another crate (idempotent).
+    pub fn register_static_counter(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        counter: &'static Counter,
+    ) {
+        let mut entries = self.entries.lock().unwrap();
+        if entries
+            .iter()
+            .any(|e| e.id.name == name && e.id.labels.is_empty())
+        {
+            return;
+        }
+        entries.push(Entry {
+            id: MetricId {
+                name,
+                labels: Vec::new(),
+            },
+            help,
+            slot: Slot::StaticCounter(counter),
+        });
+    }
+
+    /// Snapshot every registered metric, in registration order.
+    pub fn collect(&self) -> Vec<Sample> {
+        let entries = self.entries.lock().unwrap();
+        entries
+            .iter()
+            .map(|e| match &e.slot {
+                Slot::Counter(c) => Sample::Counter(e.id.clone(), e.help, c.get()),
+                Slot::StaticCounter(c) => Sample::Counter(e.id.clone(), e.help, c.get()),
+                Slot::Gauge(g) => Sample::Gauge(e.id.clone(), e.help, g.get()),
+                Slot::Histogram(h) => Sample::Histogram(e.id.clone(), e.help, h.snapshot()),
+            })
+            .collect()
+    }
+}
+
+static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
+
+/// The process-global registry.
+pub fn registry() -> &'static MetricsRegistry {
+    REGISTRY.get_or_init(MetricsRegistry::default)
+}
+
+/// Get-or-register a counter in the global registry.
+pub fn counter(
+    name: &'static str,
+    help: &'static str,
+    labels: &[(&'static str, &str)],
+) -> Arc<Counter> {
+    registry().counter(name, help, labels)
+}
+
+/// Get-or-register a gauge in the global registry.
+pub fn gauge(
+    name: &'static str,
+    help: &'static str,
+    labels: &[(&'static str, &str)],
+) -> Arc<Gauge> {
+    registry().gauge(name, help, labels)
+}
+
+/// Get-or-register a histogram in the global registry.
+pub fn histogram(
+    name: &'static str,
+    help: &'static str,
+    labels: &[(&'static str, &str)],
+) -> Arc<Histogram> {
+    registry().histogram(name, help, labels)
+}
+
+/// A counter `static` that registers itself on first use: the hot path
+/// pays one initialised-`OnceLock` load, never the registry mutex.
+pub struct LazyCounter {
+    name: &'static str,
+    help: &'static str,
+    cell: OnceLock<Arc<Counter>>,
+}
+
+impl LazyCounter {
+    /// Declare (registration happens on first access).
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        LazyCounter {
+            name,
+            help,
+            cell: OnceLock::new(),
+        }
+    }
+
+    #[inline]
+    fn get(&self) -> &Counter {
+        self.cell.get_or_init(|| counter(self.name, self.help, &[]))
+    }
+
+    /// Add `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.get().add(n);
+    }
+
+    /// Add one event.
+    #[inline]
+    pub fn bump(&self) {
+        self.get().bump();
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.get().get()
+    }
+}
+
+/// A gauge `static` that registers itself on first use.
+pub struct LazyGauge {
+    name: &'static str,
+    help: &'static str,
+    cell: OnceLock<Arc<Gauge>>,
+}
+
+impl LazyGauge {
+    /// Declare (registration happens on first access).
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        LazyGauge {
+            name,
+            help,
+            cell: OnceLock::new(),
+        }
+    }
+
+    #[inline]
+    fn get(&self) -> &Gauge {
+        self.cell.get_or_init(|| gauge(self.name, self.help, &[]))
+    }
+
+    /// Raise by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.get().inc();
+    }
+
+    /// Lower by one.
+    #[inline]
+    pub fn dec(&self) {
+        self.get().dec();
+    }
+
+    /// Set the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.get().set(v);
+    }
+
+    /// Current level.
+    pub fn value(&self) -> i64 {
+        self.get().get()
+    }
+}
+
+/// A histogram `static` that registers itself on first use.
+pub struct LazyHistogram {
+    name: &'static str,
+    help: &'static str,
+    cell: OnceLock<Arc<Histogram>>,
+}
+
+impl LazyHistogram {
+    /// Declare (registration happens on first access).
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        LazyHistogram {
+            name,
+            help,
+            cell: OnceLock::new(),
+        }
+    }
+
+    #[inline]
+    fn get(&self) -> &Histogram {
+        self.cell
+            .get_or_init(|| histogram(self.name, self.help, &[]))
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.get().record(v);
+    }
+
+    /// Record an elapsed duration in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.get().record_duration(d);
+    }
+
+    /// Snapshot the histogram.
+    pub fn snapshot(&self) -> HistSnapshot {
+        self.get().snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_per_name_and_labels() {
+        let r = MetricsRegistry::default();
+        let a = r.counter("test_total", "help", &[("shard", "0")]);
+        let b = r.counter("test_total", "help", &[("shard", "0")]);
+        let c = r.counter("test_total", "help", &[("shard", "1")]);
+        a.add(3);
+        assert_eq!(b.get(), 3, "same id must alias the same counter");
+        assert_eq!(c.get(), 0, "different labels are a different series");
+        assert_eq!(r.collect().len(), 2);
+    }
+
+    #[test]
+    fn metric_id_renders_prometheus_shape() {
+        let id = MetricId {
+            name: "x_total",
+            labels: vec![
+                ("op", "knn".to_string()),
+                ("transport", "evented".to_string()),
+            ],
+        };
+        assert_eq!(id.render(), "x_total{op=\"knn\",transport=\"evented\"}");
+    }
+}

@@ -1,0 +1,103 @@
+//! The opt-in slow-query log. Disabled by default; while disabled, the
+//! hot-path gate is a single relaxed load of the threshold (zero). When a
+//! threshold is set, queries whose measured latency meets it are recorded
+//! — op shape plus latency — into a bounded ring. The observing side never
+//! coordinates with the queries it watches: recording takes the ring mutex
+//! only for queries that were *already* slow, and the shape string is
+//! built lazily, only past the gate.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+const RING_CAP: usize = 128;
+
+/// One recorded slow query.
+#[derive(Clone, Debug)]
+pub struct SlowQuery {
+    /// Monotonic sequence number.
+    pub seq: u64,
+    /// Operation (`"knn"`, `"range_count"`, …).
+    pub op: &'static str,
+    /// Measured latency, nanoseconds.
+    pub latency_ns: u64,
+    /// Op shape detail (k, rect extent, epoch tag, …).
+    pub shape: String,
+}
+
+static THRESHOLD_NS: AtomicU64 = AtomicU64::new(0);
+static SEQ: AtomicU64 = AtomicU64::new(0);
+static RING: Mutex<VecDeque<SlowQuery>> = Mutex::new(VecDeque::new());
+
+/// Enable (`Some(threshold)`) or disable (`None`) the slow-query log.
+pub fn set_threshold(threshold: Option<Duration>) {
+    let ns = threshold
+        .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX).max(1))
+        .unwrap_or(0);
+    THRESHOLD_NS.store(ns, Ordering::Relaxed);
+}
+
+/// The active threshold in nanoseconds (0 = disabled).
+pub fn threshold_ns() -> u64 {
+    THRESHOLD_NS.load(Ordering::Relaxed)
+}
+
+/// Record `op` if `latency_ns` meets the threshold. `shape` is only
+/// invoked past the gate, so the fast path is one relaxed load.
+#[inline]
+pub fn observe(op: &'static str, latency_ns: u64, shape: impl FnOnce() -> String) {
+    let t = THRESHOLD_NS.load(Ordering::Relaxed);
+    if t == 0 || latency_ns < t {
+        return;
+    }
+    record(op, latency_ns, shape());
+}
+
+#[cold]
+fn record(op: &'static str, latency_ns: u64, shape: String) {
+    let entry = SlowQuery {
+        seq: SEQ.fetch_add(1, Ordering::Relaxed),
+        op,
+        latency_ns,
+        shape,
+    };
+    let mut ring = RING.lock().unwrap_or_else(|e| e.into_inner());
+    if ring.len() == RING_CAP {
+        ring.pop_front();
+    }
+    ring.push_back(entry);
+}
+
+/// The most recent `limit` slow queries, oldest first.
+pub fn recent(limit: usize) -> Vec<SlowQuery> {
+    let ring = RING.lock().unwrap_or_else(|e| e.into_inner());
+    let skip = ring.len().saturating_sub(limit);
+    ring.iter().skip(skip).cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        set_threshold(None);
+        observe("knn", u64::MAX, || {
+            unreachable!("shape built while disabled")
+        });
+    }
+
+    #[test]
+    fn threshold_gates_recording() {
+        set_threshold(Some(Duration::from_millis(5)));
+        observe("knn", 1_000_000, || "fast".to_string()); // 1ms: below
+        observe("range_count", 6_000_000, || "k=10".to_string()); // 6ms: slow
+        let got = recent(usize::MAX);
+        assert!(got
+            .iter()
+            .any(|q| q.op == "range_count" && q.latency_ns == 6_000_000));
+        assert!(!got.iter().any(|q| q.shape == "fast"));
+        set_threshold(None);
+    }
+}

@@ -1,0 +1,124 @@
+//! Histogram torture tests: concurrent recorders (the wait-free `record`
+//! path must conserve every sample), merge associativity over randomized
+//! shards, and a property check that every reported quantile brackets the
+//! true sorted-sample quantile within its bucket's bounds.
+
+use proptest::prelude::*;
+use psi_obs::{HistSnapshot, Histogram};
+use std::sync::Arc;
+
+#[test]
+fn concurrent_recorders_conserve_every_sample() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 20_000;
+    let h = Arc::new(Histogram::new());
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                // Values spread across many buckets, deterministic per
+                // thread, with a known global sum and maximum.
+                for i in 0..PER_THREAD {
+                    h.record((i << (t % 8)) + t);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let snap = h.snapshot();
+    assert_eq!(snap.count(), THREADS * PER_THREAD, "a record was lost");
+    let expect_sum: u64 = (0..THREADS)
+        .map(|t| (0..PER_THREAD).map(|i| (i << (t % 8)) + t).sum::<u64>())
+        .sum();
+    assert_eq!(snap.sum, expect_sum);
+    let expect_max = (0..THREADS)
+        .map(|t| ((PER_THREAD - 1) << (t % 8)) + t)
+        .max()
+        .unwrap();
+    assert_eq!(snap.max, expect_max);
+}
+
+#[test]
+fn snapshots_taken_mid_flight_never_exceed_final_totals() {
+    // A reader snapshotting while writers record must always see a
+    // self-consistent prefix: count and sum only grow, and no snapshot can
+    // outrun the writers' eventual totals.
+    const TOTAL: u64 = 50_000;
+    let h = Arc::new(Histogram::new());
+    let writer = {
+        let h = Arc::clone(&h);
+        std::thread::spawn(move || {
+            for i in 0..TOTAL {
+                h.record(i % 1_000);
+            }
+        })
+    };
+    let mut last_count = 0u64;
+    while last_count < TOTAL {
+        let snap = h.snapshot();
+        assert!(snap.count() >= last_count, "count went backwards");
+        assert!(snap.count() <= TOTAL);
+        last_count = snap.count();
+    }
+    writer.join().unwrap();
+    assert_eq!(h.snapshot().count(), TOTAL);
+}
+
+/// Nearest-rank quantile of a sorted sample — the ground truth the
+/// histogram's bucketed readout is checked against.
+fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as f64;
+    let rank = ((q * n).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #[test]
+    fn quantiles_bracket_the_true_sample_quantile(
+        values in proptest::collection::vec(0u64.., 1..500),
+        // Quantiles as permille (the shim has no float strategies).
+        qs_permille in proptest::collection::vec(0u64..=1000, 1..8),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for &pm in &qs_permille {
+            let q = pm as f64 / 1000.0;
+            let truth = true_quantile(&sorted, q);
+            let (lo, hi) = snap.quantile_bounds(q).expect("non-empty");
+            prop_assert!(
+                lo <= truth && truth <= hi,
+                "true q={q} quantile {truth} outside bucket [{lo},{hi}]"
+            );
+            // The reported point value is the bucket's upper bound clamped
+            // to the observed max: never below the truth, never past max.
+            let reported = snap.quantile(q);
+            prop_assert!(reported >= truth);
+            prop_assert!(reported <= snap.max);
+        }
+    }
+
+    #[test]
+    fn merge_of_random_shards_equals_one_big_histogram(
+        shards in proptest::collection::vec(
+            proptest::collection::vec(0u64..1_000_000, 0..200), 1..6),
+    ) {
+        let combined = Histogram::new();
+        let mut merged = HistSnapshot::empty();
+        for shard in &shards {
+            let h = Histogram::new();
+            for &v in shard {
+                h.record(v);
+                combined.record(v);
+            }
+            merged.merge(&h.snapshot());
+        }
+        prop_assert_eq!(merged, combined.snapshot());
+    }
+}

@@ -4,47 +4,22 @@
 //! (§2.1). Absolute wall-clock numbers on a small machine are noisy, so the
 //! ablation benchmarks additionally report *machine-independent proxies*:
 //! how many points were moved, how many tree nodes were visited, how many
-//! leaves were re-sorted, etc. These counters are global, relaxed atomics —
+//! leaves were re-sorted, etc.
+//!
+//! The counter type itself now lives in `psi-obs` (re-exported here, so
+//! existing call sites keep compiling): a cache-line-padded striped counter
+//! whose `add` is one relaxed `fetch_add` on the calling thread's stripe —
 //! cheap enough to leave enabled, precise enough for comparative ablation.
+//! [`register_metrics`] catalogues the six process-global counters in the
+//! ψ-obs [`MetricsRegistry`](psi_obs::MetricsRegistry) so they ride the
+//! stats endpoint and `OP_STATS` alongside the serving-stack metrics.
+//!
+//! Tests that assert on these process-global counters should use
+//! [`Counter::scoped`] — a same-thread delta capture — instead of raw
+//! before/after snapshots, which race with every other test thread
+//! touching the same counter.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
-/// A named global event counter.
-#[derive(Debug, Default)]
-pub struct Counter {
-    value: AtomicU64,
-}
-
-impl Counter {
-    /// A new zeroed counter (usable in `static` position).
-    pub const fn new() -> Self {
-        Counter {
-            value: AtomicU64::new(0),
-        }
-    }
-
-    /// Add `n` events.
-    #[inline(always)]
-    pub fn add(&self, n: u64) {
-        self.value.fetch_add(n, Ordering::Relaxed);
-    }
-
-    /// Add a single event.
-    #[inline(always)]
-    pub fn bump(&self) {
-        self.add(1);
-    }
-
-    /// Current value.
-    pub fn get(&self) -> u64 {
-        self.value.load(Ordering::Relaxed)
-    }
-
-    /// Reset to zero and return the previous value.
-    pub fn take(&self) -> u64 {
-        self.value.swap(0, Ordering::Relaxed)
-    }
-}
+pub use psi_obs::Counter;
 
 /// Counters shared by the index implementations. Each index bumps the subset
 /// that is meaningful for it; the ablation benches snapshot them around a
@@ -66,6 +41,44 @@ pub mod counters {
     /// batch update against a snapshotted tree copies only the touched spine,
     /// so this stays O(log n + touched leaves) per batch, never O(n)).
     pub static NODES_COPIED: Counter = Counter::new();
+}
+
+/// Catalogue the six ablation counters in the process-global ψ-obs
+/// registry (idempotent — call as often as convenient). The counters work
+/// without this; registration only makes them visible to the exposition
+/// endpoints.
+pub fn register_metrics() {
+    let r = psi_obs::registry();
+    r.register_static_counter(
+        "psi_index_points_moved_total",
+        "points physically moved by sieve/scatter/sort passes",
+        &counters::POINTS_MOVED,
+    );
+    r.register_static_counter(
+        "psi_index_nodes_visited_total",
+        "tree nodes visited by queries",
+        &counters::NODES_VISITED,
+    );
+    r.register_static_counter(
+        "psi_index_leaves_sorted_total",
+        "leaves whose points were (re-)sorted",
+        &counters::LEAVES_SORTED,
+    );
+    r.register_static_counter(
+        "psi_index_codes_computed_total",
+        "space-filling-curve codes computed",
+        &counters::CODES_COMPUTED,
+    );
+    r.register_static_counter(
+        "psi_index_rebalances_total",
+        "join/rebalance operations performed",
+        &counters::REBALANCES,
+    );
+    r.register_static_counter(
+        "psi_index_nodes_copied_total",
+        "shared nodes copied on write (persistent-snapshot cost proxy)",
+        &counters::NODES_COPIED,
+    );
 }
 
 /// A snapshot of all counters at one instant.
@@ -143,5 +156,14 @@ mod tests {
         assert!(d.points_moved >= 5);
         assert!(d.leaves_sorted >= 2);
         assert_eq!(d.nodes_visited, after.nodes_visited - before.nodes_visited);
+    }
+
+    #[test]
+    fn registration_is_idempotent_and_reads_through() {
+        register_metrics();
+        register_metrics();
+        counters::REBALANCES.bump();
+        let text = psi_obs::render_prometheus();
+        assert!(text.contains("psi_index_rebalances_total"));
     }
 }

@@ -37,6 +37,23 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 
+/// Requests answered through the coalescer, process-wide.
+static OBS_SERVED: psi_obs::LazyCounter = psi_obs::LazyCounter::new(
+    "psi_serve_requests_total",
+    "queries answered through the coalescer",
+);
+/// Batched flushes executed, process-wide (`requests/flushes` is the
+/// achieved coalescing factor).
+static OBS_FLUSHES: psi_obs::LazyCounter = psi_obs::LazyCounter::new(
+    "psi_serve_flushes_total",
+    "batched coalescer flushes executed",
+);
+/// Requests folded into each flush.
+static OBS_FLUSH_SIZE: psi_obs::LazyHistogram = psi_obs::LazyHistogram::new(
+    "psi_serve_coalesce_flush_size",
+    "requests folded into one coalescer flush",
+);
+
 /// One point query, as the coalescer buffers it. Public so socket front-ends
 /// (the `psi-net` crate) can enqueue decoded wire requests directly.
 pub enum QueryOp<T: ServeCoord, const D: usize> {
@@ -157,6 +174,9 @@ impl<T: ServeCoord, const D: usize> Coalescer<T, D> {
     fn flush(&self, router: &Router<T, D>, mut batch: Vec<Pending<T, D>>) {
         self.flushes.fetch_add(1, Ordering::Relaxed);
         self.served.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        OBS_FLUSHES.bump();
+        OBS_SERVED.add(batch.len() as u64);
+        OBS_FLUSH_SIZE.record(batch.len() as u64);
 
         // Group the flush by requested epoch — the common all-current flush
         // makes exactly one group and pins exactly one view, as before.

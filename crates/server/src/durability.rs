@@ -41,6 +41,15 @@ use std::fs::{self, File};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
 
+/// Recovery scans performed (one per durable server construction).
+static OBS_RECOVERIES: psi_obs::LazyCounter =
+    psi_obs::LazyCounter::new("psi_recovery_runs_total", "crash-recovery scans performed");
+/// Degradations recovery tolerated (torn tails, rejected checkpoints, …).
+static OBS_RECOVERY_WARNINGS: psi_obs::LazyCounter = psi_obs::LazyCounter::new(
+    "psi_recovery_warnings_total",
+    "defects recovery degraded around (torn tails, rejected checkpoints, gaps)",
+);
+
 /// First bytes of every checkpoint file: `b"PSIC"` as a little-endian u32.
 pub const CHECKPOINT_MAGIC: u32 = u32::from_le_bytes(*b"PSIC");
 /// Checkpoint format version.
@@ -259,6 +268,7 @@ fn parse_gen(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
 /// docs). `Err` only for an unusable directory (cannot create or list it);
 /// everything found *inside* degrades gracefully into warnings.
 pub fn recover<T: WireCoord, const D: usize>(dir: &Path) -> std::io::Result<RecoveryReport<T, D>> {
+    OBS_RECOVERIES.bump();
     fs::create_dir_all(dir)?;
     let mut ck_gens: Vec<u64> = Vec::new();
     let mut wal_gens: Vec<u64> = Vec::new();
@@ -342,6 +352,7 @@ pub fn recover<T: WireCoord, const D: usize>(dir: &Path) -> std::io::Result<Reco
                 break;
             }
         }
+        OBS_RECOVERY_WARNINGS.add(warnings.len() as u64);
         return Ok(RecoveryReport {
             state: Some(Recovered {
                 base_epoch: ck.epoch,
@@ -360,6 +371,7 @@ pub fn recover<T: WireCoord, const D: usize>(dir: &Path) -> std::io::Result<Reco
                 .to_string(),
         );
     }
+    OBS_RECOVERY_WARNINGS.add(warnings.len() as u64);
     Ok(RecoveryReport {
         state: None,
         next_gen,

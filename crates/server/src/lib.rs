@@ -85,6 +85,19 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use wal::WalWriter;
 
+/// Update batches submitted but not yet published, process-wide (the
+/// writer-queue depth plus the batch currently being applied).
+static OBS_QUEUE_DEPTH: psi_obs::LazyGauge = psi_obs::LazyGauge::new(
+    "psi_serve_writer_queue_depth",
+    "update batches submitted but not yet published",
+);
+/// Wall time of one durable checkpoint (WAL sync + snapshot + fresh
+/// generation + retirement).
+static OBS_CKPT: psi_obs::LazyHistogram = psi_obs::LazyHistogram::new(
+    "psi_serve_checkpoint_duration_ns",
+    "wall time of one durable checkpoint",
+);
+
 /// Tuning knobs of a [`PsiServer`].
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
@@ -172,6 +185,7 @@ fn checkpoint_now<T: ServeCoord + WireCoord, const D: usize>(
     router: &Router<T, D>,
     state: &mut DurabilityState<T, D>,
 ) -> std::io::Result<u64> {
+    let t0 = std::time::Instant::now();
     if let Some(w) = state.wal.as_mut() {
         w.sync()?;
     }
@@ -188,8 +202,9 @@ fn checkpoint_now<T: ServeCoord + WireCoord, const D: usize>(
     state.gen = gen;
     state.wal = Some(wal);
     for w in durability::retire_generations(&state.dir, gen.saturating_sub(1)) {
-        eprintln!("psi-server: {w}");
+        psi_obs::event!(Warn, "psi-server", [("gen", gen)], "{w}");
     }
+    OBS_CKPT.record_duration(t0.elapsed());
     Ok(epoch)
 }
 
@@ -224,6 +239,7 @@ impl<T: ServeCoord + WireCoord, const D: usize> PsiServer<T, D> {
         cfg: ServeConfig,
         factory: IndexFactory<T, D>,
     ) -> Self {
+        psi_parutils::stats::register_metrics();
         let shards = cfg.shards.max(1);
         // Recover durable state first: it may replace the initial points
         // and seed the epoch counter.
@@ -233,14 +249,16 @@ impl<T: ServeCoord + WireCoord, const D: usize> PsiServer<T, D> {
             match durability::recover::<T, D>(&dcfg.dir) {
                 Ok(report) => {
                     for w in &report.warnings {
-                        eprintln!("psi-server: recovery: {w}");
+                        psi_obs::event!(Warn, "psi-server", "recovery: {w}");
                     }
                     pending = Some((dcfg, report.next_gen));
                     recovered = report.state;
                 }
-                Err(e) => eprintln!(
-                    "psi-server: data dir {} unusable ({e}); serving without durability",
-                    dcfg.dir.display()
+                Err(e) => psi_obs::event!(
+                    Warn,
+                    "psi-server",
+                    [("dir", dcfg.dir.display())],
+                    "data dir unusable ({e}); serving without durability"
                 ),
             }
         }
@@ -293,10 +311,11 @@ impl<T: ServeCoord + WireCoord, const D: usize> PsiServer<T, D> {
             match checkpoint_now(&router, &mut state) {
                 Ok(_) => Some(state),
                 Err(e) => {
-                    eprintln!(
-                        "psi-server: cannot initialize durability under {} ({e}); \
-                         serving without it",
-                        state.dir.display()
+                    psi_obs::event!(
+                        Warn,
+                        "psi-server",
+                        [("dir", state.dir.display())],
+                        "cannot initialize durability ({e}); serving without it"
                     );
                     None
                 }
@@ -325,9 +344,12 @@ impl<T: ServeCoord + WireCoord, const D: usize> PsiServer<T, D> {
                                     if let Some(w) = state.wal.as_mut() {
                                         let epoch = router.epoch() + 1;
                                         if let Err(e) = w.append(epoch, &delete, &insert) {
-                                            eprintln!(
-                                                "psi-server: WAL append failed ({e}); \
-                                                 durability suspended until the next checkpoint"
+                                            psi_obs::event!(
+                                                Warn,
+                                                "psi-server",
+                                                [("epoch", epoch)],
+                                                "WAL append failed ({e}); durability \
+                                                 suspended until the next checkpoint"
                                             );
                                             state.wal = None;
                                         }
@@ -335,6 +357,7 @@ impl<T: ServeCoord + WireCoord, const D: usize> PsiServer<T, D> {
                                 }
                                 router.publish(&delete, &insert);
                                 batches.fetch_add(1, Ordering::Release);
+                                OBS_QUEUE_DEPTH.dec();
                             }
                             Update::Fence(ack) => {
                                 let _ = ack.send(());
@@ -421,6 +444,7 @@ impl<T: ServeCoord, const D: usize> PsiServer<T, D> {
     /// Submit an update batch (deletions applied before insertions) to the
     /// writer. Blocks while the writer queue is full.
     pub fn submit(&self, delete: Vec<Point<T, D>>, insert: Vec<Point<T, D>>) {
+        OBS_QUEUE_DEPTH.inc();
         self.update_tx
             .as_ref()
             .expect("server not shut down")
@@ -437,6 +461,7 @@ impl<T: ServeCoord, const D: usize> PsiServer<T, D> {
         delete: Vec<Point<T, D>>,
         insert: Vec<Point<T, D>>,
     ) -> Result<(), (Vec<Point<T, D>>, Vec<Point<T, D>>)> {
+        OBS_QUEUE_DEPTH.inc();
         match self
             .update_tx
             .as_ref()
@@ -445,7 +470,10 @@ impl<T: ServeCoord, const D: usize> PsiServer<T, D> {
         {
             Ok(()) => Ok(()),
             Err(mpsc::TrySendError::Full(Update::Batch(d, i)))
-            | Err(mpsc::TrySendError::Disconnected(Update::Batch(d, i))) => Err((d, i)),
+            | Err(mpsc::TrySendError::Disconnected(Update::Batch(d, i))) => {
+                OBS_QUEUE_DEPTH.dec();
+                Err((d, i))
+            }
             Err(_) => unreachable!("try_submit only sends batches"),
         }
     }

@@ -4,7 +4,10 @@
 //! The loop spawns `clients` reader threads, each issuing
 //! `ops_per_client` queries through a coalescing client handle (a
 //! kNN / kNN / range-count / range-list round-robin) and recording per-query
-//! latency, while an optional writer thread publishes **move** batches —
+//! latency into a shared `psi_obs` histogram (the percentiles reported are
+//! bucket quantiles, within 1/32 of the sorted-sample value, from the same
+//! histogram machinery the live metrics use), while an optional writer
+//! thread publishes **move** batches —
 //! delete a rotating slice of the dataset, reinsert the same points — at the
 //! requested pacing. Moves keep the live count invariant, which turns the
 //! run into a correctness check: after quiescing, the server must hold
@@ -153,6 +156,10 @@ pub fn closed_loop_with<T: ServeCoord, const D: usize>(
 
     let k = spec.k;
     let expect_k = k.min(data.len());
+    // One histogram per run, shared by every client thread: record() is
+    // wait-free, so threads never serialize on it, and the percentiles come
+    // out of the same bucketing the live psi-obs metrics use.
+    let hist = Arc::new(psi_obs::Histogram::new());
     let started = Instant::now();
     let client_threads: Vec<_> = handles
         .into_iter()
@@ -161,8 +168,8 @@ pub fn closed_loop_with<T: ServeCoord, const D: usize>(
             let queries = queries.to_vec();
             let rects = rects.to_vec();
             let ops = spec.ops_per_client;
+            let hist = Arc::clone(&hist);
             std::thread::spawn(move || {
-                let mut lat = Vec::with_capacity(ops);
                 for i in 0..ops {
                     let pick = c + i * 31;
                     let t = Instant::now();
@@ -183,15 +190,13 @@ pub fn closed_loop_with<T: ServeCoord, const D: usize>(
                             handle.range_list(&rects[pick % rects.len()]);
                         }
                     }
-                    lat.push(t.elapsed().as_secs_f64());
+                    hist.record_duration(t.elapsed());
                 }
-                lat
             })
         })
         .collect();
-    let mut latencies: Vec<f64> = Vec::with_capacity(spec.clients * spec.ops_per_client);
     for t in client_threads {
-        latencies.extend(t.join().map_err(|_| "a load-generator client panicked")?);
+        t.join().map_err(|_| "a load-generator client panicked")?;
     }
     let elapsed = started.elapsed().as_secs_f64();
 
@@ -211,21 +216,14 @@ pub fn closed_loop_with<T: ServeCoord, const D: usize>(
     let batches = server.batches_applied();
     let (served, flushes) = server.coalesce_stats();
 
-    latencies.sort_by(|a, b| a.total_cmp(b));
-    let pct = |p: f64| -> f64 {
-        if latencies.is_empty() {
-            return 0.0;
-        }
-        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
-        latencies[idx] * 1e3
-    };
+    let snap = hist.snapshot();
     Ok(LoadOutcome {
-        ops: latencies.len(),
+        ops: snap.count() as usize,
         batches,
         elapsed_secs: elapsed,
-        throughput_qps: latencies.len() as f64 / elapsed.max(1e-9),
-        p50_ms: pct(0.5),
-        p99_ms: pct(0.99),
+        throughput_qps: snap.count() as f64 / elapsed.max(1e-9),
+        p50_ms: snap.quantile_ms(0.5),
+        p99_ms: snap.quantile_ms(0.99),
         coalesce_factor: if flushes > 0 {
             served as f64 / flushes as f64
         } else {

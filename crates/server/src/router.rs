@@ -36,7 +36,13 @@
 use crate::shard::{IndexFactory, Shard, Snapshot, SnapshotRef};
 use psi_geometry::{Coord, KnnHeap, Point, Rect};
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+/// Epoch-history entries dropped by the count or byte bound.
+static OBS_EVICTIONS: psi_obs::LazyCounter = psi_obs::LazyCounter::new(
+    "psi_serve_epoch_evictions_total",
+    "time-travel history entries evicted by the count or byte bound",
+);
 
 /// Global epochs a persistent router keeps pinned for time-travel queries
 /// when no explicit history depth is configured.
@@ -73,6 +79,9 @@ pub struct Router<T: ServeCoord, const D: usize> {
     /// Global epoch counter plus the bounded time-travel log (empty when
     /// any shard is non-persistent — see the module docs).
     history: Mutex<History<T, D>>,
+    /// Per-shard publish-latency histograms (`shard` label), resolved once
+    /// at construction so the publish path never touches the registry.
+    publish_hist: Vec<Arc<psi_obs::Histogram>>,
 }
 
 struct HistoryEntry<T: Coord, const D: usize> {
@@ -185,9 +194,19 @@ impl<T: ServeCoord, const D: usize> Router<T, D> {
         } else {
             0
         };
+        let publish_hist = (0..shard_count)
+            .map(|i| {
+                psi_obs::histogram(
+                    "psi_serve_publish_latency_ns",
+                    "wall time one shard spends applying and publishing a sub-batch",
+                    &[("shard", &i.to_string())],
+                )
+            })
+            .collect();
         let router = Router {
             shards,
             cuts,
+            publish_hist,
             history: Mutex::new(History {
                 log: VecDeque::new(),
                 epoch: base_epoch,
@@ -254,7 +273,9 @@ impl<T: ServeCoord, const D: usize> Router<T, D> {
             if dels[i].is_empty() && inss[i].is_empty() {
                 continue;
             }
+            let t0 = std::time::Instant::now();
             shard.publish(&dels[i], &inss[i]);
+            self.publish_hist[i].record_duration(t0.elapsed());
             published += 1;
         }
         let mut h = self.history.lock().unwrap();
@@ -269,6 +290,7 @@ impl<T: ServeCoord, const D: usize> Router<T, D> {
             {
                 if let Some(evicted) = h.log.pop_front() {
                     h.bytes -= evicted.bytes;
+                    OBS_EVICTIONS.bump();
                 }
             }
         }

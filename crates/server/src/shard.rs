@@ -45,6 +45,13 @@ use std::ops::Deref;
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::Duration;
 
+/// Live snapshot pins across every shard in the process (queries, retained
+/// history views, held `SnapshotRef`s). One relaxed add per pin/unpin.
+static OBS_PINNED: psi_obs::LazyGauge = psi_obs::LazyGauge::new(
+    "psi_serve_pinned_readers",
+    "snapshot pins currently held across all shards",
+);
+
 /// Builds one index copy over a point set. Persistent-capable families are
 /// built once per shard; left-right families are built twice (published +
 /// standby) so both copies share structure and tie-breaking behaviour.
@@ -111,6 +118,7 @@ impl<T: Coord, const D: usize> Deref for SnapshotRef<T, D> {
 
 impl<T: Coord, const D: usize> Clone for SnapshotRef<T, D> {
     fn clone(&self) -> Self {
+        OBS_PINNED.inc();
         SnapshotRef {
             snap: self.snap.clone(),
             reclaim: self.reclaim.clone(),
@@ -120,6 +128,7 @@ impl<T: Coord, const D: usize> Clone for SnapshotRef<T, D> {
 
 impl<T: Coord, const D: usize> Drop for SnapshotRef<T, D> {
     fn drop(&mut self) {
+        OBS_PINNED.dec();
         let snap = self.snap.take();
         if let Some(reclaim) = &self.reclaim {
             drop(snap); // decrement before signalling, see field docs
@@ -226,6 +235,7 @@ impl<T: Coord, const D: usize> Shard<T, D> {
     /// Pin the current epoch. Wait-free apart from one briefly-held read
     /// lock (the writer's matching write lock covers only a pointer swap).
     pub fn pin(&self) -> SnapshotRef<T, D> {
+        OBS_PINNED.inc();
         SnapshotRef {
             snap: Some(self.published.read().unwrap().clone()),
             reclaim: self.reclaim.clone(),
@@ -480,18 +490,20 @@ mod tests {
     fn persistent_publish_copies_a_spine_not_the_tree() {
         use psi_parutils::stats::counters;
         // A full copy of n points costs >= n/phi leaf nodes; a CoW publish
-        // of a tiny batch touches only the spine. The bound is generous
-        // because the NODES_COPIED counter is process-global and other
-        // tests may bump it concurrently.
+        // of a tiny batch touches only the spine. The NODES_COPIED counter
+        // is process-global, so the measurement uses the scoped same-thread
+        // capture: these 8-point batches sit far below the update paths'
+        // parallel grain, so every copy happens on this thread and the
+        // captured delta is exact — concurrent tests no longer interfere.
         let n = 60_000i64;
         let shard = Shard::new(world(), &named_factory("cpam-h"), &pts(0..n));
         assert!(shard.is_persistent());
         let pins: Vec<_> = (0..4).map(|_| shard.pin()).collect(); // live snapshots forcing CoW
-        let before = counters::NODES_COPIED.get();
-        for round in 0..10i64 {
-            shard.publish(&[], &pts(n + round * 8..n + round * 8 + 8));
-        }
-        let copied = counters::NODES_COPIED.get() - before;
+        let ((), copied) = counters::NODES_COPIED.scoped(|| {
+            for round in 0..10i64 {
+                shard.publish(&[], &pts(n + round * 8..n + round * 8 + 8));
+            }
+        });
         // 10 publishes x 8 points over n=60k: spine copies only. A single
         // full copy would clone >= 1_500 leaves; stay well under that.
         assert!(

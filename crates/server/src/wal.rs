@@ -37,6 +37,23 @@ use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Seek, Write};
 use std::path::{Path, PathBuf};
 
+/// Wall time of one [`WalWriter::append`] (encode + buffered write + any
+/// fsync the policy demands).
+static OBS_APPEND: psi_obs::LazyHistogram = psi_obs::LazyHistogram::new(
+    "psi_wal_append_latency_ns",
+    "wall time of one WAL batch append, fsync included when the policy demands it",
+);
+/// Wall time of each explicit flush-to-stable-storage (`sync_all`).
+static OBS_FSYNC: psi_obs::LazyHistogram = psi_obs::LazyHistogram::new(
+    "psi_wal_fsync_latency_ns",
+    "wall time of one WAL flush+fsync to stable storage",
+);
+/// Record bytes handed to the WAL segment (headers excluded).
+static OBS_BYTES: psi_obs::LazyCounter = psi_obs::LazyCounter::new(
+    "psi_wal_bytes_written_total",
+    "record bytes appended to WAL segments",
+);
+
 /// First bytes of every WAL segment: `b"PSIW"` as a little-endian u32.
 pub const WAL_MAGIC: u32 = u32::from_le_bytes(*b"PSIW");
 /// WAL format version.
@@ -455,33 +472,41 @@ impl<T: WireCoord, const D: usize> WalWriter<T, D> {
         delete: &[Point<T, D>],
         insert: &[Point<T, D>],
     ) -> std::io::Result<()> {
+        let t0 = std::time::Instant::now();
         self.buf.clear();
         encode_record(epoch, delete, insert, &mut self.buf);
         self.out.write_all(&self.buf)?;
+        OBS_BYTES.add(self.buf.len() as u64);
         match self.policy {
-            FsyncPolicy::EveryBatch => {
-                self.out.flush()?;
-                self.out.get_ref().sync_all()?;
-            }
+            FsyncPolicy::EveryBatch => self.flush_and_sync()?,
             FsyncPolicy::EveryN(n) => {
                 self.unsynced += 1;
                 if self.unsynced >= n {
-                    self.out.flush()?;
-                    self.out.get_ref().sync_all()?;
+                    self.flush_and_sync()?;
                     self.unsynced = 0;
                 }
             }
             FsyncPolicy::Os => self.out.flush()?,
         }
+        OBS_APPEND.record_duration(t0.elapsed());
         Ok(())
     }
 
     /// Flush and fsync whatever is buffered (checkpoint fences call this
     /// before recording their watermark).
     pub fn sync(&mut self) -> std::io::Result<()> {
+        self.flush_and_sync()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Flush the buffer and push it to stable storage, timing the whole
+    /// flush+fsync into the fsync histogram.
+    fn flush_and_sync(&mut self) -> std::io::Result<()> {
+        let t0 = std::time::Instant::now();
         self.out.flush()?;
         self.out.get_ref().sync_all()?;
-        self.unsynced = 0;
+        OBS_FSYNC.record_duration(t0.elapsed());
         Ok(())
     }
 }

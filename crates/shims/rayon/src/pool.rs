@@ -123,6 +123,28 @@ use std::sync::atomic::{
 };
 use std::sync::{Condvar, Mutex, OnceLock};
 
+// Pool observability: steal traffic, contention, sleep pressure and ring
+// growth, reported into the process-global ψ-obs registry. All four are
+// `LazyCounter`s — the hot-path cost is one initialised-`OnceLock` load
+// plus a striped relaxed `fetch_add`; no lock is ever taken on a
+// push/pop/steal path.
+static OBS_STEALS: psi_obs::LazyCounter = psi_obs::LazyCounter::new(
+    "psi_pool_steals_total",
+    "tasks claimed from another worker's deque (successful top CAS)",
+);
+static OBS_STEAL_CAS_FAILS: psi_obs::LazyCounter = psi_obs::LazyCounter::new(
+    "psi_pool_steal_cas_fails_total",
+    "steal attempts that lost the top CAS race and retried",
+);
+static OBS_PARKS: psi_obs::LazyCounter = psi_obs::LazyCounter::new(
+    "psi_pool_parks_total",
+    "threads that went to sleep with provably nothing to run",
+);
+static OBS_RING_GROWS: psi_obs::LazyCounter = psi_obs::LazyCounter::new(
+    "psi_pool_ring_grows_total",
+    "Chase-Lev ring buffers doubled on overflow",
+);
+
 /// Hard cap on pool threads, a guard against runaway
 /// `ThreadPool::install(huge)` requests.
 const MAX_WORKERS: usize = 192;
@@ -480,10 +502,12 @@ impl ChaseLev {
                 .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
                 .is_ok()
             {
+                OBS_STEALS.bump();
                 // SAFETY: the CAS certified the words.
                 return Some(unsafe { Task::from_words(exec, data) });
             }
             // Lost the race (owner pop or another thief); retry.
+            OBS_STEAL_CAS_FAILS.bump();
             std::hint::spin_loop();
         }
     }
@@ -494,6 +518,7 @@ impl ChaseLev {
     /// epoch-deferred reclamation described in the module docs.
     #[cold]
     fn grow(&self, b: isize, t: isize) -> &RingBuffer {
+        OBS_RING_GROWS.bump();
         let old_ptr = self.buf.load(Ordering::Relaxed);
         // SAFETY: owner-only; the old ring is live until retired below.
         let old = unsafe { &*old_ptr };
@@ -761,6 +786,7 @@ impl Pool {
         let guard = self.park.lock().unwrap();
         self.sleepers.fetch_add(1, Ordering::SeqCst);
         if self.version.load(Ordering::SeqCst) == seen {
+            OBS_PARKS.bump();
             let _guard = self.park_cv.wait(guard).unwrap();
         }
         self.sleepers.fetch_sub(1, Ordering::SeqCst);

@@ -9,7 +9,7 @@ use psi::{Point, Rect};
 use psi_net::wire::{
     decode_reply, decode_request, encode_reply, encode_request, frame_size, Reply, Request,
     WireCoord, WireError, LEN_PREFIX, MAX_FRAME, OP_APPLY_BATCH, OP_EPOCH_BOUNDS, OP_ERROR,
-    OP_HELLO, OP_KNN, OP_RANGE_COUNT, OP_RANGE_LIST, REPLY_BIT,
+    OP_HELLO, OP_KNN, OP_RANGE_COUNT, OP_RANGE_LIST, OP_STATS, REPLY_BIT,
 };
 
 /// Encode → decode → re-encode must reproduce the bytes exactly (byte-level
@@ -153,6 +153,18 @@ proptest! {
             id,
         );
         assert_reply_round_trip(&Reply::<f64, 2>::EpochBounds(None), OP_EPOCH_BOUNDS, id);
+        // Stats: a bodyless request; the reply carries a version word plus
+        // free text (reuse already-generated values for both).
+        assert_request_round_trip(&Request::<i64, 2>::Stats, id);
+        assert_request_round_trip(&Request::<f64, 2>::Stats, id);
+        assert_reply_round_trip(
+            &Reply::<i64, 2>::Stats {
+                version: code as u32,
+                text: format!("metric_total {count}\n"),
+            },
+            OP_STATS,
+            id,
+        );
     }
 
     /// Any proper prefix of a valid payload must reject (the length prefix
@@ -220,7 +232,7 @@ fn oversized_length_prefix_rejects_before_buffering() {
 
 #[test]
 fn unknown_opcodes_reject_in_both_directions() {
-    for op in [0x00u8, 0x02, 0x14, 0x21, 0x7f, OP_KNN | REPLY_BIT, OP_ERROR] {
+    for op in [0x00u8, 0x02, 0x15, 0x21, 0x7f, OP_KNN | REPLY_BIT, OP_ERROR] {
         let mut payload = vec![op];
         payload.extend_from_slice(&3u64.to_le_bytes());
         // Requests never use reply opcodes (and OP_ERROR is reply-only)...
